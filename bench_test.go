@@ -1,0 +1,152 @@
+// Benchmarks regenerating the paper's evaluation artifacts. One benchmark
+// per table/figure (E1–E3) plus one per ablation (A1–A4); the reported
+// per-op time is the cost of regenerating the artifact once. The actual
+// values the paper reports are produced by cmd/bcast-bench and recorded
+// in EXPERIMENTS.md.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+// BenchmarkTable1 regenerates the Table 1 row for each fanout (E1).
+// m = 5 and 6 are bounded by the enumeration limit exactly like the
+// published table's N/A entries; m = 6's surviving-path enumeration is
+// the expensive part (about 10s), so it gets a reduced default.
+func BenchmarkTable1(b *testing.B) {
+	for _, m := range []int{2, 3, 4} {
+		b.Run(benchName("m", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, err := experiment.Table1(experiment.Table1Config{
+					Ms: []int{m}, Trials: 1, Seed: int64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rows) != 1 {
+					b.Fatal("missing row")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig14 regenerates one Fig. 14 point per sigma (E2): an optimal
+// data-tree search plus the sorting heuristic on a 21-node tree.
+func BenchmarkFig14(b *testing.B) {
+	for _, sigma := range []float64{10, 20, 30, 40} {
+		b.Run(benchName("sigma", int(sigma)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				points, err := experiment.Fig14(experiment.Fig14Config{
+					Sigmas: []float64{sigma}, Trials: 1, Seed: int64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if points[0].Optimal > points[0].Sorting+1e-9 {
+					b.Fatal("optimal above sorting")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig2 regenerates the worked example (E3): both paper
+// allocations plus the exact 1- and 2-channel optima.
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Fig2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChannelSweep regenerates the A1 ablation.
+func BenchmarkChannelSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.ChannelSweep(experiment.ChannelSweepConfig{Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPruningAblation regenerates the A2 ablation.
+func BenchmarkPruningAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.PruningAblation(experiment.PruningAblationConfig{
+			Trials: 3, Seed: int64(i + 1),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeuristicQuality regenerates the A3 ablation.
+func BenchmarkHeuristicQuality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.HeuristicQuality(experiment.HeuristicQualityConfig{
+			Trials: 5, Seed: int64(i + 1),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimComparison regenerates the A4 ablation: four schemes driven
+// through the full bucket-level simulator.
+func BenchmarkSimComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.SimComparison(experiment.SimComparisonConfig{Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchName(prefix string, v int) string {
+	return fmt.Sprintf("%s=%d", prefix, v)
+}
+
+// BenchmarkTreeShape regenerates the A5 ablation: five index-tree
+// constructions built, allocated and measured in the simulator.
+func BenchmarkTreeShape(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.TreeShape(experiment.TreeShapeConfig{Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplicationSweep regenerates the A6 ablation.
+func BenchmarkReplicationSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.ReplicationSweep(experiment.ReplicationConfig{Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLargeScale regenerates the A7 study at its smallest size.
+func BenchmarkLargeScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.LargeScale(experiment.LargeScaleConfig{
+			Sizes: []int{100}, Seed: int64(i + 1),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig14Multi regenerates one cell of the multichannel Fig. 14
+// extension (E2b).
+func BenchmarkFig14Multi(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Fig14Multi(experiment.Fig14MultiConfig{
+			Sigmas: []float64{20}, Ks: []int{2}, Trials: 1, Seed: int64(i + 1),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package broadcast
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// PlannerConfig tunes the online re-optimization loop (the paper's first
+// future-work direction: reflecting changing access patterns).
+type PlannerConfig struct {
+	// Channels and Fanout shape the broadcast; both default sensibly
+	// (1 channel, fanout 2).
+	Channels int
+	Fanout   int
+	// Strategy for each replan; Auto by default.
+	Strategy Strategy
+	// Drift is the relative weight change that triggers a replan in
+	// MaybeReplan; defaults to 0.2 (20% of total weight).
+	Drift float64
+	// Decay exponentially ages old weights on each replan: new weight =
+	// Decay·old + observed accesses. Defaults to 0.5.
+	Decay float64
+}
+
+func (c PlannerConfig) withDefaults() PlannerConfig {
+	if c.Channels == 0 {
+		c.Channels = 1
+	}
+	if c.Fanout == 0 {
+		c.Fanout = 2
+	}
+	if c.Drift == 0 {
+		c.Drift = 0.2
+	}
+	if c.Decay == 0 {
+		c.Decay = 0.5
+	}
+	return c
+}
+
+// Planner maintains a live broadcast schedule over a keyed catalog,
+// counting client accesses and re-optimizing once the observed popularity
+// drifts far enough from the weights the current schedule was built for.
+// All methods are safe for concurrent use.
+type Planner struct {
+	cfg PlannerConfig
+
+	mu       sync.Mutex
+	items    []Item
+	byKey    map[int64]int
+	observed []float64 // accesses since the last replan
+	sched    *Schedule
+	replans  int
+}
+
+// NewPlanner builds the initial schedule for the catalog.
+func NewPlanner(items []Item, cfg PlannerConfig) (*Planner, error) {
+	cfg = cfg.withDefaults()
+	if len(items) == 0 {
+		return nil, fmt.Errorf("broadcast: empty catalog")
+	}
+	p := &Planner{
+		cfg:      cfg,
+		items:    append([]Item(nil), items...),
+		byKey:    make(map[int64]int, len(items)),
+		observed: make([]float64, len(items)),
+	}
+	sort.SliceStable(p.items, func(i, j int) bool { return p.items[i].Key < p.items[j].Key })
+	for i, it := range p.items {
+		if _, dup := p.byKey[it.Key]; dup {
+			return nil, fmt.Errorf("broadcast: duplicate key %d", it.Key)
+		}
+		p.byKey[it.Key] = i
+	}
+	if err := p.replan(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *Planner) replan() error {
+	t, err := NewCatalogTree(p.items, p.cfg.Fanout)
+	if err != nil {
+		return err
+	}
+	sched, err := Optimize(t, Options{
+		Channels: p.cfg.Channels,
+		Strategy: p.cfg.Strategy,
+	})
+	if err != nil {
+		return err
+	}
+	p.sched = sched
+	p.replans++
+	for i := range p.observed {
+		p.observed[i] = 0
+	}
+	return nil
+}
+
+// Schedule returns the current broadcast schedule.
+func (p *Planner) Schedule() *Schedule {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sched
+}
+
+// Replans returns how many times a schedule has been built (>= 1).
+func (p *Planner) Replans() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.replans
+}
+
+// RecordAccess counts one client access to the item with the given key.
+// Unknown keys are ignored.
+func (p *Planner) RecordAccess(key int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if i, ok := p.byKey[key]; ok {
+		p.observed[i]++
+	}
+}
+
+// Drift returns the total variation distance between the normalized
+// scheduled weights and the normalized observed access counts (0 when
+// nothing was observed).
+func (p *Planner) Drift() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.driftLocked()
+}
+
+func (p *Planner) driftLocked() float64 {
+	var totalW, totalO float64
+	for i := range p.items {
+		totalW += p.items[i].Weight
+		totalO += p.observed[i]
+	}
+	if totalO == 0 || totalW == 0 {
+		return 0
+	}
+	var d float64
+	for i := range p.items {
+		d += math.Abs(p.items[i].Weight/totalW - p.observed[i]/totalO)
+	}
+	return d / 2 // total variation distance in [0, 1]
+}
+
+// MaybeReplan folds the observed accesses into the weights and rebuilds
+// the schedule when the drift threshold is exceeded. It reports whether a
+// replan happened.
+func (p *Planner) MaybeReplan() (bool, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.driftLocked() < p.cfg.Drift {
+		return false, nil
+	}
+	for i := range p.items {
+		p.items[i].Weight = p.cfg.Decay*p.items[i].Weight + p.observed[i]
+		if p.items[i].Weight <= 0 {
+			p.items[i].Weight = 1
+		}
+	}
+	if err := p.replan(); err != nil {
+		return false, err
+	}
+	return true, nil
+}

@@ -1,0 +1,188 @@
+package broadcast
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/hotset"
+)
+
+// StationConfig tunes a Station.
+type StationConfig struct {
+	// HotSize is how many items fit on the air (the broadcast's data
+	// capacity). Required.
+	HotSize int
+	// Channels and Fanout shape the broadcast (defaults: 1 channel,
+	// fanout 2).
+	Channels, Fanout int
+	// Decay ages demand counters each period; in (0,1), default 0.5.
+	Decay float64
+	// MinChurn is how many hot-set replacements it takes to trigger a
+	// rebuild at the end of a period (default 1: any change rebuilds).
+	MinChurn int
+}
+
+// Station runs the complete server loop of a broadcast system — all three
+// research directions of the paper's Section 1 in one object:
+//
+//  1. determining the data for broadcasting: demand over an arbitrary key
+//     universe is tracked with decayed counters and the hottest HotSize
+//     items are selected each period;
+//  2. scheduling: the selected items are allocated over the channels by
+//     the optimal/heuristic solver;
+//  3. indexing: the broadcast carries the alphabetic index tree clients
+//     descend.
+//
+// Keys outside the current hot set are misses — in a deployment they
+// would be served by the on-demand uplink. All methods are safe for
+// concurrent use.
+type Station struct {
+	cfg    StationConfig
+	est    *hotset.Estimator
+	labels map[int64]string
+
+	mu       sync.Mutex
+	hot      []hotset.HotKey
+	sched    *Schedule
+	rebuilds int
+	hits     int
+	misses   int
+}
+
+// NewStation creates a station over the given key universe. The items'
+// weights seed the demand estimator so the first period starts from the
+// assumed popularity rather than from nothing.
+func NewStation(universe []Item, cfg StationConfig) (*Station, error) {
+	if len(universe) == 0 {
+		return nil, fmt.Errorf("broadcast: empty universe")
+	}
+	if cfg.HotSize < 1 {
+		return nil, fmt.Errorf("broadcast: HotSize %d, want >= 1", cfg.HotSize)
+	}
+	if cfg.Channels == 0 {
+		cfg.Channels = 1
+	}
+	if cfg.Fanout == 0 {
+		cfg.Fanout = 2
+	}
+	if cfg.MinChurn == 0 {
+		cfg.MinChurn = 1
+	}
+	est, err := hotset.New(hotset.Config{Decay: cfg.Decay})
+	if err != nil {
+		return nil, err
+	}
+	s := &Station{cfg: cfg, est: est, labels: make(map[int64]string, len(universe))}
+	for _, it := range universe {
+		if _, dup := s.labels[it.Key]; dup {
+			return nil, fmt.Errorf("broadcast: duplicate key %d", it.Key)
+		}
+		s.labels[it.Key] = it.Label
+		// Seed the prior: one synthetic access per unit of weight.
+		for i := 0.0; i < it.Weight; i++ {
+			est.Record(it.Key)
+		}
+	}
+	if err := s.rebuild(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Record counts one client request. It reports whether the key is
+// currently on the air (a broadcast hit) or must be served on demand.
+func (s *Station) Record(key int64) (onAir bool) {
+	s.est.Record(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, h := range s.hot {
+		if h.Key == key {
+			s.hits++
+			return true
+		}
+	}
+	s.misses++
+	return false
+}
+
+// EndPeriod closes one broadcast period: demand decays, the hot set is
+// re-selected, and the broadcast is rebuilt when at least MinChurn items
+// changed. It reports whether a rebuild happened and the new selection's
+// demand coverage.
+func (s *Station) EndPeriod() (rebuilt bool, coverage float64, err error) {
+	s.est.Tick()
+	next, coverage := s.est.Select(s.cfg.HotSize)
+	s.mu.Lock()
+	churn := hotset.Churn(s.hot, next)
+	s.mu.Unlock()
+	if churn < s.cfg.MinChurn {
+		return false, coverage, nil
+	}
+	if err := s.rebuild(); err != nil {
+		return false, coverage, err
+	}
+	return true, coverage, nil
+}
+
+// rebuild selects the hot set and re-optimizes the broadcast.
+func (s *Station) rebuild() error {
+	hot, _ := s.est.Select(s.cfg.HotSize)
+	if len(hot) == 0 {
+		return fmt.Errorf("broadcast: no demand tracked; nothing to put on air")
+	}
+	sort.Slice(hot, func(i, j int) bool { return hot[i].Key < hot[j].Key })
+	items := make([]Item, len(hot))
+	for i, h := range hot {
+		label := s.labels[h.Key]
+		if label == "" {
+			label = fmt.Sprintf("key-%d", h.Key)
+		}
+		w := h.Weight
+		if w <= 0 {
+			w = 1
+		}
+		items[i] = Item{Label: label, Key: h.Key, Weight: w}
+	}
+	t, err := NewCatalogTree(items, s.cfg.Fanout)
+	if err != nil {
+		return err
+	}
+	sched, err := Optimize(t, Options{Channels: s.cfg.Channels, Polish: true})
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.hot = hot
+	s.sched = sched
+	s.rebuilds++
+	s.mu.Unlock()
+	return nil
+}
+
+// Schedule returns the current broadcast schedule.
+func (s *Station) Schedule() *Schedule {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sched
+}
+
+// OnAir reports whether key is in the current hot set.
+func (s *Station) OnAir(key int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, h := range s.hot {
+		if h.Key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns lifetime counters: broadcast hits, on-demand misses, and
+// schedule rebuilds.
+func (s *Station) Stats() (hits, misses, rebuilds int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses, s.rebuilds
+}

@@ -1,0 +1,168 @@
+package broadcast_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/broadcast"
+)
+
+func universe(n int) []broadcast.Item {
+	items := make([]broadcast.Item, n)
+	for i := range items {
+		items[i] = broadcast.Item{
+			Label:  fmt.Sprintf("u%02d", i+1),
+			Key:    int64(i + 1),
+			Weight: float64(n - i), // item 1 hottest initially
+		}
+	}
+	return items
+}
+
+func TestStationInitialHotSet(t *testing.T) {
+	st, err := broadcast.NewStation(universe(20), broadcast.StationConfig{
+		HotSize:  5,
+		Channels: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The prior weights make keys 1..5 the initial hot set.
+	for key := int64(1); key <= 5; key++ {
+		if !st.OnAir(key) {
+			t.Errorf("key %d should be on air", key)
+		}
+	}
+	if st.OnAir(20) {
+		t.Error("coldest key on air")
+	}
+	sched := st.Schedule()
+	if sched == nil || sched.Alloc.Tree().NumData() != 5 {
+		t.Fatal("schedule does not carry the hot set")
+	}
+	// Every hot key is servable through the broadcast.
+	pw := broadcast.Power{Active: 1, Doze: 0.05}
+	for key := int64(1); key <= 5; key++ {
+		if _, found, err := sched.QueryKey(0, key, pw); err != nil || !found {
+			t.Fatalf("key %d: found=%v err=%v", key, found, err)
+		}
+	}
+}
+
+func TestStationAdaptsToShiftedDemand(t *testing.T) {
+	st, err := broadcast.NewStation(universe(20), broadcast.StationConfig{
+		HotSize: 4,
+		Decay:   0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold keys 16..19 suddenly dominate for several periods.
+	for period := 0; period < 6; period++ {
+		for key := int64(16); key <= 19; key++ {
+			for i := 0; i < 50; i++ {
+				st.Record(key)
+			}
+		}
+		if _, _, err := st.EndPeriod(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for key := int64(16); key <= 19; key++ {
+		if !st.OnAir(key) {
+			t.Errorf("key %d should have been promoted", key)
+		}
+	}
+	if st.OnAir(1) {
+		t.Error("stale key 1 still on air")
+	}
+	_, misses, rebuilds := st.Stats()
+	if rebuilds < 1 {
+		t.Error("no rebuilds despite full churn")
+	}
+	if misses == 0 {
+		t.Error("the first era-2 accesses must have been misses")
+	}
+	// The new schedule serves the promoted keys.
+	pw := broadcast.Power{Active: 1, Doze: 0.05}
+	for key := int64(16); key <= 19; key++ {
+		if _, found, err := st.Schedule().QueryKey(0, key, pw); err != nil || !found {
+			t.Fatalf("promoted key %d not servable: found=%v err=%v", key, found, err)
+		}
+	}
+}
+
+func TestStationStableDemandNoRebuild(t *testing.T) {
+	st, err := broadcast.NewStation(universe(8), broadcast.StationConfig{HotSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, before := st.Stats()
+	// Demand matches the prior: nothing should change.
+	for period := 0; period < 3; period++ {
+		for key := int64(1); key <= 4; key++ {
+			st.Record(key)
+		}
+		rebuilt, coverage, err := st.EndPeriod()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rebuilt {
+			t.Fatal("stable demand triggered a rebuild")
+		}
+		if coverage <= 0 {
+			t.Fatalf("coverage = %g", coverage)
+		}
+	}
+	_, _, after := st.Stats()
+	if after != before {
+		t.Fatalf("rebuilds %d -> %d under stable demand", before, after)
+	}
+}
+
+func TestStationConfigErrors(t *testing.T) {
+	if _, err := broadcast.NewStation(nil, broadcast.StationConfig{HotSize: 1}); err == nil {
+		t.Fatal("want error for empty universe")
+	}
+	if _, err := broadcast.NewStation(universe(3), broadcast.StationConfig{}); err == nil {
+		t.Fatal("want error for HotSize 0")
+	}
+	dup := universe(2)
+	dup[1].Key = dup[0].Key
+	if _, err := broadcast.NewStation(dup, broadcast.StationConfig{HotSize: 1}); err == nil {
+		t.Fatal("want error for duplicate keys")
+	}
+	if _, err := broadcast.NewStation(universe(3), broadcast.StationConfig{HotSize: 1, Decay: 2}); err == nil {
+		t.Fatal("want error for bad decay")
+	}
+}
+
+func TestStationConcurrent(t *testing.T) {
+	st, err := broadcast.NewStation(universe(30), broadcast.StationConfig{HotSize: 6, Channels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				st.Record(int64(1 + (g*7+i)%30))
+				if i%97 == 0 {
+					if _, _, err := st.EndPeriod(); err != nil {
+						t.Error(err)
+						return
+					}
+					_ = st.Schedule().DataWait()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	hits, misses, _ := st.Stats()
+	if hits+misses != 1600 {
+		t.Fatalf("hits %d + misses %d != 1600", hits, misses)
+	}
+}

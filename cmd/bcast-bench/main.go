@@ -1,0 +1,149 @@
+// Command bcast-bench regenerates the paper's evaluation — Table 1,
+// Fig. 14, the Fig. 2 worked example — and the ablation experiments
+// catalogued in DESIGN.md (channel sweep, pruning effort, heuristic
+// quality, simulator comparison).
+//
+// Examples:
+//
+//	bcast-bench -exp table1
+//	bcast-bench -exp fig14 -trials 50 -csv
+//	bcast-bench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: table1 | fig14 | fig14multi | fig2 | channels | pruning | heuristics | sim | treeshape | replication | largescale | all")
+		trials = flag.Int("trials", 0, "trial count override (0 = experiment default)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		maxM   = flag.Int("max-m", 5, "largest fanout for table1 (6 takes minutes)")
+		csv    = flag.Bool("csv", false, "emit fig14 as CSV instead of a table")
+	)
+	flag.Parse()
+	if err := run(*exp, *trials, *seed, *maxM, *csv, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bcast-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, trials int, seed int64, maxM int, csv bool, w io.Writer) error {
+	runners := map[string]func() error{
+		"table1": func() error {
+			ms := []int{}
+			for m := 2; m <= maxM; m++ {
+				ms = append(ms, m)
+			}
+			fmt.Fprintln(w, "== Table 1: pruning effects (full m-ary tree, depth 3) ==")
+			rows, err := experiment.Table1(experiment.Table1Config{Ms: ms, Trials: trials, Seed: seed})
+			if err != nil {
+				return err
+			}
+			return experiment.RenderTable1(w, rows)
+		},
+		"fig14": func() error {
+			fmt.Fprintln(w, "== Fig. 14: Index Tree Sorting vs Optimal (m=4, µ=100) ==")
+			points, err := experiment.Fig14(experiment.Fig14Config{Trials: trials, Seed: seed})
+			if err != nil {
+				return err
+			}
+			if csv {
+				return experiment.WriteCSVFig14(w, points)
+			}
+			return experiment.RenderFig14(w, points)
+		},
+		"fig14multi": func() error {
+			fmt.Fprintln(w, "== E2b: Fig. 14 extended to multiple channels (m=3) ==")
+			points, err := experiment.Fig14Multi(experiment.Fig14MultiConfig{Trials: trials, Seed: seed})
+			if err != nil {
+				return err
+			}
+			return experiment.RenderFig14Multi(w, points)
+		},
+		"fig2": func() error {
+			fmt.Fprintln(w, "== Fig. 2: the worked example ==")
+			r, err := experiment.Fig2()
+			if err != nil {
+				return err
+			}
+			return experiment.RenderFig2(w, r)
+		},
+		"channels": func() error {
+			fmt.Fprintln(w, "== A1: optimal data wait vs channel count ==")
+			points, err := experiment.ChannelSweep(experiment.ChannelSweepConfig{Seed: seed})
+			if err != nil {
+				return err
+			}
+			return experiment.RenderChannelSweep(w, points)
+		},
+		"pruning": func() error {
+			fmt.Fprintln(w, "== A2: search effort with pruning on/off ==")
+			points, err := experiment.PruningAblation(experiment.PruningAblationConfig{Trials: trials, Seed: seed})
+			if err != nil {
+				return err
+			}
+			return experiment.RenderPruning(w, points)
+		},
+		"heuristics": func() error {
+			fmt.Fprintln(w, "== A3: heuristic cost / optimal cost ==")
+			points, err := experiment.HeuristicQuality(experiment.HeuristicQualityConfig{Trials: trials, Seed: seed})
+			if err != nil {
+				return err
+			}
+			return experiment.RenderQuality(w, points)
+		},
+		"sim": func() error {
+			fmt.Fprintln(w, "== A4: client metrics vs SV96 and flat broadcast ==")
+			rows, err := experiment.SimComparison(experiment.SimComparisonConfig{Seed: seed})
+			if err != nil {
+				return err
+			}
+			return experiment.RenderSim(w, rows)
+		},
+		"replication": func() error {
+			fmt.Fprintln(w, "== A6: root replication sweep ==")
+			rows, err := experiment.ReplicationSweep(experiment.ReplicationConfig{Seed: seed})
+			if err != nil {
+				return err
+			}
+			return experiment.RenderReplication(w, rows)
+		},
+		"largescale": func() error {
+			fmt.Fprintln(w, "== A7: heuristics vs lower bound at scale ==")
+			rows, err := experiment.LargeScale(experiment.LargeScaleConfig{Seed: seed})
+			if err != nil {
+				return err
+			}
+			return experiment.RenderLargeScale(w, rows)
+		},
+		"treeshape": func() error {
+			fmt.Fprintln(w, "== A5: index-tree construction comparison ==")
+			rows, err := experiment.TreeShape(experiment.TreeShapeConfig{Seed: seed})
+			if err != nil {
+				return err
+			}
+			return experiment.RenderTreeShape(w, rows)
+		},
+	}
+	if exp == "all" {
+		for _, name := range []string{"fig2", "table1", "fig14", "fig14multi", "channels", "pruning", "heuristics", "sim", "treeshape", "replication", "largescale"} {
+			if err := runners[name](); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	}
+	runner, ok := runners[exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return runner()
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunEachExperiment(t *testing.T) {
+	cases := []struct {
+		exp  string
+		want string
+	}{
+		{"fig2", "Optimal two channels"},
+		{"table1", "63063000"},
+		{"fig14", "sigma"},
+		{"fig14multi", "sorting"},
+		{"channels", "corollary1"},
+		{"pruning", "saved"},
+		{"heuristics", "partitioning"},
+		{"sim", "SV96"},
+		{"treeshape", "hu-tucker"},
+	}
+	for _, c := range cases {
+		t.Run(c.exp, func(t *testing.T) {
+			var sb strings.Builder
+			// Small trials and max-m keep the full matrix under a second
+			// per experiment.
+			if err := run(c.exp, 2, 1, 4, false, &sb); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(sb.String(), c.want) {
+				t.Errorf("output missing %q:\n%s", c.want, sb.String())
+			}
+		})
+	}
+}
+
+func TestRunFig14CSV(t *testing.T) {
+	var sb strings.Builder
+	if err := run("fig14", 1, 1, 3, true, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "sigma,optimal,sorting") {
+		t.Errorf("CSV header missing:\n%s", sb.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("warp", 1, 1, 3, false, &strings.Builder{}); err == nil {
+		t.Fatal("want error for unknown experiment")
+	}
+}

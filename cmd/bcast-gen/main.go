@@ -1,0 +1,103 @@
+// Command bcast-gen generates broadcast index trees as Spec JSON for the
+// other tools: full balanced m-ary trees (the paper's experimental
+// workload), random-shape trees, index chains, and keyed catalogs built
+// into Hu–Tucker / k-ary search trees.
+//
+// Examples:
+//
+//	bcast-gen -type mary -m 4 -depth 3 -dist normal -mu 100 -sigma 20
+//	bcast-gen -type random -n 30 -dist zipf -theta 0.9
+//	bcast-gen -type catalog -n 50 -fanout 3 > tree.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/alphatree"
+	"repro/internal/stats"
+	"repro/internal/tree"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		typ    = flag.String("type", "mary", "tree type: mary | random | chain | catalog")
+		m      = flag.Int("m", 3, "fanout for -type mary")
+		depth  = flag.Int("depth", 3, "depth (levels) for -type mary")
+		n      = flag.Int("n", 10, "data-node count for -type random/chain/catalog")
+		fanout = flag.Int("fanout", 2, "search-tree fanout for -type catalog")
+		dist   = flag.String("dist", "uniform", "weight distribution: uniform | normal | zipf | const")
+		mu     = flag.Float64("mu", 100, "normal mean / const value")
+		sigma  = flag.Float64("sigma", 20, "normal standard deviation")
+		theta  = flag.Float64("theta", 0.9, "zipf skew")
+		lo     = flag.Float64("lo", 1, "uniform lower bound")
+		hi     = flag.Float64("hi", 100, "uniform upper bound")
+		seed   = flag.Int64("seed", 1, "random seed")
+		out    = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+	if err := run(*typ, *m, *depth, *n, *fanout, *dist, *mu, *sigma, *theta, *lo, *hi, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "bcast-gen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(typ string, m, depth, n, fanout int, dist string, mu, sigma, theta, lo, hi float64, seed int64, out string) error {
+	rng := stats.NewRNG(seed)
+	var d stats.Dist
+	switch dist {
+	case "uniform":
+		d = stats.Uniform{Lo: lo, Hi: hi}
+	case "normal":
+		d = stats.Normal{Mu: mu, Sigma: sigma}
+	case "zipf":
+		d = &stats.Zipf{Theta: theta}
+	case "const":
+		d = stats.Constant{V: mu}
+	default:
+		return fmt.Errorf("unknown distribution %q", dist)
+	}
+
+	var (
+		t   *tree.Tree
+		err error
+	)
+	switch typ {
+	case "mary":
+		t, err = workload.FullMAry(m, depth, d, rng)
+	case "random":
+		t, err = workload.Random(workload.RandomConfig{NumData: n, MaxFanout: m, Dist: d}, rng)
+	case "chain":
+		t, err = workload.Chain(n, d.Sample(rng))
+	case "catalog":
+		items := workload.Catalog(n, d, rng)
+		aItems := make([]alphatree.Item, len(items))
+		for i, it := range items {
+			aItems[i] = alphatree.Item{Label: it.Label, Key: it.Key, Weight: it.Weight}
+		}
+		if fanout == 2 {
+			t, err = alphatree.HuTucker(aItems)
+		} else {
+			t, err = alphatree.KAry(aItems, fanout)
+		}
+	default:
+		return fmt.Errorf("unknown tree type %q", typ)
+	}
+	if err != nil {
+		return err
+	}
+
+	data, err := json.MarshalIndent(t.ToSpec(), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}

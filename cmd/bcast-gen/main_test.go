@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+func genToFile(t *testing.T, typ, dist string, m, depth, n, fanout int) string {
+	t.Helper()
+	out := filepath.Join(t.TempDir(), "tree.json")
+	err := run(typ, m, depth, n, fanout, dist, 100, 20, 0.9, 1, 100, 1, out)
+	if err != nil {
+		t.Fatalf("run(%s,%s): %v", typ, dist, err)
+	}
+	return out
+}
+
+func parse(t *testing.T, path string) *tree.Tree {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := tree.ParseJSON(data)
+	if err != nil {
+		t.Fatalf("generated tree does not parse: %v", err)
+	}
+	return tr
+}
+
+func TestGenerateMAry(t *testing.T) {
+	tr := parse(t, genToFile(t, "mary", "normal", 3, 3, 0, 0))
+	if tr.NumData() != 9 || tr.Depth() != 3 {
+		t.Fatalf("mary tree: data=%d depth=%d", tr.NumData(), tr.Depth())
+	}
+}
+
+func TestGenerateRandom(t *testing.T) {
+	tr := parse(t, genToFile(t, "random", "zipf", 3, 0, 12, 0))
+	if tr.NumData() != 12 {
+		t.Fatalf("random tree: data=%d", tr.NumData())
+	}
+}
+
+func TestGenerateChain(t *testing.T) {
+	tr := parse(t, genToFile(t, "chain", "const", 0, 0, 5, 0))
+	if tr.NumIndex() != 5 || tr.NumData() != 1 {
+		t.Fatalf("chain: index=%d data=%d", tr.NumIndex(), tr.NumData())
+	}
+}
+
+func TestGenerateCatalog(t *testing.T) {
+	for _, fanout := range []int{2, 3} {
+		tr := parse(t, genToFile(t, "catalog", "uniform", 0, 0, 10, fanout))
+		if tr.NumData() != 10 || !tr.Keyed() {
+			t.Fatalf("catalog fanout %d: data=%d keyed=%v", fanout, tr.NumData(), tr.Keyed())
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := genToFile(t, "mary", "normal", 2, 3, 0, 0)
+	b := genToFile(t, "mary", "normal", 2, 3, 0, 0)
+	da, _ := os.ReadFile(a)
+	db, _ := os.ReadFile(b)
+	if string(da) != string(db) {
+		t.Fatal("same seed produced different trees")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	tmp := filepath.Join(t.TempDir(), "x.json")
+	if err := run("nope", 2, 3, 5, 2, "uniform", 0, 0, 0, 1, 2, 1, tmp); err == nil {
+		t.Fatal("want error for unknown type")
+	}
+	if err := run("mary", 2, 3, 5, 2, "nope", 0, 0, 0, 1, 2, 1, tmp); err == nil {
+		t.Fatal("want error for unknown distribution")
+	}
+	if err := run("mary", 0, 3, 5, 2, "uniform", 0, 0, 0, 1, 2, 1, tmp); err == nil {
+		t.Fatal("want error for m=0")
+	}
+}

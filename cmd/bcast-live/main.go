@@ -1,0 +1,145 @@
+// Command bcast-live runs the whole system for real: it optimizes a tree,
+// serves the wire-encoded broadcast over TCP on a loopback port, spawns
+// concurrent clients that perform keyed lookups through the socket
+// protocol, and cross-checks every measured metric against the analytic
+// simulator.
+//
+// Example:
+//
+//	bcast-gen -type catalog -n 12 | bcast-live -k 2 -clients 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/netcast"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tree"
+)
+
+func main() {
+	var (
+		in      = flag.String("tree", "", "tree JSON file (default stdin); must be keyed (bcast-gen -type catalog)")
+		k       = flag.Int("k", 2, "number of broadcast channels")
+		clients = flag.Int("clients", 5, "concurrent lookup clients")
+		seed    = flag.Int64("seed", 1, "seed for client arrivals and keys")
+	)
+	flag.Parse()
+	if err := run(*in, *k, *clients, *seed, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bcast-live:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in string, k, clients int, seed int64, w io.Writer) error {
+	var data []byte
+	var err error
+	if in == "" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(in)
+	}
+	if err != nil {
+		return err
+	}
+	t, err := tree.ParseJSON(data)
+	if err != nil {
+		return err
+	}
+	if !t.Keyed() {
+		return fmt.Errorf("tree must be keyed for live lookups (use bcast-gen -type catalog)")
+	}
+	sol, err := core.Solve(t, core.Config{Channels: k})
+	if err != nil {
+		return err
+	}
+	prog, err := sim.Compile(sol.Alloc, sim.Options{})
+	if err != nil {
+		return err
+	}
+
+	server, err := netcast.NewServer(prog)
+	if err != nil {
+		return err
+	}
+	defer server.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	server.Serve(ln)
+	fmt.Fprintf(w, "broadcasting %d nodes over %d channels at %s (cycle %d slots)\n\n",
+		t.NumNodes(), k, ln.Addr(), prog.CycleLen())
+
+	power := sim.Power{Active: 1, Doze: 0.05}
+	rng := stats.NewRNG(seed)
+	dataIDs := t.DataIDs()
+
+	type outcome struct {
+		idx     int
+		arrival int
+		key     int64
+		found   bool
+		m       sim.Metrics
+		want    sim.Metrics
+		err     error
+	}
+	done := make(chan outcome, clients)
+	for i := 0; i < clients; i++ {
+		target := dataIDs[rng.Intn(len(dataIDs))]
+		key, _ := t.Key(target)
+		arrival := rng.Intn(2 * prog.CycleLen())
+		want, err := prog.Query(arrival, target, power)
+		if err != nil {
+			return err
+		}
+		go func(idx, arrival int, key int64, want sim.Metrics) {
+			c, err := netcast.Dial(ln.Addr().String())
+			if err != nil {
+				done <- outcome{idx: idx, err: err}
+				return
+			}
+			defer c.Close()
+			found, _, m, err := c.Lookup(arrival, key, power)
+			done <- outcome{idx, arrival, key, found, m, want, err}
+		}(i, arrival, key, want)
+	}
+
+	// Drive the broadcast once every client is connected, so nobody's
+	// arrival slot can pass before they are registered.
+	go func() {
+		server.AwaitConns(clients)
+		server.Run(2*prog.CycleLen()*(clients+2) + 16)
+	}()
+
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "client\tarrival\tkey\tfound\taccess\ttuning\tenergy\tmatches simulator")
+	failures := 0
+	for i := 0; i < clients; i++ {
+		o := <-done
+		if o.err != nil {
+			return fmt.Errorf("client %d: %w", o.idx, o.err)
+		}
+		match := o.m == o.want
+		if !match || !o.found {
+			failures++
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%v\t%d\t%d\t%.2f\t%v\n",
+			o.idx, o.arrival, o.key, o.found, o.m.AccessTime, o.m.TuningTime, o.m.Energy, match)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d of %d clients diverged from the simulator", failures, clients)
+	}
+	fmt.Fprintf(w, "\nall %d live lookups matched the analytic simulator exactly\n", clients)
+	return nil
+}

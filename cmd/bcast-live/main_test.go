@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/alphatree"
+	"repro/internal/tree"
+)
+
+func catalogFile(t *testing.T, n int) string {
+	t.Helper()
+	items := make([]alphatree.Item, n)
+	for i := range items {
+		items[i] = alphatree.Item{Label: "k", Key: int64(i + 1), Weight: float64(10 * (n - i))}
+	}
+	tr, err := alphatree.HuTucker(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := tr.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "catalog.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLiveEndToEnd(t *testing.T) {
+	var sb strings.Builder
+	if err := run(catalogFile(t, 8), 2, 4, 1, &sb); err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "all 4 live lookups matched the analytic simulator exactly") {
+		t.Fatalf("missing success line:\n%s", out)
+	}
+	if strings.Contains(out, "false") {
+		t.Fatalf("some lookup failed or diverged:\n%s", out)
+	}
+}
+
+func TestLiveSingleClient(t *testing.T) {
+	var sb strings.Builder
+	if err := run(catalogFile(t, 3), 1, 1, 2, &sb); err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, sb.String())
+	}
+}
+
+func TestLiveRejectsUnkeyedTree(t *testing.T) {
+	data, err := tree.Fig1().MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "unkeyed.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, 1, 1, 1, &strings.Builder{}); err == nil {
+		t.Fatal("want error for unkeyed tree")
+	}
+}
+
+func TestLiveMissingFile(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "none.json"), 1, 1, 1, &strings.Builder{}); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}

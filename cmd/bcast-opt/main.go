@@ -1,0 +1,101 @@
+// Command bcast-opt computes an index-and-data allocation for a tree
+// produced by bcast-gen (or hand-written Spec JSON) and prints the
+// channel/slot grid together with the average data wait.
+//
+// Example:
+//
+//	bcast-gen -type mary -m 2 -depth 3 | bcast-opt -k 2 -strategy auto
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/datatree"
+	"repro/internal/topo"
+	"repro/internal/tree"
+)
+
+func main() {
+	var (
+		in       = flag.String("tree", "", "tree JSON file (default stdin)")
+		k        = flag.Int("k", 1, "number of broadcast channels")
+		strategy = flag.String("strategy", "auto", "auto | exact | pruned-search | data-tree | sorting | shrinking | partitioning")
+		maxExact = flag.Int("max-exact", 12, "auto: largest data count still solved exactly")
+		dot      = flag.Bool("dot", false, "also print the tree in Graphviz DOT")
+		showTree = flag.Bool("show-tree", false, "print the pruned topological tree (small instances)")
+		showData = flag.Bool("show-datatree", false, "print the pruned single-channel data tree (k=1, small instances)")
+	)
+	flag.Parse()
+	if err := run(*in, *k, *strategy, *maxExact, *dot, *showTree, *showData, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bcast-opt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in string, k int, strategy string, maxExact int, dot, showTree, showData bool, w io.Writer) error {
+	var data []byte
+	var err error
+	if in == "" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(in)
+	}
+	if err != nil {
+		return err
+	}
+	t, err := tree.ParseJSON(data)
+	if err != nil {
+		return err
+	}
+	strat, err := core.ParseStrategy(strategy)
+	if err != nil {
+		return err
+	}
+	sol, err := core.Solve(t, core.Config{Channels: k, Strategy: strat, MaxExactData: maxExact})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "tree: %d nodes (%d data), depth %d, total weight %g\n",
+		t.NumNodes(), t.NumData(), t.Depth(), t.TotalWeight())
+	fmt.Fprintf(w, "strategy: %s (optimal: %v)\n", sol.Used, sol.Optimal)
+	if sol.Expanded > 0 {
+		fmt.Fprintf(w, "search: %d expanded, %d generated\n", sol.Expanded, sol.Generated)
+	}
+	fmt.Fprintf(w, "average data wait: %.4f buckets over %d slots\n\n", sol.Cost, sol.Alloc.NumSlots())
+	fmt.Fprintln(w, sol.Alloc)
+	if showTree {
+		root, count, err := topo.BuildTree(t, topo.Options{
+			Channels: k, Prune: topo.AllPrunes(), TightBound: true,
+		}, 100000)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\npruned topological tree (%d nodes, %d paths; * = Property 1 completion):\n",
+			count, root.Leaves())
+		if err := topo.Render(w, t, root); err != nil {
+			return err
+		}
+	}
+	if showData {
+		if k != 1 {
+			return fmt.Errorf("-show-datatree requires -k 1")
+		}
+		root, count, err := datatree.BuildTree(t, datatree.AllOptions(), 100000)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\npruned data tree (%d nodes; {Nancestor},{Cancestor} per step):\n", count)
+		if err := datatree.Render(w, t, root); err != nil {
+			return err
+		}
+	}
+	if dot {
+		fmt.Fprintln(w)
+		fmt.Fprint(w, t.DOT())
+	}
+	return nil
+}

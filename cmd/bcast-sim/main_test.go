@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+func fig1File(t *testing.T) string {
+	t.Helper()
+	data, err := tree.Fig1().MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "fig1.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSimulateFig1(t *testing.T) {
+	var sb strings.Builder
+	if err := run(fig1File(t), 2, "auto", false, 5, 1, 1, 0.05, 0, 0, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{
+		"data wait 3.7714",
+		"probe wait",
+		"tuning time",
+		"energy",
+		"arrival  target", // the sample-query table header
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+	// 5 sample queries plus the header.
+	if lines := strings.Count(out, "\n"); lines < 15 {
+		t.Errorf("output too short (%d lines):\n%s", lines, out)
+	}
+}
+
+func TestSimulateReplicated(t *testing.T) {
+	var sb strings.Builder
+	if err := run(fig1File(t), 2, "sorting", true, 0, 1, 1, 0.05, 200, 0, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "arrival  target") {
+		t.Error("queries=0 should suppress the sample table")
+	}
+	if !strings.Contains(sb.String(), "replay of 200 queries") {
+		t.Errorf("missing replay section:\n%s", sb.String())
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "nope.json"), 1, "auto", false, 0, 1, 1, 0.05, 0, 0, &strings.Builder{}); err == nil {
+		t.Fatal("want error for missing file")
+	}
+	if err := run(fig1File(t), 1, "bogus", false, 0, 1, 1, 0.05, 0, 0, &strings.Builder{}); err == nil {
+		t.Fatal("want error for bad strategy")
+	}
+}

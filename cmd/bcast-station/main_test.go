@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStationLoopShiftsHotSet(t *testing.T) {
+	var sb strings.Builder
+	if err := run(30, 5, 2, 8, 400, 4, 0.9, 0.4, 1, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "rebuilds") {
+		t.Fatalf("missing totals:\n%s", out)
+	}
+	if !strings.Contains(out, "true") {
+		t.Fatalf("the demand shift never triggered a rebuild:\n%s", out)
+	}
+	if !strings.Contains(out, "final broadcast:") {
+		t.Fatalf("missing final allocation:\n%s", out)
+	}
+}
+
+func TestStationLoopErrors(t *testing.T) {
+	if err := run(3, 5, 1, 2, 10, 1, 0.9, 0.4, 1, &strings.Builder{}); err == nil {
+		t.Fatal("want error for universe < hot")
+	}
+}

@@ -1,0 +1,8 @@
+// Package repro reproduces "Optimal Index and Data Allocation in Multiple
+// Broadcast Channels" (Shou-Chih Lo and Arbee L.P. Chen, ICDE 2000).
+//
+// The public API lives in repro/broadcast; the paper's algorithms and
+// substrates live under repro/internal (see DESIGN.md for the full system
+// inventory). The benchmarks in this directory regenerate every table and
+// figure of the paper's evaluation; cmd/bcast-bench prints them as tables.
+package repro

@@ -1,0 +1,90 @@
+// Hybridstation: the full broadcast-server loop. A station can push only
+// 6 of its 40 items; everything else is served on demand. The example
+// runs a day of shifting demand — morning commute, midday lull, an
+// evening breaking story — and shows the station re-selecting its hot set
+// and re-optimizing the broadcast as the world changes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/broadcast"
+)
+
+func main() {
+	// The universe: 40 items, initially mildly skewed.
+	universe := make([]broadcast.Item, 40)
+	for i := range universe {
+		universe[i] = broadcast.Item{
+			Label:  fmt.Sprintf("item-%02d", i+1),
+			Key:    int64(i + 1),
+			Weight: float64(40-i) / 4,
+		}
+	}
+	station, err := broadcast.NewStation(universe, broadcast.StationConfig{
+		HotSize:  6,
+		Channels: 2,
+		Decay:    0.4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	phases := []struct {
+		name    string
+		periods int
+		hot     []int64 // keys dominating this phase
+	}{
+		{"morning commute (traffic & news)", 3, []int64{1, 2, 3, 4, 5, 6}},
+		{"midday lull (long tail)", 3, nil},
+		{"breaking story on items 31-34", 4, []int64{31, 32, 33, 34}},
+	}
+
+	fmt.Println("period  phase                               rebuilt  coverage  on-air sample")
+	period := 0
+	for _, ph := range phases {
+		for p := 0; p < ph.periods; p++ {
+			period++
+			for i := 0; i < 600; i++ {
+				var key int64
+				if ph.hot != nil && rng.Float64() < 0.8 {
+					key = ph.hot[rng.Intn(len(ph.hot))]
+				} else {
+					key = int64(1 + rng.Intn(len(universe)))
+				}
+				station.Record(key)
+			}
+			rebuilt, coverage, err := station.EndPeriod()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%6d  %-35s %-8v %7.1f%%  %s\n",
+				period, ph.name, rebuilt, 100*coverage, onAirSample(station))
+		}
+	}
+
+	hits, misses, rebuilds := station.Stats()
+	fmt.Printf("\nday summary: %d broadcast hits, %d on-demand misses (%.1f%% served on air), %d rebuilds\n",
+		hits, misses, 100*float64(hits)/float64(hits+misses), rebuilds)
+	sched := station.Schedule()
+	fmt.Printf("final broadcast (avg data wait %.2f buckets):\n%s\n", sched.DataWait(), sched.Alloc)
+}
+
+// onAirSample renders the current hot set compactly.
+func onAirSample(st *broadcast.Station) string {
+	out := ""
+	n := 0
+	for key := int64(1); key <= 40 && n < 6; key++ {
+		if st.OnAir(key) {
+			if n > 0 {
+				out += ","
+			}
+			out += fmt.Sprint(key)
+			n++
+		}
+	}
+	return "{" + out + "}"
+}

@@ -1,0 +1,71 @@
+// Powersaving: quantifies the paper's energy story. A battery-powered
+// client retrieving one item per broadcast cycle compares three designs:
+// an unindexed flat broadcast (always listening), the indexed broadcast
+// without root replication, and the indexed broadcast with root copies
+// filling empty slots. Doze mode costs 5% of active power.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/broadcast"
+)
+
+func main() {
+	// 24 items with moderately skewed popularity.
+	items := make([]broadcast.Item, 24)
+	for i := range items {
+		items[i] = broadcast.Item{
+			Label:  fmt.Sprintf("item%02d", i+1),
+			Key:    int64(i + 1),
+			Weight: 100 / math.Sqrt(float64(i+1)),
+		}
+	}
+	tree, err := broadcast.NewCatalogTree(items, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	power := broadcast.Power{Active: 1, Doze: 0.05}
+
+	fmt.Println("design                     access   tuning   energy   battery-life ×")
+	fmt.Println("----------------------------------------------------------------------")
+
+	// Flat baseline: the client reads every bucket until its item passes.
+	// Expected over uniform arrival: (n+1)/2 buckets, all active.
+	n := float64(len(items))
+	flatAccess := (n + 1) / 2
+	flatEnergy := power.Active * flatAccess
+	show("flat (no index)", flatAccess, flatAccess, flatEnergy, flatEnergy)
+
+	for _, cfg := range []struct {
+		name      string
+		replicate bool
+	}{
+		{"indexed", false},
+		{"indexed + root copies", true},
+	} {
+		sched, err := broadcast.Optimize(tree, broadcast.Options{
+			Channels:      2,
+			ReplicateRoot: cfg.replicate,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		avg, err := sched.Measure(power)
+		if err != nil {
+			log.Fatal(err)
+		}
+		show(cfg.name, avg.AccessTime, avg.TuningTime, avg.Energy, flatEnergy)
+	}
+
+	fmt.Println("\nThe indexed designs trade a longer access time (the client must")
+	fmt.Println("descend the index) for far less tuning: the receiver dozes through")
+	fmt.Println("almost the whole wait, which is where the battery life comes from.")
+}
+
+func show(name string, access, tuning, energy, flatEnergy float64) {
+	fmt.Printf("%-26s %6.2f   %6.2f   %6.2f   %6.2f\n",
+		name, access, tuning, energy, flatEnergy/energy)
+}

@@ -1,0 +1,97 @@
+// Stockticker: a live quote service whose popularity shifts during the
+// trading day. The example drives the Planner — the paper's "changing
+// access patterns" future-work direction — through a morning where one
+// ticker suddenly becomes hot, and shows the schedule adapting.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/broadcast"
+)
+
+func main() {
+	tickers := []broadcast.Item{
+		{Label: "AAPL", Key: 1, Weight: 40},
+		{Label: "GOOG", Key: 2, Weight: 35},
+		{Label: "MSFT", Key: 3, Weight: 30},
+		{Label: "AMZN", Key: 4, Weight: 25},
+		{Label: "META", Key: 5, Weight: 20},
+		{Label: "NVDA", Key: 6, Weight: 10},
+		{Label: "TSLA", Key: 7, Weight: 10},
+		{Label: "INTC", Key: 8, Weight: 5},
+	}
+
+	planner, err := broadcast.NewPlanner(tickers, broadcast.PlannerConfig{
+		Channels: 2,
+		Fanout:   2,
+		Drift:    0.15,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("initial schedule (AAPL hottest):")
+	fmt.Println(planner.Schedule().Alloc)
+	report(planner, "NVDA")
+
+	// Phase 1: business as usual — accesses follow the planned weights.
+	rng := rand.New(rand.NewSource(7))
+	simulateAccesses(planner, tickers, rng, 500)
+	if replanned, err := planner.MaybeReplan(); err != nil {
+		log.Fatal(err)
+	} else {
+		fmt.Printf("\nafter a calm phase: drift %.3f, replanned=%v\n", planner.Drift(), replanned)
+	}
+
+	// Phase 2: NVDA announces earnings — its lookups explode.
+	for i := 0; i < 2000; i++ {
+		planner.RecordAccess(6) // NVDA
+		if i%4 == 0 {
+			planner.RecordAccess(1) // some background AAPL traffic
+		}
+	}
+	fmt.Printf("\nearnings shock: drift %.3f\n", planner.Drift())
+	if replanned, err := planner.MaybeReplan(); err != nil {
+		log.Fatal(err)
+	} else if !replanned {
+		log.Fatal("expected a replan after the shock")
+	}
+	fmt.Printf("replanned (total %d schedules built):\n", planner.Replans())
+	fmt.Println(planner.Schedule().Alloc)
+	report(planner, "NVDA")
+}
+
+// simulateAccesses records accesses proportional to the planned weights.
+func simulateAccesses(p *broadcast.Planner, items []broadcast.Item, rng *rand.Rand, n int) {
+	var total float64
+	for _, it := range items {
+		total += it.Weight
+	}
+	for i := 0; i < n; i++ {
+		r := rng.Float64() * total
+		for _, it := range items {
+			if r -= it.Weight; r <= 0 {
+				p.RecordAccess(it.Key)
+				break
+			}
+		}
+	}
+}
+
+// report prints one ticker's expected wait under the current schedule.
+func report(p *broadcast.Planner, label string) {
+	sched := p.Schedule()
+	t := sched.Alloc.Tree()
+	id := t.FindLabel(label)
+	if id < 0 {
+		log.Fatalf("ticker %s missing", label)
+	}
+	m, err := sched.Query(0, id, broadcast.Power{Active: 1, Doze: 0.05})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s from cycle start: data wait %d slots, tuning %d buckets\n",
+		label, m.DataWait, m.TuningTime)
+}

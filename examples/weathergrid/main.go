@@ -1,0 +1,83 @@
+// Weathergrid: a regional weather service broadcasts readings from 60
+// stations, keyed by station ID. Dashboards issue range scans ("stations
+// 2100–2116, the coastal strip") while mobile users look up single
+// stations. The example runs a mixed replay workload and reports the
+// percentile latencies that separate the two query classes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/broadcast"
+)
+
+func main() {
+	const stations = 60
+	// Popularity: coastal stations (low IDs) are hottest, with a long tail
+	// inland.
+	items := make([]broadcast.Item, stations)
+	for i := range items {
+		items[i] = broadcast.Item{
+			Label:  fmt.Sprintf("st-%04d", 2100+i),
+			Key:    int64(2100 + i),
+			Weight: 100 / math.Pow(float64(i+1), 0.7),
+		}
+	}
+
+	tree, err := broadcast.NewCatalogTree(items, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched, err := broadcast.Optimize(tree, broadcast.Options{
+		Channels:      3,
+		Polish:        true, // exchange-based cleanup on the heuristic
+		ReplicateRoot: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("grid: %d stations, %d index nodes, cycle %d slots over 3 channels\n",
+		tree.NumData(), tree.NumIndex(), sched.CycleLen())
+	fmt.Printf("average data wait: %.2f buckets (strategy: %s)\n\n",
+		sched.DataWait(), sched.Used)
+
+	power := broadcast.Power{Active: 1, Doze: 0.05}
+
+	// One concrete range scan: the coastal strip.
+	keys, m, err := sched.QueryRange(0, 2100, 2116, power)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("coastal strip scan [2100, 2116]: %d stations in %d slots, %d buckets read\n\n",
+		len(keys), m.AccessTime, m.TuningTime)
+
+	// A mixed dashboard + mobile workload.
+	for _, mix := range []struct {
+		name string
+		frac float64
+	}{
+		{"mobile only (point lookups)", 0},
+		{"mixed (25% range scans)", 0.25},
+		{"dashboard heavy (75% range scans)", 0.75},
+	} {
+		rep, err := sched.Replay(broadcast.ReplayConfig{
+			Queries:       4000,
+			Seed:          7,
+			Power:         power,
+			RangeFraction: mix.frac,
+			RangeSpan:     17,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-34s access p50=%5.1f p95=%5.1f max=%5.0f | tuning mean=%5.2f | energy mean=%5.2f\n",
+			mix.name, rep.Access.Median, rep.Access.P95, rep.Access.Max,
+			rep.Tuning.Mean, rep.Energy.Mean)
+	}
+
+	fmt.Println("\nRange scans ride the same index: the client walks every subtree")
+	fmt.Println("overlapping the range, catching later channels on following cycles,")
+	fmt.Println("so dashboards cost tail latency but never extra broadcast bandwidth.")
+}

@@ -1,0 +1,278 @@
+// Package airtime is the live counterpart of the analytic simulator: a
+// Tower goroutine broadcasts the wire-encoded buckets of a compiled
+// program slot by slot, and client goroutines tune in with real receiver
+// semantics — wake at a (channel, slot), receive exactly that packet,
+// decode it, and decide where to listen next. Clients never see the tree
+// or the program; everything they learn arrives through wire packets,
+// so an end-to-end lookup exercises allocation, compilation, the binary
+// codec, and the doze-mode protocol together.
+//
+// Time is discrete and driven explicitly by Step/Run, which makes the
+// concurrency deterministic: a Step delivers the current slot to every
+// due receiver and blocks until each has decided its next wake-up, then
+// advances the clock.
+package airtime
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Delivery is one received packet.
+type Delivery struct {
+	Slot    int // absolute slot the packet was broadcast in
+	Channel int
+	Packet  []byte
+}
+
+// Receiver is a single-channel radio. After a delivery the owner must
+// call exactly one of WakeAt or Detach before the Tower can advance.
+type Receiver struct {
+	tower   *Tower
+	deliver chan Delivery
+	ack     chan struct{}
+	pending bool // true while a delivery awaits WakeAt/Detach
+}
+
+// Recv blocks until the next delivery for this receiver.
+func (r *Receiver) Recv() Delivery {
+	d := <-r.deliver
+	r.pending = true
+	return d
+}
+
+// WakeAt schedules the receiver to read the given channel at the given
+// absolute slot (which must not be in the past), acknowledging any
+// pending delivery.
+func (r *Receiver) WakeAt(channel, slot int) error {
+	if err := r.tower.schedule(r, channel, slot); err != nil {
+		return err
+	}
+	r.release()
+	return nil
+}
+
+// Detach turns the radio off for good, acknowledging any pending delivery.
+func (r *Receiver) Detach() {
+	r.tower.unschedule(r)
+	r.release()
+}
+
+func (r *Receiver) release() {
+	if r.pending {
+		r.pending = false
+		r.ack <- struct{}{}
+	}
+}
+
+type wake struct {
+	channel, slot int
+}
+
+// Tower broadcasts a compiled program cyclically.
+type Tower struct {
+	prog    *sim.Program
+	packets [][][]byte
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	now     int
+	waiting map[*Receiver]wake
+}
+
+// NewTower wire-encodes the program and returns a tower whose clock is at
+// slot 0.
+func NewTower(p *sim.Program) (*Tower, error) {
+	packets, err := wire.EncodeProgram(p)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tower{
+		prog:    p,
+		packets: packets,
+		waiting: map[*Receiver]wake{},
+	}
+	t.cond = sync.NewCond(&t.mu)
+	return t, nil
+}
+
+// AwaitWaiters blocks until at least n receivers have a scheduled
+// wake-up. Drivers call it before stepping so a concurrently starting
+// client cannot miss its arrival slot.
+func (t *Tower) AwaitWaiters(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for len(t.waiting) < n {
+		t.cond.Wait()
+	}
+}
+
+// CycleLen returns the broadcast cycle length.
+func (t *Tower) CycleLen() int { return t.prog.CycleLen() }
+
+// Now returns the current absolute slot.
+func (t *Tower) Now() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.now
+}
+
+// NewReceiver returns a detached receiver.
+func (t *Tower) NewReceiver() *Receiver {
+	return &Receiver{
+		tower:   t,
+		deliver: make(chan Delivery),
+		ack:     make(chan struct{}),
+	}
+}
+
+func (t *Tower) schedule(r *Receiver, channel, slot int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if channel < 1 || channel > t.prog.Channels() {
+		return fmt.Errorf("airtime: channel %d of %d", channel, t.prog.Channels())
+	}
+	if slot < t.now {
+		return fmt.Errorf("airtime: slot %d already passed (now %d)", slot, t.now)
+	}
+	t.waiting[r] = wake{channel: channel, slot: slot}
+	t.cond.Broadcast()
+	return nil
+}
+
+func (t *Tower) unschedule(r *Receiver) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.waiting, r)
+}
+
+// Step broadcasts the current slot: every receiver due now gets its
+// packet and the step blocks until it acknowledges (by scheduling its
+// next wake-up or detaching). Then the clock advances one slot.
+func (t *Tower) Step() {
+	t.mu.Lock()
+	now := t.now
+	var due []*Receiver
+	var chans []int
+	for r, w := range t.waiting {
+		if w.slot == now {
+			due = append(due, r)
+			chans = append(chans, w.channel)
+			delete(t.waiting, r)
+		}
+	}
+	t.mu.Unlock()
+
+	slot := now%t.prog.CycleLen() + 1
+	for i, r := range due {
+		r.deliver <- Delivery{
+			Slot:    now,
+			Channel: chans[i],
+			Packet:  t.packets[chans[i]-1][slot-1],
+		}
+		<-r.ack
+	}
+
+	t.mu.Lock()
+	t.now++
+	t.mu.Unlock()
+}
+
+// Run steps the tower the given number of slots.
+func (t *Tower) Run(slots int) {
+	for i := 0; i < slots; i++ {
+		t.Step()
+	}
+}
+
+// LookupResult is one live client query.
+type LookupResult struct {
+	Found   bool
+	Label   string
+	Metrics sim.Metrics
+}
+
+// Lookup performs a key lookup through a live receiver: probe channel 1
+// at the arrival slot, synchronize to the cycle start (or start from a
+// root copy), then descend by decoding each packet and following the
+// pointer whose advertised key range covers the key. It blocks until the
+// tower has broadcast the needed slots, so the tower must be stepped from
+// another goroutine.
+func Lookup(t *Tower, r *Receiver, arrival int, key int64, pw sim.Power) (LookupResult, error) {
+	var res LookupResult
+	if err := r.WakeAt(1, arrival); err != nil {
+		return res, err
+	}
+	d := r.Recv()
+	res.Metrics.TuningTime++
+	b, err := wire.Unmarshal(d.Packet)
+	if err != nil {
+		r.Detach()
+		return res, err
+	}
+
+	descentStart := d.Slot
+	if !b.RootCopy {
+		// Doze to the next cycle start and read the root.
+		res.Metrics.ProbeWait = int(b.NextCycle)
+		if err := r.WakeAt(1, d.Slot+int(b.NextCycle)); err != nil {
+			return res, err
+		}
+		d = r.Recv()
+		res.Metrics.TuningTime++
+		descentStart = d.Slot
+		if b, err = wire.Unmarshal(d.Packet); err != nil {
+			r.Detach()
+			return res, err
+		}
+	}
+
+	for hops := 0; hops <= t.prog.Tree().NumNodes()+1; hops++ {
+		if b.Kind == wire.KindData {
+			res.Found = b.Key == key
+			res.Label = b.Label
+			res.Metrics.DataWait = d.Slot - descentStart + 1
+			finishMetrics(&res.Metrics, pw)
+			r.Detach()
+			return res, nil
+		}
+		var next *wire.Pointer
+		for i := range b.Pointers {
+			p := &b.Pointers[i]
+			if key >= p.KeyLo && key <= p.KeyHi {
+				next = p
+				break
+			}
+		}
+		if next == nil {
+			// Negative lookup: nothing covers the key.
+			res.Metrics.DataWait = d.Slot - descentStart + 1
+			finishMetrics(&res.Metrics, pw)
+			r.Detach()
+			return res, nil
+		}
+		if err := r.WakeAt(int(next.Channel), d.Slot+int(next.Offset)); err != nil {
+			return res, err
+		}
+		d = r.Recv()
+		res.Metrics.TuningTime++
+		if b, err = wire.Unmarshal(d.Packet); err != nil {
+			r.Detach()
+			return res, err
+		}
+	}
+	r.Detach()
+	return res, fmt.Errorf("airtime: descent did not terminate")
+}
+
+func finishMetrics(m *sim.Metrics, pw sim.Power) {
+	m.AccessTime = m.ProbeWait + m.DataWait
+	doze := m.AccessTime - m.TuningTime
+	if doze < 0 {
+		doze = 0
+	}
+	m.Energy = pw.Active*float64(m.TuningTime) + pw.Doze*float64(doze)
+}

@@ -1,0 +1,303 @@
+package airtime
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/alphatree"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+var pw = sim.Power{Active: 1, Doze: 0.05}
+
+// liveProgram compiles a keyed Hu-Tucker broadcast for n items on k
+// channels and wraps it in a tower.
+func liveProgram(t testing.TB, n, k int, seed int64, copies bool) (*Tower, *sim.Program) {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	items := make([]alphatree.Item, n)
+	for i := range items {
+		items[i] = alphatree.Item{Label: "item", Key: int64(i + 1), Weight: float64(1 + rng.Intn(100))}
+	}
+	tr, err := alphatree.HuTucker(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := core.Solve(tr, core.Config{Channels: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sim.Compile(sol.Alloc, sim.Options{FillWithRootCopies: copies})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tower, err := NewTower(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tower, p
+}
+
+// drive runs a lookup with the tower stepped from a second goroutine and
+// returns its result.
+func drive(t testing.TB, tower *Tower, arrival int, key int64) (LookupResult, error) {
+	t.Helper()
+	r := tower.NewReceiver()
+	type outcome struct {
+		res LookupResult
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := Lookup(tower, r, arrival, key, pw)
+		done <- outcome{res, err}
+	}()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tower.AwaitWaiters(1)
+		// Bound the broadcast generously: probe + a few cycles.
+		tower.Run(arrival + 5*tower.CycleLen() + 5)
+	}()
+	out := <-done
+	wg.Wait()
+	return out.res, out.err
+}
+
+// TestLiveLookupMatchesSimulator: the goroutine+wire path must produce
+// byte-identical metrics to the analytic simulator for every item and
+// arrival phase.
+func TestLiveLookupMatchesSimulator(t *testing.T) {
+	tower, p := liveProgram(t, 7, 2, 1, false)
+	tr := p.Tree()
+	for _, d := range tr.DataIDs() {
+		key, _ := tr.Key(d)
+		for arrival := 0; arrival < p.CycleLen(); arrival++ {
+			// Each lookup needs a fresh tower clock: rebuild per arrival.
+			tower, p = liveProgram(t, 7, 2, 1, false)
+			res, err := drive(t, tower, arrival, key)
+			if err != nil {
+				t.Fatalf("key %d arrival %d: %v", key, arrival, err)
+			}
+			if !res.Found {
+				t.Fatalf("key %d arrival %d: not found", key, arrival)
+			}
+			want, err := p.Query(arrival, d, pw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Metrics != want {
+				t.Fatalf("key %d arrival %d: live %+v != sim %+v", key, arrival, res.Metrics, want)
+			}
+		}
+	}
+}
+
+func TestLiveNegativeLookup(t *testing.T) {
+	tower, _ := liveProgram(t, 6, 2, 2, false)
+	res, err := drive(t, tower, 0, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Fatal("absent key found")
+	}
+	if res.Metrics.TuningTime < 1 {
+		t.Fatal("no buckets read")
+	}
+}
+
+func TestLiveRootCopies(t *testing.T) {
+	tower, p := liveProgram(t, 6, 2, 3, true)
+	tr := p.Tree()
+	d := tr.DataIDs()[0]
+	key, _ := tr.Key(d)
+	res, err := drive(t, tower, 2, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.Query(2, d, pw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics != want {
+		t.Fatalf("live %+v != sim %+v", res.Metrics, want)
+	}
+}
+
+// TestConcurrentClients runs several clients with different arrivals and
+// keys against one tower simultaneously.
+func TestConcurrentClients(t *testing.T) {
+	tower, p := liveProgram(t, 8, 2, 4, false)
+	tr := p.Tree()
+	dataIDs := tr.DataIDs()
+	const clients = 6
+
+	type outcome struct {
+		idx int
+		res LookupResult
+		err error
+	}
+	done := make(chan outcome, clients)
+	wants := make([]sim.Metrics, clients)
+	for i := 0; i < clients; i++ {
+		d := dataIDs[i%len(dataIDs)]
+		key, _ := tr.Key(d)
+		arrival := i
+		want, err := p.Query(arrival, d, pw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = want
+		r := tower.NewReceiver()
+		go func(idx int) {
+			res, err := Lookup(tower, r, arrival, key, pw)
+			done <- outcome{idx, res, err}
+		}(i)
+	}
+	go func() {
+		tower.AwaitWaiters(clients)
+		tower.Run(clients + 6*tower.CycleLen())
+	}()
+	for i := 0; i < clients; i++ {
+		out := <-done
+		if out.err != nil {
+			t.Fatalf("client %d: %v", out.idx, out.err)
+		}
+		if !out.res.Found {
+			t.Fatalf("client %d: not found", out.idx)
+		}
+		if out.res.Metrics != wants[out.idx] {
+			t.Fatalf("client %d: live %+v != sim %+v", out.idx, out.res.Metrics, wants[out.idx])
+		}
+	}
+}
+
+func TestSchedulingErrors(t *testing.T) {
+	tower, _ := liveProgram(t, 4, 2, 5, false)
+	r := tower.NewReceiver()
+	if err := r.WakeAt(99, 0); err == nil {
+		t.Fatal("want channel-range error")
+	}
+	tower.Run(3)
+	if err := r.WakeAt(1, 1); err == nil {
+		t.Fatal("want slot-passed error")
+	}
+	// Lookup at a passed arrival reports the error.
+	if _, err := Lookup(tower, r, 0, 1, pw); err == nil {
+		t.Fatal("want arrival-passed error")
+	}
+}
+
+func TestDetachIsIdempotent(t *testing.T) {
+	tower, _ := liveProgram(t, 4, 1, 6, false)
+	r := tower.NewReceiver()
+	if err := r.WakeAt(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	r.Detach()
+	r.Detach()
+	// The tower can step freely with no scheduled receivers.
+	tower.Run(5)
+	if tower.Now() != 5 {
+		t.Fatalf("Now = %d", tower.Now())
+	}
+}
+
+// Property: random catalogs, channel counts, arrivals — every live lookup
+// matches the analytic simulator exactly.
+func TestQuickLiveMatchesSim(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		n := 1 + rng.Intn(9)
+		k := 1 + rng.Intn(3)
+		copies := rng.Intn(2) == 0
+		tower, p := liveProgram(t, n, k, seed, copies)
+		tr := p.Tree()
+		d := tr.DataIDs()[rng.Intn(tr.NumData())]
+		key, _ := tr.Key(d)
+		arrival := rng.Intn(2 * p.CycleLen())
+		res, err := drive(t, tower, arrival, key)
+		if err != nil || !res.Found {
+			t.Logf("seed=%d: err=%v found=%v", seed, err, res.Found)
+			return false
+		}
+		want, err := p.Query(arrival, d, pw)
+		if err != nil {
+			return false
+		}
+		if res.Metrics != want {
+			t.Logf("seed=%d: live %+v != sim %+v", seed, res.Metrics, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLiveLookup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tower, p := liveProgram(b, 8, 2, 1, false)
+		tr := p.Tree()
+		key, _ := tr.Key(tr.DataIDs()[i%tr.NumData()])
+		if _, err := drive(b, tower, i%p.CycleLen(), key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestLiveRangeMatchesSimulator: range scans through the goroutine tower
+// agree with the analytic simulator on keys and metrics.
+func TestLiveRangeMatchesSimulator(t *testing.T) {
+	for _, rg := range [][2]int64{{1, 8}, {3, 5}, {6, 6}, {50, 60}} {
+		tower, p := liveProgram(t, 8, 2, 20, false)
+		r := tower.NewReceiver()
+		type outcome struct {
+			keys []int64
+			m    sim.Metrics
+			err  error
+		}
+		done := make(chan outcome, 1)
+		go func() {
+			keys, m, err := LookupRange(tower, r, 1, rg[0], rg[1], pw)
+			done <- outcome{keys, m, err}
+		}()
+		go func() {
+			tower.AwaitWaiters(1)
+			tower.Run(1 + 40*tower.CycleLen())
+		}()
+		out := <-done
+		if out.err != nil {
+			t.Fatalf("range %v: %v", rg, out.err)
+		}
+		want, err := p.QueryRange(1, rg[0], rg[1], pw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out.keys) != len(want.Keys) {
+			t.Fatalf("range %v: keys %v, want %v", rg, out.keys, want.Keys)
+		}
+		for i := range out.keys {
+			if out.keys[i] != want.Keys[i] {
+				t.Fatalf("range %v: keys %v, want %v", rg, out.keys, want.Keys)
+			}
+		}
+		if out.m != want.Metrics {
+			t.Fatalf("range %v: live %+v != sim %+v", rg, out.m, want.Metrics)
+		}
+	}
+}
+
+func TestLiveRangeInvalid(t *testing.T) {
+	tower, _ := liveProgram(t, 4, 1, 21, false)
+	r := tower.NewReceiver()
+	if _, _, err := LookupRange(tower, r, 0, 9, 1, pw); err == nil {
+		t.Fatal("want error for inverted range")
+	}
+}

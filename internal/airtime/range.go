@@ -1,0 +1,95 @@
+package airtime
+
+import (
+	"fmt"
+
+	"repro/internal/pqueue"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// LookupRange retrieves every item with a key in [lo, hi] through a live
+// receiver, mirroring the simulator's range protocol: the client chases
+// every advertised subtree overlapping the range in arrival order and
+// re-catches collided slots on a later cycle. The tower must be stepped
+// from another goroutine; the receiver detaches when done.
+func LookupRange(t *Tower, r *Receiver, arrival int, lo, hi int64, pw sim.Power) ([]int64, sim.Metrics, error) {
+	var m sim.Metrics
+	if lo > hi {
+		return nil, m, fmt.Errorf("airtime: empty range [%d, %d]", lo, hi)
+	}
+	if err := r.WakeAt(1, arrival); err != nil {
+		return nil, m, err
+	}
+	d := r.Recv()
+	m.TuningTime++
+	b, err := wire.Unmarshal(d.Packet)
+	if err != nil {
+		r.Detach()
+		return nil, m, err
+	}
+	descentStart := d.Slot
+	if !b.RootCopy {
+		m.ProbeWait = int(b.NextCycle)
+		if err := r.WakeAt(1, d.Slot+int(b.NextCycle)); err != nil {
+			return nil, m, err
+		}
+		d = r.Recv()
+		m.TuningTime++
+		descentStart = d.Slot
+		if b, err = wire.Unmarshal(d.Packet); err != nil {
+			r.Detach()
+			return nil, m, err
+		}
+	}
+
+	type pend struct {
+		at      int
+		channel int
+	}
+	q := pqueue.New(func(a, b pend) bool { return a.at < b.at })
+	var keys []int64
+	visit := func(at int, b *wire.Bucket) {
+		if b.Kind == wire.KindData {
+			if b.Key >= lo && b.Key <= hi {
+				keys = append(keys, b.Key)
+			}
+			return
+		}
+		for _, p := range b.Pointers {
+			if p.KeyLo <= hi && p.KeyHi >= lo {
+				q.Push(pend{at: at + int(p.Offset), channel: int(p.Channel)})
+			}
+		}
+	}
+	visit(d.Slot, b)
+
+	now := d.Slot
+	cycle := t.CycleLen()
+	guard := 0
+	for q.Len() > 0 {
+		next := q.Pop()
+		for next.at <= now {
+			next.at += cycle
+		}
+		if guard++; guard > 1<<16 {
+			r.Detach()
+			return keys, m, fmt.Errorf("airtime: range scan did not terminate")
+		}
+		if err := r.WakeAt(next.channel, next.at); err != nil {
+			return keys, m, err
+		}
+		d = r.Recv()
+		m.TuningTime++
+		now = d.Slot
+		if b, err = wire.Unmarshal(d.Packet); err != nil {
+			r.Detach()
+			return keys, m, err
+		}
+		visit(now, b)
+	}
+	m.DataWait = now - descentStart + 1
+	finishMetrics(&m, pw)
+	r.Detach()
+	return keys, m, nil
+}

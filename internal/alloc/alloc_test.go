@@ -1,0 +1,337 @@
+package alloc
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+	"repro/internal/tree"
+	"repro/internal/workload"
+)
+
+// ids resolves labels to IDs on t, failing the test on a miss.
+func ids(t *testing.T, tr *tree.Tree, labels ...string) []tree.ID {
+	t.Helper()
+	out := make([]tree.ID, len(labels))
+	for i, l := range labels {
+		id := tr.FindLabel(l)
+		if id == tree.None {
+			t.Fatalf("label %q not in tree", l)
+		}
+		out[i] = id
+	}
+	return out
+}
+
+// TestFig2OneChannel reproduces the paper's Fig. 2(a) allocation
+// 1 3 E 4 C D 2 A B and its data wait of 6.01 buckets.
+func TestFig2OneChannel(t *testing.T) {
+	tr := tree.Fig1()
+	seq := ids(t, tr, "1", "3", "E", "4", "C", "D", "2", "A", "B")
+	a, err := FromSequence(tr, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 421.0 / 70.0 // = 6.0142..., printed as 6.01 in the paper
+	if got := a.DataWait(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("DataWait = %v, want %v", got, want)
+	}
+	if a.NumSlots() != 9 || a.Channels() != 1 {
+		t.Fatalf("slots=%d channels=%d", a.NumSlots(), a.Channels())
+	}
+}
+
+// TestFig2TwoChannels reproduces Fig. 2(b): slots {1},{2,3},{A,B},{4,E},{C,D}
+// with data wait 3.88 buckets.
+func TestFig2TwoChannels(t *testing.T) {
+	tr := tree.Fig1()
+	levels := [][]tree.ID{
+		ids(t, tr, "1"),
+		ids(t, tr, "2", "3"),
+		ids(t, tr, "A", "B"),
+		ids(t, tr, "4", "E"),
+		ids(t, tr, "C", "D"),
+	}
+	a, err := FromLevels(tr, 2, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 272.0 / 70.0 // = 3.8857..., printed as 3.88 in the paper
+	if got := a.DataWait(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("DataWait = %v, want %v", got, want)
+	}
+	// Channel-preference rules: root on C1; 2 follows parent 1 onto C1;
+	// A follows 2 onto C1; 4 follows 3 onto C2; C follows 4 onto C2.
+	if ch := a.Channel(tr.FindLabel("1")); ch != 1 {
+		t.Errorf("root on channel %d, want 1", ch)
+	}
+	if ch := a.Channel(tr.FindLabel("2")); ch != 1 {
+		t.Errorf("node 2 on channel %d, want parent's channel 1", ch)
+	}
+	if ch := a.Channel(tr.FindLabel("A")); ch != 1 {
+		t.Errorf("node A on channel %d, want parent's channel 1", ch)
+	}
+	if ch := a.Channel(tr.FindLabel("4")); ch != a.Channel(tr.FindLabel("3")) {
+		t.Errorf("node 4 should share channel with parent 3")
+	}
+}
+
+func TestWeightedWaitSumMatchesDataWait(t *testing.T) {
+	tr := tree.Fig1()
+	a, err := FromSequence(tr, ids(t, tr, "1", "2", "A", "B", "3", "E", "4", "C", "D"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := a.WeightedWaitSum()/tr.TotalWeight(), a.DataWait(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("WeightedWaitSum/total = %v, DataWait = %v", got, want)
+	}
+}
+
+func TestSequenceCostAgreesWithAllocation(t *testing.T) {
+	tr := tree.Fig1()
+	seq := ids(t, tr, "1", "3", "E", "4", "C", "D", "2", "A", "B")
+	a, err := FromSequence(tr, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := SequenceCost(tr, seq), a.WeightedWaitSum(); got != want {
+		t.Fatalf("SequenceCost = %v, want %v", got, want)
+	}
+}
+
+func TestValidateRejectsChildBeforeParent(t *testing.T) {
+	tr := tree.Fig1()
+	// A before its parent 2.
+	seq := ids(t, tr, "1", "A", "2", "B", "3", "E", "4", "C", "D")
+	if _, err := FromSequence(tr, seq); err == nil {
+		t.Fatal("want feasibility error: child before parent")
+	}
+	// Same slot is also infeasible (k=2: parent and child together).
+	levels := [][]tree.ID{
+		ids(t, tr, "1"),
+		ids(t, tr, "2", "A"), // A is child of 2
+		ids(t, tr, "3", "B"),
+		ids(t, tr, "E", "4"),
+		ids(t, tr, "C", "D"),
+	}
+	if _, err := FromLevels(tr, 2, levels); err == nil {
+		t.Fatal("want feasibility error: child in same slot as parent")
+	}
+}
+
+func TestFromLevelsErrors(t *testing.T) {
+	tr := tree.Fig1()
+	t.Run("too many per slot", func(t *testing.T) {
+		if _, err := FromLevels(tr, 1, [][]tree.ID{ids(t, tr, "1", "2")}); err == nil {
+			t.Fatal("want error for overloaded slot")
+		}
+	})
+	t.Run("node missing", func(t *testing.T) {
+		if _, err := FromSequence(tr, ids(t, tr, "1", "2", "A")); err == nil {
+			t.Fatal("want error for unplaced nodes")
+		}
+	})
+	t.Run("node duplicated", func(t *testing.T) {
+		if _, err := FromSequence(tr, ids(t, tr, "1", "2", "A", "A", "B", "3", "E", "4", "C")); err == nil {
+			t.Fatal("want error for duplicate node")
+		}
+	})
+	t.Run("zero channels", func(t *testing.T) {
+		if _, err := FromLevels(tr, 0, nil); err == nil {
+			t.Fatal("want error for k=0")
+		}
+	})
+	t.Run("unknown id", func(t *testing.T) {
+		if _, err := FromLevels(tr, 1, [][]tree.ID{{tree.ID(99)}}); err == nil {
+			t.Fatal("want error for unknown node")
+		}
+	})
+}
+
+func TestFromPositions(t *testing.T) {
+	tr := tree.Fig1()
+	// Rebuild Fig. 2(b) with explicit positions.
+	pos := make([]Position, tr.NumNodes())
+	place := func(label string, ch, slot int) {
+		pos[tr.FindLabel(label)] = Position{Channel: ch, Slot: slot}
+	}
+	place("1", 1, 1)
+	place("2", 1, 2)
+	place("3", 2, 2)
+	place("A", 1, 3)
+	place("B", 2, 3)
+	place("4", 1, 4)
+	place("E", 2, 4)
+	place("C", 1, 5)
+	place("D", 2, 5)
+	a, err := FromPositions(tr, 2, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.DataWait(); math.Abs(got-272.0/70.0) > 1e-12 {
+		t.Fatalf("DataWait = %v", got)
+	}
+	if a.NumSlots() != 5 {
+		t.Fatalf("NumSlots = %d", a.NumSlots())
+	}
+	// Wrong length must error.
+	if _, err := FromPositions(tr, 2, pos[:3]); err == nil {
+		t.Fatal("want error for short position slice")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	tr := tree.Fig1()
+	levels := [][]tree.ID{
+		ids(t, tr, "1"),
+		ids(t, tr, "2", "3"),
+		ids(t, tr, "A", "B"),
+		ids(t, tr, "4", "E"),
+		ids(t, tr, "C", "D"),
+	}
+	a, err := FromLevels(tr, 2, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := a.String()
+	if !strings.HasPrefix(s, "C1: 1 ") {
+		t.Errorf("String should start with C1 row: %q", s)
+	}
+	if !strings.Contains(s, "\nC2: - ") {
+		t.Errorf("C2 slot 1 should be empty: %q", s)
+	}
+	if strings.Count(s, "\n") != 1 {
+		t.Errorf("want 2 rows: %q", s)
+	}
+}
+
+func TestLevelsRoundTrip(t *testing.T) {
+	tr := tree.Fig1()
+	in := [][]tree.ID{
+		ids(t, tr, "1"),
+		ids(t, tr, "2", "3"),
+		ids(t, tr, "A", "B"),
+		ids(t, tr, "4", "E"),
+		ids(t, tr, "C", "D"),
+	}
+	a, err := FromLevels(tr, 2, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := a.Levels()
+	if len(out) != len(in) {
+		t.Fatalf("Levels len = %d, want %d", len(out), len(in))
+	}
+	for s := range in {
+		if len(out[s]) != len(in[s]) {
+			t.Fatalf("slot %d: %d nodes, want %d", s+1, len(out[s]), len(in[s]))
+		}
+	}
+}
+
+func TestJSONEncoding(t *testing.T) {
+	tr := tree.Fig1()
+	a, err := FromSequence(tr, ids(t, tr, "1", "2", "A", "B", "3", "E", "4", "C", "D"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Channels int        `json:"channels"`
+		Slots    int        `json:"slots"`
+		Grid     [][]string `json:"grid"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Channels != 1 || decoded.Slots != 9 || len(decoded.Grid) != 1 {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+	if decoded.Grid[0][0] != "1" || decoded.Grid[0][8] != "D" {
+		t.Fatalf("grid = %v", decoded.Grid[0])
+	}
+}
+
+func TestAtLookup(t *testing.T) {
+	tr := tree.Fig1()
+	a, err := FromSequence(tr, ids(t, tr, "1", "2", "A", "B", "3", "E", "4", "C", "D"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.At(1, 1); got != tr.Root() {
+		t.Errorf("At(1,1) = %v, want root", got)
+	}
+	if got := a.At(1, 99); got != tree.None {
+		t.Errorf("At(1,99) = %v, want None", got)
+	}
+}
+
+// Property: preorder-sequence allocations of random trees are always
+// feasible (preorder puts every parent before its children), and the data
+// wait is between the best case (all weight at slot 1) and worst case
+// (all weight at the last slot).
+func TestQuickPreorderAlwaysFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		n := 1 + rng.Intn(30)
+		tr, err := workload.Random(workload.RandomConfig{NumData: n}, rng)
+		if err != nil {
+			return false
+		}
+		a, err := FromSequence(tr, tr.Preorder())
+		if err != nil {
+			return false
+		}
+		w := a.DataWait()
+		return w >= 1 && w <= float64(tr.NumNodes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: spreading a preorder sequence over k channels level-by-level
+// (k nodes per slot in preorder) is feasible whenever parents land in
+// earlier slots, and never increases the cycle length beyond ceil(n/k).
+func TestQuickLevelPackingFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		tr, err := workload.FullMAry(2+rng.Intn(2), 3, stats.Uniform{Lo: 1, Hi: 50}, rng)
+		if err != nil {
+			return false
+		}
+		// Pack whole tree levels into slots: level L at slot L. Needs
+		// k >= MaxLevelWidth (Corollary 1 layout).
+		k := tr.MaxLevelWidth()
+		levels := make([][]tree.ID, tr.Depth())
+		for l := 1; l <= tr.Depth(); l++ {
+			levels[l-1] = tr.LevelNodes(l)
+		}
+		a, err := FromLevels(tr, k, levels)
+		if err != nil {
+			return false
+		}
+		return a.NumSlots() == tr.Depth() && a.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDataWait(b *testing.B) {
+	tr := tree.Fig1()
+	a, err := FromSequence(tr, tr.Preorder())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = a.DataWait()
+	}
+}

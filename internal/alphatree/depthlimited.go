@@ -1,0 +1,161 @@
+package alphatree
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tree"
+)
+
+// OptimalKAryDepthLimited builds the optimal alphabetic tree with node
+// fanout at most k under the additional constraint that no data item sits
+// more than maxDepth index probes from the root — a hard bound on the
+// worst-case tuning time, which matters when the client's receiver can
+// only stay powered for a fixed number of wake-ups per lookup.
+//
+// Dynamic program: best[d][i][j] is the optimal weighted-path-length of a
+// subtree over items i..j whose height may not exceed d. A single item
+// costs 0 at any budget; an interval splits into 2..k consecutive parts,
+// each built with budget d−1, paying the interval weight once. O(D·n³·k).
+//
+// It returns an error when the catalog cannot fit: k^maxDepth < n.
+func OptimalKAryDepthLimited(items []Item, k, maxDepth int) (*tree.Tree, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("alphatree: fanout %d, want >= 2", k)
+	}
+	if maxDepth < 0 {
+		return nil, fmt.Errorf("alphatree: maxDepth %d, want >= 0", maxDepth)
+	}
+	if err := validate(items, true); err != nil {
+		return nil, err
+	}
+	n := len(items)
+	// Capacity check (guarding against overflow for large budgets).
+	capacity := 1
+	for d := 0; d < maxDepth && capacity < n; d++ {
+		capacity *= k
+	}
+	if capacity < n {
+		return nil, fmt.Errorf("alphatree: %d items cannot fit in depth %d at fanout %d",
+			n, maxDepth, k)
+	}
+	if n == 1 {
+		return toTree(items, &shape{leaf: 0}, true)
+	}
+
+	prefix := make([]float64, n+1)
+	for i, it := range items {
+		prefix[i+1] = prefix[i] + it.Weight
+	}
+	w := func(i, j int) float64 { return prefix[j+1] - prefix[i] }
+
+	// best[d][i][j], bestParts[d][i][j], partCut[d][m][i][j] — flattened
+	// maps keyed per budget to keep memory proportional to what is used.
+	type layer struct {
+		cost     [][]float64
+		parts    [][]int
+		partCost [][][]float64 // [m][i][j]
+		partCut  [][][]int
+	}
+	newMatrix := func(fill float64) [][]float64 {
+		m := make([][]float64, n)
+		for i := range m {
+			m[i] = make([]float64, n)
+			for j := range m[i] {
+				m[i][j] = fill
+			}
+		}
+		return m
+	}
+	newIntMatrix := func() [][]int {
+		m := make([][]int, n)
+		for i := range m {
+			m[i] = make([]int, n)
+			for j := range m[i] {
+				m[i][j] = -1
+			}
+		}
+		return m
+	}
+
+	layers := make([]*layer, maxDepth+1)
+	for d := 0; d <= maxDepth; d++ {
+		ly := &layer{
+			cost:     newMatrix(math.Inf(1)),
+			parts:    newIntMatrix(),
+			partCost: make([][][]float64, k+1),
+			partCut:  make([][][]int, k+1),
+		}
+		for m := 1; m <= k; m++ {
+			ly.partCost[m] = newMatrix(math.Inf(1))
+			ly.partCut[m] = newIntMatrix()
+		}
+		for i := 0; i < n; i++ {
+			ly.cost[i][i] = 0
+			ly.partCost[1][i][i] = 0
+		}
+		layers[d] = ly
+	}
+
+	for d := 1; d <= maxDepth; d++ {
+		ly, below := layers[d], layers[d-1]
+		for length := 2; length <= n; length++ {
+			for i := 0; i+length-1 < n; i++ {
+				j := i + length - 1
+				// partCost[m][i][j] at budget d-1: m side-by-side subtrees.
+				// Build increasing m using this layer's own part tables
+				// over the *below* layer's subtree costs.
+				best := math.Inf(1)
+				bm := -1
+				for m := 2; m <= k && m <= length; m++ {
+					for cut := i + m - 2; cut < j; cut++ {
+						left := ly.partCost[m-1][i][cut]
+						right := below.cost[cut+1][j]
+						if c := left + right; c < ly.partCost[m][i][j] {
+							ly.partCost[m][i][j] = c
+							ly.partCut[m][i][j] = cut
+						}
+					}
+					if c := ly.partCost[m][i][j]; c < best {
+						best = c
+						bm = m
+					}
+				}
+				if !math.IsInf(best, 1) {
+					ly.cost[i][j] = best + w(i, j)
+					ly.parts[i][j] = bm
+				}
+				ly.partCost[1][i][j] = below.cost[i][j]
+			}
+		}
+		// partCost[1] over single items must reference the lower layer too
+		// (a lone subtree inside a partition also spends one level).
+		for i := 0; i < n; i++ {
+			ly.partCost[1][i][i] = 0
+		}
+	}
+
+	top := layers[maxDepth]
+	if math.IsInf(top.cost[0][n-1], 1) {
+		return nil, fmt.Errorf("alphatree: no tree of depth %d exists for %d items", maxDepth, n)
+	}
+
+	var build func(d, i, j int) *shape
+	var parts func(d, i, j, m int) []*shape
+	parts = func(d, i, j, m int) []*shape {
+		if m == 1 {
+			return []*shape{build(d-1, i, j)}
+		}
+		cut := layers[d].partCut[m][i][j]
+		return append(parts(d, i, cut, m-1), build(d-1, cut+1, j))
+	}
+	build = func(d, i, j int) *shape {
+		if i == j {
+			return &shape{leaf: i}
+		}
+		// Find the shallowest layer <= d realizing the optimal cost, so
+		// reconstruction always has a valid split recorded.
+		return &shape{leaf: -1, children: parts(d, i, j, layers[d].parts[i][j])}
+	}
+	return toTree(items, build(maxDepth, 0, n-1), true)
+}

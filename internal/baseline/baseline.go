@@ -1,0 +1,148 @@
+// Package baseline implements the comparison schemes the paper positions
+// itself against:
+//
+//   - SV96: the [SV96] multiple-channel organization criticized in
+//     Section 1.1 — each index-tree level cycles on its own channel and
+//     the data nodes cycle on one more channel. Inflexible (channel count
+//     fixed at tree depth) and wasteful for narrow trees.
+//   - Flat: an unindexed single-channel broadcast — the client listens
+//     continuously until its item passes by (maximal tuning time).
+//   - RandomFeasible: a uniformly random feasible mixed allocation, the
+//     "no optimization" reference point for the paper's searches.
+//
+// SV96 and Flat are analyzed under the standard independent-uniform-phase
+// assumption: a hop onto a cyclic channel of width w costs (w+1)/2
+// expected slots. RandomFeasible returns an alloc.Allocation and is
+// evaluated exactly like any other allocation.
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/alloc"
+	"repro/internal/bitset"
+	"repro/internal/sim"
+	"repro/internal/tree"
+)
+
+// SV96 returns the expected client metrics of the level-per-channel
+// allocation and the number of channels it requires (tree depth: one per
+// index level plus one data channel).
+//
+// Expected costs per data item d: the root channel repeats a single
+// bucket, so it is read immediately; each deeper index level l of width
+// w(l) costs (w(l)+1)/2 expected slots; the data channel of width n costs
+// (n+1)/2. Tuning time is one bucket per level.
+func SV96(t *tree.Tree, pw sim.Power) (sim.Summary, int, error) {
+	if t.NumData() == 0 {
+		return sim.Summary{}, 0, fmt.Errorf("baseline: tree has no data nodes")
+	}
+	depth := t.Depth()
+	channels := depth // depth-1 index levels + 1 data channel
+	if t.NumIndex() == 0 {
+		channels = 1
+	}
+	widths := make([]float64, depth+1)
+	for l := 1; l <= depth; l++ {
+		// Only index nodes live on the level channels; data nodes of any
+		// level are moved to the shared data channel.
+		n := 0
+		for _, id := range t.LevelNodes(l) {
+			if t.IsIndex(id) {
+				n++
+			}
+		}
+		widths[l] = float64(n)
+	}
+	dataWidth := float64(t.NumData())
+
+	var s sim.Summary
+	total := t.TotalWeight()
+	if total == 0 {
+		return s, 0, fmt.Errorf("baseline: zero total weight")
+	}
+	for _, d := range t.DataIDs() {
+		w := t.Weight(d) / total
+		access := 1.0 // the root bucket, available every slot on channel 1
+		tuning := 1.0
+		for l := 2; l < t.Level(d); l++ {
+			if widths[l] > 0 {
+				access += (widths[l] + 1) / 2
+				tuning++
+			}
+		}
+		access += (dataWidth + 1) / 2
+		tuning++
+		s.AccessTime += w * access
+		s.TuningTime += w * tuning
+		s.DataWait += w * access // no synchronization phase: wait == access
+		doze := access - tuning
+		if doze < 0 {
+			doze = 0
+		}
+		s.Energy += w * (pw.Active*tuning + pw.Doze*doze)
+	}
+	return s, channels, nil
+}
+
+// Flat returns the expected client metrics of an unindexed single-channel
+// broadcast of the data nodes: the client listens continuously until its
+// item arrives, so tuning time equals access time and no dozing happens.
+func Flat(t *tree.Tree, pw sim.Power) (sim.Summary, error) {
+	n := float64(t.NumData())
+	if n == 0 {
+		return sim.Summary{}, fmt.Errorf("baseline: tree has no data nodes")
+	}
+	expected := (n + 1) / 2 // uniform arrival, any fixed cyclic order
+	return sim.Summary{
+		DataWait:   expected,
+		AccessTime: expected,
+		TuningTime: expected,
+		Energy:     pw.Active * expected,
+	}, nil
+}
+
+// RandomFeasible draws a uniformly random feasible allocation on k
+// channels by repeatedly packing a random subset of the available nodes
+// (all of them when at most k are available, mirroring Algorithm 1).
+func RandomFeasible(t *tree.Tree, k int, rng *rand.Rand) (*alloc.Allocation, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("baseline: %d channels", k)
+	}
+	n := t.NumNodes()
+	placed := bitset.New(n)
+	var levels [][]tree.ID
+
+	available := func() []tree.ID {
+		var out []tree.ID
+		for i := 0; i < n; i++ {
+			id := tree.ID(i)
+			if placed.Contains(i) {
+				continue
+			}
+			p := t.Parent(id)
+			if p == tree.None || placed.Contains(int(p)) {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+
+	// The root always opens the cycle (required by the client protocol).
+	levels = append(levels, []tree.ID{t.Root()})
+	placed.Add(int(t.Root()))
+	for placed.Len() < n {
+		s := available()
+		if len(s) > k {
+			rng.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+			s = s[:k]
+		}
+		comp := append([]tree.ID(nil), s...)
+		for _, id := range comp {
+			placed.Add(int(id))
+		}
+		levels = append(levels, comp)
+	}
+	return alloc.FromLevels(t, k, levels)
+}

@@ -1,0 +1,269 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topo"
+	"repro/internal/tree"
+	"repro/internal/workload"
+)
+
+var testPower = sim.Power{Active: 1, Doze: 0.05}
+
+func TestSV96Fig1(t *testing.T) {
+	tr := tree.Fig1()
+	s, channels, err := SV96(tr, testPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Depth 4: channels for index levels 1..3 plus the data channel.
+	if channels != 4 {
+		t.Fatalf("channels = %d, want 4", channels)
+	}
+	// Hand computation: index widths w2=2, w3=1 (node 4), data width 5.
+	// A (level 3): 1 + (2+1)/2 + (5+1)/2 = 5.5, tuning 3.
+	// E (level 3): same 5.5. B same. C/D (level 4): + (1+1)/2 → 6.5, tuning 4.
+	wantAccess := (20*5.5 + 10*5.5 + 18*5.5 + 15*6.5 + 7*6.5) / 70
+	if math.Abs(s.AccessTime-wantAccess) > 1e-9 {
+		t.Fatalf("AccessTime = %v, want %v", s.AccessTime, wantAccess)
+	}
+	wantTuning := (20*3 + 10*3 + 18*3 + 15*4 + 7*4) / 70.0
+	if math.Abs(s.TuningTime-wantTuning) > 1e-9 {
+		t.Fatalf("TuningTime = %v, want %v", s.TuningTime, wantTuning)
+	}
+}
+
+func TestFlatFig1(t *testing.T) {
+	s, err := Flat(tree.Fig1(), testPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.AccessTime != 3 { // (5+1)/2
+		t.Fatalf("AccessTime = %v, want 3", s.AccessTime)
+	}
+	if s.TuningTime != s.AccessTime {
+		t.Fatal("flat broadcast should have tuning == access")
+	}
+	if s.Energy != 3 {
+		t.Fatalf("Energy = %v, want 3 (always active)", s.Energy)
+	}
+}
+
+// TestIndexingTradeoff checks the motivating qualitative result: flat
+// broadcast has lower access time on tiny catalogs but drastically worse
+// tuning time (energy) than the indexed schemes.
+func TestIndexingTradeoff(t *testing.T) {
+	rng := stats.NewRNG(3)
+	tr, err := workload.FullMAry(4, 3, stats.Normal{Mu: 100, Sigma: 20}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Flat(tr, testPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, _, err := SV96(tr, testPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv.TuningTime >= flat.TuningTime {
+		t.Fatalf("indexing should cut tuning: SV96 %v >= flat %v", sv.TuningTime, flat.TuningTime)
+	}
+	if sv.Energy >= flat.Energy {
+		t.Fatalf("indexing should cut energy: SV96 %v >= flat %v", sv.Energy, flat.Energy)
+	}
+}
+
+func TestRandomFeasibleFig1(t *testing.T) {
+	tr := tree.Fig1()
+	rng := stats.NewRNG(1)
+	for k := 1; k <= 3; k++ {
+		a, err := RandomFeasible(tr, k, rng)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if a.Channel(tr.Root()) != 1 || a.Slot(tr.Root()) != 1 {
+			t.Fatalf("k=%d: root not at (1,1)", k)
+		}
+	}
+	if _, err := RandomFeasible(tr, 0, rng); err == nil {
+		t.Fatal("want error for k=0")
+	}
+}
+
+// Property: random feasible allocations are never better than the
+// optimum, and at least occasionally strictly worse (showing the
+// optimizer buys something).
+func TestQuickRandomFeasibleBounded(t *testing.T) {
+	sawWorse := false
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		tr, err := workload.Random(workload.RandomConfig{
+			NumData: 2 + rng.Intn(7),
+			Dist:    stats.Uniform{Lo: 1, Hi: 100},
+		}, rng)
+		if err != nil {
+			return false
+		}
+		k := 1 + rng.Intn(2)
+		opt, err := topo.Exact(tr, k)
+		if err != nil {
+			return false
+		}
+		a, err := RandomFeasible(tr, k, rng)
+		if err != nil {
+			return false
+		}
+		if a.DataWait() < opt.Cost-1e-9 {
+			t.Logf("seed=%d: random %v beat optimum %v", seed, a.DataWait(), opt.Cost)
+			return false
+		}
+		if a.DataWait() > opt.Cost+1e-9 {
+			sawWorse = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+	if !sawWorse {
+		t.Error("random allocations never differed from the optimum — suspicious")
+	}
+}
+
+// Property: SV96 analytics are internally consistent on random trees.
+func TestQuickSV96Consistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		tr, err := workload.Random(workload.RandomConfig{
+			NumData: 1 + rng.Intn(15),
+			Dist:    stats.Uniform{Lo: 1, Hi: 100},
+		}, rng)
+		if err != nil {
+			return false
+		}
+		s, channels, err := SV96(tr, testPower)
+		if err != nil {
+			return false
+		}
+		if channels < 1 || channels > tr.Depth() {
+			return false
+		}
+		// Tuning can never exceed access, and both are at least 1.
+		return s.TuningTime >= 1 && s.AccessTime >= s.TuningTime-1e-9 && s.Energy > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOneMFig1(t *testing.T) {
+	tr := tree.Fig1()
+	s, err := OneM(tr, 1, testPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// m=1: cycle = 4 + 5 = 9; probe = 4.5; data wait = 4.5.
+	if math.Abs(s.ProbeWait-4.5) > 1e-9 || math.Abs(s.DataWait-4.5) > 1e-9 {
+		t.Fatalf("m=1 metrics: %+v", s)
+	}
+	// Tuning: probe + path + data bucket, weighted.
+	wantTuning := (20*4 + 10*4 + 18*4 + 15*5 + 7*5) / 70.0
+	if math.Abs(s.TuningTime-wantTuning) > 1e-9 {
+		t.Fatalf("TuningTime = %v, want %v", s.TuningTime, wantTuning)
+	}
+}
+
+func TestOneMTradeoff(t *testing.T) {
+	tr := tree.Fig1()
+	// Larger m: shorter probe, longer cycle.
+	s1, err := OneM(tr, 1, testPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3, err := OneM(tr, 3, testPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.ProbeWait >= s1.ProbeWait {
+		t.Fatalf("more copies should cut probe: %v >= %v", s3.ProbeWait, s1.ProbeWait)
+	}
+	if s3.DataWait <= s1.DataWait {
+		t.Fatalf("more copies should lengthen the cycle: %v <= %v", s3.DataWait, s1.DataWait)
+	}
+}
+
+func TestOneMErrors(t *testing.T) {
+	if _, err := OneM(tree.Fig1(), 0, testPower); err == nil {
+		t.Fatal("want error for m=0")
+	}
+}
+
+func TestOptimalM(t *testing.T) {
+	if got := OptimalM(tree.Fig1()); got != 1 { // sqrt(5/4) rounds to 1
+		t.Fatalf("OptimalM = %d, want 1", got)
+	}
+	rng := stats.NewRNG(1)
+	big, err := workload.FullMAry(6, 3, stats.Constant{V: 1}, rng) // 36 data, 7 index
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := OptimalM(big); got != 2 { // sqrt(36/7) ≈ 2.27
+		t.Fatalf("OptimalM = %d, want 2", got)
+	}
+	single := tree.NewBuilder()
+	single.AddRootData("x", 1)
+	st, err := single.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := OptimalM(st); got != 1 {
+		t.Fatalf("OptimalM(single) = %d", got)
+	}
+}
+
+// Property: OneM's access time is minimized near OptimalM across random
+// trees (within the discrete neighborhood), and metrics stay consistent.
+func TestQuickOneMShape(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		tr, err := workload.Random(workload.RandomConfig{
+			NumData: 4 + rng.Intn(30),
+			Dist:    stats.Uniform{Lo: 1, Hi: 100},
+		}, rng)
+		if err != nil {
+			return false
+		}
+		best := math.Inf(1)
+		bestM := 0
+		for m := 1; m <= 8; m++ {
+			s, err := OneM(tr, m, testPower)
+			if err != nil {
+				return false
+			}
+			if s.TuningTime > s.AccessTime+1e-9 {
+				return false
+			}
+			if s.AccessTime < best {
+				best = s.AccessTime
+				bestM = m
+			}
+		}
+		opt := OptimalM(tr)
+		// The discrete optimum must be within one step of the formula.
+		if opt > 8 {
+			return true
+		}
+		return bestM >= opt-1 && bestM <= opt+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/tree"
+)
+
+// OneM returns the expected client metrics of the classical (1, m)
+// indexing organization of Imielinski et al. [IVB94a/b]: the whole index
+// tree is broadcast m times per cycle on a single channel, each copy
+// followed by 1/m of the data file. Standard analysis under uniform
+// arrival:
+//
+//	cycle length   L = m·I + n           (I index buckets, n data buckets)
+//	probe wait     expected (L/m + I)/2 … we use the textbook first-probe
+//	               model: half a segment to the next index copy
+//	access wait    probe + half the cycle on average to the target datum
+//	tuning time    1 probe + index descent + 1 data bucket
+//
+// It generalizes the flat broadcast (m unused) with selective tuning: the
+// client sleeps between index levels, so tuning is logarithmic while
+// access pays the replicated index's longer cycle — the trade-off the
+// (1, m) paper optimizes with m* = sqrt(n/I).
+func OneM(t *tree.Tree, m int, pw sim.Power) (sim.Summary, error) {
+	n := float64(t.NumData())
+	idx := float64(t.NumIndex())
+	if n == 0 {
+		return sim.Summary{}, fmt.Errorf("baseline: tree has no data nodes")
+	}
+	if m < 1 {
+		return sim.Summary{}, fmt.Errorf("baseline: m = %d, want >= 1", m)
+	}
+	if idx == 0 {
+		return Flat(t, pw)
+	}
+	mf := float64(m)
+	cycle := mf*idx + n
+	// Expected wait from arrival to the next index-copy start: half the
+	// inter-copy distance.
+	probe := cycle / mf / 2
+	// After the descent the client waits for the target datum, which is
+	// uniformly positioned in the remainder of the cycle on average.
+	dataWait := cycle / 2
+
+	var s sim.Summary
+	total := t.TotalWeight()
+	if total == 0 {
+		return s, fmt.Errorf("baseline: zero total weight")
+	}
+	for _, d := range t.DataIDs() {
+		w := t.Weight(d) / total
+		// Descent reads one bucket per index level on the path plus the
+		// data bucket itself; the initial probe bucket synchronizes.
+		tuning := 1 + float64(t.Level(d)-1) + 1
+		access := probe + dataWait
+		s.ProbeWait += w * probe
+		s.DataWait += w * dataWait
+		s.AccessTime += w * access
+		s.TuningTime += w * tuning
+		doze := access - tuning
+		if doze < 0 {
+			doze = 0
+		}
+		s.Energy += w * (pw.Active*tuning + pw.Doze*doze)
+	}
+	return s, nil
+}
+
+// OptimalM returns the access-optimal index replication factor
+// m* = sqrt(n/I) of the (1, m) organization, rounded to the nearest
+// integer >= 1.
+func OptimalM(t *tree.Tree) int {
+	idx := float64(t.NumIndex())
+	if idx == 0 {
+		return 1
+	}
+	m := int(math.Round(math.Sqrt(float64(t.NumData()) / idx)))
+	if m < 1 {
+		return 1
+	}
+	return m
+}

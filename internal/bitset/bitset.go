@@ -1,0 +1,258 @@
+// Package bitset provides a dense bit set used as a node set by the
+// allocation search algorithms. Sets are value types backed by a small
+// slice of words; all operations that grow the set reallocate as needed
+// so the zero value is an empty, ready-to-use set.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a dense bit set over non-negative integers.
+// The zero value is an empty set.
+type Set struct {
+	words []uint64
+}
+
+// New returns an empty set with capacity for values in [0, n).
+// Values outside the initial capacity may still be added; the set grows.
+func New(n int) Set {
+	if n <= 0 {
+		return Set{}
+	}
+	return Set{words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromSlice returns a set containing every value in vs.
+func FromSlice(vs []int) Set {
+	s := Set{}
+	for _, v := range vs {
+		s.Add(v)
+	}
+	return s
+}
+
+func (s *Set) grow(word int) {
+	for len(s.words) <= word {
+		s.words = append(s.words, 0)
+	}
+}
+
+// Add inserts v into the set. v must be non-negative.
+func (s *Set) Add(v int) {
+	if v < 0 {
+		panic(fmt.Sprintf("bitset: negative value %d", v))
+	}
+	w := v / wordBits
+	s.grow(w)
+	s.words[w] |= 1 << uint(v%wordBits)
+}
+
+// Remove deletes v from the set if present.
+func (s *Set) Remove(v int) {
+	if v < 0 {
+		return
+	}
+	w := v / wordBits
+	if w < len(s.words) {
+		s.words[w] &^= 1 << uint(v%wordBits)
+	}
+}
+
+// Contains reports whether v is in the set.
+func (s Set) Contains(v int) bool {
+	if v < 0 {
+		return false
+	}
+	w := v / wordBits
+	return w < len(s.words) && s.words[w]&(1<<uint(v%wordBits)) != 0
+}
+
+// Len returns the number of elements in the set.
+func (s Set) Len() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the set has no elements.
+func (s Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of the set.
+func (s Set) Clone() Set {
+	if len(s.words) == 0 {
+		return Set{}
+	}
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return Set{words: w}
+}
+
+// Union returns a new set containing elements of s or t.
+func (s Set) Union(t Set) Set {
+	long, short := s.words, t.words
+	if len(short) > len(long) {
+		long, short = short, long
+	}
+	out := make([]uint64, len(long))
+	copy(out, long)
+	for i, w := range short {
+		out[i] |= w
+	}
+	return Set{words: out}
+}
+
+// Intersect returns a new set containing elements in both s and t.
+func (s Set) Intersect(t Set) Set {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		out[i] = s.words[i] & t.words[i]
+	}
+	return Set{words: out}
+}
+
+// Diff returns a new set containing elements of s not in t.
+func (s Set) Diff(t Set) Set {
+	out := make([]uint64, len(s.words))
+	copy(out, s.words)
+	n := len(t.words)
+	if len(out) < n {
+		n = len(out)
+	}
+	for i := 0; i < n; i++ {
+		out[i] &^= t.words[i]
+	}
+	return Set{words: out}
+}
+
+// AddSet adds every element of t into s in place.
+func (s *Set) AddSet(t Set) {
+	s.grow(len(t.words) - 1)
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+}
+
+// RemoveSet removes every element of t from s in place.
+func (s *Set) RemoveSet(t Set) {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		s.words[i] &^= t.words[i]
+	}
+}
+
+// Equal reports whether s and t contain exactly the same elements.
+func (s Set) Equal(t Set) bool {
+	long, short := s.words, t.words
+	if len(short) > len(long) {
+		long, short = short, long
+	}
+	for i := range short {
+		if long[i] != short[i] {
+			return false
+		}
+	}
+	for _, w := range long[len(short):] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every element of s is in t.
+func (s Set) SubsetOf(t Set) bool {
+	for i, w := range s.words {
+		var tw uint64
+		if i < len(t.words) {
+			tw = t.words[i]
+		}
+		if w&^tw != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether s and t share at least one element.
+func (s Set) Intersects(t Set) bool {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Values returns the elements of the set in ascending order.
+func (s Set) Values() []int {
+	out := make([]int, 0, s.Len())
+	s.ForEach(func(v int) { out = append(out, v) })
+	return out
+}
+
+// ForEach calls fn for each element in ascending order.
+func (s Set) ForEach(fn func(v int)) {
+	for i, w := range s.words {
+		base := i * wordBits
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(base + b)
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// Key returns a compact string usable as a map key for memoization.
+func (s Set) Key() string {
+	// Trim trailing zero words so logically-equal sets share a key.
+	words := s.words
+	for len(words) > 0 && words[len(words)-1] == 0 {
+		words = words[:len(words)-1]
+	}
+	var b strings.Builder
+	for _, w := range words {
+		fmt.Fprintf(&b, "%016x", w)
+	}
+	return b.String()
+}
+
+// String renders the set as {v1 v2 ...} for debugging.
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(v int) {
+		if !first {
+			b.WriteByte(' ')
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", v)
+	})
+	b.WriteByte('}')
+	return b.String()
+}

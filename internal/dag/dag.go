@@ -1,0 +1,322 @@
+// Package dag generalizes the allocation problem to arbitrary acyclic
+// dependency graphs — the paper's third future-work direction (cf.
+// [CHK99], which handles one channel). Nodes are weighted broadcast
+// objects; an edge u→v requires u to be broadcast at a strictly earlier
+// slot than v; at most k objects share a slot. The goal is minimizing
+// Σ W(v)·slot(v) / Σ W(v), Formula 1 with every object allowed a weight.
+//
+// Exact runs an A* search over (placed-set, depth) states with maximal
+// slot filling (safe for DAGs by the same left-compaction argument as for
+// trees; the tree searches' heaviest-first rule is NOT safe here because
+// interior objects have successors, so it is not used). Greedy is the
+// [CHK99]-style list-scheduling heuristic: fill each slot with the
+// heaviest available objects.
+package dag
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/bitset"
+	"repro/internal/pqueue"
+)
+
+// Graph is a mutable weighted DAG of broadcast objects.
+type Graph struct {
+	labels  []string
+	weights []float64
+	preds   [][]int
+	succs   [][]int
+}
+
+// New returns an empty graph.
+func New() *Graph { return &Graph{} }
+
+// AddNode adds an object and returns its index.
+func (g *Graph) AddNode(label string, weight float64) int {
+	g.labels = append(g.labels, label)
+	g.weights = append(g.weights, weight)
+	g.preds = append(g.preds, nil)
+	g.succs = append(g.succs, nil)
+	return len(g.labels) - 1
+}
+
+// AddEdge requires before to precede after in every broadcast.
+func (g *Graph) AddEdge(before, after int) error {
+	n := len(g.labels)
+	if before < 0 || before >= n || after < 0 || after >= n || before == after {
+		return fmt.Errorf("dag: invalid edge %d -> %d", before, after)
+	}
+	g.preds[after] = append(g.preds[after], before)
+	g.succs[before] = append(g.succs[before], after)
+	return nil
+}
+
+// N returns the number of objects.
+func (g *Graph) N() int { return len(g.labels) }
+
+// Label returns node v's label.
+func (g *Graph) Label(v int) string { return g.labels[v] }
+
+// Weight returns node v's weight.
+func (g *Graph) Weight(v int) float64 { return g.weights[v] }
+
+// Validate checks acyclicity and weight sanity.
+func (g *Graph) Validate() error {
+	if g.N() == 0 {
+		return fmt.Errorf("dag: empty graph")
+	}
+	for v, w := range g.weights {
+		if w < 0 {
+			return fmt.Errorf("dag: node %s has negative weight", g.labels[v])
+		}
+	}
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]int, g.N())
+	var visit func(v int) error
+	visit = func(v int) error {
+		color[v] = grey
+		for _, s := range g.succs[v] {
+			switch color[s] {
+			case grey:
+				return fmt.Errorf("dag: cycle through %s", g.labels[s])
+			case white:
+				if err := visit(s); err != nil {
+					return err
+				}
+			}
+		}
+		color[v] = black
+		return nil
+	}
+	for v := 0; v < g.N(); v++ {
+		if color[v] == white {
+			if err := visit(v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Schedule assigns each object a 1-based slot over k channels.
+type Schedule struct {
+	// Slots holds the objects per slot, Slots[i] broadcast at slot i+1.
+	Slots [][]int
+	// SlotOf maps object -> 1-based slot.
+	SlotOf []int
+	// Cost is the weighted average slot (Formula 1).
+	Cost float64
+}
+
+// cost computes Σ W·slot / Σ W for a complete SlotOf.
+func (g *Graph) cost(slotOf []int) float64 {
+	var num, den float64
+	for v, s := range slotOf {
+		num += g.weights[v] * float64(s)
+		den += g.weights[v]
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Feasible verifies a schedule against g and k.
+func (g *Graph) Feasible(s *Schedule, k int) error {
+	if len(s.SlotOf) != g.N() {
+		return fmt.Errorf("dag: schedule covers %d of %d objects", len(s.SlotOf), g.N())
+	}
+	perSlot := map[int]int{}
+	for v, slot := range s.SlotOf {
+		if slot < 1 {
+			return fmt.Errorf("dag: %s unscheduled", g.labels[v])
+		}
+		perSlot[slot]++
+		if perSlot[slot] > k {
+			return fmt.Errorf("dag: slot %d holds more than %d objects", slot, k)
+		}
+		for _, p := range g.preds[v] {
+			if s.SlotOf[p] >= slot {
+				return fmt.Errorf("dag: %s not after predecessor %s", g.labels[v], g.labels[p])
+			}
+		}
+	}
+	return nil
+}
+
+// available lists unplaced nodes whose predecessors are all placed.
+func (g *Graph) available(placed bitset.Set) []int {
+	var out []int
+	for v := 0; v < g.N(); v++ {
+		if placed.Contains(v) {
+			continue
+		}
+		ok := true
+		for _, p := range g.preds[v] {
+			if !placed.Contains(p) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// bound is the admissible completion estimate: remaining weights sorted
+// descending, packed k per slot from depth+1, ignoring precedence.
+func (g *Graph) bound(placed bitset.Set, depth, k int) float64 {
+	var rest []float64
+	for v := 0; v < g.N(); v++ {
+		if !placed.Contains(v) {
+			rest = append(rest, g.weights[v])
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(rest)))
+	var sum float64
+	for i, w := range rest {
+		sum += w * float64(depth+1+i/k)
+	}
+	return sum
+}
+
+type state struct {
+	placed bitset.Set
+	slots  [][]int
+	depth  int
+	gval   float64
+	f      float64
+}
+
+// Exact returns an optimal schedule on k channels. Exponential in the
+// worst case; intended for graphs up to a few dozen objects depending on
+// their width.
+func (g *Graph) Exact(k int) (*Schedule, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("dag: %d channels", k)
+	}
+	start := &state{placed: bitset.New(g.N())}
+	start.f = g.bound(start.placed, 0, k)
+	q := pqueue.New(func(a, b *state) bool { return a.f < b.f })
+	q.Push(start)
+	best := map[string]float64{}
+
+	for q.Len() > 0 {
+		cur := q.Pop()
+		key := cur.placed.Key() + ":" + strconv.Itoa(cur.depth)
+		if v, ok := best[key]; ok && v < cur.gval {
+			continue
+		}
+		if cur.placed.Len() == g.N() {
+			return g.finish(cur), nil
+		}
+		avail := g.available(cur.placed)
+		if len(avail) == 0 {
+			return nil, fmt.Errorf("dag: stuck with %d unplaced objects", g.N()-cur.placed.Len())
+		}
+		for _, comp := range chooseSubsets(avail, k) {
+			next := &state{
+				placed: cur.placed.Clone(),
+				slots:  append(append([][]int{}, cur.slots...), comp),
+				depth:  cur.depth + 1,
+				gval:   cur.gval,
+			}
+			for _, v := range comp {
+				next.placed.Add(v)
+				next.gval += g.weights[v] * float64(next.depth)
+			}
+			next.f = next.gval + g.bound(next.placed, next.depth, k)
+			nk := next.placed.Key() + ":" + strconv.Itoa(next.depth)
+			if v, ok := best[nk]; ok && v <= next.gval {
+				continue
+			}
+			best[nk] = next.gval
+			q.Push(next)
+		}
+	}
+	return nil, fmt.Errorf("dag: no schedule found")
+}
+
+// chooseSubsets returns the candidate compounds: all of avail when it
+// fits a slot, otherwise every k-subset (maximal filling is optimal by
+// left compaction, so smaller subsets are never generated).
+func chooseSubsets(avail []int, k int) [][]int {
+	if len(avail) <= k {
+		return [][]int{append([]int(nil), avail...)}
+	}
+	var out [][]int
+	subset := make([]int, 0, k)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(subset) == k {
+			out = append(out, append([]int(nil), subset...))
+			return
+		}
+		if len(avail)-start < k-len(subset) {
+			return
+		}
+		for i := start; i < len(avail); i++ {
+			subset = append(subset, avail[i])
+			rec(i + 1)
+			subset = subset[:len(subset)-1]
+		}
+	}
+	rec(0)
+	return out
+}
+
+func (g *Graph) finish(s *state) *Schedule {
+	out := &Schedule{Slots: s.slots, SlotOf: make([]int, g.N())}
+	for i, slot := range s.slots {
+		for _, v := range slot {
+			out.SlotOf[v] = i + 1
+		}
+	}
+	out.Cost = g.cost(out.SlotOf)
+	return out
+}
+
+// Greedy list-schedules the graph: each slot takes the heaviest available
+// objects (ties by insertion order). Linearithmic and always feasible on
+// a valid DAG.
+func (g *Graph) Greedy(k int) (*Schedule, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("dag: %d channels", k)
+	}
+	placed := bitset.New(g.N())
+	out := &Schedule{SlotOf: make([]int, g.N())}
+	for placed.Len() < g.N() {
+		avail := g.available(placed)
+		if len(avail) == 0 {
+			return nil, fmt.Errorf("dag: stuck with %d unplaced objects", g.N()-placed.Len())
+		}
+		sort.SliceStable(avail, func(i, j int) bool {
+			return g.weights[avail[i]] > g.weights[avail[j]]
+		})
+		if len(avail) > k {
+			avail = avail[:k]
+		}
+		slot := append([]int(nil), avail...)
+		out.Slots = append(out.Slots, slot)
+		for _, v := range slot {
+			placed.Add(v)
+			out.SlotOf[v] = len(out.Slots)
+		}
+	}
+	out.Cost = g.cost(out.SlotOf)
+	return out, nil
+}

@@ -1,0 +1,306 @@
+package dag
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+	"repro/internal/topo"
+	"repro/internal/tree"
+	"repro/internal/workload"
+)
+
+// fig1Graph converts the paper's example tree into a DAG with index
+// objects at weight 0, so costs coincide with the tree formulation.
+func fig1Graph(t *testing.T) (*Graph, *tree.Tree) {
+	t.Helper()
+	tr := tree.Fig1()
+	return graphFromTree(tr), tr
+}
+
+func graphFromTree(tr *tree.Tree) *Graph {
+	g := New()
+	for i := 0; i < tr.NumNodes(); i++ {
+		id := tree.ID(i)
+		w := 0.0
+		if tr.IsData(id) {
+			w = tr.Weight(id)
+		}
+		g.AddNode(tr.Label(id), w)
+	}
+	for i := 0; i < tr.NumNodes(); i++ {
+		if p := tr.Parent(tree.ID(i)); p != tree.None {
+			g.AddEdge(int(p), i)
+		}
+	}
+	return g
+}
+
+// TestExactMatchesTreeSolver: on tree-shaped DAGs the exact DAG schedule
+// must reproduce the tree solver's optimal data wait exactly.
+func TestExactMatchesTreeSolver(t *testing.T) {
+	g, tr := fig1Graph(t)
+	for k := 1; k <= 3; k++ {
+		ds, err := g.Exact(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts, err := topo.Exact(tr, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ds.Cost-ts.Cost) > 1e-9 {
+			t.Fatalf("k=%d: dag %v != tree %v", k, ds.Cost, ts.Cost)
+		}
+		if err := g.Feasible(ds, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDiamondDAG exercises a genuinely non-tree dependency: a diamond
+// a→{b,c}→d where d is the heaviest object.
+func TestDiamondDAG(t *testing.T) {
+	g := New()
+	a := g.AddNode("a", 1)
+	b := g.AddNode("b", 2)
+	c := g.AddNode("c", 3)
+	d := g.AddNode("d", 50)
+	g.AddEdge(a, b)
+	g.AddEdge(a, c)
+	g.AddEdge(b, d)
+	g.AddEdge(c, d)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// k=2: slots {a}, {b,c}, {d} are forced → cost = (1+4+6+150)/56.
+	s, err := g.Exact(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (1*1 + 2*2 + 3*2 + 50*3) / 56.0
+	if math.Abs(s.Cost-want) > 1e-9 {
+		t.Fatalf("cost = %v, want %v", s.Cost, want)
+	}
+	// k=1: one of b/c second; optimal defers the lighter b.
+	s1, err := g.Exact(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want1 := (1*1 + 3*2 + 2*3 + 50*4) / 56.0
+	if math.Abs(s1.Cost-want1) > 1e-9 {
+		t.Fatalf("k=1 cost = %v, want %v", s1.Cost, want1)
+	}
+	if s1.SlotOf[c] != 2 || s1.SlotOf[b] != 3 {
+		t.Fatalf("k=1 order wrong: c at %d, b at %d", s1.SlotOf[c], s1.SlotOf[b])
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	if err := New().Validate(); err == nil {
+		t.Fatal("want error for empty graph")
+	}
+	g := New()
+	a := g.AddNode("a", 1)
+	b := g.AddNode("b", 1)
+	g.AddEdge(a, b)
+	g.AddEdge(b, a)
+	if err := g.Validate(); err == nil {
+		t.Fatal("want cycle error")
+	}
+	neg := New()
+	neg.AddNode("x", -1)
+	if err := neg.Validate(); err == nil {
+		t.Fatal("want negative-weight error")
+	}
+	g2 := New()
+	g2.AddNode("x", 1)
+	if err := g2.AddEdge(0, 0); err == nil {
+		t.Fatal("want self-edge error")
+	}
+	if err := g2.AddEdge(0, 5); err == nil {
+		t.Fatal("want range error")
+	}
+}
+
+func TestSolverArgErrors(t *testing.T) {
+	g := New()
+	g.AddNode("x", 1)
+	if _, err := g.Exact(0); err == nil {
+		t.Fatal("want channel error")
+	}
+	if _, err := g.Greedy(0); err == nil {
+		t.Fatal("want channel error")
+	}
+}
+
+func TestFeasibleRejectsBadSchedules(t *testing.T) {
+	g := New()
+	a := g.AddNode("a", 1)
+	b := g.AddNode("b", 1)
+	g.AddEdge(a, b)
+	ok := &Schedule{SlotOf: []int{1, 2}}
+	if err := g.Feasible(ok, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Feasible(&Schedule{SlotOf: []int{2, 1}}, 1); err == nil {
+		t.Fatal("want precedence error")
+	}
+	if err := g.Feasible(&Schedule{SlotOf: []int{1, 1}}, 1); err == nil {
+		t.Fatal("want capacity/precedence error")
+	}
+	if err := g.Feasible(&Schedule{SlotOf: []int{1}}, 1); err == nil {
+		t.Fatal("want coverage error")
+	}
+	if err := g.Feasible(&Schedule{SlotOf: []int{0, 1}}, 1); err == nil {
+		t.Fatal("want unscheduled error")
+	}
+}
+
+// bruteForce enumerates every feasible schedule (including non-maximal
+// slot fills) for tiny graphs — the independent oracle.
+func bruteForce(g *Graph, k int) float64 {
+	n := g.N()
+	slotOf := make([]int, n)
+	best := math.Inf(1)
+	var rec func(slot int, remaining int)
+	rec = func(slot int, remaining int) {
+		if remaining == 0 {
+			c := g.cost(slotOf)
+			if c < best {
+				best = c
+			}
+			return
+		}
+		// Choose any non-empty subset (size <= k) of available nodes for
+		// this slot.
+		var avail []int
+		for v := 0; v < n; v++ {
+			if slotOf[v] != 0 {
+				continue
+			}
+			ok := true
+			for _, p := range g.preds[v] {
+				if slotOf[p] == 0 || slotOf[p] >= slot {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				avail = append(avail, v)
+			}
+		}
+		var pick func(start, count int)
+		pick = func(start, count int) {
+			if count > 0 {
+				rec(slot+1, remaining-count)
+			}
+			if count == k {
+				return
+			}
+			for i := start; i < len(avail); i++ {
+				slotOf[avail[i]] = slot
+				pick(i+1, count+1)
+				slotOf[avail[i]] = 0
+			}
+		}
+		pick(0, 0)
+	}
+	rec(1, n)
+	return best
+}
+
+// Property: Exact equals the subset-exhaustive brute force on random tiny
+// DAGs, and Greedy is feasible and never better.
+func TestQuickExactMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		n := 2 + rng.Intn(5)
+		g := New()
+		for v := 0; v < n; v++ {
+			g.AddNode("v", float64(rng.Intn(20)))
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(3) == 0 {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+		k := 1 + rng.Intn(2)
+		exact, err := g.Exact(k)
+		if err != nil {
+			return false
+		}
+		if err := g.Feasible(exact, k); err != nil {
+			return false
+		}
+		want := bruteForce(g, k)
+		if math.Abs(exact.Cost-want) > 1e-9 {
+			t.Logf("seed=%d n=%d k=%d: exact %v != brute %v", seed, n, k, exact.Cost, want)
+			return false
+		}
+		greedy, err := g.Greedy(k)
+		if err != nil {
+			return false
+		}
+		return g.Feasible(greedy, k) == nil && greedy.Cost >= exact.Cost-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: on random tree-shaped DAGs, Exact matches the tree solver.
+func TestQuickTreeConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		tr, err := workload.Random(workload.RandomConfig{
+			NumData: 1 + rng.Intn(6),
+			Dist:    stats.Uniform{Lo: 1, Hi: 50},
+		}, rng)
+		if err != nil {
+			return false
+		}
+		g := graphFromTree(tr)
+		k := 1 + rng.Intn(2)
+		ds, err := g.Exact(k)
+		if err != nil {
+			return false
+		}
+		ts, err := topo.Exact(tr, k)
+		if err != nil {
+			return false
+		}
+		if math.Abs(ds.Cost-ts.Cost) > 1e-9 {
+			t.Logf("seed=%d k=%d tree=%s: dag %v != tree %v", seed, k, tr, ds.Cost, ts.Cost)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkExactDiamondChain(b *testing.B) {
+	g := New()
+	prev := g.AddNode("s", 1)
+	for i := 0; i < 4; i++ {
+		l := g.AddNode("l", float64(i+2))
+		r := g.AddNode("r", float64(i+3))
+		join := g.AddNode("j", float64(i+10))
+		g.AddEdge(prev, l)
+		g.AddEdge(prev, r)
+		g.AddEdge(l, join)
+		g.AddEdge(r, join)
+		prev = join
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Exact(2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,466 @@
+// Package datatree implements Section 3.3 of the paper: the single-channel
+// data tree. A path of the data tree is an order of the data nodes only;
+// the index nodes are implied, each data node D carrying the bookkeeping
+// sets Cancestor(D) (ancestors already broadcast) and Nancestor(D)
+// (ancestors that must be emitted immediately before D). The package
+// provides:
+//
+//   - BroadcastFromDataOrder: expand a data order into the full broadcast
+//     (the paper's generation procedure).
+//   - Search: best-first search for the optimal single-channel allocation
+//     over the (optionally pruned) data tree.
+//   - EnumeratePaths / CountPaths: walk or count the reduced data tree,
+//     used by the Table 1 pruning-effect experiment.
+//
+// The base data tree applies the paper's Lemma 3: data nodes sharing a
+// parent appear in descending weight order (the "By Property 2" column of
+// Table 1). Options add Property 1 (forced completion once every index
+// node has been broadcast), Property 4 (the Lemma 6 pairwise-exchange
+// test), and the Corollary 2 generalization to m-and-1 block exchanges.
+package datatree
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/alloc"
+	"repro/internal/bitset"
+	"repro/internal/pqueue"
+	"repro/internal/tree"
+)
+
+// Options selects the data-tree pruning rules.
+type Options struct {
+	// Property1: once Cancestor covers every index node, the remaining
+	// data nodes follow in descending weight order as a single forced
+	// completion.
+	Property1 bool
+	// Property4: prune a child when exchanging it with its predecessor
+	// (one-and-one, Lemma 6) would strictly improve the broadcast.
+	Property4 bool
+	// MNExchange extends Property 4 to m-and-1 block exchanges
+	// (Corollary 2): blocks of up to MNExchange preceding data nodes are
+	// tested against the candidate. Values < 2 disable the extension.
+	MNExchange int
+	// MaxExpanded aborts Search after this many expansions (0 = no limit).
+	MaxExpanded int
+}
+
+// AllOptions enables Property 1 and Property 4, the paper's full
+// single-channel algorithm.
+func AllOptions() Options { return Options{Property1: true, Property4: true} }
+
+// Result is the outcome of a data-tree search.
+type Result struct {
+	// Order is the optimal data-node order.
+	Order []tree.ID
+	// Sequence is the full broadcast (index nodes interleaved).
+	Sequence []tree.ID
+	// Alloc is the resulting single-channel allocation.
+	Alloc *alloc.Allocation
+	// Cost is the average data wait (Formula 1).
+	Cost float64
+	// Expanded and Generated count search effort for the ablations.
+	Expanded, Generated int
+}
+
+// ctx holds per-run immutable context.
+type ctx struct {
+	t        *tree.Tree
+	opt      Options
+	n        int
+	dataIDs  []tree.ID
+	dataDesc []tree.ID
+	indexSet bitset.Set
+	anc      []bitset.Set // ancestor set per node ID
+	ancList  [][]tree.ID  // ancestors root-down per node ID
+}
+
+func newCtx(t *tree.Tree, opt Options) *ctx {
+	c := &ctx{t: t, opt: opt, n: t.NumNodes()}
+	c.dataIDs = t.DataIDs()
+	c.dataDesc = t.SortedDataByWeight()
+	c.indexSet = bitset.New(c.n)
+	for _, id := range t.IndexIDs() {
+		c.indexSet.Add(int(id))
+	}
+	c.anc = make([]bitset.Set, c.n)
+	c.ancList = make([][]tree.ID, c.n)
+	for i := 0; i < c.n; i++ {
+		c.anc[i] = t.AncestorSet(tree.ID(i))
+		c.ancList[i] = t.Ancestors(tree.ID(i))
+	}
+	return c
+}
+
+// nanc returns Ancestor(d) − covered as a root-down ordered slice.
+func (c *ctx) nanc(d tree.ID, covered bitset.Set) []tree.ID {
+	var out []tree.ID
+	for _, a := range c.ancList[d] {
+		if !covered.Contains(int(a)) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// candidates lists the children of a data-tree node: unused data nodes
+// with no heavier unused sibling (Lemma 3), restricted to the single
+// heaviest remaining node once every index node is covered (Property 1).
+func (c *ctx) candidates(used, covered bitset.Set) []tree.ID {
+	if c.opt.Property1 && c.indexSet.SubsetOf(covered) {
+		for _, d := range c.dataDesc {
+			if !used.Contains(int(d)) {
+				return []tree.ID{d}
+			}
+		}
+		return nil
+	}
+	var out []tree.ID
+	for _, d := range c.dataIDs {
+		if used.Contains(int(d)) {
+			continue
+		}
+		if c.heavierSiblingUnused(d, used) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// heavierSiblingUnused reports whether d has an unused same-parent data
+// sibling with strictly larger weight (ties allowed in either order).
+func (c *ctx) heavierSiblingUnused(d tree.ID, used bitset.Set) bool {
+	p := c.t.Parent(d)
+	if p == tree.None {
+		return false
+	}
+	w := c.t.Weight(d)
+	for _, s := range c.t.Children(p) {
+		if s == d || !c.t.IsData(s) || used.Contains(int(s)) {
+			continue
+		}
+		if c.t.Weight(s) > w {
+			return true
+		}
+	}
+	return false
+}
+
+// pathInfo describes one placed data node along a path, newest first.
+type pathInfo struct {
+	d    tree.ID
+	nanc []tree.ID // the ancestors emitted immediately before d
+	prev *pathInfo
+}
+
+// keepAfter applies Property 4 (and, when enabled, the Corollary 2 block
+// generalization) to candidate d following the path ending at last.
+// covered must already include everything broadcast through last.
+func (c *ctx) keepAfter(last *pathInfo, d tree.ID, covered bitset.Set) bool {
+	if last == nil || !c.opt.Property4 {
+		return true
+	}
+	nancD := c.nanc(d, covered)
+	nb := float64(len(nancD) + 1)
+	wd := c.t.Weight(d)
+
+	// One-and-one exchange (Property 4 proper).
+	excl := 0
+	for _, a := range last.nanc {
+		if c.anc[d].Contains(int(a)) {
+			excl++
+		}
+	}
+	na := float64(len(last.nanc) - excl + 1)
+	wa := c.t.Weight(last.d)
+	if nb*wa < na*wd {
+		return false
+	}
+
+	// m-and-1 block exchanges (Corollary 2).
+	if c.opt.MNExchange >= 2 {
+		blockLen := 1
+		blockNodes := float64(len(last.nanc) - excl + 1)
+		blockWeight := wa
+		for m := last.prev; m != nil && blockLen < c.opt.MNExchange; m = m.prev {
+			// The candidate's ancestors may only overlap the Nancestor of
+			// the block's first member (they form a removable prefix
+			// there); overlap with any later member breaks contiguity.
+			overlapInner := false
+			for cur := last; cur != m; cur = cur.prev {
+				for _, a := range cur.nanc {
+					if c.anc[d].Contains(int(a)) {
+						overlapInner = true
+						break
+					}
+				}
+				if overlapInner {
+					break
+				}
+			}
+			if overlapInner {
+				break
+			}
+			exclM := 0
+			for _, a := range m.nanc {
+				if c.anc[d].Contains(int(a)) {
+					exclM++
+				}
+			}
+			blockLen++
+			blockNodes += float64(len(m.nanc) - exclM + 1)
+			blockWeight += c.t.Weight(m.d)
+			if nb*blockWeight < blockNodes*wd {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// BroadcastFromDataOrder expands a data-node order into the full broadcast
+// sequence by emitting, before each data node, its not-yet-broadcast
+// ancestors in root-down order (the paper's generation procedure).
+func BroadcastFromDataOrder(t *tree.Tree, order []tree.ID) ([]tree.ID, error) {
+	covered := bitset.New(t.NumNodes())
+	seen := bitset.New(t.NumNodes())
+	seq := make([]tree.ID, 0, t.NumNodes())
+	for _, d := range order {
+		if !t.IsData(d) {
+			return nil, fmt.Errorf("datatree: %s is not a data node", t.Label(d))
+		}
+		if seen.Contains(int(d)) {
+			return nil, fmt.Errorf("datatree: %s appears twice", t.Label(d))
+		}
+		seen.Add(int(d))
+		for _, a := range t.Ancestors(d) {
+			if !covered.Contains(int(a)) {
+				covered.Add(int(a))
+				seq = append(seq, a)
+			}
+		}
+		seq = append(seq, d)
+	}
+	if len(order) != t.NumData() {
+		return nil, fmt.Errorf("datatree: order has %d of %d data nodes", len(order), t.NumData())
+	}
+	return seq, nil
+}
+
+// state is a data-tree search node.
+type state struct {
+	used    bitset.Set
+	covered bitset.Set
+	info    *pathInfo // newest placed data node (nil at root)
+	pos     int       // broadcast length so far
+	v       float64   // Σ W·T over placed data
+	f       float64
+}
+
+// bound is an admissible completion estimate: remaining data in descending
+// weight at the immediately following positions (index insertions can only
+// push them later).
+func (c *ctx) bound(used bitset.Set, pos int) float64 {
+	var sum float64
+	i := 1
+	for _, d := range c.dataDesc {
+		if used.Contains(int(d)) {
+			continue
+		}
+		sum += c.t.Weight(d) * float64(pos+i)
+		i++
+	}
+	return sum
+}
+
+// Search finds the optimal single-channel allocation by best-first search
+// over the (pruned) data tree. With AllOptions this is the paper's
+// Section 3.3 algorithm; all prunings preserve an optimal path
+// (property-tested against topo.Exact).
+func Search(t *tree.Tree, opt Options) (*Result, error) {
+	c := newCtx(t, opt)
+	res := &Result{}
+
+	root := &state{used: bitset.New(c.n), covered: bitset.New(c.n)}
+	root.f = c.bound(root.used, 0)
+	res.Generated++
+
+	q := pqueue.New(func(a, b *state) bool { return a.f < b.f })
+	q.Push(root)
+	best := map[string]float64{}
+
+	for q.Len() > 0 {
+		cur := q.Pop()
+		key := stateKey(cur)
+		if v, ok := best[key]; ok && v < cur.v {
+			continue
+		}
+		if cur.used.Len() == t.NumData() {
+			return c.finish(cur, res)
+		}
+		res.Expanded++
+		if opt.MaxExpanded > 0 && res.Expanded > opt.MaxExpanded {
+			return nil, fmt.Errorf("datatree: expansion limit %d exceeded", opt.MaxExpanded)
+		}
+		for _, d := range c.candidates(cur.used, cur.covered) {
+			if !c.keepAfter(cur.info, d, cur.covered) {
+				continue
+			}
+			nanc := c.nanc(d, cur.covered)
+			next := &state{
+				used:    cur.used.Clone(),
+				covered: cur.covered.Clone(),
+				info:    &pathInfo{d: d, nanc: nanc, prev: cur.info},
+				pos:     cur.pos + len(nanc) + 1,
+			}
+			next.used.Add(int(d))
+			for _, a := range nanc {
+				next.covered.Add(int(a))
+			}
+			next.v = cur.v + c.t.Weight(d)*float64(next.pos)
+			next.f = next.v + c.bound(next.used, next.pos)
+			k := stateKey(next)
+			if v, ok := best[k]; ok && v <= next.v {
+				continue
+			}
+			best[k] = next.v
+			res.Generated++
+			q.Push(next)
+		}
+	}
+	return nil, fmt.Errorf("datatree: pruned data tree contains no complete path")
+}
+
+// stateKey identifies a state for dominance pruning. The covered set and
+// position are functions of the used set; the most recent data node
+// participates because Property 4 conditions children on it.
+func stateKey(s *state) string {
+	last := -1
+	if s.info != nil {
+		last = int(s.info.d)
+	}
+	return s.used.Key() + "|" + fmt.Sprint(last)
+}
+
+func (c *ctx) finish(s *state, res *Result) (*Result, error) {
+	var rev []tree.ID
+	for info := s.info; info != nil; info = info.prev {
+		rev = append(rev, info.d)
+	}
+	order := make([]tree.ID, len(rev))
+	for i := range rev {
+		order[len(rev)-1-i] = rev[i]
+	}
+	seq, err := BroadcastFromDataOrder(c.t, order)
+	if err != nil {
+		return nil, err
+	}
+	a, err := alloc.FromSequence(c.t, seq)
+	if err != nil {
+		return nil, err
+	}
+	res.Order = order
+	res.Sequence = seq
+	res.Alloc = a
+	res.Cost = a.DataWait()
+	return res, nil
+}
+
+// EnumeratePaths walks every root-to-leaf path of the (pruned) data tree,
+// invoking visit with the data order and its weighted wait sum; visit
+// returns false to stop early. Returns the number of complete paths.
+func EnumeratePaths(t *tree.Tree, opt Options, visit func(order []tree.ID, cost float64) bool) (uint64, error) {
+	if t.NumData() == 0 {
+		return 0, fmt.Errorf("datatree: tree has no data nodes")
+	}
+	c := newCtx(t, opt)
+	used := bitset.New(c.n)
+	covered := bitset.New(c.n)
+	order := make([]tree.ID, 0, t.NumData())
+	var count uint64
+	stop := false
+
+	var rec func(info *pathInfo, pos int, v float64)
+	rec = func(info *pathInfo, pos int, v float64) {
+		if stop {
+			return
+		}
+		if len(order) == t.NumData() {
+			count++
+			if visit != nil && !visit(order, v) {
+				stop = true
+			}
+			return
+		}
+		for _, d := range c.candidates(used, covered) {
+			if !c.keepAfter(info, d, covered) {
+				continue
+			}
+			nanc := c.nanc(d, covered)
+			used.Add(int(d))
+			for _, a := range nanc {
+				covered.Add(int(a))
+			}
+			order = append(order, d)
+			newPos := pos + len(nanc) + 1
+			rec(&pathInfo{d: d, nanc: nanc, prev: info}, newPos, v+c.t.Weight(d)*float64(newPos))
+			order = order[:len(order)-1]
+			used.Remove(int(d))
+			for _, a := range nanc {
+				covered.Remove(int(a))
+			}
+			if stop {
+				return
+			}
+		}
+	}
+	rec(nil, 0, 0)
+	return count, nil
+}
+
+// CountPaths counts root-to-leaf paths of the (pruned) data tree, stopping
+// once the count would exceed limit (0 = no limit).
+func CountPaths(t *tree.Tree, opt Options, limit uint64) (count uint64, exceeded bool, err error) {
+	var visited uint64
+	n, err := EnumeratePaths(t, opt, func([]tree.ID, float64) bool {
+		visited++
+		return limit == 0 || visited <= limit
+	})
+	if err != nil {
+		return 0, false, err
+	}
+	if limit > 0 && n > limit {
+		return limit, true, nil
+	}
+	return n, false, nil
+}
+
+// BasePathCount returns the closed-form size of the base data tree (the
+// "By Property 2" column of Table 1): the number of interleavings of the
+// same-parent data groups with each group's internal order fixed, i.e.
+// the multinomial coefficient (Σ nᵢ)! / Π nᵢ! over group sizes nᵢ.
+// For a full balanced m-ary tree of depth 3 this is (m²)!/(m!)^m.
+//
+// The closed form assumes distinct weights within each group; ties keep
+// both orders and enlarge the enumerated tree.
+func BasePathCount(t *tree.Tree) *big.Int {
+	sizes := map[tree.ID]int{}
+	for _, d := range t.DataIDs() {
+		sizes[t.Parent(d)]++
+	}
+	total := 0
+	for _, n := range sizes {
+		total += n
+	}
+	out := factorial(total)
+	for _, n := range sizes {
+		out.Div(out, factorial(n))
+	}
+	return out
+}
+
+func factorial(n int) *big.Int {
+	return new(big.Int).MulRange(1, int64(n))
+}

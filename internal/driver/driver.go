@@ -1,0 +1,114 @@
+// Package driver replays synthetic query workloads against a compiled
+// broadcast program and reports distributional client metrics — the
+// percentile view that the exact expectations of sim.Evaluate cannot
+// give. Arrivals are uniform over the cycle, targets are drawn with
+// probability proportional to their advertised weight, and a configurable
+// fraction of queries are key-range scans.
+package driver
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tree"
+)
+
+// Config parameterizes a replay.
+type Config struct {
+	// Queries is the number of queries to run (default 1000).
+	Queries int
+	// Seed drives arrivals and target selection.
+	Seed int64
+	// Power is the client energy model.
+	Power sim.Power
+	// RangeFraction in [0,1] is the share of range queries; requires a
+	// keyed tree when positive.
+	RangeFraction float64
+	// RangeSpan is the key span of range queries (default 4 keys).
+	RangeSpan int64
+}
+
+// Report aggregates a replay.
+type Report struct {
+	Queries, PointQueries, RangeQueries int
+	Access, Tuning, Energy              stats.Summary
+	// ItemsPerRange summarizes how many items each range query returned.
+	ItemsPerRange stats.Summary
+}
+
+// Run replays cfg.Queries queries against p.
+func Run(p *sim.Program, cfg Config) (Report, error) {
+	var rep Report
+	if cfg.Queries == 0 {
+		cfg.Queries = 1000
+	}
+	if cfg.Queries < 1 {
+		return rep, fmt.Errorf("driver: %d queries", cfg.Queries)
+	}
+	if cfg.RangeFraction < 0 || cfg.RangeFraction > 1 {
+		return rep, fmt.Errorf("driver: range fraction %g", cfg.RangeFraction)
+	}
+	t := p.Tree()
+	if cfg.RangeFraction > 0 && !t.Keyed() {
+		return rep, fmt.Errorf("driver: range queries need a keyed tree")
+	}
+	if cfg.RangeSpan == 0 {
+		cfg.RangeSpan = 4
+	}
+
+	rng := stats.NewRNG(cfg.Seed)
+	targets := t.DataIDs()
+	total := t.TotalWeight()
+	pickTarget := func() tree.ID {
+		r := rng.Float64() * total
+		for _, d := range targets {
+			if r -= t.Weight(d); r <= 0 {
+				return d
+			}
+		}
+		return targets[len(targets)-1]
+	}
+
+	var access, tuning, energy, perRange []float64
+	for q := 0; q < cfg.Queries; q++ {
+		arrival := rng.Intn(p.CycleLen())
+		if rng.Float64() < cfg.RangeFraction {
+			lo := rangeStart(t, rng)
+			res, err := p.QueryRange(arrival, lo, lo+cfg.RangeSpan-1, cfg.Power)
+			if err != nil {
+				return rep, err
+			}
+			rep.RangeQueries++
+			perRange = append(perRange, float64(len(res.Keys)))
+			access = append(access, float64(res.Metrics.AccessTime))
+			tuning = append(tuning, float64(res.Metrics.TuningTime))
+			energy = append(energy, res.Metrics.Energy)
+			continue
+		}
+		m, err := p.Query(arrival, pickTarget(), cfg.Power)
+		if err != nil {
+			return rep, err
+		}
+		rep.PointQueries++
+		access = append(access, float64(m.AccessTime))
+		tuning = append(tuning, float64(m.TuningTime))
+		energy = append(energy, m.Energy)
+	}
+	rep.Queries = cfg.Queries
+	rep.Access = stats.Summarize(access)
+	rep.Tuning = stats.Summarize(tuning)
+	rep.Energy = stats.Summarize(energy)
+	rep.ItemsPerRange = stats.Summarize(perRange)
+	return rep, nil
+}
+
+// rangeStart picks a uniform key within the catalog's key range.
+func rangeStart(t *tree.Tree, rng *rand.Rand) int64 {
+	lo, hi, _ := t.KeyRange(t.Root())
+	if hi <= lo {
+		return lo
+	}
+	return lo + rng.Int63n(hi-lo+1)
+}

@@ -1,0 +1,103 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/heuristic"
+	"repro/internal/stats"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// Fig14MultiPoint extends the paper's Fig. 14 to multiple channels: the
+// optimal data wait versus the Sorting + 1_To_k pipeline for one (σ, k)
+// cell.
+type Fig14MultiPoint struct {
+	Sigma            float64
+	K                int
+	Optimal, Sorting float64
+	Gap              float64
+}
+
+// Fig14MultiConfig parameterizes the extension. Zero values use the full
+// 3-ary depth-3 tree (9 leaves — small enough for exact k-channel search),
+// µ = 100, σ ∈ {10, 40}, k ∈ {1, 2, 3}.
+type Fig14MultiConfig struct {
+	M      int
+	Mu     float64
+	Sigmas []float64
+	Ks     []int
+	Trials int
+	Seed   int64
+}
+
+// Fig14Multi measures whether the paper's single-channel conclusion —
+// Sorting tracks Optimal closely at small fanout — survives on multiple
+// channels, where the heuristic additionally pays for the rigid
+// level-per-slot structure of the 1_To_k procedure.
+func Fig14Multi(cfg Fig14MultiConfig) ([]Fig14MultiPoint, error) {
+	if cfg.M == 0 {
+		cfg.M = 3
+	}
+	if cfg.Mu == 0 {
+		cfg.Mu = 100
+	}
+	if len(cfg.Sigmas) == 0 {
+		cfg.Sigmas = []float64{10, 40}
+	}
+	if len(cfg.Ks) == 0 {
+		cfg.Ks = []int{1, 2, 3}
+	}
+	if cfg.Trials <= 0 {
+		cfg.Trials = 10
+	}
+	var points []Fig14MultiPoint
+	for si, sigma := range cfg.Sigmas {
+		for _, k := range cfg.Ks {
+			var optSum, sortSum float64
+			for trial := 0; trial < cfg.Trials; trial++ {
+				rng := stats.NewRNG(cfg.Seed + int64(si)*104729 + int64(trial)*7919)
+				tr, err := workload.FullMAry(cfg.M, 3, stats.Normal{Mu: cfg.Mu, Sigma: sigma}, rng)
+				if err != nil {
+					return nil, err
+				}
+				opt, err := topo.Search(tr, topo.Options{
+					Channels: k, Prune: topo.AllPrunes(), TightBound: true,
+				})
+				if err != nil {
+					return nil, err
+				}
+				srt, err := heuristic.AllocateSorted(tr, k)
+				if err != nil {
+					return nil, err
+				}
+				if srt.DataWait() < opt.Cost-1e-9 {
+					return nil, fmt.Errorf("experiment: sorting beat optimal (σ=%g k=%d)", sigma, k)
+				}
+				optSum += opt.Cost
+				sortSum += srt.DataWait()
+			}
+			n := float64(cfg.Trials)
+			points = append(points, Fig14MultiPoint{
+				Sigma:   sigma,
+				K:       k,
+				Optimal: optSum / n,
+				Sorting: sortSum / n,
+				Gap:     (sortSum - optSum) / n,
+			})
+		}
+	}
+	return points, nil
+}
+
+// RenderFig14Multi writes the extension table.
+func RenderFig14Multi(w io.Writer, points []Fig14MultiPoint) error {
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "sigma\tk\toptimal\tsorting\tgap")
+	for _, p := range points {
+		fmt.Fprintf(tw, "%.0f\t%d\t%.3f\t%.3f\t%.3f\n", p.Sigma, p.K, p.Optimal, p.Sorting, p.Gap)
+	}
+	return tw.Flush()
+}

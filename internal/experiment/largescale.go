@@ -1,0 +1,100 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/heuristic"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// LargeScaleRow is one catalog size's result in the A7 study: heuristic
+// data waits against the provable lower bound, on instances far beyond
+// exact-search reach.
+type LargeScaleRow struct {
+	NumData  int
+	K        int
+	Bound    float64
+	Sorting  float64
+	Polished float64
+	// SortingRatio and PolishedRatio are cost/bound (>= 1; smaller is
+	// closer to provably optimal).
+	SortingRatio, PolishedRatio float64
+}
+
+// LargeScaleConfig parameterizes A7. Zero values sweep 100, 1000 and
+// 5000 data nodes on 3 channels with Zipf(0.8) weights.
+type LargeScaleConfig struct {
+	Sizes []int
+	K     int
+	Theta float64
+	Seed  int64
+}
+
+// LargeScale measures how close the Section 4.2 pipeline (sorting, plus
+// the exchange polish) gets to the analytic lower bound as the catalog
+// grows — the regime the heuristics exist for.
+func LargeScale(cfg LargeScaleConfig) ([]LargeScaleRow, error) {
+	if len(cfg.Sizes) == 0 {
+		cfg.Sizes = []int{100, 1000, 5000}
+	}
+	if cfg.K == 0 {
+		cfg.K = 3
+	}
+	if cfg.Theta == 0 {
+		cfg.Theta = 0.8
+	}
+	rows := make([]LargeScaleRow, 0, len(cfg.Sizes))
+	for _, n := range cfg.Sizes {
+		rng := stats.NewRNG(cfg.Seed + int64(n))
+		tr, err := workload.Random(workload.RandomConfig{
+			NumData: n,
+			Dist:    &stats.Zipf{Theta: cfg.Theta},
+		}, rng)
+		if err != nil {
+			return nil, err
+		}
+		bound, err := core.LowerBound(tr, cfg.K)
+		if err != nil {
+			return nil, err
+		}
+		sorted, err := heuristic.AllocateSorted(tr, cfg.K)
+		if err != nil {
+			return nil, err
+		}
+		polished, _, err := heuristic.Polish(sorted)
+		if err != nil {
+			return nil, err
+		}
+		row := LargeScaleRow{
+			NumData:  n,
+			K:        cfg.K,
+			Bound:    bound,
+			Sorting:  sorted.DataWait(),
+			Polished: polished.DataWait(),
+		}
+		if bound > 0 {
+			row.SortingRatio = row.Sorting / bound
+			row.PolishedRatio = row.Polished / bound
+		}
+		if row.Sorting < bound-1e-9 || row.Polished < bound-1e-9 {
+			return nil, fmt.Errorf("experiment: heuristic beat the lower bound at n=%d", n)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderLargeScale writes the A7 table.
+func RenderLargeScale(w io.Writer, rows []LargeScaleRow) error {
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "data nodes\tk\tlower bound\tsorting\tratio\tsorting+polish\tratio")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%d\t%.3f\t%.3f\t%.4f\t%.3f\t%.4f\n",
+			r.NumData, r.K, r.Bound, r.Sorting, r.SortingRatio, r.Polished, r.PolishedRatio)
+	}
+	return tw.Flush()
+}

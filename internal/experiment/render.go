@@ -1,0 +1,104 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// RenderTable1 writes the paper-style Table 1.
+func RenderTable1(w io.Writer, rows []Table1Row) error {
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "m\tBy P2 (closed form)\tBy P2 (enum)\tBy P1,2\tPrune%\tBy P1,2,4\tPrune%\t+Cor.2")
+	for _, r := range rows {
+		p12pct, p124pct := "N/A", "N/A"
+		if !r.ByP12.Exceeded {
+			p12pct = fmt.Sprintf("%.4f%%", r.PctP12)
+		}
+		if !r.ByP124.Exceeded {
+			p124pct = fmt.Sprintf("%.4f%%", r.PctP124)
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			r.M, r.ByP2.String(), r.ByP2Enumerated, r.ByP12, p12pct, r.ByP124, p124pct, r.ByP124M)
+	}
+	return tw.Flush()
+}
+
+// RenderFig14 writes the Fig. 14 series as a table.
+func RenderFig14(w io.Writer, points []Fig14Point) error {
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "sigma\toptimal (buckets)\tsorting (buckets)\tgap")
+	for _, p := range points {
+		fmt.Fprintf(tw, "%.0f\t%.3f\t%.3f\t%.3f\n", p.Sigma, p.Optimal, p.Sorting, p.Gap)
+	}
+	return tw.Flush()
+}
+
+// RenderFig2 writes the worked example's allocations and waits.
+func RenderFig2(w io.Writer, r *Fig2Result) error {
+	fmt.Fprintf(w, "Paper Fig. 2(a), one channel (data wait %.2f):\n%s\n\n",
+		r.OneChannelPaper, r.OneChannelAlloc)
+	fmt.Fprintf(w, "Paper Fig. 2(b), two channels (data wait %.2f):\n%s\n\n",
+		r.TwoChannelPaper, r.TwoChannelAlloc)
+	fmt.Fprintf(w, "Optimal one channel (data wait %.2f):\n%s\n\n",
+		r.OneChannelOpt, r.OptOneChannel)
+	fmt.Fprintf(w, "Optimal two channels (data wait %.2f):\n%s\n",
+		r.TwoChannelOpt, r.OptTwoChannel)
+	return nil
+}
+
+// RenderChannelSweep writes the A1 ablation table.
+func RenderChannelSweep(w io.Writer, points []ChannelSweepPoint) error {
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "k\toptimal\tsorting\tcorollary1")
+	for _, p := range points {
+		fmt.Fprintf(tw, "%d\t%.3f\t%.3f\t%v\n", p.K, p.Optimal, p.Sorting, p.Corollary1)
+	}
+	return tw.Flush()
+}
+
+// RenderPruning writes the A2 ablation table.
+func RenderPruning(w io.Writer, points []PruningPoint) error {
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "k\tdata nodes\tgenerated (pruned)\tgenerated (unpruned)\tsaved")
+	for _, p := range points {
+		fmt.Fprintf(tw, "%d\t%d\t%.1f\t%.1f\t%.1f%%\n",
+			p.K, p.NumData, p.PrunedGenerated, p.UnprunedGenerated, p.GeneratedReduction)
+	}
+	return tw.Flush()
+}
+
+// RenderQuality writes the A3 ablation table.
+func RenderQuality(w io.Writer, points []QualityPoint) error {
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "heuristic\tmean ratio\tmedian\tp95\tmax")
+	for _, p := range points {
+		fmt.Fprintf(tw, "%s\t%.4f\t%.4f\t%.4f\t%.4f\n",
+			p.Name, p.Ratio.Mean, p.Ratio.Median, p.Ratio.P95, p.Ratio.Max)
+	}
+	return tw.Flush()
+}
+
+// RenderSim writes the A4 simulator comparison table.
+func RenderSim(w io.Writer, rows []SimRow) error {
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "scheme\tchannels\taccess\ttuning\tenergy")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.3f\t%.3f\n",
+			r.Scheme, r.Channels, r.Summary.AccessTime, r.Summary.TuningTime, r.Summary.Energy)
+	}
+	return tw.Flush()
+}
+
+// WriteCSVFig14 emits Fig. 14 as CSV for external plotting.
+func WriteCSVFig14(w io.Writer, points []Fig14Point) error {
+	if _, err := fmt.Fprintln(w, "sigma,optimal,sorting"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%g,%g,%g\n", p.Sigma, p.Optimal, p.Sorting); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,253 @@
+package heuristic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/alloc"
+	"repro/internal/baseline"
+	"repro/internal/stats"
+	"repro/internal/topo"
+	"repro/internal/tree"
+	"repro/internal/workload"
+)
+
+// TestPolishImprovesBadAllocation: a broadcast violating Lemma 3 (B
+// before the heavier sibling A, D before C) gets repaired by the local
+// swap move.
+func TestPolishImprovesBadAllocation(t *testing.T) {
+	tr := tree.Fig1()
+	find := func(labels ...string) []tree.ID {
+		out := make([]tree.ID, len(labels))
+		for i, l := range labels {
+			out[i] = tr.FindLabel(l)
+		}
+		return out
+	}
+	a, err := alloc.FromSequence(tr, find("1", "2", "B", "A", "3", "E", "4", "D", "C"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	polished, improved, err := Polish(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !improved {
+		t.Fatal("Lemma-3-violating broadcast should be improvable")
+	}
+	if polished.DataWait() >= a.DataWait() {
+		t.Fatalf("polish did not improve: %g >= %g", polished.DataWait(), a.DataWait())
+	}
+	if err := polished.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPolishFixedPointFig2a documents a genuine local optimum: the
+// paper's Fig. 2(a) broadcast (1 3 E 4 C D 2 A B, wait 6.01) admits no
+// improving pairwise exchange even though the global optimum is 5.59 —
+// exactly why the paper resorts to global tree search.
+func TestPolishFixedPointFig2a(t *testing.T) {
+	tr := tree.Fig1()
+	find := func(labels ...string) []tree.ID {
+		out := make([]tree.ID, len(labels))
+		for i, l := range labels {
+			out[i] = tr.FindLabel(l)
+		}
+		return out
+	}
+	a, err := alloc.FromSequence(tr, find("1", "3", "E", "4", "C", "D", "2", "A", "B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	polished, improved, err := Polish(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if improved || polished.DataWait() != a.DataWait() {
+		t.Fatalf("Fig. 2(a) unexpectedly improved to %g", polished.DataWait())
+	}
+}
+
+// TestPolishFixedPointOnOptimal: the optimal allocation cannot be
+// improved and Polish must say so.
+func TestPolishFixedPointOnOptimal(t *testing.T) {
+	res, err := topo.Exact(tree.Fig1(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	polished, improved, err := Polish(res.Alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if improved {
+		t.Fatal("optimal allocation reported improvable")
+	}
+	if math.Abs(polished.DataWait()-res.Cost) > 1e-9 {
+		t.Fatalf("polish changed the optimal cost: %g", polished.DataWait())
+	}
+}
+
+// TestPolishSqueezesEmptySlots: an allocation with artificial gaps gets
+// compacted.
+func TestPolishSqueezesEmptySlots(t *testing.T) {
+	tr := tree.Fig1()
+	pos := make([]alloc.Position, tr.NumNodes())
+	// Place the preorder sequence with a gap of one slot after each node.
+	for i, id := range tr.Preorder() {
+		pos[id] = alloc.Position{Channel: 1, Slot: 2*i + 1}
+	}
+	a, err := alloc.FromPositions(tr, 1, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	polished, improved, err := Polish(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !improved {
+		t.Fatal("gapped allocation should be improvable")
+	}
+	if polished.NumSlots() != tr.NumNodes() {
+		t.Fatalf("slots = %d, want %d", polished.NumSlots(), tr.NumNodes())
+	}
+}
+
+// Property: Polish never worsens cost, always stays feasible, and from a
+// random feasible allocation lands at or above the optimum but strictly
+// closes part of the gap on average.
+func TestQuickPolishSoundAndUseful(t *testing.T) {
+	var gapBefore, gapAfter float64
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		tr, err := workload.Random(workload.RandomConfig{
+			NumData: 2 + rng.Intn(8),
+			Dist:    stats.Uniform{Lo: 1, Hi: 100},
+		}, rng)
+		if err != nil {
+			return false
+		}
+		k := 1 + rng.Intn(3)
+		raw, err := baseline.RandomFeasible(tr, k, rng)
+		if err != nil {
+			return false
+		}
+		polished, _, err := Polish(raw)
+		if err != nil {
+			t.Logf("seed=%d: %v", seed, err)
+			return false
+		}
+		if err := polished.Validate(); err != nil {
+			t.Logf("seed=%d: polished infeasible: %v", seed, err)
+			return false
+		}
+		if polished.DataWait() > raw.DataWait()+1e-9 {
+			t.Logf("seed=%d: polish worsened %g -> %g", seed, raw.DataWait(), polished.DataWait())
+			return false
+		}
+		opt, err := topo.Exact(tr, k)
+		if err != nil {
+			return false
+		}
+		if polished.DataWait() < opt.Cost-1e-9 {
+			t.Logf("seed=%d: polished %g beat optimum %g", seed, polished.DataWait(), opt.Cost)
+			return false
+		}
+		gapBefore += raw.DataWait() - opt.Cost
+		gapAfter += polished.DataWait() - opt.Cost
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+	if gapBefore > 0 && gapAfter > 0.8*gapBefore {
+		t.Errorf("polish closed only %.1f%% of the random-allocation gap",
+			100*(1-gapAfter/gapBefore))
+	}
+}
+
+// Property: polishing the sorting heuristic never hurts it, making
+// sorting+polish a strictly stronger large-instance pipeline.
+func TestQuickPolishAfterSorting(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		tr, err := workload.Random(workload.RandomConfig{
+			NumData: 3 + rng.Intn(20),
+			Dist:    &stats.Zipf{Theta: 0.9},
+		}, rng)
+		if err != nil {
+			return false
+		}
+		k := 1 + rng.Intn(3)
+		sorted, err := AllocateSorted(tr, k)
+		if err != nil {
+			return false
+		}
+		polished, _, err := Polish(sorted)
+		if err != nil {
+			return false
+		}
+		return polished.Validate() == nil && polished.DataWait() <= sorted.DataWait()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPolishRandom(b *testing.B) {
+	rng := stats.NewRNG(1)
+	tr, err := workload.Random(workload.RandomConfig{
+		NumData: 50,
+		Dist:    stats.Uniform{Lo: 1, Hi: 100},
+	}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	raw, err := baseline.RandomFeasible(tr, 3, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Polish(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Property: Polish is idempotent — a polished allocation admits no
+// further improving move.
+func TestQuickPolishIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		tr, err := workload.Random(workload.RandomConfig{
+			NumData: 2 + rng.Intn(10),
+			Dist:    stats.Uniform{Lo: 1, Hi: 100},
+		}, rng)
+		if err != nil {
+			return false
+		}
+		raw, err := baseline.RandomFeasible(tr, 1+rng.Intn(3), rng)
+		if err != nil {
+			return false
+		}
+		once, _, err := Polish(raw)
+		if err != nil {
+			return false
+		}
+		twice, improved, err := Polish(once)
+		if err != nil {
+			return false
+		}
+		if improved {
+			t.Logf("seed=%d: second polish still improved (%g -> %g)",
+				seed, once.DataWait(), twice.DataWait())
+			return false
+		}
+		return twice.DataWait() == once.DataWait()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

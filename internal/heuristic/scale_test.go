@@ -1,0 +1,136 @@
+package heuristic
+
+import (
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// TestSortingScalesToLargeCatalogs exercises the linear-time claims of
+// Section 4.2 at several orders of magnitude: sorting and the 1_To_k
+// procedure must stay correct (feasible, weakly better than the naive
+// preorder) on trees far beyond exact-search reach.
+func TestSortingScalesToLargeCatalogs(t *testing.T) {
+	for _, n := range []int{100, 1000, 10000} {
+		rng := stats.NewRNG(int64(n))
+		tr, err := workload.Random(workload.RandomConfig{
+			NumData: n,
+			Dist:    &stats.Zipf{Theta: 0.8},
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sorted, err := SortingBroadcast(tr)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := sorted.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// The sorted preorder must not lose to the naive preorder.
+		naive, err := alloc.FromSequence(tr, tr.Preorder())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sorted.DataWait() > naive.DataWait()+1e-9 {
+			t.Fatalf("n=%d: sorted %g worse than unsorted preorder %g",
+				n, sorted.DataWait(), naive.DataWait())
+		}
+		for _, k := range []int{2, 4, 8} {
+			a, err := AllocateSorted(tr, k)
+			if err != nil {
+				t.Fatalf("n=%d k=%d: %v", n, k, err)
+			}
+			if err := a.Validate(); err != nil {
+				t.Fatalf("n=%d k=%d: %v", n, k, err)
+			}
+			if a.DataWait() > sorted.DataWait()+1e-9 {
+				t.Fatalf("n=%d k=%d: multi-channel wait %g above single-channel %g",
+					n, k, a.DataWait(), sorted.DataWait())
+			}
+		}
+	}
+}
+
+// TestShrinkingScales: node combination must reduce arbitrarily large
+// trees to the requested leaf budget (or prove no further combination is
+// possible) and still produce feasible broadcasts.
+func TestShrinkingScales(t *testing.T) {
+	rng := stats.NewRNG(99)
+	tr, err := workload.Random(workload.RandomConfig{
+		NumData: 2000,
+		Dist:    stats.Uniform{Lo: 1, Hi: 100},
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ShrinkToSize(tr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Reduced.NumData(); got > 8 && got >= tr.NumData() {
+		t.Fatalf("shrinking did nothing: %d leaves", got)
+	}
+	a, err := SolveShrinking(tr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSortedPreorderScaling(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		rng := stats.NewRNG(int64(n))
+		tr, err := workload.Random(workload.RandomConfig{
+			NumData: n,
+			Dist:    stats.Uniform{Lo: 1, Hi: 100},
+		}, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if got := SortedPreorder(tr); len(got) != tr.NumNodes() {
+					b.Fatal("lost nodes")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAllocateSortedScaling(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		rng := stats.NewRNG(int64(n))
+		tr, err := workload.Random(workload.RandomConfig{
+			NumData: n,
+			Dist:    stats.Uniform{Lo: 1, Hi: 100},
+		}, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := AllocateSorted(tr, 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n >= 10000:
+		return "n=10k"
+	case n >= 1000:
+		return "n=1k"
+	default:
+		return "n=100"
+	}
+}

@@ -1,0 +1,232 @@
+package heuristic
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/alloc"
+	"repro/internal/bitset"
+	"repro/internal/datatree"
+	"repro/internal/tree"
+)
+
+// Shrunk is the result of Node Combination: a reduced tree in which some
+// index nodes of the original have been folded into pseudo data nodes
+// whose weight is their subtree's total data weight.
+type Shrunk struct {
+	// Original is the input tree.
+	Original *tree.Tree
+	// Reduced is the combined tree; its pseudo data nodes carry the labels
+	// of the original index nodes they replace.
+	Reduced *tree.Tree
+	// origOf maps each Reduced ID to the original node it stands for.
+	origOf []tree.ID
+}
+
+// ShrinkToSize applies Node Combination rounds — folding every index node
+// whose children are all leaves (original data or already-combined nodes)
+// — until the reduced tree has at most maxData data nodes or no further
+// combination is possible.
+func ShrinkToSize(t *tree.Tree, maxData int) (*Shrunk, error) {
+	if maxData < 1 {
+		return nil, fmt.Errorf("heuristic: maxData = %d, want >= 1", maxData)
+	}
+	// combined marks original index nodes treated as pseudo data leaves.
+	combined := bitset.New(t.NumNodes())
+	isLeaf := func(id tree.ID) bool {
+		return t.IsData(id) || combined.Contains(int(id))
+	}
+	countLeaves := func() int {
+		// Leaves of the reduced tree: nodes that are leaves and whose
+		// ancestors are all uncombined.
+		n := 0
+		var walk func(id tree.ID)
+		walk = func(id tree.ID) {
+			if isLeaf(id) {
+				n++
+				return
+			}
+			for _, c := range t.Children(id) {
+				walk(c)
+			}
+		}
+		walk(t.Root())
+		return n
+	}
+	for countLeaves() > maxData {
+		progressed := false
+		for _, id := range t.IndexIDs() {
+			if combined.Contains(int(id)) {
+				continue
+			}
+			all := true
+			for _, c := range t.Children(id) {
+				if !isLeaf(c) {
+					all = false
+					break
+				}
+			}
+			if all && id != t.Root() {
+				combined.Add(int(id))
+				progressed = true
+			}
+			if countLeaves() <= maxData {
+				break
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+
+	// Build the reduced tree top-down.
+	b := tree.NewBuilder()
+	s := &Shrunk{Original: t}
+	var clone func(parent, src tree.ID)
+	clone = func(parent, src tree.ID) {
+		switch {
+		case combined.Contains(int(src)):
+			if parent == tree.None {
+				b.AddRootData(t.Label(src), t.SubtreeWeight(src))
+			} else {
+				b.AddData(parent, t.Label(src), t.SubtreeWeight(src))
+			}
+			s.origOf = append(s.origOf, src)
+		case t.IsData(src):
+			if parent == tree.None {
+				b.AddRootData(t.Label(src), t.Weight(src))
+			} else {
+				b.AddData(parent, t.Label(src), t.Weight(src))
+			}
+			s.origOf = append(s.origOf, src)
+		default:
+			var nid tree.ID
+			if parent == tree.None {
+				nid = b.AddRoot(t.Label(src))
+			} else {
+				nid = b.AddIndex(parent, t.Label(src))
+			}
+			s.origOf = append(s.origOf, src)
+			for _, c := range t.Children(src) {
+				clone(nid, c)
+			}
+		}
+	}
+	clone(tree.None, t.Root())
+	reduced, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	s.Reduced = reduced
+	return s, nil
+}
+
+// Expand restores a reduced-tree data order into a full original broadcast
+// sequence: each pseudo data node expands to its original subtree in
+// sorted (">"-relation) preorder, and every node is preceded by its
+// not-yet-broadcast original ancestors.
+func (s *Shrunk) Expand(order []tree.ID) ([]tree.ID, error) {
+	t := s.Original
+	covered := bitset.New(t.NumNodes())
+	seq := make([]tree.ID, 0, t.NumNodes())
+	key := ranks(t)
+	emit := func(id tree.ID) {
+		if !covered.Contains(int(id)) {
+			covered.Add(int(id))
+			seq = append(seq, id)
+		}
+	}
+	var emitSubtree func(id tree.ID)
+	emitSubtree = func(id tree.ID) {
+		emit(id)
+		children := append([]tree.ID(nil), t.Children(id)...)
+		sort.SliceStable(children, func(i, j int) bool {
+			return key[children[i]] > key[children[j]]
+		})
+		for _, c := range children {
+			emitSubtree(c)
+		}
+	}
+	for _, rd := range order {
+		if int(rd) >= len(s.origOf) {
+			return nil, fmt.Errorf("heuristic: reduced ID %d out of range", rd)
+		}
+		orig := s.origOf[rd]
+		for _, a := range t.Ancestors(orig) {
+			emit(a)
+		}
+		emitSubtree(orig)
+	}
+	if len(seq) != t.NumNodes() {
+		return nil, fmt.Errorf("heuristic: expansion produced %d of %d nodes", len(seq), t.NumNodes())
+	}
+	return seq, nil
+}
+
+// SolveShrinking runs the full Index Tree Shrinking heuristic for a single
+// channel: combine nodes until at most maxData leaves remain, find the
+// optimal path of the reduced tree with the data-tree search, and restore
+// the combined nodes in that path.
+func SolveShrinking(t *tree.Tree, maxData int) (*alloc.Allocation, error) {
+	s, err := ShrinkToSize(t, maxData)
+	if err != nil {
+		return nil, err
+	}
+	res, err := datatree.Search(s.Reduced, datatree.AllOptions())
+	if err != nil {
+		return nil, err
+	}
+	seq, err := s.Expand(res.Order)
+	if err != nil {
+		return nil, err
+	}
+	return alloc.FromSequence(t, seq)
+}
+
+// SolvePartitioning runs the Tree Partitioning heuristic for a single
+// channel: subtrees of at most maxData data nodes are solved optimally
+// with the data-tree search; larger subtrees are split at their root, the
+// sub-broadcasts ordered by the ">" relation (the paper leaves the merge
+// rule unspecified; this choice matches Index Tree Sorting at the cut
+// points) and concatenated after it.
+func SolvePartitioning(t *tree.Tree, maxData int) (*alloc.Allocation, error) {
+	if maxData < 1 {
+		return nil, fmt.Errorf("heuristic: maxData = %d, want >= 1", maxData)
+	}
+	seq, err := partitionSolve(t, t.Root(), maxData)
+	if err != nil {
+		return nil, err
+	}
+	return alloc.FromSequence(t, seq)
+}
+
+func partitionSolve(t *tree.Tree, root tree.ID, maxData int) ([]tree.ID, error) {
+	sub, mapping, err := tree.Subtree(t, root)
+	if err != nil {
+		return nil, err
+	}
+	if sub.NumData() <= maxData {
+		res, err := datatree.Search(sub, datatree.AllOptions())
+		if err != nil {
+			return nil, err
+		}
+		seq := make([]tree.ID, len(res.Sequence))
+		for i, id := range res.Sequence {
+			seq[i] = mapping[id]
+		}
+		return seq, nil
+	}
+	children := append([]tree.ID(nil), t.Children(root)...)
+	sort.SliceStable(children, func(i, j int) bool {
+		return rank(t, children[i]) > rank(t, children[j])
+	})
+	seq := []tree.ID{root}
+	for _, c := range children {
+		part, err := partitionSolve(t, c, maxData)
+		if err != nil {
+			return nil, err
+		}
+		seq = append(seq, part...)
+	}
+	return seq, nil
+}

@@ -1,0 +1,367 @@
+// Package netcast serves a compiled broadcast program over real network
+// connections, completing the system picture: the same wire-encoded
+// buckets the simulator models are framed onto TCP (or any net.Conn), and
+// a remote client performs lookups knowing nothing but the protocol.
+//
+// The protocol models a radio receiver honestly: the client does not
+// stream every slot — it asks for exactly one (channel, absolute slot)
+// wake-up at a time and receives exactly that bucket, so tuning time is
+// the number of frames on the wire. Requests and frames are big-endian:
+//
+//	request:  channel uint8 | slot uint32   (channel 0 detaches)
+//	frame:    slot uint32 | length uint16 | bucket payload
+//
+// The server's clock advances via Tick/Run. Tick synchronizes with the
+// connected clients — it waits until every registered connection either
+// has a pending wake-up or has detached — which makes lookups over real
+// sockets deterministic and lets the tests assert byte-identical metrics
+// against the analytic simulator.
+package netcast
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// detachChannel is the channel byte that ends a client's session.
+const detachChannel = 0
+
+// Server broadcasts one program to any number of connections.
+type Server struct {
+	prog    *sim.Program
+	packets [][][]byte
+	ln      net.Listener
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	now   int
+	conns map[net.Conn]*connState
+	done  bool
+
+	wg sync.WaitGroup
+}
+
+type connState struct {
+	hasPending bool
+	channel    int
+	slot       int
+}
+
+// NewServer wraps a compiled program; Attach or Serve bring connections.
+func NewServer(p *sim.Program) (*Server, error) {
+	packets, err := wire.EncodeProgram(p)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		prog:    p,
+		packets: packets,
+		conns:   map[net.Conn]*connState{},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
+}
+
+// Serve accepts connections from ln until the server is closed.
+func (s *Server) Serve(ln net.Listener) {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.Attach(conn)
+		}
+	}()
+}
+
+// Attach registers a single connection (useful with net.Pipe).
+func (s *Server) Attach(conn net.Conn) {
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.conns[conn] = &connState{}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.handle(conn)
+	}()
+}
+
+// handle reads wake-up requests until the connection detaches or fails.
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	br := bufio.NewReader(conn)
+	var req [5]byte
+	for {
+		if _, err := io.ReadFull(br, req[:]); err != nil {
+			return
+		}
+		channel := int(req[0])
+		slot := int(binary.BigEndian.Uint32(req[1:5]))
+		if channel == detachChannel {
+			return
+		}
+		s.mu.Lock()
+		if channel > s.prog.Channels() {
+			s.mu.Unlock()
+			return
+		}
+		st := s.conns[conn]
+		if st == nil {
+			s.mu.Unlock()
+			return
+		}
+		// A request for a passed slot catches the next cyclic occurrence.
+		for slot < s.now {
+			slot += s.prog.CycleLen()
+		}
+		st.hasPending = true
+		st.channel = channel
+		st.slot = slot
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+// Tick broadcasts the current slot and advances the clock. It waits until
+// every registered connection has a pending wake-up (or has detached), so
+// a lookup in flight can never miss its slot.
+func (s *Server) Tick() error {
+	s.mu.Lock()
+	for {
+		if s.done {
+			s.mu.Unlock()
+			return fmt.Errorf("netcast: server closed")
+		}
+		ready := true
+		for _, st := range s.conns {
+			if !st.hasPending {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			break
+		}
+		s.cond.Wait()
+	}
+	now := s.now
+	type delivery struct {
+		conn  net.Conn
+		frame []byte
+	}
+	var due []delivery
+	for conn, st := range s.conns {
+		if st.hasPending && st.slot == now {
+			cycleSlot := now%s.prog.CycleLen() + 1
+			payload := s.packets[st.channel-1][cycleSlot-1]
+			frame := make([]byte, 0, 6+len(payload))
+			frame = binary.BigEndian.AppendUint32(frame, uint32(now))
+			frame = binary.BigEndian.AppendUint16(frame, uint16(len(payload)))
+			frame = append(frame, payload...)
+			due = append(due, delivery{conn, frame})
+			st.hasPending = false
+		}
+	}
+	s.now++
+	s.mu.Unlock()
+
+	for _, d := range due {
+		if _, err := d.conn.Write(d.frame); err != nil {
+			// A broken client must not stall the broadcast; its
+			// connection handler will clean up.
+			continue
+		}
+	}
+	return nil
+}
+
+// Run ticks the server the given number of slots.
+func (s *Server) Run(slots int) error {
+	for i := 0; i < slots; i++ {
+		if err := s.Tick(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Now returns the server clock.
+func (s *Server) Now() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// AwaitConns blocks until at least n connections are registered (or the
+// server closes). Drivers call it before ticking so concurrently dialing
+// clients cannot miss their arrival slots.
+func (s *Server) AwaitConns(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.conns) < n && !s.done {
+		s.cond.Wait()
+	}
+}
+
+// Close stops accepting, wakes blocked ticks and closes all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.done = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// Client performs lookups against a netcast server.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, br: bufio.NewReader(conn)}
+}
+
+// Dial connects to a TCP netcast server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// Close detaches from the server and closes the connection.
+func (c *Client) Close() error {
+	c.detach()
+	return c.conn.Close()
+}
+
+// detach tells the server to stop waiting for this radio; errors are
+// irrelevant (the connection may already be gone).
+func (c *Client) detach() {
+	_ = c.request(detachChannel, 0)
+}
+
+func (c *Client) request(channel, slot int) error {
+	var req [5]byte
+	req[0] = byte(channel)
+	binary.BigEndian.PutUint32(req[1:5], uint32(slot))
+	_, err := c.conn.Write(req[:])
+	return err
+}
+
+// next requests one bucket and blocks for its frame.
+func (c *Client) next(channel, slot int) (int, *wire.Bucket, error) {
+	if err := c.request(channel, slot); err != nil {
+		return 0, nil, err
+	}
+	var hdr [6]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	gotSlot := int(binary.BigEndian.Uint32(hdr[0:4]))
+	n := int(binary.BigEndian.Uint16(hdr[4:6]))
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c.br, payload); err != nil {
+		return 0, nil, err
+	}
+	b, err := wire.Unmarshal(payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	return gotSlot, b, nil
+}
+
+// Lookup retrieves the item with the given key, arriving at the given
+// absolute slot. It implements the same protocol as the simulator's
+// client — probe channel 1, synchronize or start from a root copy, then
+// descend by advertised key ranges — and returns identical metrics.
+//
+// A lookup is one session: it detaches from the broadcast when it
+// finishes so the server never waits on an idle radio. Run further
+// lookups over fresh connections.
+func (c *Client) Lookup(arrival int, key int64, pw sim.Power) (found bool, label string, m sim.Metrics, err error) {
+	defer c.detach()
+	slot, b, err := c.next(1, arrival)
+	if err != nil {
+		return false, "", m, err
+	}
+	m.TuningTime++
+	descentStart := slot
+	if !b.RootCopy {
+		m.ProbeWait = int(b.NextCycle)
+		if slot, b, err = c.next(1, slot+int(b.NextCycle)); err != nil {
+			return false, "", m, err
+		}
+		m.TuningTime++
+		descentStart = slot
+	}
+	for hops := 0; hops < 1<<16; hops++ {
+		if b.Kind == wire.KindData {
+			m.DataWait = slot - descentStart + 1
+			finish(&m, pw)
+			return b.Key == key, b.Label, m, nil
+		}
+		var next *wire.Pointer
+		for i := range b.Pointers {
+			p := &b.Pointers[i]
+			if key >= p.KeyLo && key <= p.KeyHi {
+				next = p
+				break
+			}
+		}
+		if next == nil {
+			m.DataWait = slot - descentStart + 1
+			finish(&m, pw)
+			return false, "", m, nil
+		}
+		if slot, b, err = c.next(int(next.Channel), slot+int(next.Offset)); err != nil {
+			return false, "", m, err
+		}
+		m.TuningTime++
+	}
+	return false, "", m, fmt.Errorf("netcast: descent did not terminate")
+}
+
+func finish(m *sim.Metrics, pw sim.Power) {
+	m.AccessTime = m.ProbeWait + m.DataWait
+	doze := m.AccessTime - m.TuningTime
+	if doze < 0 {
+		doze = 0
+	}
+	m.Energy = pw.Active*float64(m.TuningTime) + pw.Doze*float64(doze)
+}

@@ -1,0 +1,80 @@
+package netcast
+
+import (
+	"fmt"
+
+	"repro/internal/pqueue"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// LookupRange retrieves every item with a key in [lo, hi] through the
+// socket protocol, mirroring the simulator's range client: a frontier of
+// advertised subtree pointers is visited in arrival order, and a slot
+// that has already passed (because the single receiver was reading a
+// different channel) is caught on a later cycle by the server's cyclic
+// catch-up. Like Lookup, a range scan is one session: it detaches when
+// done.
+func (c *Client) LookupRange(arrival int, lo, hi int64, pw sim.Power) (keys []int64, m sim.Metrics, err error) {
+	defer c.detach()
+	if lo > hi {
+		return nil, m, fmt.Errorf("netcast: empty range [%d, %d]", lo, hi)
+	}
+	slot, b, err := c.next(1, arrival)
+	if err != nil {
+		return nil, m, err
+	}
+	m.TuningTime++
+	descentStart := slot
+	if !b.RootCopy {
+		m.ProbeWait = int(b.NextCycle)
+		if slot, b, err = c.next(1, slot+int(b.NextCycle)); err != nil {
+			return nil, m, err
+		}
+		m.TuningTime++
+		descentStart = slot
+	}
+
+	type pend struct {
+		at      int
+		channel int
+	}
+	q := pqueue.New(func(a, b pend) bool { return a.at < b.at })
+	visit := func(at int, b *wire.Bucket) {
+		if b.Kind == wire.KindData {
+			if b.Key >= lo && b.Key <= hi {
+				keys = append(keys, b.Key)
+			}
+			return
+		}
+		for _, p := range b.Pointers {
+			if p.KeyLo <= hi && p.KeyHi >= lo {
+				q.Push(pend{at: at + int(p.Offset), channel: int(p.Channel)})
+			}
+		}
+	}
+	visit(slot, b)
+
+	now := slot
+	guard := 0
+	for q.Len() > 0 {
+		next := q.Pop()
+		// The server bumps passed slots to the next cyclic occurrence;
+		// only the arrival timestamp on the frame is authoritative.
+		if guard++; guard > 1<<16 {
+			return keys, m, fmt.Errorf("netcast: range scan did not terminate")
+		}
+		at, nb, err := c.next(next.channel, next.at)
+		if err != nil {
+			return keys, m, err
+		}
+		m.TuningTime++
+		if at > now {
+			now = at
+		}
+		visit(at, nb)
+	}
+	m.DataWait = now - descentStart + 1
+	finish(&m, pw)
+	return keys, m, nil
+}

@@ -1,0 +1,322 @@
+// Package pap implements the Personnel Assignment Problem [Str89] that
+// Section 2.2 of the paper reduces index-and-data allocation to: given n
+// jobs under a partial order, n linearly ordered persons, and a cost
+// C(job, person), find the one-to-one assignment f with Ji ≤ Jj implying
+// f(Ji) < f(Jj) that minimizes total cost. The problem is NP-hard; this
+// package provides an exhaustive solver, a branch-and-bound solver, a
+// greedy list-scheduling heuristic (usable on arbitrary DAGs, cf. the
+// [CHK99] future-work direction), and a topological-order counter.
+package pap
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitset"
+)
+
+// Instance is one PAP instance with n jobs and n persons (0-based).
+type Instance struct {
+	n     int
+	cost  [][]float64 // cost[job][person]
+	preds [][]int     // direct predecessors per job
+	succs [][]int     // direct successors per job
+}
+
+// NewInstance returns an instance with n jobs, all costs zero and no
+// precedence constraints.
+func NewInstance(n int) (*Instance, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("pap: n = %d, want >= 1", n)
+	}
+	in := &Instance{
+		n:     n,
+		cost:  make([][]float64, n),
+		preds: make([][]int, n),
+		succs: make([][]int, n),
+	}
+	for i := range in.cost {
+		in.cost[i] = make([]float64, n)
+	}
+	return in, nil
+}
+
+// N returns the number of jobs (= persons).
+func (in *Instance) N() int { return in.n }
+
+// SetCost sets the cost of assigning job j to person p.
+func (in *Instance) SetCost(job, person int, c float64) error {
+	if job < 0 || job >= in.n || person < 0 || person >= in.n {
+		return fmt.Errorf("pap: SetCost(%d,%d) out of range", job, person)
+	}
+	in.cost[job][person] = c
+	return nil
+}
+
+// Cost returns the cost of assigning job j to person p.
+func (in *Instance) Cost(job, person int) float64 { return in.cost[job][person] }
+
+// AddPrecedence declares before ≤ after in the job partial order.
+func (in *Instance) AddPrecedence(before, after int) error {
+	if before < 0 || before >= in.n || after < 0 || after >= in.n || before == after {
+		return fmt.Errorf("pap: AddPrecedence(%d,%d) invalid", before, after)
+	}
+	in.preds[after] = append(in.preds[after], before)
+	in.succs[before] = append(in.succs[before], after)
+	return nil
+}
+
+// Validate checks that the precedence relation is a DAG.
+func (in *Instance) Validate() error {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]int, in.n)
+	var visit func(j int) error
+	visit = func(j int) error {
+		color[j] = grey
+		for _, s := range in.succs[j] {
+			switch color[s] {
+			case grey:
+				return fmt.Errorf("pap: precedence cycle through job %d", s)
+			case white:
+				if err := visit(s); err != nil {
+					return err
+				}
+			}
+		}
+		color[j] = black
+		return nil
+	}
+	for j := 0; j < in.n; j++ {
+		if color[j] == white {
+			if err := visit(j); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Assignment maps persons to jobs: a[p] is the job assigned to person p.
+// Because persons are linearly ordered, a feasible Assignment is exactly a
+// topological order of the jobs.
+type Assignment []int
+
+// CostOf returns the total cost of assignment a.
+func (in *Instance) CostOf(a Assignment) float64 {
+	var sum float64
+	for p, j := range a {
+		sum += in.cost[j][p]
+	}
+	return sum
+}
+
+// Feasible reports whether a is a permutation of the jobs respecting the
+// partial order.
+func (in *Instance) Feasible(a Assignment) bool {
+	if len(a) != in.n {
+		return false
+	}
+	personOf := make([]int, in.n)
+	seen := make([]bool, in.n)
+	for p, j := range a {
+		if j < 0 || j >= in.n || seen[j] {
+			return false
+		}
+		seen[j] = true
+		personOf[j] = p
+	}
+	for j := 0; j < in.n; j++ {
+		for _, pr := range in.preds[j] {
+			if personOf[pr] >= personOf[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// available returns jobs whose predecessors are all in done.
+func (in *Instance) available(done bitset.Set) []int {
+	var out []int
+	for j := 0; j < in.n; j++ {
+		if done.Contains(j) {
+			continue
+		}
+		ok := true
+		for _, p := range in.preds[j] {
+			if !done.Contains(p) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// SolveBruteForce enumerates every topological order and returns a minimum
+// cost assignment. Exponential; intended for small instances and as the
+// oracle in tests.
+func (in *Instance) SolveBruteForce() (Assignment, float64, error) {
+	if err := in.Validate(); err != nil {
+		return nil, 0, err
+	}
+	best := math.Inf(1)
+	var bestA Assignment
+	cur := make(Assignment, 0, in.n)
+	done := bitset.New(in.n)
+	var rec func(cost float64)
+	rec = func(cost float64) {
+		if len(cur) == in.n {
+			if cost < best {
+				best = cost
+				bestA = append(Assignment(nil), cur...)
+			}
+			return
+		}
+		p := len(cur)
+		for _, j := range in.available(done) {
+			done.Add(j)
+			cur = append(cur, j)
+			rec(cost + in.cost[j][p])
+			cur = cur[:len(cur)-1]
+			done.Remove(j)
+		}
+	}
+	rec(0)
+	if bestA == nil {
+		return nil, 0, fmt.Errorf("pap: no feasible assignment")
+	}
+	return bestA, best, nil
+}
+
+// SolveBranchBound runs a depth-first branch-and-bound with memoized
+// dominance on the set of completed jobs: from a given completed set, the
+// remaining cost does not depend on the order the set was completed in, so
+// only the cheapest prefix needs extending.
+func (in *Instance) SolveBranchBound() (Assignment, float64, error) {
+	if err := in.Validate(); err != nil {
+		return nil, 0, err
+	}
+	// Incumbent from the greedy heuristic.
+	greedy, gcost := in.SolveGreedy()
+	best := gcost
+	bestA := append(Assignment(nil), greedy...)
+
+	seen := make(map[string]float64)
+	cur := make(Assignment, 0, in.n)
+	done := bitset.New(in.n)
+	var rec func(cost float64)
+	rec = func(cost float64) {
+		if len(cur) == in.n {
+			if cost < best {
+				best = cost
+				bestA = append(bestA[:0], cur...)
+			}
+			return
+		}
+		if cost+in.lowerBound(done, len(cur)) >= best && len(cur) > 0 {
+			return
+		}
+		key := done.Key()
+		if prev, ok := seen[key]; ok && prev <= cost {
+			return
+		}
+		seen[key] = cost
+		p := len(cur)
+		for _, j := range in.available(done) {
+			done.Add(j)
+			cur = append(cur, j)
+			rec(cost + in.cost[j][p])
+			cur = cur[:len(cur)-1]
+			done.Remove(j)
+		}
+	}
+	rec(0)
+	if bestA == nil {
+		return nil, 0, fmt.Errorf("pap: no feasible assignment")
+	}
+	return bestA, best, nil
+}
+
+// lowerBound sums, for each unassigned job, its cheapest remaining person.
+// This relaxes both the one-job-per-person and the precedence constraints,
+// so it is admissible.
+func (in *Instance) lowerBound(done bitset.Set, firstFree int) float64 {
+	var lb float64
+	for j := 0; j < in.n; j++ {
+		if done.Contains(j) {
+			continue
+		}
+		min := math.Inf(1)
+		for p := firstFree; p < in.n; p++ {
+			if c := in.cost[j][p]; c < min {
+				min = c
+			}
+		}
+		lb += min
+	}
+	return lb
+}
+
+// SolveGreedy assigns each successive person the available job with the
+// smallest cost at that person (a list-scheduling heuristic that also works
+// on arbitrary DAG partial orders). It always returns a feasible
+// assignment for a valid DAG.
+func (in *Instance) SolveGreedy() (Assignment, float64) {
+	done := bitset.New(in.n)
+	a := make(Assignment, 0, in.n)
+	var total float64
+	for p := 0; p < in.n; p++ {
+		avail := in.available(done)
+		if len(avail) == 0 {
+			return nil, math.Inf(1)
+		}
+		bestJ, bestC := -1, math.Inf(1)
+		for _, j := range avail {
+			if c := in.cost[j][p]; c < bestC || (c == bestC && j < bestJ) {
+				bestJ, bestC = j, c
+			}
+		}
+		done.Add(bestJ)
+		a = append(a, bestJ)
+		total += bestC
+	}
+	return a, total
+}
+
+// CountTopologicalOrders counts the feasible assignments (topological
+// orders), stopping early once the count exceeds limit; exceeded is true
+// in that case and count holds the partial tally.
+func (in *Instance) CountTopologicalOrders(limit uint64) (count uint64, exceeded bool) {
+	done := bitset.New(in.n)
+	placed := 0
+	var rec func() bool // returns false to abort
+	rec = func() bool {
+		if placed == in.n {
+			count++
+			return count <= limit
+		}
+		for _, j := range in.available(done) {
+			done.Add(j)
+			placed++
+			ok := rec()
+			placed--
+			done.Remove(j)
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if !rec() {
+		return count, true
+	}
+	return count, false
+}

@@ -1,0 +1,279 @@
+package pap
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/alloc"
+	"repro/internal/stats"
+	"repro/internal/topo"
+	"repro/internal/tree"
+	"repro/internal/workload"
+)
+
+// fig3Instance builds the paper's Fig. 3 partial order:
+// J1 ≤ J3, J2 ≤ J4, J2 ≤ J3 over four jobs (0-based: 0≤2, 1≤3, 1≤2).
+func fig3Instance(t *testing.T) *Instance {
+	t.Helper()
+	in, err := NewInstance(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range [][2]int{{0, 2}, {1, 3}, {1, 2}} {
+		if err := in.AddPrecedence(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return in
+}
+
+func TestFig3IdentityFeasible(t *testing.T) {
+	in := fig3Instance(t)
+	// The paper: J1→P1, J2→P2, J3→P3, J4→P4 is feasible.
+	if !in.Feasible(Assignment{0, 1, 2, 3}) {
+		t.Fatal("identity assignment should be feasible")
+	}
+	// J3 before J1 violates J1 ≤ J3.
+	if in.Feasible(Assignment{2, 1, 0, 3}) {
+		t.Fatal("assignment violating J1<=J3 accepted")
+	}
+	// Non-permutations are infeasible.
+	if in.Feasible(Assignment{0, 0, 2, 3}) || in.Feasible(Assignment{0, 1}) {
+		t.Fatal("non-permutation accepted")
+	}
+}
+
+func TestFig3TopologicalOrderCount(t *testing.T) {
+	in := fig3Instance(t)
+	// Orders: first is J1 or J2. Enumerate by hand:
+	// 1,2,3,4 / 1,2,4,3 / 2,1,3,4 / 2,1,4,3 / 2,4,1,3 → 5 orders.
+	count, exceeded := in.CountTopologicalOrders(1000)
+	if exceeded || count != 5 {
+		t.Fatalf("count = %d (exceeded=%v), want 5", count, exceeded)
+	}
+}
+
+func TestCountTopologicalOrdersLimit(t *testing.T) {
+	in, _ := NewInstance(8) // no precedence: 8! = 40320 orders
+	count, exceeded := in.CountTopologicalOrders(100)
+	if !exceeded {
+		t.Fatalf("want exceeded with limit 100, got count=%d", count)
+	}
+	count, exceeded = in.CountTopologicalOrders(1 << 62)
+	if exceeded || count != 40320 {
+		t.Fatalf("count = %d, want 40320", count)
+	}
+}
+
+func TestValidateDetectsCycle(t *testing.T) {
+	in, _ := NewInstance(3)
+	in.AddPrecedence(0, 1)
+	in.AddPrecedence(1, 2)
+	in.AddPrecedence(2, 0)
+	if err := in.Validate(); err == nil {
+		t.Fatal("want cycle error")
+	}
+}
+
+func TestConstructorAndSetterErrors(t *testing.T) {
+	if _, err := NewInstance(0); err == nil {
+		t.Fatal("want error for n=0")
+	}
+	in, _ := NewInstance(2)
+	if err := in.SetCost(5, 0, 1); err == nil {
+		t.Fatal("want error for bad job")
+	}
+	if err := in.AddPrecedence(0, 0); err == nil {
+		t.Fatal("want error for self-edge")
+	}
+	if err := in.AddPrecedence(-1, 0); err == nil {
+		t.Fatal("want error for negative job")
+	}
+}
+
+func TestBruteForceSimpleChain(t *testing.T) {
+	// Chain 0≤1≤2 has exactly one order; brute force must return it.
+	in, _ := NewInstance(3)
+	in.AddPrecedence(0, 1)
+	in.AddPrecedence(1, 2)
+	in.SetCost(0, 0, 5)
+	in.SetCost(1, 1, 7)
+	in.SetCost(2, 2, 9)
+	a, cost, err := in.SolveBruteForce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 21 || !in.Feasible(a) {
+		t.Fatalf("cost = %g a = %v", cost, a)
+	}
+}
+
+func TestGreedyFeasible(t *testing.T) {
+	in := fig3Instance(t)
+	a, cost := in.SolveGreedy()
+	if !in.Feasible(a) {
+		t.Fatalf("greedy returned infeasible %v", a)
+	}
+	if math.IsInf(cost, 1) {
+		t.Fatal("greedy cost infinite on feasible instance")
+	}
+}
+
+// Property: branch-and-bound equals brute force on random instances, and
+// greedy is feasible and never better than the optimum.
+func TestQuickBranchBoundMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		n := 2 + rng.Intn(6)
+		in, err := NewInstance(n)
+		if err != nil {
+			return false
+		}
+		// Random DAG: edges only from lower to higher indices.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(3) == 0 {
+					in.AddPrecedence(i, j)
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for p := 0; p < n; p++ {
+				in.SetCost(i, p, float64(rng.Intn(50)))
+			}
+		}
+		aBF, cBF, err := in.SolveBruteForce()
+		if err != nil {
+			return false
+		}
+		aBB, cBB, err := in.SolveBranchBound()
+		if err != nil {
+			return false
+		}
+		if math.Abs(cBF-cBB) > 1e-9 {
+			return false
+		}
+		if !in.Feasible(aBF) || !in.Feasible(aBB) {
+			return false
+		}
+		if math.Abs(in.CostOf(aBB)-cBB) > 1e-9 {
+			return false
+		}
+		aG, cG := in.SolveGreedy()
+		return in.Feasible(aG) && cG >= cBF-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFromTreeFig1 checks the Section 2.2 transformation end to end: the
+// optimal PAP assignment of the Fig. 1(a) tree must yield a feasible
+// broadcast whose cost matches the PAP optimum, and that cost must be at
+// most the paper's example broadcast (421 = 70 × 6.01...).
+func TestFromTreeFig1(t *testing.T) {
+	tr := tree.Fig1()
+	in, err := FromTree(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, cost, err := in.SolveBranchBound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := SequenceFromAssignment(a)
+	al, err := alloc.FromSequence(tr, seq)
+	if err != nil {
+		t.Fatalf("PAP optimum not a feasible broadcast: %v", err)
+	}
+	if math.Abs(al.WeightedWaitSum()-cost) > 1e-9 {
+		t.Fatalf("allocation cost %g != PAP cost %g", al.WeightedWaitSum(), cost)
+	}
+	if cost > 421 {
+		t.Fatalf("PAP optimum %g worse than the paper's example 421", cost)
+	}
+}
+
+// Property: for random trees, the PAP optimum via branch-and-bound equals
+// the brute-force optimum and is a feasible single-channel broadcast.
+func TestQuickFromTreeOptimalFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		tr, err := workload.Random(workload.RandomConfig{NumData: 2 + rng.Intn(4)}, rng)
+		if err != nil {
+			return false
+		}
+		if tr.NumNodes() > 9 { // keep brute force cheap
+			return true
+		}
+		in, err := FromTree(tr)
+		if err != nil {
+			return false
+		}
+		_, cBF, err := in.SolveBruteForce()
+		if err != nil {
+			return false
+		}
+		aBB, cBB, err := in.SolveBranchBound()
+		if err != nil {
+			return false
+		}
+		if math.Abs(cBF-cBB) > 1e-9 {
+			return false
+		}
+		_, err = alloc.FromSequence(tr, SequenceFromAssignment(aBB))
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBranchBoundFig1(b *testing.B) {
+	tr := tree.Fig1()
+	in, err := FromTree(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := in.SolveBranchBound(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestCrossCheckTopologicalOrderCounts: the PAP order counter and the
+// unpruned 1-channel topological tree must agree — they enumerate the
+// same object through two independent code paths.
+func TestCrossCheckTopologicalOrderCounts(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := stats.NewRNG(seed)
+		tr, err := workload.Random(workload.RandomConfig{
+			NumData: 2 + rng.Intn(4),
+			Dist:    stats.Uniform{Lo: 1, Hi: 50},
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := FromTree(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		papCount, exceeded := in.CountTopologicalOrders(1_000_000)
+		if exceeded {
+			continue
+		}
+		topoCount, exceeded2, err := topo.CountPaths(tr, topo.Options{Channels: 1}, 1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exceeded2 {
+			continue
+		}
+		if papCount != topoCount {
+			t.Fatalf("seed=%d tree=%s: PAP %d orders != topo %d paths", seed, tr, papCount, topoCount)
+		}
+	}
+}

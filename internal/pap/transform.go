@@ -1,0 +1,49 @@
+package pap
+
+import (
+	"repro/internal/tree"
+)
+
+// FromTree performs the paper's problem transformation (Section 2.2) for a
+// single broadcast channel: tree nodes become jobs, channel slots become
+// persons, the index tree's parent-child edges become the partial order,
+// and the cost of putting data node D at slot s (0-based person p = s-1)
+// is W(D)·s. Index nodes cost nothing anywhere.
+//
+// The optimal PAP assignment therefore minimizes Σ W(D)·T(D), the
+// numerator of Formula 1. Job j corresponds to tree.ID(j).
+func FromTree(t *tree.Tree) (*Instance, error) {
+	n := t.NumNodes()
+	in, err := NewInstance(n)
+	if err != nil {
+		return nil, err
+	}
+	for j := 0; j < n; j++ {
+		id := tree.ID(j)
+		if p := t.Parent(id); p != tree.None {
+			if err := in.AddPrecedence(int(p), j); err != nil {
+				return nil, err
+			}
+		}
+		if t.IsData(id) {
+			w := t.Weight(id)
+			for person := 0; person < n; person++ {
+				// Person p sits at slot p+1.
+				if err := in.SetCost(j, person, w*float64(person+1)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return in, nil
+}
+
+// SequenceFromAssignment converts a feasible assignment back into the
+// broadcast sequence of tree IDs (slot order).
+func SequenceFromAssignment(a Assignment) []tree.ID {
+	seq := make([]tree.ID, len(a))
+	for p, j := range a {
+		seq[p] = tree.ID(j)
+	}
+	return seq
+}

@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/topo"
+	"repro/internal/tree"
+)
+
+// These tests inject faults into compiled programs and assert the client
+// fails loudly instead of looping or returning wrong data — the simulator
+// is also the reference implementation of the client protocol, so its
+// error paths matter.
+
+func corruptedProgram(t *testing.T) *Program {
+	t.Helper()
+	res, err := topo.Exact(tree.Fig1(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(res.Alloc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestQueryDetectsDanglingPointer(t *testing.T) {
+	p := corruptedProgram(t)
+	tr := p.Tree()
+	// Find the root bucket and corrupt its first child pointer's offset
+	// so it lands on the wrong bucket.
+	root := tr.Root()
+	pos := p.slotOf[root]
+	b := &p.buckets[pos.Channel-1][pos.Slot-1]
+	if len(b.Children) == 0 {
+		t.Fatal("root has no children")
+	}
+	b.Children[0].Offset += 2
+
+	target := b.Children[0].Target
+	// Descend toward the corrupted child (or any data below it).
+	var data tree.ID = target
+	for !tr.IsData(data) {
+		data = tr.Children(data)[0]
+	}
+	_, err := p.Query(0, data, Power{Active: 1})
+	if err == nil {
+		t.Fatal("corrupted pointer went undetected")
+	}
+	if !strings.Contains(err.Error(), "pointer") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestQueryDetectsMissingRootAtCycleStart(t *testing.T) {
+	p := corruptedProgram(t)
+	// Swap the root bucket out of slot 1.
+	p.buckets[0][0] = Bucket{Node: tree.None, NextCycle: p.cycleLen}
+	target := p.Tree().DataIDs()[0]
+	// Arrive mid-cycle so the client synchronizes to the (now broken)
+	// cycle start.
+	_, err := p.Query(1, target, Power{Active: 1})
+	if err == nil {
+		t.Fatal("missing root went undetected")
+	}
+	if !strings.Contains(err.Error(), "root") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestQueryDetectsPointerToWrongNode(t *testing.T) {
+	p := corruptedProgram(t)
+	tr := p.Tree()
+	root := tr.Root()
+	pos := p.slotOf[root]
+	b := &p.buckets[pos.Channel-1][pos.Slot-1]
+	// Retarget the first pointer at a node that is not there.
+	orig := b.Children[0].Target
+	b.Children[0].Target = b.Children[1].Target
+	b.Children[1].Target = orig
+
+	var data tree.ID = orig
+	for !tr.IsData(data) {
+		data = tr.Children(data)[0]
+	}
+	if _, err := p.Query(0, data, Power{Active: 1}); err == nil {
+		t.Fatal("swapped pointers went undetected")
+	}
+}
+
+func TestRangeQueryDetectsEmptyBucket(t *testing.T) {
+	b := tree.NewBuilder()
+	r := b.AddRoot("r")
+	b.AddKeyedData(r, "a", 1, 2)
+	b.AddKeyedData(r, "b", 2, 1)
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := topo.Exact(tr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(res.Alloc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blank out a data bucket the range scan will chase.
+	pos := p.slotOf[tr.FindLabel("a")]
+	p.buckets[pos.Channel-1][pos.Slot-1] = Bucket{Node: tree.None}
+	if _, err := p.QueryRange(0, 1, 2, Power{Active: 1}); err == nil {
+		t.Fatal("empty bucket went undetected by range scan")
+	}
+}

@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/pqueue"
+	"repro/internal/tree"
+)
+
+// RangeResult is the outcome of a range query.
+type RangeResult struct {
+	Metrics Metrics
+	// Keys holds the retrieved keys in retrieval order.
+	Keys []int64
+}
+
+// pending is a scheduled future bucket read at an absolute slot.
+type pending struct {
+	at      int // absolute global slot
+	channel int
+	target  tree.ID
+}
+
+// QueryRange retrieves every data item with a key in [lo, hi] (inclusive)
+// from a keyed broadcast, supporting the [TY98]-style range workloads.
+// The client maintains a frontier of index pointers whose subtrees
+// intersect the range and visits them in arrival order; when two needed
+// buckets are broadcast in the same slot on different channels, the later
+// one is deferred a full cycle (a single-receiver client can only listen
+// to one channel per slot).
+func (p *Program) QueryRange(arrival int, lo, hi int64, pw Power) (RangeResult, error) {
+	var res RangeResult
+	if !p.t.Keyed() {
+		return res, fmt.Errorf("sim: tree is not keyed")
+	}
+	if arrival < 0 {
+		return res, fmt.Errorf("sim: negative arrival %d", arrival)
+	}
+	if lo > hi {
+		return res, fmt.Errorf("sim: empty range [%d, %d]", lo, hi)
+	}
+
+	// Probe and synchronize exactly like a point query.
+	now := arrival
+	b := p.buckets[0][p.slotInCycle(now)-1]
+	res.Metrics.TuningTime++
+	switch {
+	case b.RootCopy || (b.Node != tree.None && b.Node == p.t.Root()):
+		res.Metrics.ProbeWait = 0
+	default:
+		res.Metrics.ProbeWait = b.NextCycle
+		now += b.NextCycle
+		b = p.buckets[0][p.slotInCycle(now)-1]
+		res.Metrics.TuningTime++
+		if b.Node != p.t.Root() {
+			return res, fmt.Errorf("sim: cycle start does not hold the root (got %v)", b.Node)
+		}
+	}
+	descentStart := now
+
+	intersects := func(id tree.ID) bool {
+		l, h, ok := p.t.KeyRange(id)
+		return ok && l <= hi && h >= lo
+	}
+
+	q := pqueue.New(func(a, b pending) bool { return a.at < b.at })
+	visit := func(at int, bucket Bucket) error {
+		node := bucket.Node
+		if node == tree.None {
+			return fmt.Errorf("sim: range query read an empty bucket")
+		}
+		if p.t.IsData(node) {
+			k, _ := p.t.Key(node)
+			if k >= lo && k <= hi {
+				res.Keys = append(res.Keys, k)
+			}
+			return nil
+		}
+		for _, c := range bucket.Children {
+			if intersects(c.Target) {
+				q.Push(pending{at: at + c.Offset, channel: c.Channel, target: c.Target})
+			}
+		}
+		return nil
+	}
+	if err := visit(now, b); err != nil {
+		return res, err
+	}
+
+	guard := 0
+	maxReads := p.t.NumNodes() * (p.cycleLen + 2) // generous safety bound
+	for q.Len() > 0 {
+		next := q.Pop()
+		// Single receiver: if the slot already passed while we were
+		// reading other channels (or collides with the read we just
+		// made), catch the bucket on a later cyclic transmission.
+		for next.at <= now {
+			next.at += p.cycleLen
+		}
+		if guard++; guard > maxReads {
+			return res, fmt.Errorf("sim: range query did not terminate")
+		}
+		now = next.at
+		bucket := p.buckets[next.channel-1][p.slotInCycle(now)-1]
+		res.Metrics.TuningTime++
+		if bucket.Node != next.target {
+			return res, fmt.Errorf("sim: range pointer to %s found %v",
+				p.t.Label(next.target), bucket.Node)
+		}
+		if err := visit(now, bucket); err != nil {
+			return res, err
+		}
+	}
+	res.Metrics.DataWait = now - descentStart + 1
+	res.Metrics.finish(pw)
+	return res, nil
+}

@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/alphatree"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// keyedProgram builds a Hu-Tucker tree over n keys 1..n and compiles its
+// k-channel allocation.
+func keyedProgram(t *testing.T, n, k int, seed int64) *Program {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	items := make([]alphatree.Item, n)
+	for i := range items {
+		items[i] = alphatree.Item{
+			Label:  string(rune('a' + i%26)),
+			Key:    int64(i + 1),
+			Weight: float64(1 + rng.Intn(100)),
+		}
+	}
+	tr, err := alphatree.HuTucker(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := core.Solve(tr, core.Config{Channels: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(sol.Alloc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestQueryRangeFindsAllKeys(t *testing.T) {
+	p := keyedProgram(t, 10, 2, 1)
+	res, err := p.QueryRange(0, 3, 7, testPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(res.Keys, func(i, j int) bool { return res.Keys[i] < res.Keys[j] })
+	want := []int64{3, 4, 5, 6, 7}
+	if len(res.Keys) != len(want) {
+		t.Fatalf("keys = %v, want %v", res.Keys, want)
+	}
+	for i := range want {
+		if res.Keys[i] != want[i] {
+			t.Fatalf("keys = %v, want %v", res.Keys, want)
+		}
+	}
+	if res.Metrics.TuningTime < len(want) {
+		t.Fatalf("tuning %d < %d retrieved items", res.Metrics.TuningTime, len(want))
+	}
+	if res.Metrics.AccessTime < res.Metrics.DataWait {
+		t.Fatal("access < data wait")
+	}
+}
+
+func TestQueryRangeSingleKeyMatchesPointQuery(t *testing.T) {
+	p := keyedProgram(t, 8, 1, 2)
+	for key := int64(1); key <= 8; key++ {
+		r, err := p.QueryRange(0, key, key, testPower)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Keys) != 1 || r.Keys[0] != key {
+			t.Fatalf("range [%d,%d] keys = %v", key, key, r.Keys)
+		}
+		m, found, err := p.QueryKey(0, key, testPower)
+		if err != nil || !found {
+			t.Fatalf("point query %d: %v", key, err)
+		}
+		// A single-channel single-key range descent reads the same path.
+		if r.Metrics.TuningTime != m.TuningTime {
+			t.Fatalf("key %d: range tuning %d != point tuning %d",
+				key, r.Metrics.TuningTime, m.TuningTime)
+		}
+	}
+}
+
+func TestQueryRangeEmptyIntersection(t *testing.T) {
+	p := keyedProgram(t, 6, 2, 3)
+	res, err := p.QueryRange(0, 100, 200, testPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Keys) != 0 {
+		t.Fatalf("keys = %v, want none", res.Keys)
+	}
+	// Only the root is read.
+	if res.Metrics.TuningTime != 1 {
+		t.Fatalf("tuning = %d, want 1", res.Metrics.TuningTime)
+	}
+}
+
+func TestQueryRangeErrors(t *testing.T) {
+	p := keyedProgram(t, 6, 2, 4)
+	if _, err := p.QueryRange(0, 7, 3, testPower); err == nil {
+		t.Fatal("want error for inverted range")
+	}
+	if _, err := p.QueryRange(-1, 1, 3, testPower); err == nil {
+		t.Fatal("want error for negative arrival")
+	}
+	// Unkeyed trees cannot serve range queries.
+	up := fig1Program(t, Options{})
+	if _, err := up.QueryRange(0, 1, 3, testPower); err == nil {
+		t.Fatal("want error for unkeyed tree")
+	}
+}
+
+// Property: for random catalogs, channel counts, arrivals and ranges, a
+// range query finds exactly the catalog keys inside the range, under both
+// plain and root-replicated programs.
+func TestQuickQueryRangeComplete(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		n := 1 + rng.Intn(14)
+		items := make([]alphatree.Item, n)
+		for i := range items {
+			items[i] = alphatree.Item{
+				Label:  "x",
+				Key:    int64(i*2 + 1), // odd keys: gaps exist
+				Weight: float64(1 + rng.Intn(50)),
+			}
+		}
+		tr, err := alphatree.HuTucker(items)
+		if err != nil {
+			return false
+		}
+		sol, err := core.Solve(tr, core.Config{Channels: 1 + rng.Intn(3)})
+		if err != nil {
+			return false
+		}
+		for _, copies := range []bool{false, true} {
+			p, err := Compile(sol.Alloc, Options{FillWithRootCopies: copies})
+			if err != nil {
+				return false
+			}
+			lo := int64(rng.Intn(2*n + 2))
+			hi := lo + int64(rng.Intn(2*n+2))
+			arrival := rng.Intn(2*p.CycleLen() + 1)
+			res, err := p.QueryRange(arrival, lo, hi, testPower)
+			if err != nil {
+				t.Logf("seed=%d [%d,%d] arrival=%d: %v", seed, lo, hi, arrival, err)
+				return false
+			}
+			want := map[int64]bool{}
+			for _, it := range items {
+				if it.Key >= lo && it.Key <= hi {
+					want[it.Key] = true
+				}
+			}
+			if len(res.Keys) != len(want) {
+				t.Logf("seed=%d [%d,%d]: got %v, want %d keys", seed, lo, hi, res.Keys, len(want))
+				return false
+			}
+			for _, k := range res.Keys {
+				if !want[k] {
+					t.Logf("seed=%d: spurious key %d", seed, k)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkQueryRange(b *testing.B) {
+	rng := stats.NewRNG(1)
+	items := make([]alphatree.Item, 16)
+	for i := range items {
+		items[i] = alphatree.Item{Label: "x", Key: int64(i + 1), Weight: float64(1 + rng.Intn(100))}
+	}
+	tr, err := alphatree.HuTucker(items)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sol, err := core.Solve(tr, core.Config{Channels: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := Compile(sol.Alloc, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.QueryRange(i%p.CycleLen(), 4, 12, Power{Active: 1, Doze: 0.05}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,363 @@
+// Package sim is the wireless-broadcast substrate the paper assumes: a
+// server cyclically transmits buckets over k channels, one bucket per slot
+// per channel, and a mobile client retrieves data by tuning to a single
+// channel at a time, following (channel, offset) pointers and dozing in
+// between. It makes the paper's access-time/tuning-time story executable:
+//
+//   - probe wait: from arrival until the bucket containing the index root
+//     (every channel-1 bucket carries a pointer to the next cycle start);
+//   - data wait: from the cycle start until the requested data bucket —
+//     whose weighted average over data nodes is exactly Formula 1;
+//   - tuning time: the number of buckets actually read, which with the
+//     paper's doze mode determines energy consumption.
+//
+// Compile turns any feasible Allocation into a Program of linked buckets;
+// Query drives a single client request against it. The optional root
+// replication (Options.FillWithRootCopies) implements the paper's
+// future-work direction of replicating index nodes to cut the initial
+// probe, reusing otherwise-empty slots.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/tree"
+)
+
+// Pointer addresses a future bucket relative to the current slot.
+type Pointer struct {
+	Channel int // 1-based target channel
+	Offset  int // slots ahead of the current slot (> 0)
+	Target  tree.ID
+}
+
+// Bucket is one transmitted unit. Empty filler buckets have Node == tree.None.
+type Bucket struct {
+	Node tree.ID
+	// Children points at the node's children (index buckets only).
+	Children []Pointer
+	// NextCycle is the offset to the first slot of the next cycle; set on
+	// every channel-1 bucket so any arriving client can synchronize.
+	NextCycle int
+	// RootCopy marks a replicated root bucket occupying a filler slot.
+	RootCopy bool
+}
+
+// Options configures program compilation.
+type Options struct {
+	// FillWithRootCopies replicates the index root into every empty
+	// channel-1 slot, letting clients that tune in mid-cycle begin their
+	// descent immediately (pointers wrap into the next cycle as needed).
+	FillWithRootCopies bool
+}
+
+// Program is a compiled cyclic broadcast.
+type Program struct {
+	t        *tree.Tree
+	k        int
+	cycleLen int
+	buckets  [][]Bucket // [channel-1][slot-1]
+	slotOf   []alloc.Position
+	opt      Options
+}
+
+// Tree returns the index tree the program broadcasts.
+func (p *Program) Tree() *tree.Tree { return p.t }
+
+// Channels returns the channel count.
+func (p *Program) Channels() int { return p.k }
+
+// CycleLen returns the broadcast cycle length in slots.
+func (p *Program) CycleLen() int { return p.cycleLen }
+
+// BucketAt returns the bucket transmitted on channel ch at cycle slot s
+// (both 1-based).
+func (p *Program) BucketAt(ch, s int) Bucket { return p.buckets[ch-1][s-1] }
+
+// Compile links an allocation into a broadcast program.
+func Compile(a *alloc.Allocation, opt Options) (*Program, error) {
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	t := a.Tree()
+	if rp := a.Pos(t.Root()); rp.Channel != 1 || rp.Slot != 1 {
+		// The client protocol requires the cycle to open with the root on
+		// the first channel (Section 2.1 of the paper).
+		return nil, fmt.Errorf("sim: root must be at channel 1 slot 1, got channel %d slot %d",
+			rp.Channel, rp.Slot)
+	}
+	p := &Program{
+		t:        t,
+		k:        a.Channels(),
+		cycleLen: a.NumSlots(),
+		slotOf:   make([]alloc.Position, t.NumNodes()),
+		opt:      opt,
+	}
+	p.buckets = make([][]Bucket, p.k)
+	for ch := range p.buckets {
+		p.buckets[ch] = make([]Bucket, p.cycleLen)
+		for s := range p.buckets[ch] {
+			p.buckets[ch][s] = Bucket{Node: tree.None}
+		}
+	}
+	for i := 0; i < t.NumNodes(); i++ {
+		id := tree.ID(i)
+		pos := a.Pos(id)
+		p.slotOf[id] = pos
+		b := Bucket{Node: id}
+		for _, c := range t.Children(id) {
+			cp := a.Pos(c)
+			b.Children = append(b.Children, Pointer{
+				Channel: cp.Channel,
+				Offset:  cp.Slot - pos.Slot,
+				Target:  c,
+			})
+		}
+		p.buckets[pos.Channel-1][pos.Slot-1] = b
+	}
+	for s := 1; s <= p.cycleLen; s++ {
+		p.buckets[0][s-1].NextCycle = p.cycleLen - s + 1
+	}
+	if opt.FillWithRootCopies && t.NumNodes() > 1 {
+		p.fillRootCopies(a)
+	}
+	return p, nil
+}
+
+// fillRootCopies writes a replica of the root into every empty channel-1
+// slot, with child offsets wrapping into the next cycle when the child's
+// slot has already passed.
+func (p *Program) fillRootCopies(a *alloc.Allocation) {
+	t := p.t
+	root := t.Root()
+	for s := 1; s <= p.cycleLen; s++ {
+		if p.buckets[0][s-1].Node != tree.None {
+			continue
+		}
+		b := Bucket{Node: root, RootCopy: true, NextCycle: p.cycleLen - s + 1}
+		for _, c := range t.Children(root) {
+			cp := a.Pos(c)
+			off := cp.Slot - s
+			if off <= 0 {
+				off += p.cycleLen
+			}
+			b.Children = append(b.Children, Pointer{Channel: cp.Channel, Offset: off, Target: c})
+		}
+		p.buckets[0][s-1] = b
+	}
+}
+
+// Power is the per-slot energy model: Active while reading a bucket, Doze
+// while waiting with the receiver off.
+type Power struct {
+	Active, Doze float64
+}
+
+// Metrics reports one query's cost, all in slots except Energy.
+type Metrics struct {
+	// ProbeWait is the time from arrival until the slot holding the root
+	// bucket the descent started from begins.
+	ProbeWait int
+	// DataWait is the time from that root bucket's slot to the end of the
+	// slot carrying the requested data.
+	DataWait int
+	// AccessTime = ProbeWait + DataWait: arrival to data in hand.
+	AccessTime int
+	// TuningTime is the number of buckets read (receiver active).
+	TuningTime int
+	// Energy = Active·TuningTime + Doze·(AccessTime − TuningTime).
+	Energy float64
+}
+
+func (m *Metrics) finish(pw Power) {
+	m.AccessTime = m.ProbeWait + m.DataWait
+	doze := m.AccessTime - m.TuningTime
+	if doze < 0 {
+		doze = 0
+	}
+	m.Energy = pw.Active*float64(m.TuningTime) + pw.Doze*float64(doze)
+}
+
+// slotInCycle maps a global 0-based time to a 1-based cycle slot.
+func (p *Program) slotInCycle(t int) int { return t%p.cycleLen + 1 }
+
+// Query retrieves the data node target, arriving at the beginning of
+// global slot arrival (any non-negative integer; the cycle phase is
+// arrival mod CycleLen). It uses only bucket pointers — never the tree
+// structure directly — so it exercises the compiled program end to end.
+func (p *Program) Query(arrival int, target tree.ID, pw Power) (Metrics, error) {
+	if arrival < 0 {
+		return Metrics{}, fmt.Errorf("sim: negative arrival %d", arrival)
+	}
+	if !p.t.IsData(target) {
+		return Metrics{}, fmt.Errorf("sim: target %s is not a data node", p.t.Label(target))
+	}
+	m, _, err := p.run(arrival, func(b Bucket) (tree.ID, bool) {
+		if b.Node == target {
+			return tree.None, true
+		}
+		for _, c := range b.Children {
+			if c.Target == target || p.t.IsAncestor(c.Target, target) {
+				return c.Target, false
+			}
+		}
+		return tree.None, false
+	}, pw)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return m, nil
+}
+
+// QueryKey retrieves the data item with the given key on a keyed tree.
+// found is false when no item carries the key; the client still pays the
+// descent to the deepest enclosing range (a negative lookup).
+func (p *Program) QueryKey(arrival int, key int64, pw Power) (Metrics, bool, error) {
+	if !p.t.Keyed() {
+		return Metrics{}, false, fmt.Errorf("sim: tree is not keyed")
+	}
+	m, found, err := p.run(arrival, func(b Bucket) (tree.ID, bool) {
+		if b.Node != tree.None && p.t.IsData(b.Node) {
+			k, _ := p.t.Key(b.Node)
+			return tree.None, k == key
+		}
+		for _, c := range b.Children {
+			lo, hi, _ := p.t.KeyRange(c.Target)
+			if key >= lo && key <= hi {
+				return c.Target, false
+			}
+		}
+		return tree.None, false
+	}, pw)
+	return m, found, err
+}
+
+// run drives the client: probe channel 1, synchronize (or start from a
+// root copy), then follow pointers chosen by descend, which returns the
+// next child to chase or done=true when the current bucket is the answer.
+func (p *Program) run(arrival int, descend func(Bucket) (next tree.ID, done bool), pw Power) (Metrics, bool, error) {
+	var m Metrics
+	now := arrival // beginning of global slot `now`
+	ch := 1
+	b := p.buckets[0][p.slotInCycle(now)-1]
+	m.TuningTime++ // the initial probe read
+
+	descentStart := now
+	switch {
+	case b.RootCopy || (b.Node != tree.None && b.Node == p.t.Root()):
+		// Lucky probe: the first bucket read already holds the root.
+		m.ProbeWait = 0
+	default:
+		// Doze until the next cycle start, then read the root bucket.
+		m.ProbeWait = b.NextCycle
+		now += b.NextCycle
+		descentStart = now
+		b = p.buckets[0][p.slotInCycle(now)-1]
+		m.TuningTime++
+		if b.Node != p.t.Root() {
+			return m, false, fmt.Errorf("sim: cycle start does not hold the root (got %v)", b.Node)
+		}
+	}
+
+	for hops := 0; hops <= p.t.NumNodes()+1; hops++ {
+		next, done := descend(b)
+		if done {
+			m.DataWait = now - descentStart + 1
+			m.finish(pw)
+			return m, true, nil
+		}
+		if next == tree.None {
+			// Negative lookup: no child covers the request.
+			m.DataWait = now - descentStart + 1
+			m.finish(pw)
+			return m, false, nil
+		}
+		var ptr *Pointer
+		for i := range b.Children {
+			if b.Children[i].Target == next {
+				ptr = &b.Children[i]
+				break
+			}
+		}
+		if ptr == nil {
+			return m, false, fmt.Errorf("sim: bucket %v has no pointer to %s", b.Node, p.t.Label(next))
+		}
+		now += ptr.Offset
+		ch = ptr.Channel
+		b = p.buckets[ch-1][p.slotInCycle(now)-1]
+		m.TuningTime++
+		if b.Node != next {
+			return m, false, fmt.Errorf("sim: pointer to %s found %v at channel %d slot %d",
+				p.t.Label(next), b.Node, ch, p.slotInCycle(now))
+		}
+	}
+	return m, false, fmt.Errorf("sim: descent did not terminate")
+}
+
+// Summary aggregates weighted-average metrics over arrivals and targets.
+type Summary struct {
+	ProbeWait, DataWait, AccessTime, TuningTime, Energy float64
+}
+
+// Evaluate computes the exact expected metrics of the program: a query
+// arrives uniformly at every cycle phase and requests data node D with
+// probability W(D)/ΣW. All averages are exact sums, not samples.
+func Evaluate(p *Program, pw Power) (Summary, error) {
+	var s Summary
+	total := p.t.TotalWeight()
+	if total == 0 {
+		return s, fmt.Errorf("sim: zero total weight")
+	}
+	phases := float64(p.cycleLen)
+	for _, d := range p.t.DataIDs() {
+		w := p.t.Weight(d) / total
+		for a := 0; a < p.cycleLen; a++ {
+			m, err := p.Query(a, d, pw)
+			if err != nil {
+				return s, err
+			}
+			s.ProbeWait += w * float64(m.ProbeWait) / phases
+			s.DataWait += w * float64(m.DataWait) / phases
+			s.AccessTime += w * float64(m.AccessTime) / phases
+			s.TuningTime += w * float64(m.TuningTime) / phases
+			s.Energy += w * m.Energy / phases
+		}
+	}
+	return s, nil
+}
+
+// ItemMetrics is one data item's exact expected client cost.
+type ItemMetrics struct {
+	Label                                    string
+	Key                                      int64
+	Weight                                   float64
+	DataWait, AccessTime, TuningTime, Energy float64
+}
+
+// EvaluatePerItem computes each data item's exact expected metrics over a
+// uniform arrival phase — the operator's view of which items suffer the
+// worst latency under the current allocation. Items are returned in
+// catalog (preorder) order.
+func EvaluatePerItem(p *Program, pw Power) ([]ItemMetrics, error) {
+	phases := float64(p.cycleLen)
+	out := make([]ItemMetrics, 0, p.t.NumData())
+	for _, d := range p.t.DataIDs() {
+		im := ItemMetrics{Label: p.t.Label(d), Weight: p.t.Weight(d)}
+		if k, ok := p.t.Key(d); ok {
+			im.Key = k
+		}
+		for a := 0; a < p.cycleLen; a++ {
+			m, err := p.Query(a, d, pw)
+			if err != nil {
+				return nil, err
+			}
+			im.DataWait += float64(m.DataWait) / phases
+			im.AccessTime += float64(m.AccessTime) / phases
+			im.TuningTime += float64(m.TuningTime) / phases
+			im.Energy += m.Energy / phases
+		}
+		out = append(out, im)
+	}
+	return out, nil
+}

@@ -1,0 +1,211 @@
+// Package stats provides deterministic random-frequency generators and the
+// small summary statistics used by the experiment harness. All randomness
+// is seeded explicitly so every experiment is reproducible bit-for-bit.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Dist generates access frequencies for data nodes.
+type Dist interface {
+	// Sample returns one frequency. Implementations must return a
+	// strictly positive, finite value.
+	Sample(rng *rand.Rand) float64
+	// String describes the distribution, e.g. "normal(100,20)".
+	String() string
+}
+
+// Normal is the N(mu, sigma) distribution used by Fig. 14 of the paper,
+// truncated below at Min to keep frequencies positive.
+type Normal struct {
+	Mu, Sigma float64
+	Min       float64 // samples below Min are clamped; defaults to 1
+}
+
+// Sample draws from the truncated normal.
+func (n Normal) Sample(rng *rand.Rand) float64 {
+	min := n.Min
+	if min <= 0 {
+		min = 1
+	}
+	v := rng.NormFloat64()*n.Sigma + n.Mu
+	if v < min {
+		return min
+	}
+	return v
+}
+
+func (n Normal) String() string { return fmt.Sprintf("normal(%g,%g)", n.Mu, n.Sigma) }
+
+// Uniform draws uniformly from [Lo, Hi).
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// Sample draws from the uniform distribution.
+func (u Uniform) Sample(rng *rand.Rand) float64 {
+	lo, hi := u.Lo, u.Hi
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return lo + rng.Float64()*(hi-lo)
+}
+
+func (u Uniform) String() string { return fmt.Sprintf("uniform(%g,%g)", u.Lo, u.Hi) }
+
+// Zipf assigns frequencies proportional to 1/rank^Theta, scaled so the most
+// popular item has frequency Scale. Ranks are drawn per sample in arrival
+// order (the i-th call gets rank i+1), which matches how broadcast-disk
+// papers assign popularity to an ordered catalog.
+type Zipf struct {
+	Theta float64 // skew parameter; 0 = uniform
+	Scale float64 // frequency of rank 1; defaults to 100
+
+	next int
+}
+
+// Sample returns the frequency of the next rank.
+func (z *Zipf) Sample(rng *rand.Rand) float64 {
+	z.next++
+	scale := z.Scale
+	if scale <= 0 {
+		scale = 100
+	}
+	return scale / math.Pow(float64(z.next), z.Theta)
+}
+
+func (z *Zipf) String() string { return fmt.Sprintf("zipf(%g)", z.Theta) }
+
+// Constant always returns V (or 1 if V <= 0).
+type Constant struct{ V float64 }
+
+// Sample returns the constant.
+func (c Constant) Sample(*rand.Rand) float64 {
+	if c.V <= 0 {
+		return 1
+	}
+	return c.V
+}
+
+func (c Constant) String() string { return fmt.Sprintf("const(%g)", c.V) }
+
+// Summary holds the usual descriptive statistics of a sample.
+type Summary struct {
+	N           int
+	Mean, Std   float64
+	Min, Max    float64
+	Median, P95 float64
+}
+
+// Summarize computes a Summary of xs. It returns a zero Summary for an
+// empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		d := x - s.Mean
+		sq += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(sq / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = quantile(sorted, 0.5)
+	s.P95 = quantile(sorted, 0.95)
+	return s
+}
+
+// quantile returns the q-quantile of a sorted sample using linear
+// interpolation between order statistics.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f std=%.3f min=%.3f med=%.3f p95=%.3f max=%.3f",
+		s.N, s.Mean, s.Std, s.Min, s.Median, s.P95, s.Max)
+}
+
+// NewRNG returns a deterministic PRNG for the given seed.
+func NewRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// SelfSimilar is the classic broadcast-disks access skew: a fraction Bias
+// of the probability mass falls on the first Bias-complement fraction of
+// an ordered catalog, recursively (Bias 0.8 gives the 80/20 rule; 0.5 is
+// uniform). Like Zipf, samples are assigned to ranks in arrival order:
+// the i-th call returns the frequency of rank i+1 out of N.
+type SelfSimilar struct {
+	Bias  float64 // in [0.5, 1); defaults to 0.8
+	N     int     // catalog size; defaults to 100
+	Scale float64 // total mass; defaults to 100
+
+	next int
+}
+
+// Sample returns the next rank's frequency.
+func (s *SelfSimilar) Sample(rng *rand.Rand) float64 {
+	bias := s.Bias
+	if bias < 0.5 || bias >= 1 {
+		bias = 0.8
+	}
+	n := s.N
+	if n <= 0 {
+		n = 100
+	}
+	scale := s.Scale
+	if scale <= 0 {
+		scale = 100
+	}
+	s.next++
+	rank := s.next
+	if rank > n {
+		rank = n
+	}
+	// Cumulative mass of the first x fraction of ranks is
+	// x^(log(bias)/log(1-bias)); the rank's mass is the difference of
+	// consecutive cumulative values.
+	exp := math.Log(bias) / math.Log(1-bias)
+	hi := math.Pow(float64(rank)/float64(n), exp)
+	lo := math.Pow(float64(rank-1)/float64(n), exp)
+	v := scale * (hi - lo)
+	if v <= 0 {
+		v = scale * 1e-9
+	}
+	return v
+}
+
+func (s *SelfSimilar) String() string {
+	return fmt.Sprintf("selfsimilar(%g,%d)", s.Bias, s.N)
+}

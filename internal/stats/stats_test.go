@@ -1,0 +1,209 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalSampleClamped(t *testing.T) {
+	rng := NewRNG(1)
+	d := Normal{Mu: 10, Sigma: 100} // wild sigma to force clamping
+	for i := 0; i < 1000; i++ {
+		v := d.Sample(rng)
+		if v < 1 {
+			t.Fatalf("sample %g below default clamp 1", v)
+		}
+	}
+}
+
+func TestNormalMeanApproximate(t *testing.T) {
+	rng := NewRNG(7)
+	d := Normal{Mu: 100, Sigma: 10}
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += d.Sample(rng)
+	}
+	mean := sum / n
+	if math.Abs(mean-100) > 1 {
+		t.Fatalf("empirical mean %g, want ~100", mean)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	rng := NewRNG(2)
+	d := Uniform{Lo: 5, Hi: 6}
+	for i := 0; i < 1000; i++ {
+		v := d.Sample(rng)
+		if v < 5 || v >= 6 {
+			t.Fatalf("sample %g outside [5,6)", v)
+		}
+	}
+}
+
+func TestUniformDegenerateRange(t *testing.T) {
+	rng := NewRNG(3)
+	d := Uniform{Lo: 5, Hi: 5}
+	v := d.Sample(rng)
+	if v < 5 || v >= 6 {
+		t.Fatalf("degenerate uniform sample %g outside [5,6)", v)
+	}
+}
+
+func TestZipfMonotoneDecreasing(t *testing.T) {
+	rng := NewRNG(4)
+	z := &Zipf{Theta: 0.8}
+	prev := math.Inf(1)
+	for i := 0; i < 50; i++ {
+		v := z.Sample(rng)
+		if v > prev {
+			t.Fatalf("zipf not monotone: rank %d got %g after %g", i+1, v, prev)
+		}
+		if v <= 0 {
+			t.Fatalf("zipf sample %g not positive", v)
+		}
+		prev = v
+	}
+}
+
+func TestZipfThetaZeroIsFlat(t *testing.T) {
+	rng := NewRNG(5)
+	z := &Zipf{Theta: 0, Scale: 42}
+	for i := 0; i < 10; i++ {
+		if v := z.Sample(rng); v != 42 {
+			t.Fatalf("theta=0 sample %g, want 42", v)
+		}
+	}
+}
+
+func TestConstant(t *testing.T) {
+	if v := (Constant{V: 7}).Sample(nil); v != 7 {
+		t.Fatalf("Constant(7) = %g", v)
+	}
+	if v := (Constant{}).Sample(nil); v != 1 {
+		t.Fatalf("Constant(0) = %g, want fallback 1", v)
+	}
+}
+
+func TestSummarizeKnownSample(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("unexpected summary: %+v", s)
+	}
+	// Sample std of 1..5 is sqrt(2.5).
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("Std = %g, want sqrt(2.5)", s.Std)
+	}
+}
+
+func TestSummarizeEmptyAndSingleton(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatalf("empty summary N = %d", s.N)
+	}
+	s := Summarize([]float64{9})
+	if s.N != 1 || s.Mean != 9 || s.Median != 9 || s.P95 != 9 || s.Std != 0 {
+		t.Fatalf("singleton summary: %+v", s)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	if got := Summarize([]float64{1, 2}).String(); got == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+// Property: every distribution returns strictly positive finite samples,
+// and Summarize respects min <= median <= p95 <= max.
+func TestQuickDistributionsPositive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := NewRNG(seed)
+		dists := []Dist{
+			Normal{Mu: 50, Sigma: 30},
+			Uniform{Lo: 1, Hi: 9},
+			&Zipf{Theta: 1.2},
+			Constant{V: 3},
+		}
+		var xs []float64
+		for _, d := range dists {
+			for i := 0; i < 40; i++ {
+				v := d.Sample(rng)
+				if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					return false
+				}
+				xs = append(xs, v)
+			}
+			if d.String() == "" {
+				return false
+			}
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Median && s.Median <= s.P95 && s.P95 <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(99), NewRNG(99)
+	for i := 0; i < 10; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must produce same stream")
+		}
+	}
+}
+
+func TestSelfSimilarEightyTwenty(t *testing.T) {
+	s := &SelfSimilar{Bias: 0.8, N: 100, Scale: 100}
+	rng := NewRNG(1)
+	var total, first20 float64
+	for i := 0; i < 100; i++ {
+		v := s.Sample(rng)
+		if v <= 0 {
+			t.Fatalf("rank %d: non-positive mass %g", i+1, v)
+		}
+		total += v
+		if i < 20 {
+			first20 += v
+		}
+	}
+	if math.Abs(total-100) > 1e-6 {
+		t.Fatalf("total mass %g, want 100", total)
+	}
+	// The 80/20 rule: the first 20%% of ranks carry ~80%% of the mass.
+	if first20 < 75 || first20 > 85 {
+		t.Fatalf("first 20%% of ranks carry %g%%, want ~80%%", first20)
+	}
+}
+
+func TestSelfSimilarUniformAtHalf(t *testing.T) {
+	s := &SelfSimilar{Bias: 0.5, N: 10, Scale: 10}
+	rng := NewRNG(1)
+	for i := 0; i < 10; i++ {
+		if v := s.Sample(rng); math.Abs(v-1) > 1e-9 {
+			t.Fatalf("rank %d mass %g, want 1 (uniform)", i+1, v)
+		}
+	}
+}
+
+func TestSelfSimilarDefaults(t *testing.T) {
+	s := &SelfSimilar{}
+	rng := NewRNG(2)
+	prev := math.Inf(1)
+	for i := 0; i < 100; i++ {
+		v := s.Sample(rng)
+		if v > prev+1e-12 {
+			t.Fatalf("rank %d mass %g above previous %g (should be non-increasing)", i+1, v, prev)
+		}
+		prev = v
+	}
+	// Sampling past N clamps to the last rank.
+	if v := s.Sample(rng); v <= 0 {
+		t.Fatalf("overflow sample %g", v)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+}

@@ -1,0 +1,92 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+	"repro/internal/stats"
+	"repro/internal/tree"
+	"repro/internal/workload"
+)
+
+// TestQuickBoundsAdmissible verifies both completion bounds directly: for
+// random reachable prefixes of random trees, neither the paper's U(X) nor
+// the packed bound ever exceeds the true optimal completion cost, and the
+// packed bound dominates the paper's.
+func TestQuickBoundsAdmissible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		tr, err := workload.Random(workload.RandomConfig{
+			NumData: 2 + rng.Intn(6),
+			Dist:    stats.Uniform{Lo: 1, Hi: 50},
+		}, rng)
+		if err != nil {
+			return false
+		}
+		k := 1 + rng.Intn(2)
+		g, err := newGen(tr, Options{Channels: k})
+		if err != nil {
+			return false
+		}
+		// Build a random reachable prefix by walking random successors.
+		placed := bitset.New(g.n)
+		placed.Add(int(tr.Root()))
+		depth := 1
+		v := g.compoundCost([]tree.ID{tr.Root()}, 1)
+		prev := []tree.ID{tr.Root()}
+		steps := rng.Intn(tr.NumNodes())
+		for i := 0; i < steps; i++ {
+			succ := g.successors(placed, prev)
+			if len(succ) == 0 {
+				break
+			}
+			comp := succ[rng.Intn(len(succ))]
+			for _, id := range comp {
+				placed.Add(int(id))
+			}
+			depth++
+			v += g.compoundCost(comp, depth)
+			prev = comp
+		}
+		// True optimal completion: minimum over unpruned enumerations
+		// from this prefix, computed via a fresh exact search on the
+		// remaining problem. Easiest correct oracle: enumerate.
+		best := -1.0
+		var rec func(pl bitset.Set, d int, cost float64, pr []tree.ID)
+		rec = func(pl bitset.Set, d int, cost float64, pr []tree.ID) {
+			if pl.Equal(g.all) {
+				if best < 0 || cost < best {
+					best = cost
+				}
+				return
+			}
+			for _, comp := range g.successors(pl, pr) {
+				np := pl.Clone()
+				for _, id := range comp {
+					np.Add(int(id))
+				}
+				rec(np, d+1, cost+g.compoundCost(comp, d+1), comp)
+			}
+		}
+		rec(placed.Clone(), depth, 0, prev)
+		if best < 0 {
+			return true // dead prefix (cannot happen with NoPrunes)
+		}
+		loose := g.bound(placed, depth, false)
+		tight := g.bound(placed, depth, true)
+		if loose > best+1e-9 || tight > best+1e-9 {
+			t.Logf("seed=%d: bounds loose=%g tight=%g exceed true completion %g",
+				seed, loose, tight, best)
+			return false
+		}
+		if tight < loose-1e-9 {
+			t.Logf("seed=%d: packed bound %g below paper bound %g", seed, tight, loose)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

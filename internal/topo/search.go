@@ -1,0 +1,304 @@
+package topo
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/alloc"
+	"repro/internal/bitset"
+	"repro/internal/pqueue"
+	"repro/internal/tree"
+)
+
+// state is one node of the topological tree during search.
+type state struct {
+	placed   bitset.Set
+	compound []tree.ID // the compound placed at this state's slot
+	depth    int       // slots used so far
+	v        float64   // accumulated Σ W·T of placed data nodes
+	f        float64   // v + admissible bound
+	parent   *state
+	tail     [][]tree.ID // forced completion levels (Property 1), if any
+}
+
+func compoundKey(c []tree.ID) string {
+	ids := make([]int, len(c))
+	for i, id := range c {
+		ids[i] = int(id)
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	for i, v := range ids {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(v))
+	}
+	return b.String()
+}
+
+// levels reconstructs the compound levels of a complete state.
+func (s *state) levels() [][]tree.ID {
+	var rev []*state
+	for cur := s; cur != nil; cur = cur.parent {
+		rev = append(rev, cur)
+	}
+	var out [][]tree.ID
+	for i := len(rev) - 1; i >= 0; i-- {
+		if rev[i].compound != nil {
+			out = append(out, rev[i].compound)
+		}
+	}
+	out = append(out, s.tail...)
+	return out
+}
+
+// Search runs the paper's best-first search over the (optionally pruned)
+// k-channel topological tree and returns an optimal allocation among the
+// paths the pruned tree retains. With AllPrunes this is the paper's full
+// algorithm; the pruning properties guarantee an optimal path survives
+// (property-tested against Exact).
+func Search(t *tree.Tree, opt Options) (*Result, error) {
+	g, err := newGen(t, opt)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+
+	root := &state{placed: bitset.New(g.n)}
+	root.placed.Add(int(t.Root()))
+	root.compound = []tree.ID{t.Root()}
+	root.depth = 1
+	root.v = g.compoundCost(root.compound, 1)
+	root.f = root.v + g.bound(root.placed, 1, opt.TightBound)
+	res.Generated++
+
+	q := pqueue.New(func(a, b *state) bool { return a.f < b.f })
+	q.Push(root)
+
+	// Dominance: cheapest v seen per (placed, depth, last-compound) key.
+	// The last compound participates because the pruning rules condition
+	// successor generation on it.
+	best := map[string]float64{}
+	key := func(s *state) string {
+		return s.placed.Key() + "|" + strconv.Itoa(s.depth) + "|" + compoundKey(s.compound)
+	}
+
+	for q.Len() > 0 {
+		cur := q.Pop()
+		if v, ok := best[key(cur)]; ok && v < cur.v {
+			continue
+		}
+		if cur.placed.Equal(g.all) {
+			return finish(g, cur, res)
+		}
+		res.Expanded++
+		if opt.MaxExpanded > 0 && res.Expanded > opt.MaxExpanded {
+			return nil, fmt.Errorf("topo: expansion limit %d exceeded", opt.MaxExpanded)
+		}
+
+		// Property 1: forced completion once every index node is placed.
+		if g.p.Property1 && g.allIndexPlaced(cur.placed) {
+			rest := g.remainingDataDesc(cur.placed)
+			done := &state{
+				placed: g.all,
+				depth:  cur.depth + (len(rest)+g.k-1)/g.k,
+				v:      cur.v + g.completionCost(rest, cur.depth),
+				parent: cur,
+				tail:   g.completionLevels(rest),
+			}
+			done.f = done.v
+			res.Generated++
+			q.Push(done)
+			continue
+		}
+
+		for _, comp := range g.successors(cur.placed, cur.compound) {
+			next := &state{
+				placed:   cur.placed.Clone(),
+				compound: comp,
+				depth:    cur.depth + 1,
+				parent:   cur,
+			}
+			for _, id := range comp {
+				next.placed.Add(int(id))
+			}
+			next.v = cur.v + g.compoundCost(comp, next.depth)
+			next.f = next.v + g.bound(next.placed, next.depth, opt.TightBound)
+			k := key(next)
+			if v, ok := best[k]; ok && v <= next.v {
+				continue
+			}
+			best[k] = next.v
+			res.Generated++
+			q.Push(next)
+		}
+	}
+	return nil, fmt.Errorf("topo: pruned search space contains no complete allocation")
+}
+
+// finish materializes the allocation of a complete state.
+func finish(g *gen, s *state, res *Result) (*Result, error) {
+	a, err := alloc.FromLevels(g.t, g.k, s.levels())
+	if err != nil {
+		return nil, fmt.Errorf("topo: internal error building allocation: %w", err)
+	}
+	res.Alloc = a
+	res.Cost = a.DataWait()
+	return res, nil
+}
+
+// Exact returns a provably optimal allocation using A* over (placed, depth)
+// states with only safe reductions: maximal slot filling (Algorithm 1
+// itself generates only maximal compounds, which is optimal by a left-
+// compaction argument), Property 1 completion, and the heaviest-available
+// data-rank rule (an exchange argument: among the data nodes available at
+// a slot, scheduling any but the heaviest is weakly dominated).
+func Exact(t *tree.Tree, k int) (*Result, error) {
+	return Search(t, Options{
+		Channels:   k,
+		Prune:      Prune{Property1: true, DataRank: true},
+		TightBound: true,
+	})
+}
+
+// EnumeratePaths walks every root-to-leaf path of the (optionally pruned)
+// topological tree in depth-first order, invoking visit with the compound
+// levels and the path's weighted wait sum. visit returns false to stop the
+// enumeration early. It returns the number of complete paths visited.
+//
+// With Prune.Property1 enabled, each forced completion counts as a single
+// path, matching how the paper counts reduced-tree paths in Table 1.
+func EnumeratePaths(t *tree.Tree, opt Options, visit func(levels [][]tree.ID, cost float64) bool) (uint64, error) {
+	g, err := newGen(t, opt)
+	if err != nil {
+		return 0, err
+	}
+	var count uint64
+	stop := false
+
+	placed := bitset.New(g.n)
+	placed.Add(int(t.Root()))
+	levels := [][]tree.ID{{t.Root()}}
+	v0 := g.compoundCost(levels[0], 1)
+
+	var rec func(depth int, v float64)
+	rec = func(depth int, v float64) {
+		if stop {
+			return
+		}
+		if placed.Equal(g.all) {
+			count++
+			if visit != nil && !visit(levels, v) {
+				stop = true
+			}
+			return
+		}
+		if g.p.Property1 && g.allIndexPlaced(placed) {
+			rest := g.remainingDataDesc(placed)
+			tail := g.completionLevels(rest)
+			levels = append(levels, tail...)
+			count++
+			if visit != nil && !visit(levels, v+g.completionCost(rest, depth)) {
+				stop = true
+			}
+			levels = levels[:len(levels)-len(tail)]
+			return
+		}
+		prev := levels[len(levels)-1]
+		for _, comp := range g.successors(placed, prev) {
+			for _, id := range comp {
+				placed.Add(int(id))
+			}
+			levels = append(levels, comp)
+			rec(depth+1, v+g.compoundCost(comp, depth+1))
+			levels = levels[:len(levels)-1]
+			for _, id := range comp {
+				placed.Remove(int(id))
+			}
+			if stop {
+				return
+			}
+		}
+	}
+	rec(1, v0)
+	return count, nil
+}
+
+// CountPaths counts the root-to-leaf paths of the (optionally pruned)
+// topological tree, stopping at limit (0 = no limit). exceeded reports an
+// early stop.
+func CountPaths(t *tree.Tree, opt Options, limit uint64) (count uint64, exceeded bool, err error) {
+	var visited uint64
+	n, err := EnumeratePaths(t, opt, func([][]tree.ID, float64) bool {
+		visited++
+		// Allow one extra visit past the limit so we can distinguish
+		// "exactly limit paths" from "more than limit".
+		return limit == 0 || visited <= limit
+	})
+	if err != nil {
+		return 0, false, err
+	}
+	if limit > 0 && n > limit {
+		return limit, true, nil
+	}
+	return n, false, nil
+}
+
+// Corollary1 applies the paper's Corollary 1: when k is at least the
+// maximum number of nodes on any level of the index tree, assigning level
+// L to slot L is optimal. ok is false when the corollary does not apply.
+func Corollary1(t *tree.Tree, k int) (*Result, bool, error) {
+	if k < t.MaxLevelWidth() {
+		return nil, false, nil
+	}
+	levels := make([][]tree.ID, t.Depth())
+	for l := 1; l <= t.Depth(); l++ {
+		levels[l-1] = t.LevelNodes(l)
+	}
+	a, err := alloc.FromLevels(t, k, levels)
+	if err != nil {
+		return nil, false, err
+	}
+	return &Result{Alloc: a, Cost: a.DataWait()}, true, nil
+}
+
+// Optima enumerates every optimal allocation of t over k channels (the
+// paper notes "there may exist more than one optimal allocation"), up to
+// limit results (0 = no limit). It first finds the optimal cost with the
+// exact search, then walks the unpruned topological tree keeping every
+// complete path that attains it. Exponential; intended for small trees.
+func Optima(t *tree.Tree, k int, limit int) ([]*alloc.Allocation, error) {
+	exact, err := Exact(t, k)
+	if err != nil {
+		return nil, err
+	}
+	target := exact.Cost * t.TotalWeight()
+	var out []*alloc.Allocation
+	var walkErr error
+	_, err = EnumeratePaths(t, Options{Channels: k}, func(levels [][]tree.ID, cost float64) bool {
+		if cost > target+1e-9 || cost < target-1e-9 {
+			return true
+		}
+		copied := make([][]tree.ID, len(levels))
+		for i := range levels {
+			copied[i] = append([]tree.ID(nil), levels[i]...)
+		}
+		a, err := alloc.FromLevels(t, k, copied)
+		if err != nil {
+			walkErr = err
+			return false
+		}
+		out = append(out, a)
+		return limit == 0 || len(out) < limit
+	})
+	if err != nil {
+		return nil, err
+	}
+	if walkErr != nil {
+		return nil, walkErr
+	}
+	return out, nil
+}

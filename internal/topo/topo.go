@@ -1,0 +1,489 @@
+// Package topo implements the paper's core contribution: the k-channel
+// topological tree (Algorithm 1) representing every feasible index-and-data
+// allocation, the best-first search over it with evaluation function
+// E(X) = V(X) + U(X), and the pruning rules of Section 3.2 (Lemmas 1–5,
+// Properties 1–3, and the Appendix algorithm).
+//
+// Two solvers are provided:
+//
+//   - Exact: an A* search over (placed-set, depth) states using only
+//     provably-safe reductions (maximal slot filling, Property 1, the
+//     heaviest-available data rank rule). It is the ground truth.
+//   - Search: the paper's pruned best-first search, with each pruning rule
+//     individually switchable for the ablation experiments.
+//
+// Both return the optimal allocation; Search additionally reports how many
+// topological-tree nodes it generated and expanded.
+package topo
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/alloc"
+	"repro/internal/bitset"
+	"repro/internal/tree"
+)
+
+// Prune selects which of the paper's pruning rules are active.
+type Prune struct {
+	// Property1: once every index node is allocated, complete the path by
+	// emitting the remaining data nodes in descending weight order, k per
+	// slot, as a single forced continuation.
+	Property1 bool
+	// Property2 restricts next-neighbors in the 1-channel tree (Appendix
+	// Step 2, k = 1): after an index node x only children of x follow
+	// (data: only x's heaviest data child); after a data node x no data
+	// node heavier than x follows.
+	Property2 bool
+	// Property3 restricts next-neighbors in the k-channel tree (Appendix
+	// Steps 2–4, k > 1): data nodes in a successor must be children of the
+	// previous compound when it is all-index (and at least one child must
+	// appear); data heavier than some data in a mixed previous compound
+	// must be its child; local-swap eliminations between the previous
+	// compound and the successor.
+	Property3 bool
+	// DataRank is Appendix Step 3 rule (i): the data nodes chosen into a
+	// compound must be the heaviest among the eligible data candidates.
+	DataRank bool
+}
+
+// AllPrunes enables every rule (the paper's full algorithm).
+func AllPrunes() Prune {
+	return Prune{Property1: true, Property2: true, Property3: true, DataRank: true}
+}
+
+// NoPrunes disables everything, yielding the raw Algorithm 1 tree.
+func NoPrunes() Prune { return Prune{} }
+
+// Options configures a topological-tree search or enumeration.
+type Options struct {
+	// Channels is the number of broadcast channels k (>= 1).
+	Channels int
+	// Prune selects the active pruning rules.
+	Prune Prune
+	// TightBound uses the packed admissible bound (remaining data sorted
+	// descending, k per slot) instead of the paper's U(X) which assumes
+	// all remaining data sit at the very next slot. Both are admissible;
+	// the packed bound dominates the paper's.
+	TightBound bool
+	// MaxExpanded aborts the search after this many expansions (0 = no
+	// limit), returning an error. A safety valve for huge instances.
+	MaxExpanded int
+}
+
+// Result is the outcome of a search.
+type Result struct {
+	// Alloc is an optimal allocation.
+	Alloc *alloc.Allocation
+	// Cost is Alloc's average data wait in buckets (Formula 1).
+	Cost float64
+	// Expanded counts topological-tree nodes whose successors were
+	// generated; Generated counts successor nodes created. Both are
+	// ablation metrics for the pruning experiments.
+	Expanded, Generated int
+}
+
+// gen holds per-search immutable context.
+type gen struct {
+	t   *tree.Tree
+	k   int
+	p   Prune
+	n   int
+	all bitset.Set // every node ID
+
+	indexSet bitset.Set // all index node IDs
+	dataDesc []tree.ID  // data IDs sorted by descending weight
+}
+
+func newGen(t *tree.Tree, opt Options) (*gen, error) {
+	if opt.Channels < 1 {
+		return nil, fmt.Errorf("topo: %d channels", opt.Channels)
+	}
+	g := &gen{t: t, k: opt.Channels, p: opt.Prune, n: t.NumNodes()}
+	g.all = bitset.New(g.n)
+	g.indexSet = bitset.New(g.n)
+	for i := 0; i < g.n; i++ {
+		g.all.Add(i)
+		if t.IsIndex(tree.ID(i)) {
+			g.indexSet.Add(i)
+		}
+	}
+	g.dataDesc = t.SortedDataByWeight()
+	return g, nil
+}
+
+// available returns the unplaced nodes whose parent is placed (the set S of
+// Algorithm 1), in ascending ID order.
+func (g *gen) available(placed bitset.Set) []tree.ID {
+	var out []tree.ID
+	for i := 0; i < g.n; i++ {
+		id := tree.ID(i)
+		if placed.Contains(i) {
+			continue
+		}
+		p := g.t.Parent(id)
+		if p == tree.None || placed.Contains(int(p)) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// allIndexPlaced reports whether every index node is in placed.
+func (g *gen) allIndexPlaced(placed bitset.Set) bool {
+	return g.indexSet.SubsetOf(placed)
+}
+
+// remainingDataDesc returns the unplaced data nodes in descending weight.
+func (g *gen) remainingDataDesc(placed bitset.Set) []tree.ID {
+	var out []tree.ID
+	for _, d := range g.dataDesc {
+		if !placed.Contains(int(d)) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// completionLevels packs ids k per slot in the given order.
+func (g *gen) completionLevels(ids []tree.ID) [][]tree.ID {
+	var levels [][]tree.ID
+	for len(ids) > 0 {
+		n := g.k
+		if n > len(ids) {
+			n = len(ids)
+		}
+		levels = append(levels, append([]tree.ID(nil), ids[:n]...))
+		ids = ids[n:]
+	}
+	return levels
+}
+
+// completionCost is the Formula-1 numerator contribution of packing the
+// given data nodes k per slot starting at slot depth+1.
+func (g *gen) completionCost(ids []tree.ID, depth int) float64 {
+	var sum float64
+	for i, id := range ids {
+		slot := depth + 1 + i/g.k
+		sum += g.t.Weight(id) * float64(slot)
+	}
+	return sum
+}
+
+// bound returns an admissible lower bound on the remaining weighted wait
+// from a state at the given depth.
+func (g *gen) bound(placed bitset.Set, depth int, tight bool) float64 {
+	rest := g.remainingDataDesc(placed)
+	if len(rest) == 0 {
+		return 0
+	}
+	if !tight {
+		// The paper's U(X): every remaining data node right after X.
+		var w float64
+		for _, id := range rest {
+			w += g.t.Weight(id)
+		}
+		return w * float64(depth+1)
+	}
+	return g.completionCost(rest, depth)
+}
+
+// compoundCost is the weighted-wait contribution of placing the compound at
+// the given slot.
+func (g *gen) compoundCost(compound []tree.ID, slot int) float64 {
+	var sum float64
+	for _, id := range compound {
+		if g.t.IsData(id) {
+			sum += g.t.Weight(id) * float64(slot)
+		}
+	}
+	return sum
+}
+
+// filterS applies the Appendix Step 2 candidate filters given the previous
+// compound prev (nil for the root step).
+func (g *gen) filterS(s []tree.ID, prev []tree.ID) []tree.ID {
+	if len(prev) == 0 {
+		return s
+	}
+	prevAllIndex := true
+	minPrevDataW := 0.0
+	hasPrevData := false
+	for _, id := range prev {
+		if g.t.IsData(id) {
+			prevAllIndex = false
+			w := g.t.Weight(id)
+			if !hasPrevData || w < minPrevDataW {
+				minPrevDataW = w
+				hasPrevData = true
+			}
+		}
+	}
+	inPrev := func(id tree.ID) bool {
+		for _, p := range prev {
+			if p == id {
+				return true
+			}
+		}
+		return false
+	}
+	childOfPrev := func(id tree.ID) bool {
+		p := g.t.Parent(id)
+		return p != tree.None && inPrev(p)
+	}
+
+	if g.k == 1 && g.p.Property2 {
+		if prevAllIndex {
+			// Case 1(i): only children of the previous index node; among
+			// data children keep only the heaviest (ties kept).
+			var kept []tree.ID
+			maxW := -1.0
+			for _, id := range s {
+				if !childOfPrev(id) {
+					continue
+				}
+				if g.t.IsData(id) && g.t.Weight(id) > maxW {
+					maxW = g.t.Weight(id)
+				}
+			}
+			for _, id := range s {
+				if !childOfPrev(id) {
+					continue
+				}
+				if g.t.IsData(id) && g.t.Weight(id) < maxW {
+					continue
+				}
+				kept = append(kept, id)
+			}
+			return kept
+		}
+		// Case 2: drop data heavier than the previous data node.
+		var kept []tree.ID
+		for _, id := range s {
+			if g.t.IsData(id) && hasPrevData && g.t.Weight(id) > minPrevDataW && !childOfPrev(id) {
+				continue
+			}
+			kept = append(kept, id)
+		}
+		return kept
+	}
+
+	if g.k > 1 && g.p.Property3 {
+		if prevAllIndex {
+			// Case 1(ii): data nodes must be children of the previous
+			// compound; keep at most the k heaviest data candidates.
+			var kept []tree.ID
+			var dataCands []tree.ID
+			for _, id := range s {
+				if g.t.IsData(id) {
+					if childOfPrev(id) {
+						dataCands = append(dataCands, id)
+					}
+					continue
+				}
+				kept = append(kept, id)
+			}
+			sort.SliceStable(dataCands, func(i, j int) bool {
+				return g.t.Weight(dataCands[i]) > g.t.Weight(dataCands[j])
+			})
+			if len(dataCands) > g.k {
+				// Keep the k heaviest plus any ties with the k-th.
+				cut := g.t.Weight(dataCands[g.k-1])
+				n := g.k
+				for n < len(dataCands) && g.t.Weight(dataCands[n]) == cut {
+					n++
+				}
+				dataCands = dataCands[:n]
+			}
+			kept = append(kept, dataCands...)
+			return kept
+		}
+		// Case 2: drop data heavier than some data in prev unless it is a
+		// child of prev.
+		var kept []tree.ID
+		for _, id := range s {
+			if g.t.IsData(id) && hasPrevData && g.t.Weight(id) > minPrevDataW && !childOfPrev(id) {
+				continue
+			}
+			kept = append(kept, id)
+		}
+		return kept
+	}
+	return s
+}
+
+// subsetOK applies the Appendix Step 3(ii) and Step 4 subset-level checks.
+// cand is the filtered candidate set S, chosen is the proposed compound.
+func (g *gen) subsetOK(cand, chosen, prev []tree.ID) bool {
+	inChosen := func(id tree.ID) bool {
+		for _, c := range chosen {
+			if c == id {
+				return true
+			}
+		}
+		return false
+	}
+	inPrev := func(id tree.ID) bool {
+		for _, p := range prev {
+			if p == id {
+				return true
+			}
+		}
+		return false
+	}
+	childOfPrev := func(id tree.ID) bool {
+		p := g.t.Parent(id)
+		return p != tree.None && inPrev(p)
+	}
+
+	if g.p.DataRank {
+		// Step 3(i): chosen data must be the heaviest among candidates —
+		// no excluded data candidate may be strictly heavier than an
+		// included one.
+		minChosen := -1.0
+		hasChosenData := false
+		for _, id := range chosen {
+			if g.t.IsData(id) {
+				w := g.t.Weight(id)
+				if !hasChosenData || w < minChosen {
+					minChosen = w
+					hasChosenData = true
+				}
+			}
+		}
+		if hasChosenData {
+			for _, id := range cand {
+				if g.t.IsData(id) && !inChosen(id) && g.t.Weight(id) > minChosen {
+					return false
+				}
+			}
+		} else {
+			// A compound with no data while data candidates exist is
+			// dominated only when... the paper does not force data into
+			// every compound, so all-index compounds are kept.
+			_ = hasChosenData
+		}
+	}
+
+	if g.k > 1 && g.p.Property3 && len(prev) > 0 {
+		prevAllIndex := true
+		for _, id := range prev {
+			if g.t.IsData(id) {
+				prevAllIndex = false
+				break
+			}
+		}
+		if prevAllIndex {
+			// Step 3(ii): at least one child of an element of prev.
+			any := false
+			for _, id := range chosen {
+				if childOfPrev(id) {
+					any = true
+					break
+				}
+			}
+			if !any {
+				return false
+			}
+		}
+		// Step 4: local-swap eliminations (Lemma 4).
+		// An element x of prev is "movable" when none of its children is
+		// in the chosen subset; an element y of chosen is "movable" when
+		// it is not a child of any element of prev.
+		movablePrevIndex := func() (tree.ID, bool) {
+			for _, x := range prev {
+				if !g.t.IsIndex(x) {
+					continue
+				}
+				blocked := false
+				for _, c := range g.t.Children(x) {
+					if inChosen(c) {
+						blocked = true
+						break
+					}
+				}
+				if !blocked {
+					return x, true
+				}
+			}
+			return tree.None, false
+		}
+		if x, ok := movablePrevIndex(); ok {
+			_ = x
+			for _, y := range chosen {
+				if g.t.IsData(y) && !childOfPrev(y) {
+					// Step 4(i): the data node y could move one slot
+					// earlier in place of an index node — strictly better.
+					return false
+				}
+			}
+		}
+		// Step 4(ii): canonical order for independent index pairs.
+		for _, x := range prev {
+			if !g.t.IsIndex(x) {
+				continue
+			}
+			blocked := false
+			for _, c := range g.t.Children(x) {
+				if inChosen(c) {
+					blocked = true
+					break
+				}
+			}
+			if blocked {
+				continue
+			}
+			for _, y := range chosen {
+				if g.t.IsIndex(y) && !childOfPrev(y) && g.t.Weight(y) > g.t.Weight(x) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// successors generates the next-neighbor compounds of a topological-tree
+// node, applying the configured pruning. prev is the node's own compound
+// (nil when generating the root). It reports the candidate count so
+// callers can track generation statistics.
+func (g *gen) successors(placed bitset.Set, prev []tree.ID) [][]tree.ID {
+	s := g.available(placed)
+	if len(s) == 0 {
+		return nil
+	}
+	s = g.filterS(s, prev)
+	if len(s) == 0 {
+		return nil
+	}
+	if len(s) <= g.k {
+		chosen := append([]tree.ID(nil), s...)
+		if !g.subsetOK(s, chosen, prev) {
+			return nil
+		}
+		return [][]tree.ID{chosen}
+	}
+	var out [][]tree.ID
+	chosen := make([]tree.ID, 0, g.k)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(chosen) == g.k {
+			if g.subsetOK(s, chosen, prev) {
+				out = append(out, append([]tree.ID(nil), chosen...))
+			}
+			return
+		}
+		// Not enough remaining elements to fill the subset.
+		if len(s)-start < g.k-len(chosen) {
+			return
+		}
+		for i := start; i < len(s); i++ {
+			chosen = append(chosen, s[i])
+			rec(i + 1)
+			chosen = chosen[:len(chosen)-1]
+		}
+	}
+	rec(0)
+	return out
+}

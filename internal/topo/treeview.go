@@ -1,0 +1,175 @@
+package topo
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/bitset"
+	"repro/internal/tree"
+)
+
+// Node is one explicit node of a materialized (optionally pruned)
+// topological tree — the structures drawn in the paper's Figs. 6, 7, 9
+// and 10.
+type Node struct {
+	// Compound is the set of tree nodes broadcast at this slot.
+	Compound []tree.ID
+	// Cost is the weighted wait Σ W·T accumulated from the root through
+	// this node (the V(X) of the evaluation function).
+	Cost float64
+	// Children are the next-neighbors that survive pruning.
+	Children []*Node
+	// Forced marks a Property 1 completion tail.
+	Forced bool
+}
+
+// Leaves counts the root-to-leaf paths under n.
+func (n *Node) Leaves() int {
+	if len(n.Children) == 0 {
+		return 1
+	}
+	total := 0
+	for _, c := range n.Children {
+		total += c.Leaves()
+	}
+	return total
+}
+
+// Size counts the nodes in the subtree rooted at n.
+func (n *Node) Size() int {
+	total := 1
+	for _, c := range n.Children {
+		total += c.Size()
+	}
+	return total
+}
+
+// BuildTree materializes the topological tree for t under the given
+// options, stopping with an error once more than maxNodes nodes exist
+// (0 means no limit). The returned count is the total node count.
+func BuildTree(t *tree.Tree, opt Options, maxNodes int) (*Node, int, error) {
+	g, err := newGen(t, opt)
+	if err != nil {
+		return nil, 0, err
+	}
+	placed := bitset.New(g.n)
+	placed.Add(int(t.Root()))
+	root := &Node{Compound: []tree.ID{t.Root()}}
+	root.Cost = g.compoundCost(root.Compound, 1)
+	count := 1
+
+	var expand func(n *Node, depth int) error
+	expand = func(n *Node, depth int) error {
+		if maxNodes > 0 && count > maxNodes {
+			return fmt.Errorf("topo: tree exceeds %d nodes", maxNodes)
+		}
+		if placed.Equal(g.all) {
+			return nil
+		}
+		if g.p.Property1 && g.allIndexPlaced(placed) {
+			// A forced completion renders as a chain of compounds.
+			rest := g.remainingDataDesc(placed)
+			parent := n
+			for i, level := range g.completionLevels(rest) {
+				child := &Node{
+					Compound: level,
+					Cost:     parent.Cost + g.compoundCost(level, depth+1+i),
+					Forced:   true,
+				}
+				count++
+				parent.Children = append(parent.Children, child)
+				parent = child
+			}
+			return nil
+		}
+		for _, comp := range g.successors(placed, n.Compound) {
+			child := &Node{
+				Compound: comp,
+				Cost:     n.Cost + g.compoundCost(comp, depth+1),
+			}
+			count++
+			for _, id := range comp {
+				placed.Add(int(id))
+			}
+			n.Children = append(n.Children, child)
+			err := expand(child, depth+1)
+			for _, id := range comp {
+				placed.Remove(int(id))
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := expand(root, 1); err != nil {
+		return nil, count, err
+	}
+	return root, count, nil
+}
+
+// label renders a compound like "{2,3}" with sorted labels.
+func compoundLabel(t *tree.Tree, comp []tree.ID) string {
+	ls := t.LabelOf(comp)
+	sort.Strings(ls)
+	return "{" + strings.Join(ls, ",") + "}"
+}
+
+// Render writes the topological tree as an indented outline, leaves
+// annotated with their total weighted wait.
+func Render(w io.Writer, t *tree.Tree, root *Node) error {
+	var walk func(n *Node, depth int) error
+	walk = func(n *Node, depth int) error {
+		marker := ""
+		if n.Forced {
+			marker = " *"
+		}
+		suffix := ""
+		if len(n.Children) == 0 {
+			suffix = fmt.Sprintf("  (cost %g)", n.Cost)
+		}
+		if _, err := fmt.Fprintf(w, "%s%s%s%s\n",
+			strings.Repeat("  ", depth), compoundLabel(t, n.Compound), marker, suffix); err != nil {
+			return err
+		}
+		for _, c := range n.Children {
+			if err := walk(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(root, 0)
+}
+
+// DOT renders the topological tree in Graphviz format; forced completion
+// nodes are dashed and leaves carry their cost.
+func DOT(t *tree.Tree, root *Node) string {
+	var b strings.Builder
+	b.WriteString("digraph topotree {\n  rankdir=TB;\n")
+	id := 0
+	var walk func(n *Node) int
+	walk = func(n *Node) int {
+		my := id
+		id++
+		attrs := ""
+		if n.Forced {
+			attrs = ", style=dashed"
+		}
+		label := compoundLabel(t, n.Compound)
+		if len(n.Children) == 0 {
+			label += fmt.Sprintf("\\ncost %g", n.Cost)
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\"%s];\n", my, label, attrs)
+		for _, c := range n.Children {
+			child := walk(c)
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", my, child)
+		}
+		return my
+	}
+	walk(root)
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,186 @@
+package tree
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Spec is the JSON-serializable description of a tree node. Index nodes
+// have Children; data nodes have a Weight (and optionally a Key).
+type Spec struct {
+	Label    string  `json:"label"`
+	Weight   float64 `json:"weight,omitempty"`
+	Key      *int64  `json:"key,omitempty"`
+	Children []Spec  `json:"children,omitempty"`
+}
+
+// ToSpec converts the tree into its Spec representation.
+func (t *Tree) ToSpec() Spec {
+	return t.toSpec(t.root)
+}
+
+func (t *Tree) toSpec(id ID) Spec {
+	n := t.nodes[id]
+	s := Spec{Label: n.label}
+	if n.kind == Data {
+		s.Weight = n.weight
+		if n.hasKey {
+			k := n.key
+			s.Key = &k
+		}
+		return s
+	}
+	s.Children = make([]Spec, len(n.children))
+	for i, c := range n.children {
+		s.Children[i] = t.toSpec(c)
+	}
+	return s
+}
+
+// FromSpec builds a tree from its Spec representation. A node with
+// children becomes an index node; a childless node becomes a data node.
+func FromSpec(s Spec) (*Tree, error) {
+	b := NewBuilder()
+	if len(s.Children) == 0 {
+		b.AddRootData(s.Label, s.Weight)
+	} else {
+		root := b.AddRoot(s.Label)
+		for _, c := range s.Children {
+			addSpec(b, root, c)
+		}
+	}
+	return b.Build()
+}
+
+func addSpec(b *Builder, parent ID, s Spec) {
+	if len(s.Children) == 0 {
+		if s.Key != nil {
+			b.AddKeyedData(parent, s.Label, *s.Key, s.Weight)
+		} else {
+			b.AddData(parent, s.Label, s.Weight)
+		}
+		return
+	}
+	id := b.AddIndex(parent, s.Label)
+	for _, c := range s.Children {
+		addSpec(b, id, c)
+	}
+}
+
+// MarshalJSON encodes the tree as its Spec.
+func (t *Tree) MarshalJSON() ([]byte, error) {
+	return json.Marshal(t.ToSpec())
+}
+
+// ParseJSON decodes a tree from Spec JSON.
+func ParseJSON(data []byte) (*Tree, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("tree: parse: %w", err)
+	}
+	return FromSpec(s)
+}
+
+// DOT renders the tree in Graphviz DOT format, with data nodes as boxes
+// annotated by their weight.
+func (t *Tree) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph indextree {\n  rankdir=TB;\n")
+	for id := range t.nodes {
+		n := t.nodes[id]
+		if n.kind == Data {
+			fmt.Fprintf(&b, "  n%d [shape=box, label=\"%s\\nW=%g\"];\n", id, n.label, n.weight)
+		} else {
+			fmt.Fprintf(&b, "  n%d [shape=circle, label=\"%s\"];\n", id, n.label)
+		}
+	}
+	for id := range t.nodes {
+		for _, c := range t.nodes[id].children {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", id, c)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// String renders a compact single-line representation, e.g.
+// 1(2(A:20 B:10) 3(E:18 4(C:15 D:7))).
+func (t *Tree) String() string {
+	var b strings.Builder
+	t.writeCompact(&b, t.root)
+	return b.String()
+}
+
+func (t *Tree) writeCompact(b *strings.Builder, id ID) {
+	n := t.nodes[id]
+	if n.kind == Data {
+		fmt.Fprintf(b, "%s:%g", n.label, n.weight)
+		return
+	}
+	b.WriteString(n.label)
+	b.WriteByte('(')
+	for i, c := range n.children {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		t.writeCompact(b, c)
+	}
+	b.WriteByte(')')
+}
+
+// Equal reports whether two trees have identical shape, labels, kinds,
+// weights and keys.
+func Equal(a, b *Tree) bool {
+	if a.NumNodes() != b.NumNodes() {
+		return false
+	}
+	return equalAt(a, b, a.root, b.root)
+}
+
+func equalAt(a, b *Tree, x, y ID) bool {
+	na, nb := a.nodes[x], b.nodes[y]
+	if na.kind != nb.kind || na.label != nb.label || na.hasKey != nb.hasKey {
+		return false
+	}
+	if na.kind == Data && (na.weight != nb.weight || na.key != nb.key) {
+		return false
+	}
+	if len(na.children) != len(nb.children) {
+		return false
+	}
+	for i := range na.children {
+		if !equalAt(a, b, na.children[i], nb.children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Fig1 returns the example index tree of Fig. 1(a) of the paper: fanout 2,
+// index nodes 1–4, data nodes A(20), B(10), E(18), C(15), D(7).
+//
+//	     1
+//	   /   \
+//	  2     3
+//	 / \   / \
+//	A   B E   4
+//	         / \
+//	        C   D
+func Fig1() *Tree {
+	b := NewBuilder()
+	n1 := b.AddRoot("1")
+	n2 := b.AddIndex(n1, "2")
+	b.AddData(n2, "A", 20)
+	b.AddData(n2, "B", 10)
+	n3 := b.AddIndex(n1, "3")
+	b.AddData(n3, "E", 18)
+	n4 := b.AddIndex(n3, "4")
+	b.AddData(n4, "C", 15)
+	b.AddData(n4, "D", 7)
+	t, err := b.Build()
+	if err != nil {
+		panic("tree: Fig1: " + err.Error())
+	}
+	return t
+}

@@ -1,0 +1,45 @@
+package tree
+
+import (
+	"testing"
+)
+
+// FuzzParseJSON asserts that arbitrary bytes never panic the parser, and
+// that anything accepted is a valid tree that survives a round trip.
+func FuzzParseJSON(f *testing.F) {
+	valid, err := Fig1().MarshalJSON()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(`{"label":"d","weight":3}`))
+	f.Add([]byte(`{"label":"r","children":[{"label":"a","weight":1},{"label":"b","weight":2}]}`))
+	f.Add([]byte(`{"label":"r","children":[{"label":"a","weight":1,"key":5}]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"label":"r","children":[]}`))
+	f.Add([]byte(`{"label":"d","weight":-1}`))
+	f.Add([]byte(`{"label":"d","weight":1e999}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ParseJSON(data)
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted tree fails validation: %v", err)
+		}
+		out, err := tr.MarshalJSON()
+		if err != nil {
+			t.Fatalf("accepted tree fails to marshal: %v", err)
+		}
+		back, err := ParseJSON(out)
+		if err != nil {
+			t.Fatalf("round trip fails to parse: %v", err)
+		}
+		if !Equal(tr, back) {
+			t.Fatal("round trip changed the tree")
+		}
+	})
+}

@@ -1,0 +1,43 @@
+package tree
+
+// Subtree extracts the subtree rooted at id as an independent Tree. The
+// second result maps each new tree's ID to the corresponding ID in t.
+// Keys are preserved; index-node weights are recomputed (preorder ranks
+// are local to a tree).
+func Subtree(t *Tree, id ID) (*Tree, []ID, error) {
+	t.check(id)
+	b := NewBuilder()
+	var mapping []ID
+
+	var clone func(parent ID, src ID)
+	clone = func(parent ID, src ID) {
+		n := t.nodes[src]
+		var nid ID
+		switch {
+		case parent == None && n.kind == Data:
+			nid = b.AddRootData(n.label, n.weight)
+			if n.hasKey {
+				b.nodes[nid].key = n.key
+				b.nodes[nid].hasKey = true
+			}
+		case parent == None:
+			nid = b.AddRoot(n.label)
+		case n.kind == Data && n.hasKey:
+			nid = b.AddKeyedData(parent, n.label, n.key, n.weight)
+		case n.kind == Data:
+			nid = b.AddData(parent, n.label, n.weight)
+		default:
+			nid = b.AddIndex(parent, n.label)
+		}
+		mapping = append(mapping, src)
+		for _, c := range n.children {
+			clone(nid, c)
+		}
+	}
+	clone(None, id)
+	sub, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub, mapping, nil
+}

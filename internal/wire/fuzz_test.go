@@ -1,0 +1,42 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal asserts that arbitrary bytes never panic the decoder and
+// that anything accepted re-encodes to the identical byte string (the
+// codec is canonical).
+func FuzzUnmarshal(f *testing.F) {
+	seeds := []*Bucket{
+		{Kind: KindEmpty},
+		{Kind: KindData, Label: "AAPL", Key: 7, Weight: 2.5},
+		{Kind: KindIndex, Label: "I1", NextCycle: 9, RootCopy: true,
+			Pointers: []Pointer{{Channel: 1, Offset: 2, KeyLo: 1, KeyHi: 5}}},
+	}
+	for _, s := range seeds {
+		data, err := s.Marshal()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		f.Add(data[:len(data)-1])
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xB0, 0xCA})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		out, err := b.Marshal()
+		if err != nil {
+			t.Fatalf("accepted bucket fails to marshal: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("codec not canonical:\n in: %x\nout: %x", data, out)
+		}
+	})
+}

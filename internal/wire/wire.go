@@ -1,0 +1,207 @@
+// Package wire defines the on-air bucket format: the binary layout a real
+// broadcast server would transmit and a portable client would parse. Each
+// bucket is a fixed-header, variable-body packet carrying the node kind,
+// its label and key material, the (channel, offset) child pointers of
+// index buckets, and the next-cycle pointer of first-channel buckets —
+// the pointer structure Section 2.1 of the paper describes.
+//
+// The codec is self-contained (encoding/binary, big endian) and validated
+// by round-trip property tests; Marshal/Unmarshal errors describe exactly
+// which field was malformed, so a corrupted broadcast fails loudly rather
+// than silently misrouting clients.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/tree"
+)
+
+// Magic opens every bucket so stray packets are rejected immediately.
+const Magic uint16 = 0xB0CA
+
+// Bucket kinds on the wire.
+const (
+	KindEmpty uint8 = iota
+	KindIndex
+	KindData
+)
+
+// Pointer is a child reference: target channel and slot offset ahead.
+type Pointer struct {
+	Channel uint8
+	Offset  uint16
+	// KeyLo and KeyHi describe the target subtree's key range so a
+	// client can route lookups without any out-of-band tree knowledge.
+	KeyLo, KeyHi int64
+}
+
+// Bucket is the wire representation of one broadcast slot.
+type Bucket struct {
+	Kind uint8
+	// RootCopy marks a bucket holding the index root — the original at
+	// the cycle start or a replicated copy — so an arriving client knows
+	// it can begin its descent immediately.
+	RootCopy  bool
+	NextCycle uint16 // channel-1 buckets: offset to the next cycle start
+	Label     string
+	Key       int64   // data buckets on keyed trees
+	Weight    float64 // data buckets: advertised access frequency
+	Pointers  []Pointer
+}
+
+const headerSize = 2 + 1 + 1 + 2 // magic, kind, flags, nextCycle
+
+// Marshal encodes the bucket.
+func (b *Bucket) Marshal() ([]byte, error) {
+	if b.Kind > KindData {
+		return nil, fmt.Errorf("wire: invalid kind %d", b.Kind)
+	}
+	if len(b.Label) > math.MaxUint8 {
+		return nil, fmt.Errorf("wire: label %q too long", b.Label)
+	}
+	if len(b.Pointers) > math.MaxUint8 {
+		return nil, fmt.Errorf("wire: %d pointers exceed the bucket capacity", len(b.Pointers))
+	}
+	out := make([]byte, 0, headerSize+1+len(b.Label)+8+8+1+len(b.Pointers)*19)
+	out = binary.BigEndian.AppendUint16(out, Magic)
+	out = append(out, b.Kind)
+	var flags uint8
+	if b.RootCopy {
+		flags |= 1
+	}
+	out = append(out, flags)
+	out = binary.BigEndian.AppendUint16(out, b.NextCycle)
+	out = append(out, uint8(len(b.Label)))
+	out = append(out, b.Label...)
+	out = binary.BigEndian.AppendUint64(out, uint64(b.Key))
+	out = binary.BigEndian.AppendUint64(out, math.Float64bits(b.Weight))
+	out = append(out, uint8(len(b.Pointers)))
+	for _, p := range b.Pointers {
+		out = append(out, p.Channel)
+		out = binary.BigEndian.AppendUint16(out, p.Offset)
+		out = binary.BigEndian.AppendUint64(out, uint64(p.KeyLo))
+		out = binary.BigEndian.AppendUint64(out, uint64(p.KeyHi))
+	}
+	return out, nil
+}
+
+// Unmarshal decodes a bucket, validating structure and length.
+func Unmarshal(data []byte) (*Bucket, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("wire: %d bytes, need at least %d", len(data), headerSize)
+	}
+	if m := binary.BigEndian.Uint16(data[0:2]); m != Magic {
+		return nil, fmt.Errorf("wire: bad magic %#04x", m)
+	}
+	b := &Bucket{Kind: data[2]}
+	if b.Kind > KindData {
+		return nil, fmt.Errorf("wire: invalid kind %d", b.Kind)
+	}
+	if data[3]&^1 != 0 {
+		return nil, fmt.Errorf("wire: unknown flag bits %#02x", data[3])
+	}
+	b.RootCopy = data[3]&1 != 0
+	b.NextCycle = binary.BigEndian.Uint16(data[4:6])
+	pos := headerSize
+	need := func(n int, what string) error {
+		if len(data) < pos+n {
+			return fmt.Errorf("wire: truncated %s (%d of %d bytes)", what, len(data)-pos, n)
+		}
+		return nil
+	}
+	if err := need(1, "label length"); err != nil {
+		return nil, err
+	}
+	labelLen := int(data[pos])
+	pos++
+	if err := need(labelLen, "label"); err != nil {
+		return nil, err
+	}
+	b.Label = string(data[pos : pos+labelLen])
+	pos += labelLen
+	if err := need(16, "key and weight"); err != nil {
+		return nil, err
+	}
+	b.Key = int64(binary.BigEndian.Uint64(data[pos : pos+8]))
+	pos += 8
+	b.Weight = math.Float64frombits(binary.BigEndian.Uint64(data[pos : pos+8]))
+	pos += 8
+	if math.IsNaN(b.Weight) || math.IsInf(b.Weight, 0) || b.Weight < 0 {
+		return nil, fmt.Errorf("wire: invalid weight %v", b.Weight)
+	}
+	if err := need(1, "pointer count"); err != nil {
+		return nil, err
+	}
+	count := int(data[pos])
+	pos++
+	for i := 0; i < count; i++ {
+		if err := need(19, "pointer"); err != nil {
+			return nil, err
+		}
+		var p Pointer
+		p.Channel = data[pos]
+		p.Offset = binary.BigEndian.Uint16(data[pos+1 : pos+3])
+		p.KeyLo = int64(binary.BigEndian.Uint64(data[pos+3 : pos+11]))
+		p.KeyHi = int64(binary.BigEndian.Uint64(data[pos+11 : pos+19]))
+		pos += 19
+		if p.Channel == 0 {
+			return nil, fmt.Errorf("wire: pointer %d has channel 0", i)
+		}
+		if p.Offset == 0 {
+			return nil, fmt.Errorf("wire: pointer %d has zero offset", i)
+		}
+		b.Pointers = append(b.Pointers, p)
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("wire: %d trailing bytes", len(data)-pos)
+	}
+	return b, nil
+}
+
+// EncodeProgram serializes a compiled broadcast program into per-channel
+// per-slot packets: out[channel-1][slot-1] is the encoded bucket.
+func EncodeProgram(p *sim.Program) ([][][]byte, error) {
+	t := p.Tree()
+	out := make([][][]byte, p.Channels())
+	for ch := 1; ch <= p.Channels(); ch++ {
+		out[ch-1] = make([][]byte, p.CycleLen())
+		for s := 1; s <= p.CycleLen(); s++ {
+			sb := p.BucketAt(ch, s)
+			wb := &Bucket{
+				NextCycle: uint16(sb.NextCycle),
+				RootCopy:  sb.RootCopy || sb.Node == t.Root(),
+			}
+			if sb.Node == tree.None {
+				wb.Kind = KindEmpty
+			} else {
+				wb.Label = t.Label(sb.Node)
+				if t.IsData(sb.Node) {
+					wb.Kind = KindData
+					wb.Weight = t.Weight(sb.Node)
+					if k, ok := t.Key(sb.Node); ok {
+						wb.Key = k
+					}
+				} else {
+					wb.Kind = KindIndex
+				}
+				for _, c := range sb.Children {
+					ptr := Pointer{Channel: uint8(c.Channel), Offset: uint16(c.Offset)}
+					if lo, hi, ok := t.KeyRange(c.Target); ok {
+						ptr.KeyLo, ptr.KeyHi = lo, hi
+					}
+					wb.Pointers = append(wb.Pointers, ptr)
+				}
+			}
+			data, err := wb.Marshal()
+			if err != nil {
+				return nil, fmt.Errorf("wire: channel %d slot %d: %w", ch, s, err)
+			}
+			out[ch-1][s-1] = data
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,308 @@
+package wire
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/alphatree"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tree"
+)
+
+func TestRoundTripIndexBucket(t *testing.T) {
+	in := &Bucket{
+		Kind:      KindIndex,
+		NextCycle: 7,
+		Label:     "I3",
+		Pointers: []Pointer{
+			{Channel: 1, Offset: 2, KeyLo: 10, KeyHi: 20},
+			{Channel: 3, Offset: 9, KeyLo: 30, KeyHi: 99},
+		},
+	}
+	data, err := in.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != in.Kind || out.Label != in.Label || out.NextCycle != in.NextCycle {
+		t.Fatalf("header mismatch: %+v vs %+v", out, in)
+	}
+	if len(out.Pointers) != 2 || out.Pointers[1] != in.Pointers[1] {
+		t.Fatalf("pointers mismatch: %+v", out.Pointers)
+	}
+}
+
+func TestRoundTripDataBucket(t *testing.T) {
+	in := &Bucket{Kind: KindData, Label: "AAPL", Key: -42, Weight: 3.25, RootCopy: false}
+	data, err := in.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Key != -42 || out.Weight != 3.25 || out.Label != "AAPL" {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestRootCopyFlag(t *testing.T) {
+	in := &Bucket{Kind: KindIndex, RootCopy: true, Label: "r",
+		Pointers: []Pointer{{Channel: 1, Offset: 1}}}
+	data, err := in.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.RootCopy {
+		t.Fatal("RootCopy flag lost")
+	}
+}
+
+func TestMarshalErrors(t *testing.T) {
+	if _, err := (&Bucket{Kind: 9}).Marshal(); err == nil {
+		t.Fatal("want error for bad kind")
+	}
+	if _, err := (&Bucket{Kind: KindData, Label: strings.Repeat("x", 300)}).Marshal(); err == nil {
+		t.Fatal("want error for oversized label")
+	}
+	long := &Bucket{Kind: KindIndex, Pointers: make([]Pointer, 300)}
+	if _, err := long.Marshal(); err == nil {
+		t.Fatal("want error for too many pointers")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	good, err := (&Bucket{Kind: KindData, Label: "d", Weight: 1}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"short header", good[:3]},
+		{"bad magic", append([]byte{0, 0}, good[2:]...)},
+		{"bad kind", mutate(good, 2, 9)},
+		{"truncated label", good[:7]},
+		{"truncated pointers", func() []byte {
+			b := &Bucket{Kind: KindIndex, Label: "i",
+				Pointers: []Pointer{{Channel: 1, Offset: 1}}}
+			d, _ := b.Marshal()
+			return d[:len(d)-5]
+		}()},
+		{"trailing bytes", append(append([]byte{}, good...), 0xFF)},
+		{"zero channel pointer", func() []byte {
+			b := &Bucket{Kind: KindIndex, Label: "i",
+				Pointers: []Pointer{{Channel: 1, Offset: 1}}}
+			d, _ := b.Marshal()
+			d[len(d)-19] = 0 // channel byte of the only pointer
+			return d
+		}()},
+		{"zero offset pointer", func() []byte {
+			b := &Bucket{Kind: KindIndex, Label: "i",
+				Pointers: []Pointer{{Channel: 1, Offset: 1}}}
+			d, _ := b.Marshal()
+			d[len(d)-18], d[len(d)-17] = 0, 0 // offset bytes
+			return d
+		}()},
+	}
+	for _, c := range cases {
+		if _, err := Unmarshal(c.data); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+	// NaN weight is rejected.
+	nan := append([]byte{}, good...)
+	// weight sits after header(6) + labelLen(1) + label(1) + key(8)
+	for i := 0; i < 8; i++ {
+		nan[6+1+1+8+i] = 0xFF
+	}
+	if _, err := Unmarshal(nan); err == nil {
+		t.Error("want error for NaN weight")
+	}
+}
+
+func mutate(data []byte, pos int, v byte) []byte {
+	out := append([]byte{}, data...)
+	out[pos] = v
+	return out
+}
+
+// Property: Marshal/Unmarshal round-trips arbitrary well-formed buckets.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		in := &Bucket{
+			Kind:      uint8(rng.Intn(3)),
+			RootCopy:  rng.Intn(2) == 0,
+			NextCycle: uint16(rng.Intn(1 << 16)),
+			Label:     strings.Repeat("x", rng.Intn(40)),
+			Key:       rng.Int63() - rng.Int63(),
+			Weight:    float64(rng.Intn(1000)),
+		}
+		for i := 0; i < rng.Intn(6); i++ {
+			in.Pointers = append(in.Pointers, Pointer{
+				Channel: uint8(1 + rng.Intn(255)),
+				Offset:  uint16(1 + rng.Intn(1<<16-1)),
+				KeyLo:   int64(rng.Intn(1000)),
+				KeyHi:   int64(rng.Intn(1000)),
+			})
+		}
+		data, err := in.Marshal()
+		if err != nil {
+			return false
+		}
+		out, err := Unmarshal(data)
+		if err != nil {
+			return false
+		}
+		if out.Kind != in.Kind || out.RootCopy != in.RootCopy ||
+			out.NextCycle != in.NextCycle || out.Label != in.Label ||
+			out.Key != in.Key || out.Weight != in.Weight ||
+			len(out.Pointers) != len(in.Pointers) {
+			return false
+		}
+		for i := range in.Pointers {
+			if out.Pointers[i] != in.Pointers[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: truncating an encoded bucket at any boundary never panics and
+// (except for a full-length copy) always errors.
+func TestQuickTruncationSafe(t *testing.T) {
+	in := &Bucket{
+		Kind: KindIndex, Label: "node",
+		Pointers: []Pointer{{Channel: 2, Offset: 5, KeyLo: 1, KeyHi: 9}},
+	}
+	data, err := in.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := Unmarshal(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := Unmarshal(data); err != nil {
+		t.Fatalf("full bucket rejected: %v", err)
+	}
+}
+
+// TestEncodeProgram serializes a real compiled program and checks every
+// packet decodes to the matching simulator bucket.
+func TestEncodeProgram(t *testing.T) {
+	rng := stats.NewRNG(1)
+	items := make([]alphatree.Item, 9)
+	for i := range items {
+		items[i] = alphatree.Item{Label: "k", Key: int64(i + 1), Weight: float64(1 + rng.Intn(50))}
+	}
+	tr, err := alphatree.HuTucker(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := core.Solve(tr, core.Config{Channels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sim.Compile(sol.Alloc, sim.Options{FillWithRootCopies: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	packets, err := EncodeProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(packets) != p.Channels() || len(packets[0]) != p.CycleLen() {
+		t.Fatalf("packet grid %dx%d", len(packets), len(packets[0]))
+	}
+	for ch := 1; ch <= p.Channels(); ch++ {
+		for s := 1; s <= p.CycleLen(); s++ {
+			wb, err := Unmarshal(packets[ch-1][s-1])
+			if err != nil {
+				t.Fatalf("channel %d slot %d: %v", ch, s, err)
+			}
+			sb := p.BucketAt(ch, s)
+			switch {
+			case sb.Node == tree.None:
+				if wb.Kind != KindEmpty {
+					t.Fatalf("channel %d slot %d: kind %d for empty slot", ch, s, wb.Kind)
+				}
+			case tr.IsData(sb.Node):
+				if wb.Kind != KindData || wb.Label != tr.Label(sb.Node) {
+					t.Fatalf("channel %d slot %d: data mismatch", ch, s)
+				}
+				if key, _ := tr.Key(sb.Node); wb.Key != key {
+					t.Fatalf("channel %d slot %d: key %d", ch, s, wb.Key)
+				}
+			default:
+				if wb.Kind != KindIndex || len(wb.Pointers) != len(sb.Children) {
+					t.Fatalf("channel %d slot %d: index mismatch", ch, s)
+				}
+				for i, c := range sb.Children {
+					if int(wb.Pointers[i].Channel) != c.Channel || int(wb.Pointers[i].Offset) != c.Offset {
+						t.Fatalf("channel %d slot %d pointer %d mismatch", ch, s, i)
+					}
+				}
+			}
+			if ch == 1 && int(wb.NextCycle) != p.CycleLen()-s+1 {
+				t.Fatalf("channel 1 slot %d: NextCycle %d", s, wb.NextCycle)
+			}
+		}
+	}
+}
+
+func TestWeightPrecision(t *testing.T) {
+	in := &Bucket{Kind: KindData, Label: "d", Weight: math.Pi}
+	data, err := in.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Weight != math.Pi {
+		t.Fatalf("weight %v != pi", out.Weight)
+	}
+}
+
+func BenchmarkMarshalUnmarshal(b *testing.B) {
+	in := &Bucket{
+		Kind: KindIndex, Label: "I12", NextCycle: 9,
+		Pointers: []Pointer{
+			{Channel: 1, Offset: 3, KeyLo: 1, KeyHi: 50},
+			{Channel: 2, Offset: 4, KeyLo: 51, KeyHi: 80},
+			{Channel: 3, Offset: 7, KeyLo: 81, KeyHi: 99},
+		},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		data, err := in.Marshal()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package workload generates the index trees used by the paper's
+// experiments: full balanced m-ary trees of a given depth (Table 1 and
+// Fig. 14), random-shape trees for property testing, and keyed catalogs
+// for the search-tree construction substrate.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/stats"
+	"repro/internal/tree"
+)
+
+// FullMAry builds a full balanced m-ary tree with the given number of
+// levels (depth): levels 1..depth-1 are index nodes, level depth holds the
+// m^(depth-1) data leaves. Data weights are drawn from dist using rng.
+//
+// The paper's Table 1 / Fig. 14 trees are FullMAry(m, 3, ...): a root,
+// m index nodes, and m² data nodes in m groups.
+func FullMAry(m, depth int, dist stats.Dist, rng *rand.Rand) (*tree.Tree, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("workload: fanout m = %d, want >= 1", m)
+	}
+	if depth < 2 {
+		return nil, fmt.Errorf("workload: depth = %d, want >= 2", depth)
+	}
+	b := tree.NewBuilder()
+	root := b.AddRoot("I1")
+	nextIndex := 2
+	nextData := 1
+	var expand func(parent tree.ID, level int)
+	expand = func(parent tree.ID, level int) {
+		for i := 0; i < m; i++ {
+			if level == depth {
+				b.AddData(parent, fmt.Sprintf("D%d", nextData), dist.Sample(rng))
+				nextData++
+			} else {
+				id := b.AddIndex(parent, fmt.Sprintf("I%d", nextIndex))
+				nextIndex++
+				expand(id, level+1)
+			}
+		}
+	}
+	expand(root, 2)
+	return b.Build()
+}
+
+// RandomConfig controls Random tree generation.
+type RandomConfig struct {
+	// NumData is the number of data leaves; must be >= 1.
+	NumData int
+	// MaxFanout bounds the children per index node; defaults to 3.
+	MaxFanout int
+	// Dist draws the data weights; defaults to Uniform(1,100).
+	Dist stats.Dist
+}
+
+// Random builds a random-shape index tree with cfg.NumData leaves by
+// recursively partitioning the leaf set. Every internal node gets between
+// 2 and MaxFanout children (or exactly the remaining leaves if fewer),
+// except that a partition of size 1 becomes a data leaf.
+func Random(cfg RandomConfig, rng *rand.Rand) (*tree.Tree, error) {
+	if cfg.NumData < 1 {
+		return nil, fmt.Errorf("workload: NumData = %d, want >= 1", cfg.NumData)
+	}
+	fanout := cfg.MaxFanout
+	if fanout < 2 {
+		fanout = 3
+	}
+	dist := cfg.Dist
+	if dist == nil {
+		dist = stats.Uniform{Lo: 1, Hi: 100}
+	}
+	b := tree.NewBuilder()
+	nextData := 1
+	nextIndex := 1
+	var build func(parent tree.ID, count int)
+	leaf := func(parent tree.ID) {
+		b.AddData(parent, fmt.Sprintf("D%d", nextData), dist.Sample(rng))
+		nextData++
+	}
+	build = func(parent tree.ID, count int) {
+		if count == 1 {
+			leaf(parent)
+			return
+		}
+		parts := 2 + rng.Intn(fanout-1)
+		if parts > count {
+			parts = count
+		}
+		sizes := splitSizes(count, parts, rng)
+		for _, sz := range sizes {
+			if sz == 1 {
+				leaf(parent)
+				continue
+			}
+			id := b.AddIndex(parent, fmt.Sprintf("I%d", nextIndex+1))
+			nextIndex++
+			build(id, sz)
+		}
+	}
+	if cfg.NumData == 1 {
+		b.AddRootData("D1", dist.Sample(rng))
+	} else {
+		root := b.AddRoot("I1")
+		build(root, cfg.NumData)
+	}
+	return b.Build()
+}
+
+// splitSizes partitions count into parts positive sizes uniformly-ish.
+func splitSizes(count, parts int, rng *rand.Rand) []int {
+	sizes := make([]int, parts)
+	for i := range sizes {
+		sizes[i] = 1
+	}
+	for extra := count - parts; extra > 0; extra-- {
+		sizes[rng.Intn(parts)]++
+	}
+	return sizes
+}
+
+// Item is one entry of a keyed catalog, used to construct search trees.
+type Item struct {
+	Label  string
+	Key    int64
+	Weight float64
+}
+
+// Catalog produces n items with ascending keys 1..n and weights drawn from
+// dist. Labels are "K1".."Kn".
+func Catalog(n int, dist stats.Dist, rng *rand.Rand) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{
+			Label:  fmt.Sprintf("K%d", i+1),
+			Key:    int64(i + 1),
+			Weight: dist.Sample(rng),
+		}
+	}
+	return items
+}
+
+// Chain builds the degenerate chain tree from Section 1.1's "waste of
+// channel space" example: a path of n index nodes ending in a single data
+// node of the given weight. Useful for exercising the flexibility claims.
+func Chain(n int, weight float64) (*tree.Tree, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: chain length %d, want >= 1", n)
+	}
+	b := tree.NewBuilder()
+	cur := b.AddRoot("I1")
+	for i := 2; i <= n; i++ {
+		cur = b.AddIndex(cur, fmt.Sprintf("I%d", i))
+	}
+	b.AddData(cur, "D1", weight)
+	return b.Build()
+}

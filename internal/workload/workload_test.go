@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestFullMAryShape(t *testing.T) {
+	cases := []struct {
+		m, depth            int
+		wantData, wantIndex int
+	}{
+		{2, 3, 4, 3},
+		{3, 3, 9, 4},
+		{4, 3, 16, 5},
+		{5, 3, 25, 6},
+		{6, 3, 36, 7},
+		{2, 4, 8, 7},
+		{1, 2, 1, 1},
+	}
+	for _, c := range cases {
+		rng := stats.NewRNG(1)
+		tr, err := FullMAry(c.m, c.depth, stats.Constant{V: 1}, rng)
+		if err != nil {
+			t.Fatalf("FullMAry(%d,%d): %v", c.m, c.depth, err)
+		}
+		if tr.NumData() != c.wantData {
+			t.Errorf("FullMAry(%d,%d) data = %d, want %d", c.m, c.depth, tr.NumData(), c.wantData)
+		}
+		if tr.NumIndex() != c.wantIndex {
+			t.Errorf("FullMAry(%d,%d) index = %d, want %d", c.m, c.depth, tr.NumIndex(), c.wantIndex)
+		}
+		if tr.Depth() != c.depth {
+			t.Errorf("FullMAry(%d,%d) depth = %d", c.m, c.depth, tr.Depth())
+		}
+		if err := tr.Validate(); err != nil {
+			t.Errorf("FullMAry(%d,%d) invalid: %v", c.m, c.depth, err)
+		}
+	}
+}
+
+func TestFullMAryErrors(t *testing.T) {
+	rng := stats.NewRNG(1)
+	if _, err := FullMAry(0, 3, stats.Constant{V: 1}, rng); err == nil {
+		t.Error("want error for m=0")
+	}
+	if _, err := FullMAry(2, 1, stats.Constant{V: 1}, rng); err == nil {
+		t.Error("want error for depth=1")
+	}
+}
+
+func TestFullMAryDeterministic(t *testing.T) {
+	a, _ := FullMAry(3, 3, stats.Normal{Mu: 100, Sigma: 20}, stats.NewRNG(42))
+	b, _ := FullMAry(3, 3, stats.Normal{Mu: 100, Sigma: 20}, stats.NewRNG(42))
+	if a.String() != b.String() {
+		t.Fatal("same seed must generate identical trees")
+	}
+}
+
+func TestRandomTreeLeafCount(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 17, 60} {
+		tr, err := Random(RandomConfig{NumData: n}, stats.NewRNG(int64(n)))
+		if err != nil {
+			t.Fatalf("Random(%d): %v", n, err)
+		}
+		if tr.NumData() != n {
+			t.Errorf("Random(%d) data = %d", n, tr.NumData())
+		}
+		if err := tr.Validate(); err != nil {
+			t.Errorf("Random(%d) invalid: %v", n, err)
+		}
+	}
+}
+
+func TestRandomTreeError(t *testing.T) {
+	if _, err := Random(RandomConfig{NumData: 0}, stats.NewRNG(1)); err == nil {
+		t.Error("want error for NumData=0")
+	}
+}
+
+// Property: random trees of any size and fanout are valid, have the
+// requested leaf count, and respect the fanout bound.
+func TestQuickRandomTree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		n := 1 + rng.Intn(40)
+		fanout := 2 + rng.Intn(5)
+		tr, err := Random(RandomConfig{NumData: n, MaxFanout: fanout}, rng)
+		if err != nil {
+			return false
+		}
+		if tr.NumData() != n || tr.Validate() != nil {
+			return false
+		}
+		for _, id := range tr.Preorder() {
+			if len(tr.Children(id)) > fanout {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	items := Catalog(5, stats.Constant{V: 2}, stats.NewRNG(1))
+	if len(items) != 5 {
+		t.Fatalf("len = %d", len(items))
+	}
+	for i, it := range items {
+		if it.Key != int64(i+1) {
+			t.Errorf("item %d key = %d", i, it.Key)
+		}
+		if it.Weight != 2 {
+			t.Errorf("item %d weight = %g", i, it.Weight)
+		}
+		if it.Label == "" {
+			t.Errorf("item %d has empty label", i)
+		}
+	}
+}
+
+func TestChain(t *testing.T) {
+	tr, err := Chain(4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumIndex() != 4 || tr.NumData() != 1 || tr.Depth() != 5 {
+		t.Fatalf("chain shape: index=%d data=%d depth=%d", tr.NumIndex(), tr.NumData(), tr.Depth())
+	}
+	if tr.MaxLevelWidth() != 1 {
+		t.Fatalf("chain MaxLevelWidth = %d, want 1", tr.MaxLevelWidth())
+	}
+	if _, err := Chain(0, 1); err == nil {
+		t.Error("want error for length 0")
+	}
+}
