@@ -1,0 +1,25 @@
+# Tier-1+ quality gates. `make check` is what a change must pass before
+# merge: build, vet, the full test suite, the race detector, and a short
+# perf run that refreshes BENCH_pr1.json.
+
+GO ?= go
+
+.PHONY: build vet test race bench check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem -benchtime 50x .
+
+check:
+	sh scripts/check.sh

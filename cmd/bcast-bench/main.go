@@ -1,13 +1,15 @@
 // Command bcast-bench regenerates the paper's evaluation — Table 1,
 // Fig. 14, the Fig. 2 worked example — and the ablation experiments
 // catalogued in DESIGN.md (channel sweep, pruning effort, heuristic
-// quality, simulator comparison).
+// quality, simulator comparison), plus a perf suite over the search
+// engines and the experiment harness.
 //
 // Examples:
 //
 //	bcast-bench -exp table1
 //	bcast-bench -exp fig14 -trials 50 -csv
-//	bcast-bench -exp all
+//	bcast-bench -exp all -workers 4
+//	bcast-bench -exp perf -json BENCH_pr1.json
 package main
 
 import (
@@ -19,30 +21,48 @@ import (
 	"repro/internal/experiment"
 )
 
+// options carries the command-line configuration into run.
+type options struct {
+	exp    string
+	trials int
+	seed   int64
+	maxM   int
+	csv    bool
+	// workers fans trial loops across goroutines (0 = GOMAXPROCS); output
+	// is identical for every value.
+	workers int
+	// jsonPath, when non-empty, additionally writes the perf report as
+	// machine-readable JSON to this file.
+	jsonPath string
+}
+
 func main() {
-	var (
-		exp    = flag.String("exp", "all", "experiment: table1 | fig14 | fig14multi | fig2 | channels | pruning | heuristics | sim | treeshape | replication | largescale | all")
-		trials = flag.Int("trials", 0, "trial count override (0 = experiment default)")
-		seed   = flag.Int64("seed", 1, "random seed")
-		maxM   = flag.Int("max-m", 5, "largest fanout for table1 (6 takes minutes)")
-		csv    = flag.Bool("csv", false, "emit fig14 as CSV instead of a table")
-	)
+	var opt options
+	flag.StringVar(&opt.exp, "exp", "all", "experiment: table1 | fig14 | fig14multi | fig2 | channels | pruning | heuristics | sim | treeshape | replication | largescale | perf | all")
+	flag.IntVar(&opt.trials, "trials", 0, "trial count override (0 = experiment default)")
+	flag.Int64Var(&opt.seed, "seed", 1, "random seed")
+	flag.IntVar(&opt.maxM, "max-m", 5, "largest fanout for table1 (6 takes minutes)")
+	flag.BoolVar(&opt.csv, "csv", false, "emit fig14 as CSV instead of a table")
+	flag.IntVar(&opt.workers, "workers", 0, "worker goroutines for trial loops (0 = GOMAXPROCS)")
+	flag.StringVar(&opt.jsonPath, "json", "", "write the perf report as JSON to this file (perf experiment)")
 	flag.Parse()
-	if err := run(*exp, *trials, *seed, *maxM, *csv, os.Stdout); err != nil {
+	if err := run(opt, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "bcast-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, trials int, seed int64, maxM int, csv bool, w io.Writer) error {
+func run(opt options, w io.Writer) error {
 	runners := map[string]func() error{
 		"table1": func() error {
 			ms := []int{}
-			for m := 2; m <= maxM; m++ {
+			for m := 2; m <= opt.maxM; m++ {
 				ms = append(ms, m)
 			}
 			fmt.Fprintln(w, "== Table 1: pruning effects (full m-ary tree, depth 3) ==")
-			rows, err := experiment.Table1(experiment.Table1Config{Ms: ms, Trials: trials, Seed: seed})
+			rows, err := experiment.Table1(experiment.Table1Config{
+				Ms: ms, Trials: opt.trials, Seed: opt.seed, Workers: opt.workers,
+			})
 			if err != nil {
 				return err
 			}
@@ -50,18 +70,22 @@ func run(exp string, trials int, seed int64, maxM int, csv bool, w io.Writer) er
 		},
 		"fig14": func() error {
 			fmt.Fprintln(w, "== Fig. 14: Index Tree Sorting vs Optimal (m=4, µ=100) ==")
-			points, err := experiment.Fig14(experiment.Fig14Config{Trials: trials, Seed: seed})
+			points, err := experiment.Fig14(experiment.Fig14Config{
+				Trials: opt.trials, Seed: opt.seed, Workers: opt.workers,
+			})
 			if err != nil {
 				return err
 			}
-			if csv {
+			if opt.csv {
 				return experiment.WriteCSVFig14(w, points)
 			}
 			return experiment.RenderFig14(w, points)
 		},
 		"fig14multi": func() error {
 			fmt.Fprintln(w, "== E2b: Fig. 14 extended to multiple channels (m=3) ==")
-			points, err := experiment.Fig14Multi(experiment.Fig14MultiConfig{Trials: trials, Seed: seed})
+			points, err := experiment.Fig14Multi(experiment.Fig14MultiConfig{
+				Trials: opt.trials, Seed: opt.seed, Workers: opt.workers,
+			})
 			if err != nil {
 				return err
 			}
@@ -77,7 +101,7 @@ func run(exp string, trials int, seed int64, maxM int, csv bool, w io.Writer) er
 		},
 		"channels": func() error {
 			fmt.Fprintln(w, "== A1: optimal data wait vs channel count ==")
-			points, err := experiment.ChannelSweep(experiment.ChannelSweepConfig{Seed: seed})
+			points, err := experiment.ChannelSweep(experiment.ChannelSweepConfig{Seed: opt.seed})
 			if err != nil {
 				return err
 			}
@@ -85,7 +109,9 @@ func run(exp string, trials int, seed int64, maxM int, csv bool, w io.Writer) er
 		},
 		"pruning": func() error {
 			fmt.Fprintln(w, "== A2: search effort with pruning on/off ==")
-			points, err := experiment.PruningAblation(experiment.PruningAblationConfig{Trials: trials, Seed: seed})
+			points, err := experiment.PruningAblation(experiment.PruningAblationConfig{
+				Trials: opt.trials, Seed: opt.seed, Workers: opt.workers,
+			})
 			if err != nil {
 				return err
 			}
@@ -93,7 +119,9 @@ func run(exp string, trials int, seed int64, maxM int, csv bool, w io.Writer) er
 		},
 		"heuristics": func() error {
 			fmt.Fprintln(w, "== A3: heuristic cost / optimal cost ==")
-			points, err := experiment.HeuristicQuality(experiment.HeuristicQualityConfig{Trials: trials, Seed: seed})
+			points, err := experiment.HeuristicQuality(experiment.HeuristicQualityConfig{
+				Trials: opt.trials, Seed: opt.seed, Workers: opt.workers,
+			})
 			if err != nil {
 				return err
 			}
@@ -101,7 +129,7 @@ func run(exp string, trials int, seed int64, maxM int, csv bool, w io.Writer) er
 		},
 		"sim": func() error {
 			fmt.Fprintln(w, "== A4: client metrics vs SV96 and flat broadcast ==")
-			rows, err := experiment.SimComparison(experiment.SimComparisonConfig{Seed: seed})
+			rows, err := experiment.SimComparison(experiment.SimComparisonConfig{Seed: opt.seed})
 			if err != nil {
 				return err
 			}
@@ -109,7 +137,7 @@ func run(exp string, trials int, seed int64, maxM int, csv bool, w io.Writer) er
 		},
 		"replication": func() error {
 			fmt.Fprintln(w, "== A6: root replication sweep ==")
-			rows, err := experiment.ReplicationSweep(experiment.ReplicationConfig{Seed: seed})
+			rows, err := experiment.ReplicationSweep(experiment.ReplicationConfig{Seed: opt.seed})
 			if err != nil {
 				return err
 			}
@@ -117,7 +145,9 @@ func run(exp string, trials int, seed int64, maxM int, csv bool, w io.Writer) er
 		},
 		"largescale": func() error {
 			fmt.Fprintln(w, "== A7: heuristics vs lower bound at scale ==")
-			rows, err := experiment.LargeScale(experiment.LargeScaleConfig{Seed: seed})
+			rows, err := experiment.LargeScale(experiment.LargeScaleConfig{
+				Seed: opt.seed, Workers: opt.workers,
+			})
 			if err != nil {
 				return err
 			}
@@ -125,14 +155,38 @@ func run(exp string, trials int, seed int64, maxM int, csv bool, w io.Writer) er
 		},
 		"treeshape": func() error {
 			fmt.Fprintln(w, "== A5: index-tree construction comparison ==")
-			rows, err := experiment.TreeShape(experiment.TreeShapeConfig{Seed: seed})
+			rows, err := experiment.TreeShape(experiment.TreeShapeConfig{Seed: opt.seed})
 			if err != nil {
 				return err
 			}
 			return experiment.RenderTreeShape(w, rows)
 		},
+		"perf": func() error {
+			fmt.Fprintln(w, "== Perf: search engines and experiment harness ==")
+			report, err := experiment.Perf(experiment.PerfConfig{
+				Seed: opt.seed, Runs: opt.trials, Workers: opt.workers,
+			})
+			if err != nil {
+				return err
+			}
+			if err := experiment.RenderPerf(w, report); err != nil {
+				return err
+			}
+			if opt.jsonPath != "" {
+				f, err := os.Create(opt.jsonPath)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if err := experiment.WritePerfJSON(f, report); err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "wrote %s\n", opt.jsonPath)
+			}
+			return nil
+		},
 	}
-	if exp == "all" {
+	if opt.exp == "all" {
 		for _, name := range []string{"fig2", "table1", "fig14", "fig14multi", "channels", "pruning", "heuristics", "sim", "treeshape", "replication", "largescale"} {
 			if err := runners[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
@@ -141,9 +195,9 @@ func run(exp string, trials int, seed int64, maxM int, csv bool, w io.Writer) er
 		}
 		return nil
 	}
-	runner, ok := runners[exp]
+	runner, ok := runners[opt.exp]
 	if !ok {
-		return fmt.Errorf("unknown experiment %q", exp)
+		return fmt.Errorf("unknown experiment %q", opt.exp)
 	}
 	return runner()
 }

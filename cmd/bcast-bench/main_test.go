@@ -1,8 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/experiment"
 )
 
 func TestRunEachExperiment(t *testing.T) {
@@ -25,7 +30,7 @@ func TestRunEachExperiment(t *testing.T) {
 			var sb strings.Builder
 			// Small trials and max-m keep the full matrix under a second
 			// per experiment.
-			if err := run(c.exp, 2, 1, 4, false, &sb); err != nil {
+			if err := run(options{exp: c.exp, trials: 2, seed: 1, maxM: 4}, &sb); err != nil {
 				t.Fatal(err)
 			}
 			if !strings.Contains(sb.String(), c.want) {
@@ -37,7 +42,7 @@ func TestRunEachExperiment(t *testing.T) {
 
 func TestRunFig14CSV(t *testing.T) {
 	var sb strings.Builder
-	if err := run("fig14", 1, 1, 3, true, &sb); err != nil {
+	if err := run(options{exp: "fig14", trials: 1, seed: 1, maxM: 3, csv: true}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "sigma,optimal,sorting") {
@@ -45,8 +50,40 @@ func TestRunFig14CSV(t *testing.T) {
 	}
 }
 
+func TestRunPerfWritesJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	var sb strings.Builder
+	if err := run(options{exp: "perf", trials: 1, seed: 1, maxM: 3, jsonPath: path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"topo/pruned/k=2", "datatree/full", "harness/fig14/parallel", "dom-pruned"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("perf table missing %q:\n%s", want, out)
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report experiment.PerfReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("perf JSON does not parse: %v", err)
+	}
+	if len(report.Cases) < 6 {
+		t.Fatalf("perf JSON has %d cases, want >= 6", len(report.Cases))
+	}
+	for _, c := range report.Cases {
+		if strings.HasPrefix(c.Name, "topo/") || strings.HasPrefix(c.Name, "datatree/") {
+			if c.Stats.Generated == 0 || c.Stats.Expanded == 0 {
+				t.Errorf("case %s reports zero search counters: %+v", c.Name, c.Stats)
+			}
+		}
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("warp", 1, 1, 3, false, &strings.Builder{}); err == nil {
+	if err := run(options{exp: "warp", trials: 1, seed: 1, maxM: 3}, &strings.Builder{}); err == nil {
 		t.Fatal("want error for unknown experiment")
 	}
 }

@@ -91,6 +91,43 @@ func (s Set) Empty() bool {
 	return true
 }
 
+// Copy makes s an exact copy of t, reusing s's backing storage when it is
+// large enough. Unlike Clone it performs no allocation once s has capacity
+// for t's words, which makes it the workhorse of the search state pools.
+func (s *Set) Copy(t Set) {
+	if cap(s.words) < len(t.words) {
+		s.words = make([]uint64, len(t.words))
+	}
+	s.words = s.words[:cap(s.words)]
+	n := copy(s.words, t.words)
+	for i := n; i < len(s.words); i++ {
+		s.words[i] = 0
+	}
+}
+
+// Hash folds the set's contents into h, ignoring trailing zero words so
+// logically equal sets hash alike. The mix is a splitmix-style word hash:
+// it is not cryptographic, and callers that use it for map keys must
+// collision-check (compare with Equal) before trusting a match.
+func (s Set) Hash(h uint64) uint64 {
+	words := s.words
+	for len(words) > 0 && words[len(words)-1] == 0 {
+		words = words[:len(words)-1]
+	}
+	for _, w := range words {
+		h = HashWord(h, w)
+	}
+	return h
+}
+
+// HashWord mixes one 64-bit word into h with the same function Hash uses.
+func HashWord(h, w uint64) uint64 {
+	h ^= w + 0x9e3779b97f4a7c15
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
 // Clone returns an independent copy of the set.
 func (s Set) Clone() Set {
 	if len(s.words) == 0 {

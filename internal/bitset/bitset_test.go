@@ -285,3 +285,45 @@ func BenchmarkAddContains(b *testing.B) {
 		}
 	}
 }
+
+func TestCopyReusesStorage(t *testing.T) {
+	src := FromSlice([]int{1, 70, 200})
+	var dst Set
+	dst.Copy(src)
+	if !dst.Equal(src) {
+		t.Fatalf("Copy: %v != %v", dst, src)
+	}
+	// Copying a smaller set into a larger one must clear stale bits.
+	small := FromSlice([]int{2})
+	dst.Copy(small)
+	if !dst.Equal(small) {
+		t.Fatalf("Copy smaller: %v != %v", dst, small)
+	}
+	if dst.Contains(200) {
+		t.Fatal("stale bit survived Copy")
+	}
+	// The copy is independent of the source.
+	dst.Add(5)
+	if small.Contains(5) {
+		t.Fatal("Copy aliased the source")
+	}
+}
+
+func TestHashEqualSetsHashAlike(t *testing.T) {
+	a := FromSlice([]int{3, 64, 129})
+	b := New(512)
+	b.Add(3)
+	b.Add(64)
+	b.Add(129)
+	// a and b differ in backing length but are logically equal.
+	if a.Hash(1) != b.Hash(1) {
+		t.Fatal("equal sets with different word counts hash differently")
+	}
+	c := FromSlice([]int{3, 64})
+	if a.Hash(1) == c.Hash(1) {
+		t.Fatal("suspicious: unequal sets collided on the test inputs")
+	}
+	if a.Hash(1) == a.Hash(2) {
+		t.Fatal("seed ignored by Hash")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/datatree"
 	"repro/internal/heuristic"
+	"repro/internal/searchstats"
 	"repro/internal/topo"
 	"repro/internal/tree"
 )
@@ -110,8 +111,12 @@ type Solution struct {
 	// Optimal reports whether Cost is provably minimal.
 	Optimal bool
 	// Expanded/Generated are search-effort counters (zero for heuristics
-	// and the Corollary 1 path).
+	// and the Corollary 1 path); they mirror the corresponding Stats
+	// fields.
 	Expanded, Generated int
+	// Stats holds the full per-search performance counters of the search
+	// that ran (zero for heuristics and the Corollary 1 path).
+	Stats searchstats.Stats
 }
 
 // Solve computes an index-and-data allocation for t on cfg.Channels
@@ -184,7 +189,7 @@ func solveExact(t *tree.Tree, cfg Config) (*Solution, error) {
 		}
 		return &Solution{
 			Alloc: res.Alloc, Cost: res.Cost, Used: DataTree, Optimal: true,
-			Expanded: res.Expanded, Generated: res.Generated,
+			Expanded: res.Expanded, Generated: res.Generated, Stats: res.Stats,
 		}, nil
 	}
 	opts := topo.Options{
@@ -203,7 +208,7 @@ func solveExact(t *tree.Tree, cfg Config) (*Solution, error) {
 	}
 	return &Solution{
 		Alloc: res.Alloc, Cost: res.Cost, Used: cfg.Strategy, Optimal: true,
-		Expanded: res.Expanded, Generated: res.Generated,
+		Expanded: res.Expanded, Generated: res.Generated, Stats: res.Stats,
 	}, nil
 }
 

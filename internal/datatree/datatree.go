@@ -26,6 +26,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/bitset"
 	"repro/internal/pqueue"
+	"repro/internal/searchstats"
 	"repro/internal/tree"
 )
 
@@ -60,11 +61,16 @@ type Result struct {
 	Alloc *alloc.Allocation
 	// Cost is the average data wait (Formula 1).
 	Cost float64
-	// Expanded and Generated count search effort for the ablations.
+	// Expanded and Generated count search effort for the ablations and
+	// mirror the corresponding Stats fields.
 	Expanded, Generated int
+	// Stats holds the full per-search performance counters.
+	Stats searchstats.Stats
 }
 
-// ctx holds per-run immutable context.
+// ctx holds per-run immutable context plus the scratch buffers Search
+// reuses (EnumeratePaths keeps per-depth buffers of its own because its
+// recursion holds candidate lists across nested generations).
 type ctx struct {
 	t        *tree.Tree
 	opt      Options
@@ -74,6 +80,10 @@ type ctx struct {
 	indexSet bitset.Set
 	anc      []bitset.Set // ancestor set per node ID
 	ancList  [][]tree.ID  // ancestors root-down per node ID
+
+	stats *searchstats.Stats // counters of the running search (nil outside Search)
+
+	candBuf []tree.ID
 }
 
 func newCtx(t *tree.Tree, opt Options) *ctx {
@@ -95,28 +105,51 @@ func newCtx(t *tree.Tree, opt Options) *ctx {
 
 // nanc returns Ancestor(d) − covered as a root-down ordered slice.
 func (c *ctx) nanc(d tree.ID, covered bitset.Set) []tree.ID {
-	var out []tree.ID
-	for _, a := range c.ancList[d] {
-		if !covered.Contains(int(a)) {
-			out = append(out, a)
-		}
-	}
-	return out
+	return c.nancInto(nil, d, covered)
 }
 
-// candidates lists the children of a data-tree node: unused data nodes
-// with no heavier unused sibling (Lemma 3), restricted to the single
-// heaviest remaining node once every index node is covered (Property 1).
+// nancInto appends Ancestor(d) − covered to dst in root-down order.
+func (c *ctx) nancInto(dst []tree.ID, d tree.ID, covered bitset.Set) []tree.ID {
+	for _, a := range c.ancList[d] {
+		if !covered.Contains(int(a)) {
+			dst = append(dst, a)
+		}
+	}
+	return dst
+}
+
+// nancCount returns |Ancestor(d) − covered| without materializing the set.
+func (c *ctx) nancCount(d tree.ID, covered bitset.Set) int {
+	n := 0
+	for _, a := range c.ancList[d] {
+		if !covered.Contains(int(a)) {
+			n++
+		}
+	}
+	return n
+}
+
+// candidates returns the children of a data-tree node in a fresh slice —
+// used by the tree-view walker, whose recursion holds the list across
+// nested generations. Search and EnumeratePaths use candidatesInto with
+// reused buffers.
 func (c *ctx) candidates(used, covered bitset.Set) []tree.ID {
+	return c.candidatesInto(nil, used, covered)
+}
+
+// candidatesInto appends the children of a data-tree node to dst: unused
+// data nodes with no heavier unused sibling (Lemma 3), restricted to the
+// single heaviest remaining node once every index node is covered
+// (Property 1).
+func (c *ctx) candidatesInto(dst []tree.ID, used, covered bitset.Set) []tree.ID {
 	if c.opt.Property1 && c.indexSet.SubsetOf(covered) {
 		for _, d := range c.dataDesc {
 			if !used.Contains(int(d)) {
-				return []tree.ID{d}
+				return append(dst, d)
 			}
 		}
-		return nil
+		return dst
 	}
-	var out []tree.ID
 	for _, d := range c.dataIDs {
 		if used.Contains(int(d)) {
 			continue
@@ -124,9 +157,9 @@ func (c *ctx) candidates(used, covered bitset.Set) []tree.ID {
 		if c.heavierSiblingUnused(d, used) {
 			continue
 		}
-		out = append(out, d)
+		dst = append(dst, d)
 	}
-	return out
+	return dst
 }
 
 // heavierSiblingUnused reports whether d has an unused same-parent data
@@ -162,8 +195,7 @@ func (c *ctx) keepAfter(last *pathInfo, d tree.ID, covered bitset.Set) bool {
 	if last == nil || !c.opt.Property4 {
 		return true
 	}
-	nancD := c.nanc(d, covered)
-	nb := float64(len(nancD) + 1)
+	nb := float64(c.nancCount(d, covered) + 1)
 	wd := c.t.Weight(d)
 
 	// One-and-one exchange (Property 4 proper).
@@ -259,6 +291,14 @@ type state struct {
 	f       float64
 }
 
+// last returns the state's most recent data node, tree.None at the root.
+func (s *state) last() tree.ID {
+	if s.info == nil {
+		return tree.None
+	}
+	return s.info.d
+}
+
 // bound is an admissible completion estimate: remaining data in descending
 // weight at the immediately following positions (index insertions can only
 // push them later).
@@ -279,69 +319,99 @@ func (c *ctx) bound(used bitset.Set, pos int) float64 {
 // over the (pruned) data tree. With AllOptions this is the paper's
 // Section 3.3 algorithm; all prunings preserve an optimal path
 // (property-tested against topo.Exact).
+//
+// Dominance follows the same rule as the topological-tree search: every
+// pushed state — the root included — records the cheapest accumulated cost
+// V for its (used set, last data node) key; a successor is generated only
+// when strictly cheaper than the incumbent, and a queued state is skipped
+// at pop time when a strictly cheaper state with its key was pushed after
+// it. Skipped states are recycled through a pool, so the hot loop performs
+// no per-state allocation for dominated work.
 func Search(t *tree.Tree, opt Options) (*Result, error) {
 	c := newCtx(t, opt)
 	res := &Result{}
+	c.stats = &res.Stats
+
+	dom := newDomTable()
+
+	// free recycles states skipped stale at pop time. Such a state is
+	// referenced by nothing — it was never expanded (so its pathInfo is
+	// nobody's prev) and the dominance entry for its key aliases a strictly
+	// cheaper state — so its storage, pathInfo included, can serve a future
+	// state. The root is built outside the pool so pooled states always
+	// carry a non-nil pathInfo to reuse.
+	var free []*state
+	newState := func() *state {
+		if n := len(free); n > 0 {
+			s := free[n-1]
+			free = free[:n-1]
+			return s
+		}
+		return &state{used: bitset.New(c.n), covered: bitset.New(c.n), info: &pathInfo{}}
+	}
+
+	q := pqueue.New(func(a, b *state) bool { return a.f < b.f })
+	push := func(s *state, h uint64, e *domEntry) {
+		dom.record(e, h, s.used, s.last(), s.v)
+		res.Stats.Generated++
+		q.Push(s)
+	}
 
 	root := &state{used: bitset.New(c.n), covered: bitset.New(c.n)}
 	root.f = c.bound(root.used, 0)
-	res.Generated++
-
-	q := pqueue.New(func(a, b *state) bool { return a.f < b.f })
-	q.Push(root)
-	best := map[string]float64{}
+	push(root, domHash(root.used, tree.None), nil)
 
 	for q.Len() > 0 {
 		cur := q.Pop()
-		key := stateKey(cur)
-		if v, ok := best[key]; ok && v < cur.v {
+		h := domHash(cur.used, cur.last())
+		if e := dom.lookup(h, cur.used, cur.last()); e != nil && e.v < cur.v {
+			res.Stats.DomStale++
+			if cur.info != nil {
+				free = append(free, cur)
+			}
 			continue
 		}
 		if cur.used.Len() == t.NumData() {
+			res.Stats.PeakQueue = q.Peak()
+			res.Stats.HashCollisions = dom.collisions
 			return c.finish(cur, res)
 		}
-		res.Expanded++
-		if opt.MaxExpanded > 0 && res.Expanded > opt.MaxExpanded {
+		if opt.MaxExpanded > 0 && res.Stats.Expanded >= opt.MaxExpanded {
 			return nil, fmt.Errorf("datatree: expansion limit %d exceeded", opt.MaxExpanded)
 		}
-		for _, d := range c.candidates(cur.used, cur.covered) {
+		res.Stats.Expanded++
+		cand := c.candidatesInto(c.candBuf[:0], cur.used, cur.covered)
+		c.candBuf = cand
+		for _, d := range cand {
 			if !c.keepAfter(cur.info, d, cur.covered) {
+				res.Stats.RulePruned++
 				continue
 			}
-			nanc := c.nanc(d, cur.covered)
-			next := &state{
-				used:    cur.used.Clone(),
-				covered: cur.covered.Clone(),
-				info:    &pathInfo{d: d, nanc: nanc, prev: cur.info},
-				pos:     cur.pos + len(nanc) + 1,
-			}
+			next := newState()
+			next.used.Copy(cur.used)
 			next.used.Add(int(d))
-			for _, a := range nanc {
+			ni := next.info
+			ni.d = d
+			ni.nanc = c.nancInto(ni.nanc[:0], d, cur.covered)
+			ni.prev = cur.info
+			next.pos = cur.pos + len(ni.nanc) + 1
+			next.v = cur.v + c.t.Weight(d)*float64(next.pos)
+			nh := domHash(next.used, d)
+			e := dom.lookup(nh, next.used, d)
+			if e != nil && e.v <= next.v {
+				res.Stats.DomPruned++
+				free = append(free, next)
+				continue
+			}
+			next.covered.Copy(cur.covered)
+			for _, a := range ni.nanc {
 				next.covered.Add(int(a))
 			}
-			next.v = cur.v + c.t.Weight(d)*float64(next.pos)
 			next.f = next.v + c.bound(next.used, next.pos)
-			k := stateKey(next)
-			if v, ok := best[k]; ok && v <= next.v {
-				continue
-			}
-			best[k] = next.v
-			res.Generated++
-			q.Push(next)
+			push(next, nh, e)
 		}
 	}
 	return nil, fmt.Errorf("datatree: pruned data tree contains no complete path")
-}
-
-// stateKey identifies a state for dominance pruning. The covered set and
-// position are functions of the used set; the most recent data node
-// participates because Property 4 conditions children on it.
-func stateKey(s *state) string {
-	last := -1
-	if s.info != nil {
-		last = int(s.info.d)
-	}
-	return s.used.Key() + "|" + fmt.Sprint(last)
 }
 
 func (c *ctx) finish(s *state, res *Result) (*Result, error) {
@@ -365,6 +435,8 @@ func (c *ctx) finish(s *state, res *Result) (*Result, error) {
 	res.Sequence = seq
 	res.Alloc = a
 	res.Cost = a.DataWait()
+	res.Expanded = res.Stats.Expanded
+	res.Generated = res.Stats.Generated
 	return res, nil
 }
 
@@ -378,34 +450,48 @@ func EnumeratePaths(t *tree.Tree, opt Options, visit func(order []tree.ID, cost 
 	c := newCtx(t, opt)
 	used := bitset.New(c.n)
 	covered := bitset.New(c.n)
-	order := make([]tree.ID, 0, t.NumData())
+	nd := t.NumData()
+	order := make([]tree.ID, 0, nd)
 	var count uint64
 	stop := false
+
+	// Per-depth scratch: the recursion holds each depth's candidate list,
+	// nanc slice and pathInfo across the nested walk, so one buffer per
+	// depth (reused across siblings) replaces a fresh allocation per node.
+	candBufs := make([][]tree.ID, nd)
+	nancBufs := make([][]tree.ID, nd)
+	infos := make([]pathInfo, nd)
 
 	var rec func(info *pathInfo, pos int, v float64)
 	rec = func(info *pathInfo, pos int, v float64) {
 		if stop {
 			return
 		}
-		if len(order) == t.NumData() {
+		depth := len(order)
+		if depth == nd {
 			count++
 			if visit != nil && !visit(order, v) {
 				stop = true
 			}
 			return
 		}
-		for _, d := range c.candidates(used, covered) {
+		cand := c.candidatesInto(candBufs[depth][:0], used, covered)
+		candBufs[depth] = cand
+		for _, d := range cand {
 			if !c.keepAfter(info, d, covered) {
 				continue
 			}
-			nanc := c.nanc(d, covered)
+			nanc := c.nancInto(nancBufs[depth][:0], d, covered)
+			nancBufs[depth] = nanc
 			used.Add(int(d))
 			for _, a := range nanc {
 				covered.Add(int(a))
 			}
 			order = append(order, d)
 			newPos := pos + len(nanc) + 1
-			rec(&pathInfo{d: d, nanc: nanc, prev: info}, newPos, v+c.t.Weight(d)*float64(newPos))
+			ni := &infos[depth]
+			ni.d, ni.nanc, ni.prev = d, nanc, info
+			rec(ni, newPos, v+c.t.Weight(d)*float64(newPos))
 			order = order[:len(order)-1]
 			used.Remove(int(d))
 			for _, a := range nanc {

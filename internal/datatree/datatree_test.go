@@ -402,3 +402,46 @@ func TestSearchTwentyLeaves(t *testing.T) {
 	t.Logf("20 leaves: expanded %d, generated %d, wait %.3f",
 		res.Expanded, res.Generated, res.Cost)
 }
+
+// TestSearchExpansionLimitBoundary pins the off-by-one fix: a search that
+// needs exactly E expansions succeeds with MaxExpanded = E and fails with
+// MaxExpanded = E-1.
+func TestSearchExpansionLimitBoundary(t *testing.T) {
+	tr := tree.Fig1()
+	full, err := Search(tr, AllOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := full.Stats.Expanded
+	if e < 2 {
+		t.Fatalf("need a search with >= 2 expansions, got %d", e)
+	}
+	opt := AllOptions()
+	opt.MaxExpanded = e
+	atLimit, err := Search(tr, opt)
+	if err != nil {
+		t.Fatalf("MaxExpanded=%d (exact need): %v", e, err)
+	}
+	if atLimit.Cost != full.Cost {
+		t.Errorf("at-limit cost %v != unlimited cost %v", atLimit.Cost, full.Cost)
+	}
+	opt.MaxExpanded = e - 1
+	if _, err := Search(tr, opt); err == nil {
+		t.Fatalf("MaxExpanded=%d: want error, got success", e-1)
+	}
+}
+
+// TestSearchCountersMirrorStats checks that the legacy Expanded/Generated
+// fields mirror the Stats counters and that the gauges are populated.
+func TestSearchCountersMirrorStats(t *testing.T) {
+	res, err := Search(tree.Fig1(), AllOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Expanded != res.Stats.Expanded || res.Generated != res.Stats.Generated {
+		t.Errorf("legacy counters %d/%d diverge from Stats %+v", res.Expanded, res.Generated, res.Stats)
+	}
+	if res.Stats.Generated == 0 || res.Stats.PeakQueue == 0 {
+		t.Errorf("gauges not populated: %+v", res.Stats)
+	}
+}

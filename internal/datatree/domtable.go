@@ -1,0 +1,65 @@
+package datatree
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/tree"
+)
+
+// domTable is the dominance map of the data-tree search: the cheapest
+// accumulated cost V pushed per (used set, last data node) key. The covered
+// set and broadcast position are functions of the used set, and the most
+// recent data node participates because Property 4 conditions children on
+// it. Like the topological-tree search, the table keys by a 64-bit hash and
+// resolves collisions by chaining over the full key, so a lookup allocates
+// nothing and an insert allocates only the entry.
+type domTable struct {
+	m map[uint64]*domEntry
+	// collisions counts lookups that walked past an entry with the same
+	// hash but a different full key.
+	collisions int
+}
+
+// domEntry records the cheapest pushed state for one dominance key. The
+// used set aliases that state's storage; the entry is rebound whenever a
+// cheaper state replaces the incumbent, so the aliased storage is never
+// recycled while referenced.
+type domEntry struct {
+	used bitset.Set
+	last tree.ID
+	v    float64
+	next *domEntry
+}
+
+func newDomTable() *domTable {
+	return &domTable{m: make(map[uint64]*domEntry)}
+}
+
+// domHash folds the full dominance key into 64 bits. last is tree.None for
+// the root state.
+func domHash(used bitset.Set, last tree.ID) uint64 {
+	h := used.Hash(0x2545f4914f6cdd1d)
+	return bitset.HashWord(h, uint64(int64(last)))
+}
+
+// lookup returns the entry matching the full key, or nil.
+func (t *domTable) lookup(h uint64, used bitset.Set, last tree.ID) *domEntry {
+	for e := t.m[h]; e != nil; e = e.next {
+		if e.last == last && e.used.Equal(used) {
+			return e
+		}
+		t.collisions++
+	}
+	return nil
+}
+
+// record stores v as the cheapest cost for the key, rebinding the entry's
+// aliased storage to the new incumbent. e is the entry lookup returned
+// (nil to insert fresh).
+func (t *domTable) record(e *domEntry, h uint64, used bitset.Set, last tree.ID, v float64) {
+	if e != nil {
+		e.used = used
+		e.v = v
+		return
+	}
+	t.m[h] = &domEntry{used: used, last: last, v: v, next: t.m[h]}
+}

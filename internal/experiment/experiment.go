@@ -73,6 +73,16 @@ type Table1Config struct {
 	// EnumLimit caps each enumeration (defaults to 2 000 000 paths);
 	// exceeding it reports N/A, as the paper does for m >= 5.
 	EnumLimit uint64
+	// Workers fans the (fanout, trial) cells across goroutines (<= 0:
+	// GOMAXPROCS). Output is identical to a serial run.
+	Workers int
+}
+
+// table1Trial is the per-(fanout, trial) work of Table1.
+type table1Trial struct {
+	byP2             *big.Int
+	byP2Enum         Count
+	p12, p124, p124m Count
 }
 
 // Table1 regenerates the paper's Table 1.
@@ -86,45 +96,64 @@ func Table1(cfg Table1Config) ([]Table1Row, error) {
 	if cfg.EnumLimit == 0 {
 		cfg.EnumLimit = 2_000_000
 	}
-	rows := make([]Table1Row, 0, len(cfg.Ms))
-	for _, m := range cfg.Ms {
-		row := Table1Row{M: m}
-		var p12s, p124s, p124ms []Count
-		for trial := 0; trial < cfg.Trials; trial++ {
-			rng := stats.NewRNG(cfg.Seed + int64(trial)*7919)
-			tr, err := workload.FullMAry(m, 3, stats.Uniform{Lo: 1, Hi: 1000}, rng)
-			if err != nil {
-				return nil, err
-			}
-			if trial == 0 {
-				row.ByP2 = datatree.BasePathCount(tr)
-				if row.ByP2.IsUint64() && row.ByP2.Uint64() <= cfg.EnumLimit {
-					n, ex, err := datatree.CountPaths(tr, datatree.Options{}, cfg.EnumLimit)
-					if err != nil {
-						return nil, err
-					}
-					row.ByP2Enumerated = Count{N: n, Exceeded: ex}
-				} else {
-					row.ByP2Enumerated = Count{Exceeded: true}
+	nt := cfg.Trials
+	trials, err := forEachTrial(cfg.Workers, len(cfg.Ms)*nt, func(i int) (table1Trial, error) {
+		m, trial := cfg.Ms[i/nt], i%nt
+		var out table1Trial
+		rng := stats.NewRNG(cfg.Seed + int64(trial)*7919)
+		tr, err := workload.FullMAry(m, 3, stats.Uniform{Lo: 1, Hi: 1000}, rng)
+		if err != nil {
+			return out, err
+		}
+		if trial == 0 {
+			out.byP2 = datatree.BasePathCount(tr)
+			if out.byP2.IsUint64() && out.byP2.Uint64() <= cfg.EnumLimit {
+				n, ex, err := datatree.CountPaths(tr, datatree.Options{}, cfg.EnumLimit)
+				if err != nil {
+					return out, err
 				}
+				out.byP2Enum = Count{N: n, Exceeded: ex}
+			} else {
+				out.byP2Enum = Count{Exceeded: true}
 			}
-			n12, ex12, err := datatree.CountPaths(tr, datatree.Options{Property1: true}, cfg.EnumLimit)
-			if err != nil {
-				return nil, err
+		}
+		n12, ex12, err := datatree.CountPaths(tr, datatree.Options{Property1: true}, cfg.EnumLimit)
+		if err != nil {
+			return out, err
+		}
+		out.p12 = Count{N: n12, Exceeded: ex12}
+		n124, ex124, err := datatree.CountPaths(tr,
+			datatree.Options{Property1: true, Property4: true}, cfg.EnumLimit)
+		if err != nil {
+			return out, err
+		}
+		out.p124 = Count{N: n124, Exceeded: ex124}
+		n124m, ex124m, err := datatree.CountPaths(tr,
+			datatree.Options{Property1: true, Property4: true, MNExchange: 3}, cfg.EnumLimit)
+		if err != nil {
+			return out, err
+		}
+		out.p124m = Count{N: n124m, Exceeded: ex124m}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table1Row, 0, len(cfg.Ms))
+	for mi, m := range cfg.Ms {
+		row := Table1Row{M: m}
+		p12s := make([]Count, nt)
+		p124s := make([]Count, nt)
+		p124ms := make([]Count, nt)
+		for trial := 0; trial < nt; trial++ {
+			res := trials[mi*nt+trial]
+			if trial == 0 {
+				row.ByP2 = res.byP2
+				row.ByP2Enumerated = res.byP2Enum
 			}
-			p12s = append(p12s, Count{N: n12, Exceeded: ex12})
-			n124, ex124, err := datatree.CountPaths(tr,
-				datatree.Options{Property1: true, Property4: true}, cfg.EnumLimit)
-			if err != nil {
-				return nil, err
-			}
-			p124s = append(p124s, Count{N: n124, Exceeded: ex124})
-			n124m, ex124m, err := datatree.CountPaths(tr,
-				datatree.Options{Property1: true, Property4: true, MNExchange: 3}, cfg.EnumLimit)
-			if err != nil {
-				return nil, err
-			}
-			p124ms = append(p124ms, Count{N: n124m, Exceeded: ex124m})
+			p12s[trial] = res.p12
+			p124s[trial] = res.p124
+			p124ms[trial] = res.p124m
 		}
 		row.ByP12 = medianCount(p12s)
 		row.ByP124 = medianCount(p124s)
@@ -188,6 +217,9 @@ type Fig14Config struct {
 	Sigmas []float64
 	Trials int
 	Seed   int64
+	// Workers fans the (sigma, trial) cells across goroutines (<= 0:
+	// GOMAXPROCS). Output is identical to a serial run.
+	Workers int
 }
 
 // Fig14 regenerates the paper's Fig. 14 on a single broadcast channel.
@@ -204,30 +236,41 @@ func Fig14(cfg Fig14Config) ([]Fig14Point, error) {
 	if cfg.Trials <= 0 {
 		cfg.Trials = 20
 	}
+	nt := cfg.Trials
+	type cell struct{ opt, srt float64 }
+	cells, err := forEachTrial(cfg.Workers, len(cfg.Sigmas)*nt, func(i int) (cell, error) {
+		si, trial := i/nt, i%nt
+		sigma := cfg.Sigmas[si]
+		rng := stats.NewRNG(cfg.Seed + int64(si)*104729 + int64(trial)*7919)
+		tr, err := workload.FullMAry(cfg.M, 3, stats.Normal{Mu: cfg.Mu, Sigma: sigma}, rng)
+		if err != nil {
+			return cell{}, err
+		}
+		opt, err := datatree.Search(tr, datatree.AllOptions())
+		if err != nil {
+			return cell{}, err
+		}
+		srt, err := heuristic.SortingBroadcast(tr)
+		if err != nil {
+			return cell{}, err
+		}
+		if srt.DataWait() < opt.Cost-1e-9 {
+			return cell{}, fmt.Errorf("experiment: sorting beat optimal (σ=%g trial %d)", sigma, trial)
+		}
+		return cell{opt: opt.Cost, srt: srt.DataWait()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	points := make([]Fig14Point, 0, len(cfg.Sigmas))
 	for si, sigma := range cfg.Sigmas {
 		var optSum, sortSum float64
-		for trial := 0; trial < cfg.Trials; trial++ {
-			rng := stats.NewRNG(cfg.Seed + int64(si)*104729 + int64(trial)*7919)
-			tr, err := workload.FullMAry(cfg.M, 3, stats.Normal{Mu: cfg.Mu, Sigma: sigma}, rng)
-			if err != nil {
-				return nil, err
-			}
-			opt, err := datatree.Search(tr, datatree.AllOptions())
-			if err != nil {
-				return nil, err
-			}
-			srt, err := heuristic.SortingBroadcast(tr)
-			if err != nil {
-				return nil, err
-			}
-			if srt.DataWait() < opt.Cost-1e-9 {
-				return nil, fmt.Errorf("experiment: sorting beat optimal (σ=%g trial %d)", sigma, trial)
-			}
-			optSum += opt.Cost
-			sortSum += srt.DataWait()
+		for trial := 0; trial < nt; trial++ {
+			c := cells[si*nt+trial]
+			optSum += c.opt
+			sortSum += c.srt
 		}
-		n := float64(cfg.Trials)
+		n := float64(nt)
 		points = append(points, Fig14Point{
 			Sigma:   sigma,
 			Optimal: optSum / n,
@@ -372,6 +415,9 @@ type PruningAblationConfig struct {
 	NumData int
 	Trials  int
 	Seed    int64
+	// Workers fans the (k, trial) cells across goroutines (<= 0:
+	// GOMAXPROCS). Output is identical to a serial run.
+	Workers int
 }
 
 // PruningAblation quantifies how much the Section 3.2 properties shrink
@@ -386,33 +432,42 @@ func PruningAblation(cfg PruningAblationConfig) ([]PruningPoint, error) {
 	if cfg.Trials <= 0 {
 		cfg.Trials = 10
 	}
-	out := make([]PruningPoint, 0, len(cfg.Ks))
-	for _, k := range cfg.Ks {
-		var pg, ug float64
-		for trial := 0; trial < cfg.Trials; trial++ {
-			rng := stats.NewRNG(cfg.Seed + int64(trial)*7919)
-			tr, err := workload.Random(workload.RandomConfig{
-				NumData: cfg.NumData,
-				Dist:    stats.Uniform{Lo: 1, Hi: 100},
-			}, rng)
-			if err != nil {
-				return nil, err
-			}
-			pruned, err := topo.Search(tr, topo.Options{Channels: k, Prune: topo.AllPrunes(), TightBound: true})
-			if err != nil {
-				return nil, err
-			}
-			unpruned, err := topo.Search(tr, topo.Options{Channels: k, Prune: topo.NoPrunes(), TightBound: true})
-			if err != nil {
-				return nil, err
-			}
-			if pruned.Cost-unpruned.Cost > 1e-9 || unpruned.Cost-pruned.Cost > 1e-9 {
-				return nil, fmt.Errorf("experiment: pruning changed the optimum (k=%d trial %d)", k, trial)
-			}
-			pg += float64(pruned.Generated)
-			ug += float64(unpruned.Generated)
+	nt := cfg.Trials
+	type cell struct{ pg, ug float64 }
+	cells, err := forEachTrial(cfg.Workers, len(cfg.Ks)*nt, func(i int) (cell, error) {
+		k, trial := cfg.Ks[i/nt], i%nt
+		rng := stats.NewRNG(cfg.Seed + int64(trial)*7919)
+		tr, err := workload.Random(workload.RandomConfig{
+			NumData: cfg.NumData,
+			Dist:    stats.Uniform{Lo: 1, Hi: 100},
+		}, rng)
+		if err != nil {
+			return cell{}, err
 		}
-		n := float64(cfg.Trials)
+		pruned, err := topo.Search(tr, topo.Options{Channels: k, Prune: topo.AllPrunes(), TightBound: true})
+		if err != nil {
+			return cell{}, err
+		}
+		unpruned, err := topo.Search(tr, topo.Options{Channels: k, Prune: topo.NoPrunes(), TightBound: true})
+		if err != nil {
+			return cell{}, err
+		}
+		if pruned.Cost-unpruned.Cost > 1e-9 || unpruned.Cost-pruned.Cost > 1e-9 {
+			return cell{}, fmt.Errorf("experiment: pruning changed the optimum (k=%d trial %d)", k, trial)
+		}
+		return cell{pg: float64(pruned.Generated), ug: float64(unpruned.Generated)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PruningPoint, 0, len(cfg.Ks))
+	for ki, k := range cfg.Ks {
+		var pg, ug float64
+		for trial := 0; trial < nt; trial++ {
+			pg += cells[ki*nt+trial].pg
+			ug += cells[ki*nt+trial].ug
+		}
+		n := float64(nt)
 		out = append(out, PruningPoint{
 			K:                  k,
 			NumData:            cfg.NumData,
@@ -435,6 +490,9 @@ type HeuristicQualityConfig struct {
 	NumData int
 	Trials  int
 	Seed    int64
+	// Workers fans the trials across goroutines (<= 0: GOMAXPROCS).
+	// Output is identical to a serial run.
+	Workers int
 }
 
 // HeuristicQuality measures Sorting, Shrinking, Partitioning and a random
@@ -446,8 +504,8 @@ func HeuristicQuality(cfg HeuristicQualityConfig) ([]QualityPoint, error) {
 	if cfg.Trials <= 0 {
 		cfg.Trials = 25
 	}
-	ratios := map[string][]float64{}
-	for trial := 0; trial < cfg.Trials; trial++ {
+	names := []string{"sorting", "sorting+polish", "shrinking", "partitioning", "random"}
+	cells, err := forEachTrial(cfg.Workers, cfg.Trials, func(trial int) (map[string]float64, error) {
 		rng := stats.NewRNG(cfg.Seed + int64(trial)*7919)
 		tr, err := workload.Random(workload.RandomConfig{
 			NumData: cfg.NumData,
@@ -460,11 +518,12 @@ func HeuristicQuality(cfg HeuristicQualityConfig) ([]QualityPoint, error) {
 		if err != nil {
 			return nil, err
 		}
+		out := make(map[string]float64, len(names))
 		record := func(name string, a *alloc.Allocation, err error) error {
 			if err != nil {
 				return err
 			}
-			ratios[name] = append(ratios[name], a.DataWait()/opt.Cost)
+			out[name] = a.DataWait() / opt.Cost
 			return nil
 		}
 		sb, err := heuristic.SortingBroadcast(tr)
@@ -489,8 +548,19 @@ func HeuristicQuality(cfg HeuristicQualityConfig) ([]QualityPoint, error) {
 		if err := record("random", rd, err); err != nil {
 			return nil, err
 		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	names := []string{"sorting", "sorting+polish", "shrinking", "partitioning", "random"}
+	ratios := map[string][]float64{}
+	for _, cell := range cells {
+		for _, name := range names {
+			if v, ok := cell[name]; ok {
+				ratios[name] = append(ratios[name], v)
+			}
+		}
+	}
 	out := make([]QualityPoint, 0, len(names))
 	for _, name := range names {
 		out = append(out, QualityPoint{Name: name, Ratio: stats.Summarize(ratios[name])})

@@ -31,6 +31,9 @@ type Fig14MultiConfig struct {
 	Ks     []int
 	Trials int
 	Seed   int64
+	// Workers fans the (sigma, k, trial) cells across goroutines (<= 0:
+	// GOMAXPROCS). Output is identical to a serial run.
+	Workers int
 }
 
 // Fig14Multi measures whether the paper's single-channel conclusion —
@@ -53,33 +56,44 @@ func Fig14Multi(cfg Fig14MultiConfig) ([]Fig14MultiPoint, error) {
 	if cfg.Trials <= 0 {
 		cfg.Trials = 10
 	}
+	nk, nt := len(cfg.Ks), cfg.Trials
+	type cell struct{ opt, srt float64 }
+	cells, err := forEachTrial(cfg.Workers, len(cfg.Sigmas)*nk*nt, func(i int) (cell, error) {
+		si, k, trial := i/(nk*nt), cfg.Ks[(i/nt)%nk], i%nt
+		sigma := cfg.Sigmas[si]
+		rng := stats.NewRNG(cfg.Seed + int64(si)*104729 + int64(trial)*7919)
+		tr, err := workload.FullMAry(cfg.M, 3, stats.Normal{Mu: cfg.Mu, Sigma: sigma}, rng)
+		if err != nil {
+			return cell{}, err
+		}
+		opt, err := topo.Search(tr, topo.Options{
+			Channels: k, Prune: topo.AllPrunes(), TightBound: true,
+		})
+		if err != nil {
+			return cell{}, err
+		}
+		srt, err := heuristic.AllocateSorted(tr, k)
+		if err != nil {
+			return cell{}, err
+		}
+		if srt.DataWait() < opt.Cost-1e-9 {
+			return cell{}, fmt.Errorf("experiment: sorting beat optimal (σ=%g k=%d)", sigma, k)
+		}
+		return cell{opt: opt.Cost, srt: srt.DataWait()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var points []Fig14MultiPoint
 	for si, sigma := range cfg.Sigmas {
-		for _, k := range cfg.Ks {
+		for ki, k := range cfg.Ks {
 			var optSum, sortSum float64
-			for trial := 0; trial < cfg.Trials; trial++ {
-				rng := stats.NewRNG(cfg.Seed + int64(si)*104729 + int64(trial)*7919)
-				tr, err := workload.FullMAry(cfg.M, 3, stats.Normal{Mu: cfg.Mu, Sigma: sigma}, rng)
-				if err != nil {
-					return nil, err
-				}
-				opt, err := topo.Search(tr, topo.Options{
-					Channels: k, Prune: topo.AllPrunes(), TightBound: true,
-				})
-				if err != nil {
-					return nil, err
-				}
-				srt, err := heuristic.AllocateSorted(tr, k)
-				if err != nil {
-					return nil, err
-				}
-				if srt.DataWait() < opt.Cost-1e-9 {
-					return nil, fmt.Errorf("experiment: sorting beat optimal (σ=%g k=%d)", sigma, k)
-				}
-				optSum += opt.Cost
-				sortSum += srt.DataWait()
+			for trial := 0; trial < nt; trial++ {
+				c := cells[(si*nk+ki)*nt+trial]
+				optSum += c.opt
+				sortSum += c.srt
 			}
-			n := float64(cfg.Trials)
+			n := float64(nt)
 			points = append(points, Fig14MultiPoint{
 				Sigma:   sigma,
 				K:       k,

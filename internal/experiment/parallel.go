@@ -1,0 +1,64 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// forEachTrial runs fn for every index 0..n-1 across a pool of worker
+// goroutines and returns the results in index order.
+//
+// Determinism contract: parallel runs produce output identical to a serial
+// run for any worker count. This holds because (a) each index's work is a
+// pure function of the index — every experiment seeds a fresh RNG from its
+// trial index, never sharing generator state across trials; (b) each result
+// lands in the slot of its own index; and (c) callers reduce the ordered
+// result slice serially, so floating-point accumulation order matches the
+// serial loop exactly. When several fn calls fail, the lowest-index error
+// is returned, again matching what a serial loop would have reported.
+//
+// workers <= 0 selects GOMAXPROCS. A single worker runs the loop inline on
+// the calling goroutine.
+func forEachTrial[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			results[i], errs[i] = fn(i)
+		}
+	} else {
+		var next atomic.Int64
+		next.Store(-1)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1))
+					if i >= n {
+						return
+					}
+					results[i], errs[i] = fn(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,122 @@
+package experiment
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestForEachTrialOrderAndErrors(t *testing.T) {
+	got, err := forEachTrial(3, 10, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("slot %d = %d, want %d", i, v, i*i)
+		}
+	}
+
+	// The lowest-index error wins, matching a serial loop.
+	_, err = forEachTrial(4, 8, func(i int) (int, error) {
+		if i >= 3 {
+			return 0, fmt.Errorf("trial %d failed", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "trial 3 failed" {
+		t.Fatalf("err = %v, want trial 3's error", err)
+	}
+
+	if out, err := forEachTrial(2, 0, func(int) (int, error) { return 0, errors.New("never") }); err != nil || out != nil {
+		t.Fatalf("empty run: %v, %v", out, err)
+	}
+}
+
+// TestParallelMatchesSerial is the determinism contract: every parallel
+// experiment renders byte-identical output for any worker count, because
+// trials are seeded by index and reduced serially in index order.
+func TestParallelMatchesSerial(t *testing.T) {
+	render := map[string]func(workers int) ([]byte, error){
+		"table1": func(workers int) ([]byte, error) {
+			rows, err := Table1(Table1Config{Ms: []int{2, 3}, Trials: 3, Seed: 7, Workers: workers})
+			if err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			err = RenderTable1(&buf, rows)
+			return buf.Bytes(), err
+		},
+		"fig14": func(workers int) ([]byte, error) {
+			points, err := Fig14(Fig14Config{Trials: 5, Seed: 7, Workers: workers})
+			if err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			if err := RenderFig14(&buf, points); err != nil {
+				return nil, err
+			}
+			// The CSV path is the machine-readable surface; cover it too.
+			err = WriteCSVFig14(&buf, points)
+			return buf.Bytes(), err
+		},
+		"fig14multi": func(workers int) ([]byte, error) {
+			points, err := Fig14Multi(Fig14MultiConfig{Trials: 3, Seed: 7, Workers: workers})
+			if err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			err = RenderFig14Multi(&buf, points)
+			return buf.Bytes(), err
+		},
+		"pruning": func(workers int) ([]byte, error) {
+			points, err := PruningAblation(PruningAblationConfig{Trials: 4, Seed: 7, Workers: workers})
+			if err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			err = RenderPruning(&buf, points)
+			return buf.Bytes(), err
+		},
+		"heuristics": func(workers int) ([]byte, error) {
+			points, err := HeuristicQuality(HeuristicQualityConfig{Trials: 6, Seed: 7, Workers: workers})
+			if err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			err = RenderQuality(&buf, points)
+			return buf.Bytes(), err
+		},
+		"largescale": func(workers int) ([]byte, error) {
+			rows, err := LargeScale(LargeScaleConfig{Sizes: []int{50, 120, 300}, Seed: 7, Workers: workers})
+			if err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			err = RenderLargeScale(&buf, rows)
+			return buf.Bytes(), err
+		},
+	}
+	for name, fn := range render {
+		t.Run(name, func(t *testing.T) {
+			serial, err := fn(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(serial) == 0 {
+				t.Fatal("serial run rendered nothing")
+			}
+			for _, workers := range []int{2, 4} {
+				parallel, err := fn(workers)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if !bytes.Equal(serial, parallel) {
+					t.Errorf("workers=%d diverges from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+						workers, serial, parallel)
+				}
+			}
+		})
+	}
+}

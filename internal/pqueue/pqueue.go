@@ -9,6 +9,7 @@ package pqueue
 type Queue[T any] struct {
 	items []T
 	less  func(a, b T) bool
+	peak  int
 }
 
 // New returns an empty queue ordered by less.
@@ -19,9 +20,26 @@ func New[T any](less func(a, b T) bool) *Queue[T] {
 // Len returns the number of queued items.
 func (q *Queue[T]) Len() int { return len(q.items) }
 
+// Peak returns the maximum length the queue has reached — a memory
+// high-water mark for the search engines' perf counters.
+func (q *Queue[T]) Peak() int { return q.peak }
+
+// Reserve grows the queue's capacity so the next n pushes need no
+// reallocation.
+func (q *Queue[T]) Reserve(n int) {
+	if need := len(q.items) + n; need > cap(q.items) {
+		items := make([]T, len(q.items), need)
+		copy(items, q.items)
+		q.items = items
+	}
+}
+
 // Push inserts v.
 func (q *Queue[T]) Push(v T) {
 	q.items = append(q.items, v)
+	if len(q.items) > q.peak {
+		q.peak = len(q.items)
+	}
 	q.up(len(q.items) - 1)
 }
 

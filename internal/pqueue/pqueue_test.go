@@ -104,3 +104,23 @@ func BenchmarkPushPop(b *testing.B) {
 		}
 	}
 }
+
+func TestPeakAndReserve(t *testing.T) {
+	q := New(func(a, b int) bool { return a < b })
+	if q.Peak() != 0 {
+		t.Fatalf("fresh queue peak = %d", q.Peak())
+	}
+	q.Reserve(16)
+	for i := 0; i < 5; i++ {
+		q.Push(i)
+	}
+	q.Pop()
+	q.Pop()
+	q.Push(99)
+	if q.Peak() != 5 {
+		t.Fatalf("peak = %d, want 5", q.Peak())
+	}
+	if q.Len() != 4 {
+		t.Fatalf("len = %d, want 4", q.Len())
+	}
+}

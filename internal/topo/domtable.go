@@ -1,0 +1,83 @@
+package topo
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/tree"
+)
+
+// domTable is the dominance map of the best-first search: the cheapest
+// accumulated cost V seen per (placed set, depth, last compound) key. The
+// seed implementation keyed a Go map by strings built from every generated
+// state — the dominant allocation cost of the search. This table keys by a
+// 64-bit hash of the same material and resolves collisions by chaining
+// over the full key, so a lookup allocates nothing and an insert allocates
+// only the entry.
+type domTable struct {
+	m map[uint64]*domEntry
+	// collisions counts lookups that walked past an entry with the same
+	// hash but a different full key.
+	collisions int
+}
+
+// domEntry records the cheapest pushed state for one dominance key. The
+// placed and comp slices alias the fields of that state (states are
+// immutable once pushed, and the entry is rebound whenever a cheaper state
+// replaces the incumbent, so the aliased storage is never recycled while
+// referenced).
+type domEntry struct {
+	placed bitset.Set
+	depth  int
+	comp   []tree.ID // canonically sorted compound; nil for completions
+	v      float64
+	next   *domEntry
+}
+
+func newDomTable() *domTable {
+	return &domTable{m: make(map[uint64]*domEntry)}
+}
+
+// hash folds the full dominance key into 64 bits. sortedComp must be in
+// canonical (ascending ID) order so permuted compounds hash alike.
+func domHash(placed bitset.Set, depth int, sortedComp []tree.ID) uint64 {
+	h := placed.Hash(uint64(depth) + 0x517cc1b727220a95)
+	for _, id := range sortedComp {
+		h = bitset.HashWord(h, uint64(id))
+	}
+	return h
+}
+
+// lookup returns the entry matching the full key, or nil.
+func (t *domTable) lookup(h uint64, placed bitset.Set, depth int, sortedComp []tree.ID) *domEntry {
+	for e := t.m[h]; e != nil; e = e.next {
+		if e.depth == depth && compEqual(e.comp, sortedComp) && e.placed.Equal(placed) {
+			return e
+		}
+		t.collisions++
+	}
+	return nil
+}
+
+// record stores v as the cheapest cost for the key, rebinding the entry's
+// aliased storage to the new incumbent. e is the entry lookup returned
+// (nil to insert fresh).
+func (t *domTable) record(e *domEntry, h uint64, placed bitset.Set, depth int, sortedComp []tree.ID, v float64) {
+	if e != nil {
+		e.placed = placed
+		e.comp = sortedComp
+		e.v = v
+		return
+	}
+	t.m[h] = &domEntry{placed: placed, depth: depth, comp: sortedComp, v: v, next: t.m[h]}
+}
+
+func compEqual(a, b []tree.ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

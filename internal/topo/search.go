@@ -2,9 +2,6 @@ package topo
 
 import (
 	"fmt"
-	"sort"
-	"strconv"
-	"strings"
 
 	"repro/internal/alloc"
 	"repro/internal/bitset"
@@ -16,27 +13,12 @@ import (
 type state struct {
 	placed   bitset.Set
 	compound []tree.ID // the compound placed at this state's slot
+	sorted   []tree.ID // compound in ascending ID order (dominance key)
 	depth    int       // slots used so far
 	v        float64   // accumulated Σ W·T of placed data nodes
 	f        float64   // v + admissible bound
 	parent   *state
 	tail     [][]tree.ID // forced completion levels (Property 1), if any
-}
-
-func compoundKey(c []tree.ID) string {
-	ids := make([]int, len(c))
-	for i, id := range c {
-		ids[i] = int(id)
-	}
-	sort.Ints(ids)
-	var b strings.Builder
-	for i, v := range ids {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		b.WriteString(strconv.Itoa(v))
-	}
-	return b.String()
 }
 
 // levels reconstructs the compound levels of a complete state.
@@ -47,7 +29,7 @@ func (s *state) levels() [][]tree.ID {
 	}
 	var out [][]tree.ID
 	for i := len(rev) - 1; i >= 0; i-- {
-		if rev[i].compound != nil {
+		if len(rev[i].compound) > 0 {
 			out = append(out, rev[i].compound)
 		}
 	}
@@ -55,86 +37,142 @@ func (s *state) levels() [][]tree.ID {
 	return out
 }
 
+// sortIDs insertion-sorts ids in place (compounds hold at most k elements,
+// so this beats sort.Slice without allocating).
+func sortIDs(ids []tree.ID) []tree.ID {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}
+
 // Search runs the paper's best-first search over the (optionally pruned)
 // k-channel topological tree and returns an optimal allocation among the
 // paths the pruned tree retains. With AllPrunes this is the paper's full
 // algorithm; the pruning properties guarantee an optimal path survives
 // (property-tested against Exact).
+//
+// Dominance rule: for each (placed set, depth, last compound) key the
+// search keeps the cheapest accumulated cost V pushed so far. A successor
+// is generated only when strictly cheaper than the incumbent, and a queued
+// state is skipped at pop time when a strictly cheaper state with its key
+// was pushed after it. Every pushed state — root and Property-1 forced
+// completions included — is recorded, so equal-cost duplicates are never
+// re-expanded. Keys live in a collision-checked 64-bit hash table
+// (domTable) and skipped states are recycled through a pool, so the hot
+// loop performs no per-state allocation for dominated work.
 func Search(t *tree.Tree, opt Options) (*Result, error) {
 	g, err := newGen(t, opt)
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{}
+	g.stats = &res.Stats
 
-	root := &state{placed: bitset.New(g.n)}
+	dom := newDomTable()
+
+	// free recycles states skipped stale at pop time. Such a state is
+	// referenced by nothing — it was never expanded (so it is nobody's
+	// parent) and the dominance entry for its key aliases a strictly
+	// cheaper state — so its backing storage can serve a future state.
+	var free []*state
+	newState := func() *state {
+		if n := len(free); n > 0 {
+			s := free[n-1]
+			free = free[:n-1]
+			s.parent = nil
+			s.tail = nil
+			return s
+		}
+		return &state{placed: bitset.New(g.n)}
+	}
+
+	q := pqueue.New(func(a, b *state) bool { return a.f < b.f })
+	push := func(s *state, h uint64, e *domEntry) {
+		dom.record(e, h, s.placed, s.depth, s.sorted, s.v)
+		res.Stats.Generated++
+		q.Push(s)
+	}
+
+	root := newState()
 	root.placed.Add(int(t.Root()))
-	root.compound = []tree.ID{t.Root()}
+	root.compound = append(root.compound[:0], t.Root())
+	root.sorted = append(root.sorted[:0], t.Root())
 	root.depth = 1
 	root.v = g.compoundCost(root.compound, 1)
 	root.f = root.v + g.bound(root.placed, 1, opt.TightBound)
-	res.Generated++
+	push(root, domHash(root.placed, root.depth, root.sorted), nil)
 
-	q := pqueue.New(func(a, b *state) bool { return a.f < b.f })
-	q.Push(root)
-
-	// Dominance: cheapest v seen per (placed, depth, last-compound) key.
-	// The last compound participates because the pruning rules condition
-	// successor generation on it.
-	best := map[string]float64{}
-	key := func(s *state) string {
-		return s.placed.Key() + "|" + strconv.Itoa(s.depth) + "|" + compoundKey(s.compound)
-	}
+	sortBuf := make([]tree.ID, 0, g.k)
 
 	for q.Len() > 0 {
 		cur := q.Pop()
-		if v, ok := best[key(cur)]; ok && v < cur.v {
+		h := domHash(cur.placed, cur.depth, cur.sorted)
+		if e := dom.lookup(h, cur.placed, cur.depth, cur.sorted); e != nil && e.v < cur.v {
+			res.Stats.DomStale++
+			free = append(free, cur)
 			continue
 		}
 		if cur.placed.Equal(g.all) {
+			res.Stats.PeakQueue = q.Peak()
+			res.Stats.HashCollisions = dom.collisions
 			return finish(g, cur, res)
 		}
-		res.Expanded++
-		if opt.MaxExpanded > 0 && res.Expanded > opt.MaxExpanded {
+		if opt.MaxExpanded > 0 && res.Stats.Expanded >= opt.MaxExpanded {
 			return nil, fmt.Errorf("topo: expansion limit %d exceeded", opt.MaxExpanded)
 		}
+		res.Stats.Expanded++
 
 		// Property 1: forced completion once every index node is placed.
 		if g.p.Property1 && g.allIndexPlaced(cur.placed) {
-			rest := g.remainingDataDesc(cur.placed)
-			done := &state{
-				placed: g.all,
-				depth:  cur.depth + (len(rest)+g.k-1)/g.k,
-				v:      cur.v + g.completionCost(rest, cur.depth),
-				parent: cur,
-				tail:   g.completionLevels(rest),
+			nRest, cost := g.completionCostRemaining(cur.placed, cur.depth)
+			depth := cur.depth + (nRest+g.k-1)/g.k
+			v := cur.v + cost
+			dh := domHash(g.all, depth, nil)
+			e := dom.lookup(dh, g.all, depth, nil)
+			if e != nil && e.v <= v {
+				res.Stats.DomPruned++
+				continue
 			}
-			done.f = done.v
-			res.Generated++
-			q.Push(done)
+			done := newState()
+			done.placed.Copy(g.all)
+			done.compound = done.compound[:0]
+			done.sorted = done.sorted[:0]
+			done.depth = depth
+			done.v = v
+			done.f = v
+			done.parent = cur
+			done.tail = g.completionLevels(g.remainingDataDesc(cur.placed))
+			push(done, dh, e)
 			continue
 		}
 
-		for _, comp := range g.successors(cur.placed, cur.compound) {
-			next := &state{
-				placed:   cur.placed.Clone(),
-				compound: comp,
-				depth:    cur.depth + 1,
-				parent:   cur,
-			}
+		g.eachSuccessor(cur.placed, cur.compound, func(comp []tree.ID) {
+			next := newState()
+			next.placed.Copy(cur.placed)
 			for _, id := range comp {
 				next.placed.Add(int(id))
 			}
-			next.v = cur.v + g.compoundCost(comp, next.depth)
-			next.f = next.v + g.bound(next.placed, next.depth, opt.TightBound)
-			k := key(next)
-			if v, ok := best[k]; ok && v <= next.v {
-				continue
+			depth := cur.depth + 1
+			v := cur.v + g.compoundCost(comp, depth)
+			sortBuf = sortIDs(append(sortBuf[:0], comp...))
+			nh := domHash(next.placed, depth, sortBuf)
+			e := dom.lookup(nh, next.placed, depth, sortBuf)
+			if e != nil && e.v <= v {
+				res.Stats.DomPruned++
+				free = append(free, next)
+				return
 			}
-			best[k] = next.v
-			res.Generated++
-			q.Push(next)
-		}
+			next.compound = append(next.compound[:0], comp...)
+			next.sorted = append(next.sorted[:0], sortBuf...)
+			next.depth = depth
+			next.v = v
+			next.f = v + g.bound(next.placed, depth, opt.TightBound)
+			next.parent = cur
+			push(next, nh, e)
+		})
 	}
 	return nil, fmt.Errorf("topo: pruned search space contains no complete allocation")
 }
@@ -147,6 +185,8 @@ func finish(g *gen, s *state, res *Result) (*Result, error) {
 	}
 	res.Alloc = a
 	res.Cost = a.DataWait()
+	res.Expanded = res.Stats.Expanded
+	res.Generated = res.Stats.Generated
 	return res, nil
 }
 

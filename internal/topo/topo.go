@@ -18,10 +18,10 @@ package topo
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/alloc"
 	"repro/internal/bitset"
+	"repro/internal/searchstats"
 	"repro/internal/tree"
 )
 
@@ -80,11 +80,16 @@ type Result struct {
 	Cost float64
 	// Expanded counts topological-tree nodes whose successors were
 	// generated; Generated counts successor nodes created. Both are
-	// ablation metrics for the pruning experiments.
+	// ablation metrics for the pruning experiments and mirror the
+	// corresponding Stats fields.
 	Expanded, Generated int
+	// Stats holds the full per-search performance counters.
+	Stats searchstats.Stats
 }
 
-// gen holds per-search immutable context.
+// gen holds per-search immutable context plus the scratch buffers the hot
+// loop reuses. The buffers make gen single-goroutine; every search builds
+// its own gen, so concurrent searches over the same tree stay safe.
 type gen struct {
 	t   *tree.Tree
 	k   int
@@ -94,6 +99,16 @@ type gen struct {
 
 	indexSet bitset.Set // all index node IDs
 	dataDesc []tree.ID  // data IDs sorted by descending weight
+
+	stats *searchstats.Stats // counters of the running search (nil outside Search)
+
+	// Scratch buffers reused across successor generations. They are only
+	// live within one eachSuccessor call (callers copy what they keep), so
+	// reuse is safe even under EnumeratePaths' recursion.
+	availBuf  []tree.ID
+	keptBuf   []tree.ID
+	dataBuf   []tree.ID
+	chosenBuf []tree.ID
 }
 
 func newGen(t *tree.Tree, opt Options) (*gen, error) {
@@ -110,13 +125,15 @@ func newGen(t *tree.Tree, opt Options) (*gen, error) {
 		}
 	}
 	g.dataDesc = t.SortedDataByWeight()
+	g.chosenBuf = make([]tree.ID, 0, g.k)
 	return g, nil
 }
 
 // available returns the unplaced nodes whose parent is placed (the set S of
-// Algorithm 1), in ascending ID order.
+// Algorithm 1), in ascending ID order. The returned slice aliases a scratch
+// buffer valid until the next available call.
 func (g *gen) available(placed bitset.Set) []tree.ID {
-	var out []tree.ID
+	out := g.availBuf[:0]
 	for i := 0; i < g.n; i++ {
 		id := tree.ID(i)
 		if placed.Contains(i) {
@@ -127,6 +144,7 @@ func (g *gen) available(placed bitset.Set) []tree.ID {
 			out = append(out, id)
 		}
 	}
+	g.availBuf = out
 	return out
 }
 
@@ -172,21 +190,45 @@ func (g *gen) completionCost(ids []tree.ID, depth int) float64 {
 }
 
 // bound returns an admissible lower bound on the remaining weighted wait
-// from a state at the given depth.
+// from a state at the given depth. It iterates the weight-sorted data list
+// directly instead of materializing the remaining set — this runs once per
+// generated state and must not allocate.
 func (g *gen) bound(placed bitset.Set, depth int, tight bool) float64 {
-	rest := g.remainingDataDesc(placed)
-	if len(rest) == 0 {
-		return 0
-	}
-	if !tight {
-		// The paper's U(X): every remaining data node right after X.
-		var w float64
-		for _, id := range rest {
+	var sum, w float64
+	i := 0
+	for _, id := range g.dataDesc {
+		if placed.Contains(int(id)) {
+			continue
+		}
+		if tight {
+			sum += g.t.Weight(id) * float64(depth+1+i/g.k)
+		} else {
+			// The paper's U(X): every remaining data node right after X.
 			w += g.t.Weight(id)
 		}
+		i++
+	}
+	if !tight {
 		return w * float64(depth+1)
 	}
-	return g.completionCost(rest, depth)
+	return sum
+}
+
+// completionCostRemaining returns the number of unplaced data nodes and the
+// Formula-1 cost of packing them, heaviest first, k per slot starting at
+// slot depth+1 — the Property 1 forced completion, computed without
+// materializing the remaining set.
+func (g *gen) completionCostRemaining(placed bitset.Set, depth int) (int, float64) {
+	n := 0
+	var sum float64
+	for _, id := range g.dataDesc {
+		if placed.Contains(int(id)) {
+			continue
+		}
+		sum += g.t.Weight(id) * float64(depth+1+n/g.k)
+		n++
+	}
+	return n, sum
 }
 
 // compoundCost is the weighted-wait contribution of placing the compound at
@@ -237,7 +279,7 @@ func (g *gen) filterS(s []tree.ID, prev []tree.ID) []tree.ID {
 		if prevAllIndex {
 			// Case 1(i): only children of the previous index node; among
 			// data children keep only the heaviest (ties kept).
-			var kept []tree.ID
+			kept := g.keptBuf[:0]
 			maxW := -1.0
 			for _, id := range s {
 				if !childOfPrev(id) {
@@ -256,16 +298,18 @@ func (g *gen) filterS(s []tree.ID, prev []tree.ID) []tree.ID {
 				}
 				kept = append(kept, id)
 			}
+			g.keptBuf = kept
 			return kept
 		}
 		// Case 2: drop data heavier than the previous data node.
-		var kept []tree.ID
+		kept := g.keptBuf[:0]
 		for _, id := range s {
 			if g.t.IsData(id) && hasPrevData && g.t.Weight(id) > minPrevDataW && !childOfPrev(id) {
 				continue
 			}
 			kept = append(kept, id)
 		}
+		g.keptBuf = kept
 		return kept
 	}
 
@@ -273,8 +317,8 @@ func (g *gen) filterS(s []tree.ID, prev []tree.ID) []tree.ID {
 		if prevAllIndex {
 			// Case 1(ii): data nodes must be children of the previous
 			// compound; keep at most the k heaviest data candidates.
-			var kept []tree.ID
-			var dataCands []tree.ID
+			kept := g.keptBuf[:0]
+			dataCands := g.dataBuf[:0]
 			for _, id := range s {
 				if g.t.IsData(id) {
 					if childOfPrev(id) {
@@ -284,9 +328,13 @@ func (g *gen) filterS(s []tree.ID, prev []tree.ID) []tree.ID {
 				}
 				kept = append(kept, id)
 			}
-			sort.SliceStable(dataCands, func(i, j int) bool {
-				return g.t.Weight(dataCands[i]) > g.t.Weight(dataCands[j])
-			})
+			// Stable insertion sort by descending weight (the candidate
+			// lists are tiny; this avoids sort.SliceStable's overhead).
+			for i := 1; i < len(dataCands); i++ {
+				for j := i; j > 0 && g.t.Weight(dataCands[j]) > g.t.Weight(dataCands[j-1]); j-- {
+					dataCands[j], dataCands[j-1] = dataCands[j-1], dataCands[j]
+				}
+			}
 			if len(dataCands) > g.k {
 				// Keep the k heaviest plus any ties with the k-th.
 				cut := g.t.Weight(dataCands[g.k-1])
@@ -296,18 +344,21 @@ func (g *gen) filterS(s []tree.ID, prev []tree.ID) []tree.ID {
 				}
 				dataCands = dataCands[:n]
 			}
+			g.dataBuf = dataCands
 			kept = append(kept, dataCands...)
+			g.keptBuf = kept
 			return kept
 		}
 		// Case 2: drop data heavier than some data in prev unless it is a
 		// child of prev.
-		var kept []tree.ID
+		kept := g.keptBuf[:0]
 		for _, id := range s {
 			if g.t.IsData(id) && hasPrevData && g.t.Weight(id) > minPrevDataW && !childOfPrev(id) {
 				continue
 			}
 			kept = append(kept, id)
 		}
+		g.keptBuf = kept
 		return kept
 	}
 	return s
@@ -444,33 +495,39 @@ func (g *gen) subsetOK(cand, chosen, prev []tree.ID) bool {
 	return true
 }
 
-// successors generates the next-neighbor compounds of a topological-tree
-// node, applying the configured pruning. prev is the node's own compound
-// (nil when generating the root). It reports the candidate count so
-// callers can track generation statistics.
-func (g *gen) successors(placed bitset.Set, prev []tree.ID) [][]tree.ID {
+// eachSuccessor invokes fn with each next-neighbor compound of a
+// topological-tree node, applying the configured pruning. The compound
+// slice aliases a scratch buffer valid only during the callback, so callers
+// copy what they keep. prev is the node's own compound (nil when generating
+// the root). Candidate compounds rejected by the subset-level rules are
+// counted in stats.RulePruned.
+func (g *gen) eachSuccessor(placed bitset.Set, prev []tree.ID, fn func(comp []tree.ID)) {
 	s := g.available(placed)
 	if len(s) == 0 {
-		return nil
+		return
 	}
 	s = g.filterS(s, prev)
 	if len(s) == 0 {
-		return nil
+		return
 	}
 	if len(s) <= g.k {
-		chosen := append([]tree.ID(nil), s...)
-		if !g.subsetOK(s, chosen, prev) {
-			return nil
+		if !g.subsetOK(s, s, prev) {
+			if g.stats != nil {
+				g.stats.RulePruned++
+			}
+			return
 		}
-		return [][]tree.ID{chosen}
+		fn(s)
+		return
 	}
-	var out [][]tree.ID
-	chosen := make([]tree.ID, 0, g.k)
+	chosen := g.chosenBuf[:0]
 	var rec func(start int)
 	rec = func(start int) {
 		if len(chosen) == g.k {
 			if g.subsetOK(s, chosen, prev) {
-				out = append(out, append([]tree.ID(nil), chosen...))
+				fn(chosen)
+			} else if g.stats != nil {
+				g.stats.RulePruned++
 			}
 			return
 		}
@@ -485,5 +542,16 @@ func (g *gen) successors(placed bitset.Set, prev []tree.ID) [][]tree.ID {
 		}
 	}
 	rec(0)
+}
+
+// successors collects the next-neighbor compounds into freshly allocated
+// slices. The enumeration paths (EnumeratePaths, treeview) use it where
+// compounds must outlive the generation; the search hot loop calls
+// eachSuccessor directly.
+func (g *gen) successors(placed bitset.Set, prev []tree.ID) [][]tree.ID {
+	var out [][]tree.ID
+	g.eachSuccessor(placed, prev, func(comp []tree.ID) {
+		out = append(out, append([]tree.ID(nil), comp...))
+	})
 	return out
 }

@@ -1,0 +1,30 @@
+#!/bin/sh
+# check.sh — the tier-1+ gate: everything a change must pass before merge.
+#
+#   build     go build ./...
+#   vet       go vet ./...
+#   test      go test ./...          (tier-1: the full unit/property suite)
+#   race      go test -race ./...    (parallel-harness and pool safety)
+#   perf      bcast-bench -exp perf  (short run; writes BENCH_pr1.json)
+#
+# Usage: scripts/check.sh [bench-json-path]
+set -eu
+
+out="${1:-BENCH_pr1.json}"
+
+echo "== build =="
+go build ./...
+
+echo "== vet =="
+go vet ./...
+
+echo "== test =="
+go test ./...
+
+echo "== race =="
+go test -race ./...
+
+echo "== perf =="
+go run ./cmd/bcast-bench -exp perf -trials 3 -json "$out"
+
+echo "check: all gates passed"
