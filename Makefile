@@ -1,10 +1,12 @@
 # Tier-1+ quality gates. `make check` is what a change must pass before
-# merge: build, vet, the full test suite, the race detector, and a short
-# perf run that refreshes BENCH_pr1.json.
+# merge: build, vet, the full test suite, the race detector, a short
+# burst on every fuzz target, and a short perf run that refreshes the
+# benchmark JSON.
 
 GO ?= go
+FUZZTIME ?= 5s
 
-.PHONY: build vet test race bench check
+.PHONY: build vet test race fuzz bench check
 
 build:
 	$(GO) build ./...
@@ -17,6 +19,9 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+fuzz:
+	sh scripts/fuzz.sh $(FUZZTIME)
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem -benchtime 50x .

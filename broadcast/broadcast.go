@@ -104,6 +104,12 @@ type Options struct {
 	ReplicateRoot bool
 	// Polish runs the exchange-based local search over heuristic results.
 	Polish bool
+	// MaxExpanded caps exact-search expansions (0 = unlimited).
+	MaxExpanded int
+	// FallbackOnLimit degrades to the sorting heuristic instead of
+	// failing when MaxExpanded trips; the limit error is preserved on
+	// Schedule.LimitErr and Optimal is reported false.
+	FallbackOnLimit bool
 }
 
 // Schedule is an optimized, compiled broadcast.
@@ -114,6 +120,10 @@ type Schedule struct {
 	Optimal bool
 	// Used is the strategy that produced Alloc.
 	Used Strategy
+	// LimitErr records the expansion-limit error an exact solve hit
+	// before Options.FallbackOnLimit rescued it with a heuristic; nil on
+	// a clean solve.
+	LimitErr error
 
 	program *sim.Program
 }
@@ -125,10 +135,12 @@ func Optimize(t *Tree, opt Options) (*Schedule, error) {
 		opt.Channels = 1
 	}
 	sol, err := core.Solve(t, core.Config{
-		Channels:     opt.Channels,
-		Strategy:     opt.Strategy,
-		MaxExactData: opt.MaxExactData,
-		Polish:       opt.Polish,
+		Channels:        opt.Channels,
+		Strategy:        opt.Strategy,
+		MaxExactData:    opt.MaxExactData,
+		Polish:          opt.Polish,
+		MaxExpanded:     opt.MaxExpanded,
+		FallbackOnLimit: opt.FallbackOnLimit,
 	})
 	if err != nil {
 		return nil, err
@@ -138,10 +150,11 @@ func Optimize(t *Tree, opt Options) (*Schedule, error) {
 		return nil, err
 	}
 	return &Schedule{
-		Alloc:   sol.Alloc,
-		Optimal: sol.Optimal,
-		Used:    sol.Used,
-		program: prog,
+		Alloc:    sol.Alloc,
+		Optimal:  sol.Optimal,
+		Used:     sol.Used,
+		LimitErr: sol.LimitErr,
+		program:  prog,
 	}, nil
 }
 
@@ -185,6 +198,9 @@ func (s *Schedule) Measure(pw Power) (AverageMetrics, error) {
 // AverageMetrics is the expectation of Metrics over arrivals and items.
 type AverageMetrics struct {
 	ProbeWait, DataWait, AccessTime, TuningTime, Energy float64
+	// Retries is the expected number of redundant wake-ups per query;
+	// zero unless the schedule is measured under a lossy channel.
+	Retries float64
 }
 
 // ItemMetrics is one item's exact expected client cost under the

@@ -388,3 +388,66 @@ func TestMeasurePerItem(t *testing.T) {
 		t.Fatalf("per-item aggregate %g != Measure %g", waitSum/wSum, agg.DataWait)
 	}
 }
+
+// TestOptimizeFallbackOnLimit: a strangled exact solve degrades to the
+// sorting heuristic instead of failing, and the schedule says so.
+func TestOptimizeFallbackOnLimit(t *testing.T) {
+	items := catalog(50, 10, 30, 5, 25, 40, 8, 2)
+	tr, err := broadcast.NewCatalogTree(items, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := broadcast.Optimize(tr, broadcast.Options{
+		Channels: 2, Strategy: broadcast.Exact, MaxExpanded: 1, FallbackOnLimit: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Optimal || sched.Used != broadcast.Sorting || sched.LimitErr == nil {
+		t.Fatalf("fallback schedule: optimal=%v used=%v limitErr=%v",
+			sched.Optimal, sched.Used, sched.LimitErr)
+	}
+	// The degraded schedule still serves lookups.
+	m, found, err := sched.QueryKey(0, items[3].Key, pw)
+	if err != nil || !found {
+		t.Fatalf("lookup on fallback schedule: found=%v err=%v", found, err)
+	}
+	if m.AccessTime < 1 {
+		t.Fatalf("bogus metrics %+v", m)
+	}
+	// Without the flag the same options are a hard error.
+	if _, err := broadcast.Optimize(tr, broadcast.Options{
+		Channels: 2, Strategy: broadcast.Exact, MaxExpanded: 1,
+	}); err == nil {
+		t.Fatal("want expansion-limit error without FallbackOnLimit")
+	}
+}
+
+// TestPlannerSurvivesExpansionCap: a live planner with a tiny search
+// budget keeps producing schedules (heuristic ones) rather than dying.
+func TestPlannerSurvivesExpansionCap(t *testing.T) {
+	p, err := broadcast.NewPlanner(catalog(50, 10, 30, 5, 25, 40, 8, 2), broadcast.PlannerConfig{
+		Channels: 2, Strategy: broadcast.Exact, MaxExpanded: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := p.Schedule()
+	if sched == nil || sched.Optimal || sched.LimitErr == nil {
+		t.Fatalf("planner schedule: %+v", sched)
+	}
+	// Drive drift and replan: still alive.
+	for i := 0; i < 200; i++ {
+		p.RecordAccess(80)
+	}
+	replanned, err := p.MaybeReplan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !replanned {
+		t.Fatal("expected a replan after concentrated drift")
+	}
+	if p.Schedule() == nil || p.Schedule().LimitErr == nil {
+		t.Fatal("replanned schedule lost the limit marker")
+	}
+}

@@ -22,6 +22,10 @@ type PlannerConfig struct {
 	// Decay exponentially ages old weights on each replan: new weight =
 	// Decay·old + observed accesses. Defaults to 0.5.
 	Decay float64
+	// MaxExpanded caps each replan's exact-search effort (0 = unlimited).
+	// When a replan trips the cap it falls back to the sorting heuristic
+	// instead of failing — a live planner must always produce a schedule.
+	MaxExpanded int
 }
 
 func (c PlannerConfig) withDefaults() PlannerConfig {
@@ -86,8 +90,10 @@ func (p *Planner) replan() error {
 		return err
 	}
 	sched, err := Optimize(t, Options{
-		Channels: p.cfg.Channels,
-		Strategy: p.cfg.Strategy,
+		Channels:        p.cfg.Channels,
+		Strategy:        p.cfg.Strategy,
+		MaxExpanded:     p.cfg.MaxExpanded,
+		FallbackOnLimit: true,
 	})
 	if err != nil {
 		return err

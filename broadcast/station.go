@@ -21,6 +21,11 @@ type StationConfig struct {
 	// MinChurn is how many hot-set replacements it takes to trigger a
 	// rebuild at the end of a period (default 1: any change rebuilds).
 	MinChurn int
+	// MaxExpanded caps each rebuild's exact-search effort (0 =
+	// unlimited). When a rebuild trips the cap it falls back to the
+	// sorting heuristic instead of failing — a station must always stay
+	// on the air.
+	MaxExpanded int
 }
 
 // Station runs the complete server loop of a broadcast system — all three
@@ -148,7 +153,12 @@ func (s *Station) rebuild() error {
 	if err != nil {
 		return err
 	}
-	sched, err := Optimize(t, Options{Channels: s.cfg.Channels, Polish: true})
+	sched, err := Optimize(t, Options{
+		Channels:        s.cfg.Channels,
+		Polish:          true,
+		MaxExpanded:     s.cfg.MaxExpanded,
+		FallbackOnLimit: true,
+	})
 	if err != nil {
 		return err
 	}

@@ -166,3 +166,21 @@ func TestStationConcurrent(t *testing.T) {
 		t.Fatalf("hits %d + misses %d != 1600", hits, misses)
 	}
 }
+
+// TestStationSurvivesExpansionCap: a station whose rebuild search budget
+// is strangled stays on the air with a heuristic schedule.
+func TestStationSurvivesExpansionCap(t *testing.T) {
+	st, err := broadcast.NewStation(universe(12), broadcast.StationConfig{
+		HotSize: 6, Channels: 2, MaxExpanded: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := st.Schedule()
+	if sched == nil || sched.Optimal || sched.LimitErr == nil {
+		t.Fatalf("capped rebuild schedule: %+v", sched)
+	}
+	if _, found, err := sched.QueryKey(0, 1, pw); err != nil || !found {
+		t.Fatalf("hot key lookup on fallback schedule: found=%v err=%v", found, err)
+	}
+}

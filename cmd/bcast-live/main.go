@@ -2,43 +2,67 @@
 // serves the wire-encoded broadcast over TCP on a loopback port, spawns
 // concurrent clients that perform keyed lookups through the socket
 // protocol, and cross-checks every measured metric against the analytic
-// simulator.
+// simulator. With -drop/-corrupt/-stall the broadcast medium is degraded
+// by the seeded fault model and the cross-check runs against the analytic
+// lossy simulator instead — the metrics, including retry counts, must
+// still match exactly.
 //
 // Example:
 //
 //	bcast-gen -type catalog -n 12 | bcast-live -k 2 -clients 8
+//	bcast-gen -type catalog -n 12 | bcast-live -clients 4 -drop 0.2 -corrupt 0.1
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/netcast"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/tree"
 )
 
+// liveOpts carries the command-line configuration into run.
+type liveOpts struct {
+	k       int
+	clients int
+	seed    int64
+	// drop/corrupt/stall are the per-slot fault probabilities of the
+	// injected lossy-channel model (all zero = perfect medium).
+	drop, corrupt, stall float64
+	// retries bounds redundant wake-ups per lookup (0 = the default).
+	retries int
+}
+
 func main() {
 	var (
-		in      = flag.String("tree", "", "tree JSON file (default stdin); must be keyed (bcast-gen -type catalog)")
-		k       = flag.Int("k", 2, "number of broadcast channels")
-		clients = flag.Int("clients", 5, "concurrent lookup clients")
-		seed    = flag.Int64("seed", 1, "seed for client arrivals and keys")
+		in  = flag.String("tree", "", "tree JSON file (default stdin); must be keyed (bcast-gen -type catalog)")
+		opt liveOpts
 	)
+	flag.IntVar(&opt.k, "k", 2, "number of broadcast channels")
+	flag.IntVar(&opt.clients, "clients", 5, "concurrent lookup clients")
+	flag.Int64Var(&opt.seed, "seed", 1, "seed for client arrivals, keys and fault outcomes")
+	flag.Float64Var(&opt.drop, "drop", 0, "per-slot frame loss probability")
+	flag.Float64Var(&opt.corrupt, "corrupt", 0, "per-slot bit-corruption probability")
+	flag.Float64Var(&opt.stall, "stall", 0, "per-slot delivery stall probability")
+	flag.IntVar(&opt.retries, "retries", 0, "retry budget per lookup (0 = default)")
 	flag.Parse()
-	if err := run(*in, *k, *clients, *seed, os.Stdout); err != nil {
+	if err := run(*in, opt, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "bcast-live:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in string, k, clients int, seed int64, w io.Writer) error {
+func run(in string, opt liveOpts, w io.Writer) error {
 	var data []byte
 	var err error
 	if in == "" {
@@ -56,7 +80,7 @@ func run(in string, k, clients int, seed int64, w io.Writer) error {
 	if !t.Keyed() {
 		return fmt.Errorf("tree must be keyed for live lookups (use bcast-gen -type catalog)")
 	}
-	sol, err := core.Solve(t, core.Config{Channels: k})
+	sol, err := core.Solve(t, core.Config{Channels: opt.k})
 	if err != nil {
 		return err
 	}
@@ -65,7 +89,12 @@ func run(in string, k, clients int, seed int64, w io.Writer) error {
 		return err
 	}
 
-	server, err := netcast.NewServer(prog)
+	model := fault.Model{Seed: opt.seed, Drop: opt.drop, Corrupt: opt.corrupt, Stall: opt.stall}
+	fc := sim.FaultConfig{Model: model, MaxRetries: opt.retries}
+	server, err := netcast.NewServerOpts(prog, netcast.ServerOptions{
+		Faults:   model,
+		StallFor: time.Millisecond,
+	})
 	if err != nil {
 		return err
 	}
@@ -75,11 +104,16 @@ func run(in string, k, clients int, seed int64, w io.Writer) error {
 		return err
 	}
 	server.Serve(ln)
-	fmt.Fprintf(w, "broadcasting %d nodes over %d channels at %s (cycle %d slots)\n\n",
-		t.NumNodes(), k, ln.Addr(), prog.CycleLen())
+	fmt.Fprintf(w, "broadcasting %d nodes over %d channels at %s (cycle %d slots)\n",
+		t.NumNodes(), opt.k, ln.Addr(), prog.CycleLen())
+	if model.Enabled() {
+		fmt.Fprintf(w, "lossy medium: drop %.2f, corrupt %.2f, stall %.2f (seed %d)\n",
+			opt.drop, opt.corrupt, opt.stall, opt.seed)
+	}
+	fmt.Fprintln(w)
 
 	power := sim.Power{Active: 1, Doze: 0.05}
-	rng := stats.NewRNG(seed)
+	rng := stats.NewRNG(opt.seed)
 	dataIDs := t.DataIDs()
 
 	type outcome struct {
@@ -90,56 +124,73 @@ func run(in string, k, clients int, seed int64, w io.Writer) error {
 		m       sim.Metrics
 		want    sim.Metrics
 		err     error
+		wantErr error
 	}
-	done := make(chan outcome, clients)
-	for i := 0; i < clients; i++ {
+	done := make(chan outcome, opt.clients)
+	for i := 0; i < opt.clients; i++ {
 		target := dataIDs[rng.Intn(len(dataIDs))]
 		key, _ := t.Key(target)
 		arrival := rng.Intn(2 * prog.CycleLen())
-		want, err := prog.Query(arrival, target, power)
-		if err != nil {
-			return err
+		want, wantErr := prog.QueryFaulty(arrival, target, power, fc)
+		if wantErr != nil && !errors.Is(wantErr, fault.ErrRetryBudget) {
+			return wantErr
 		}
-		go func(idx, arrival int, key int64, want sim.Metrics) {
+		go func(idx, arrival int, key int64, want sim.Metrics, wantErr error) {
 			c, err := netcast.Dial(ln.Addr().String())
 			if err != nil {
 				done <- outcome{idx: idx, err: err}
 				return
 			}
 			defer c.Close()
+			c.MaxRetries = opt.retries
 			found, _, m, err := c.Lookup(arrival, key, power)
-			done <- outcome{idx, arrival, key, found, m, want, err}
-		}(i, arrival, key, want)
+			done <- outcome{idx, arrival, key, found, m, want, err, wantErr}
+		}(i, arrival, key, want, wantErr)
 	}
 
 	// Drive the broadcast once every client is connected, so nobody's
-	// arrival slot can pass before they are registered.
+	// arrival slot can pass before they are registered. The tick budget
+	// covers the worst case of every client exhausting its retry budget.
 	go func() {
-		server.AwaitConns(clients)
-		server.Run(2*prog.CycleLen()*(clients+2) + 16)
+		server.AwaitConns(opt.clients)
+		budget := opt.retries
+		if budget <= 0 {
+			budget = sim.DefaultMaxRetries
+		}
+		server.Run((2*(opt.clients+2) + budget + 8) * prog.CycleLen())
 	}()
 
 	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(tw, "client\tarrival\tkey\tfound\taccess\ttuning\tenergy\tmatches simulator")
+	fmt.Fprintln(tw, "client\tarrival\tkey\tfound\taccess\ttuning\tretries\tenergy\tmatches simulator")
 	failures := 0
-	for i := 0; i < clients; i++ {
+	for i := 0; i < opt.clients; i++ {
 		o := <-done
 		if o.err != nil {
+			// A budget exhaustion the analytic simulator also predicts is
+			// an agreement, not a failure.
+			if errors.Is(o.err, fault.ErrRetryBudget) && errors.Is(o.wantErr, fault.ErrRetryBudget) {
+				fmt.Fprintf(tw, "%d\t%d\t%d\t-\t-\t-\t-\t-\tbudget exhausted (as predicted)\n",
+					o.idx, o.arrival, o.key)
+				continue
+			}
 			return fmt.Errorf("client %d: %w", o.idx, o.err)
+		}
+		if o.wantErr != nil {
+			return fmt.Errorf("client %d: simulator predicted %v but the socket lookup succeeded", o.idx, o.wantErr)
 		}
 		match := o.m == o.want
 		if !match || !o.found {
 			failures++
 		}
-		fmt.Fprintf(tw, "%d\t%d\t%d\t%v\t%d\t%d\t%.2f\t%v\n",
-			o.idx, o.arrival, o.key, o.found, o.m.AccessTime, o.m.TuningTime, o.m.Energy, match)
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%v\t%d\t%d\t%d\t%.2f\t%v\n",
+			o.idx, o.arrival, o.key, o.found, o.m.AccessTime, o.m.TuningTime, o.m.Retries, o.m.Energy, match)
 	}
 	if err := tw.Flush(); err != nil {
 		return err
 	}
 	if failures > 0 {
-		return fmt.Errorf("%d of %d clients diverged from the simulator", failures, clients)
+		return fmt.Errorf("%d of %d clients diverged from the simulator", failures, opt.clients)
 	}
-	fmt.Fprintf(w, "\nall %d live lookups matched the analytic simulator exactly\n", clients)
+	fmt.Fprintf(w, "\nall %d live lookups matched the analytic simulator exactly\n", opt.clients)
 	return nil
 }

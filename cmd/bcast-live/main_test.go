@@ -33,7 +33,7 @@ func catalogFile(t *testing.T, n int) string {
 
 func TestLiveEndToEnd(t *testing.T) {
 	var sb strings.Builder
-	if err := run(catalogFile(t, 8), 2, 4, 1, &sb); err != nil {
+	if err := run(catalogFile(t, 8), liveOpts{k: 2, clients: 4, seed: 1}, &sb); err != nil {
 		t.Fatalf("%v\noutput:\n%s", err, sb.String())
 	}
 	out := sb.String()
@@ -47,7 +47,7 @@ func TestLiveEndToEnd(t *testing.T) {
 
 func TestLiveSingleClient(t *testing.T) {
 	var sb strings.Builder
-	if err := run(catalogFile(t, 3), 1, 1, 2, &sb); err != nil {
+	if err := run(catalogFile(t, 3), liveOpts{k: 1, clients: 1, seed: 2}, &sb); err != nil {
 		t.Fatalf("%v\noutput:\n%s", err, sb.String())
 	}
 }
@@ -61,13 +61,39 @@ func TestLiveRejectsUnkeyedTree(t *testing.T) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, 1, 1, 1, &strings.Builder{}); err == nil {
+	if err := run(path, liveOpts{k: 1, clients: 1, seed: 1}, &strings.Builder{}); err == nil {
 		t.Fatal("want error for unkeyed tree")
 	}
 }
 
 func TestLiveMissingFile(t *testing.T) {
-	if err := run(filepath.Join(t.TempDir(), "none.json"), 1, 1, 1, &strings.Builder{}); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "none.json"), liveOpts{k: 1, clients: 1, seed: 1}, &strings.Builder{}); err == nil {
 		t.Fatal("want error for missing file")
+	}
+}
+
+func TestLiveLossyEndToEnd(t *testing.T) {
+	var sb strings.Builder
+	opt := liveOpts{k: 2, clients: 4, seed: 3, drop: 0.2, corrupt: 0.1, stall: 0.1, retries: 64}
+	if err := run(catalogFile(t, 8), opt, &sb); err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "lossy medium") {
+		t.Fatalf("missing fault banner:\n%s", out)
+	}
+	if !strings.Contains(out, "all 4 live lookups matched the analytic simulator exactly") {
+		t.Fatalf("missing success line:\n%s", out)
+	}
+}
+
+func TestLiveBudgetExhaustionAgrees(t *testing.T) {
+	var sb strings.Builder
+	opt := liveOpts{k: 1, clients: 2, seed: 4, drop: 1, retries: 3}
+	if err := run(catalogFile(t, 4), opt, &sb); err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "budget exhausted (as predicted)") {
+		t.Fatalf("missing agreement line:\n%s", sb.String())
 	}
 }

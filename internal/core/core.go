@@ -7,6 +7,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/alloc"
@@ -85,6 +86,13 @@ type Config struct {
 	// MaxExpanded caps search expansions (0 = unlimited); exceeding it is
 	// an error for forced exact strategies.
 	MaxExpanded int
+	// FallbackOnLimit degrades gracefully when MaxExpanded trips: instead
+	// of failing, Solve reruns the instance through the Index Tree
+	// Sorting heuristic and returns that allocation with Optimal false
+	// and the limit error recorded on Solution.LimitErr. Long-running
+	// stations use this so a pathological replan cannot take down the
+	// broadcast.
+	FallbackOnLimit bool
 	// Polish runs the exchange-based local search over heuristic results
 	// (no effect on already-optimal solutions).
 	Polish bool
@@ -117,6 +125,10 @@ type Solution struct {
 	// Stats holds the full per-search performance counters of the search
 	// that ran (zero for heuristics and the Corollary 1 path).
 	Stats searchstats.Stats
+	// LimitErr is the expansion-limit error an exact search died with
+	// before Config.FallbackOnLimit rescued the solve with a heuristic;
+	// nil when the strategy that ran completed on its own.
+	LimitErr error
 }
 
 // Solve computes an index-and-data allocation for t on cfg.Channels
@@ -185,7 +197,7 @@ func solveExact(t *tree.Tree, cfg Config) (*Solution, error) {
 			Property1: true, Property4: true, MaxExpanded: cfg.MaxExpanded,
 		})
 		if err != nil {
-			return nil, err
+			return fallbackOnLimit(t, cfg, err)
 		}
 		return &Solution{
 			Alloc: res.Alloc, Cost: res.Cost, Used: DataTree, Optimal: true,
@@ -204,12 +216,35 @@ func solveExact(t *tree.Tree, cfg Config) (*Solution, error) {
 	}
 	res, err := topo.Search(t, opts)
 	if err != nil {
-		return nil, err
+		return fallbackOnLimit(t, cfg, err)
 	}
 	return &Solution{
 		Alloc: res.Alloc, Cost: res.Cost, Used: cfg.Strategy, Optimal: true,
 		Expanded: res.Expanded, Generated: res.Generated, Stats: res.Stats,
 	}, nil
+}
+
+// fallbackOnLimit rescues an exact solve whose search tripped the
+// expansion limit: when the config allows it, the instance reruns through
+// the sorting heuristic (which is linear-time and cannot fail the same
+// way) and the limit error is preserved on the solution for observability.
+// Any other error — and any error with the fallback disabled — passes
+// through unchanged.
+func fallbackOnLimit(t *tree.Tree, cfg Config, err error) (*Solution, error) {
+	if !cfg.FallbackOnLimit ||
+		!(errors.Is(err, topo.ErrExpansionLimit) || errors.Is(err, datatree.ErrExpansionLimit)) {
+		return nil, err
+	}
+	a, herr := heuristic.AllocateSorted(t, cfg.Channels)
+	if herr != nil {
+		return nil, fmt.Errorf("core: heuristic fallback after %v: %w", err, herr)
+	}
+	sol, herr := finishHeuristic(a, Sorting, cfg)
+	if herr != nil {
+		return nil, fmt.Errorf("core: heuristic fallback after %v: %w", err, herr)
+	}
+	sol.LimitErr = err
+	return sol, nil
 }
 
 // finishHeuristic optionally polishes a heuristic allocation and wraps it.

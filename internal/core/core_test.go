@@ -1,10 +1,12 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
 
+	"repro/internal/datatree"
 	"repro/internal/stats"
 	"repro/internal/topo"
 	"repro/internal/tree"
@@ -264,5 +266,65 @@ func TestQuickLowerBoundValid(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFallbackOnLimit: when the expansion cap trips and FallbackOnLimit
+// is set, Solve degrades to the sorting heuristic instead of failing,
+// recording the limit error and reporting the result non-optimal.
+func TestFallbackOnLimit(t *testing.T) {
+	tr := tree.Fig1()
+	for _, cfg := range []Config{
+		{Channels: 1, Strategy: Exact, MaxExpanded: 1, FallbackOnLimit: true},
+		{Channels: 1, Strategy: DataTree, MaxExpanded: 1, FallbackOnLimit: true},
+		{Channels: 2, Strategy: PrunedSearch, MaxExpanded: 1, FallbackOnLimit: true},
+		{Channels: 2, MaxExpanded: 1, FallbackOnLimit: true}, // Auto → Exact → fallback
+	} {
+		sol, err := Solve(tr, cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		if sol.Optimal {
+			t.Fatalf("%+v: fallback solution claims optimality", cfg)
+		}
+		if sol.Used != Sorting {
+			t.Fatalf("%+v: used %v, want sorting fallback", cfg, sol.Used)
+		}
+		if sol.LimitErr == nil {
+			t.Fatalf("%+v: limit error not recorded", cfg)
+		}
+		if !errors.Is(sol.LimitErr, topo.ErrExpansionLimit) && !errors.Is(sol.LimitErr, datatree.ErrExpansionLimit) {
+			t.Fatalf("%+v: LimitErr = %v, want an expansion-limit sentinel", cfg, sol.LimitErr)
+		}
+		if err := sol.Alloc.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// The fallback must match a direct heuristic run.
+		want, err := Solve(tr, Config{Channels: cfg.Channels, Strategy: Sorting})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(sol.Cost-want.Cost) > 1e-9 {
+			t.Fatalf("%+v: fallback cost %v, direct sorting cost %v", cfg, sol.Cost, want.Cost)
+		}
+	}
+}
+
+// TestFallbackOffStillErrors: without the flag the limit remains a hard
+// error, and non-limit errors pass through even with the flag set.
+func TestFallbackOffStillErrors(t *testing.T) {
+	tr := tree.Fig1()
+	_, err := Solve(tr, Config{Channels: 1, Strategy: Exact, MaxExpanded: 1})
+	if !errors.Is(err, datatree.ErrExpansionLimit) {
+		t.Fatalf("want wrapped datatree limit error, got %v", err)
+	}
+	_, err = Solve(tr, Config{Channels: 2, Strategy: PrunedSearch, MaxExpanded: 1})
+	if !errors.Is(err, topo.ErrExpansionLimit) {
+		t.Fatalf("want wrapped topo limit error, got %v", err)
+	}
+	// A clean solve with the flag set records no limit error.
+	sol, err := Solve(tr, Config{Channels: 1, Strategy: Exact, FallbackOnLimit: true})
+	if err != nil || sol.LimitErr != nil || !sol.Optimal {
+		t.Fatalf("clean solve: err=%v limitErr=%v optimal=%v", err, sol.LimitErr, sol.Optimal)
 	}
 }

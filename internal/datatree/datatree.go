@@ -20,6 +20,7 @@
 package datatree
 
 import (
+	"errors"
 	"fmt"
 	"math/big"
 
@@ -29,6 +30,11 @@ import (
 	"repro/internal/searchstats"
 	"repro/internal/tree"
 )
+
+// ErrExpansionLimit is the sentinel wrapped by Search when it aborts
+// after Options.MaxExpanded expansions; callers detect it with errors.Is
+// to fall back to a heuristic instead of failing outright.
+var ErrExpansionLimit = errors.New("datatree: expansion limit exceeded")
 
 // Options selects the data-tree pruning rules.
 type Options struct {
@@ -377,7 +383,7 @@ func Search(t *tree.Tree, opt Options) (*Result, error) {
 			return c.finish(cur, res)
 		}
 		if opt.MaxExpanded > 0 && res.Stats.Expanded >= opt.MaxExpanded {
-			return nil, fmt.Errorf("datatree: expansion limit %d exceeded", opt.MaxExpanded)
+			return nil, fmt.Errorf("%w (limit %d)", ErrExpansionLimit, opt.MaxExpanded)
 		}
 		res.Stats.Expanded++
 		cand := c.candidatesInto(c.candBuf[:0], cur.used, cur.covered)

@@ -392,3 +392,54 @@ func TestFig14MultiShape(t *testing.T) {
 		t.Error("render missing header")
 	}
 }
+
+// TestLossSweep: rate 0 matches the perfect channel exactly, cost rises
+// monotonically-ish with the fault rate, and parallel runs reduce to the
+// serial result.
+func TestLossSweep(t *testing.T) {
+	cfg := LossConfig{Trials: 4, Seed: 5, Items: 8}
+	rows, err := LossSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Rate != 0 || rows[0].Summary.Retries != 0 || rows[0].AccessPenalty != 0 {
+		t.Fatalf("lossless anchor row is not clean: %+v", rows[0])
+	}
+	last := rows[0]
+	for _, r := range rows[1:] {
+		if r.Summary.Retries <= last.Summary.Retries {
+			t.Errorf("retries did not grow with the rate: %.2f -> %.2f", last.Rate, r.Rate)
+		}
+		if r.Summary.AccessTime < last.Summary.AccessTime-1e-9 {
+			t.Errorf("access time shrank from rate %.2f to %.2f", last.Rate, r.Rate)
+		}
+		if r.Summary.AccessTime < r.Summary.ProbeWait+r.Summary.DataWait-1e-9 ||
+			r.Summary.AccessTime > r.Summary.ProbeWait+r.Summary.DataWait+1e-9 {
+			t.Errorf("rate %.2f: inconsistent summary %+v", r.Rate, r.Summary)
+		}
+		last = r
+	}
+	serial, err := LossSweep(LossConfig{Trials: 4, Seed: 5, Items: 8, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := LossSweep(LossConfig{Trials: 4, Seed: 5, Items: 8, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("worker count changed the result at rate %.2f", serial[i].Rate)
+		}
+	}
+	var sb strings.Builder
+	if err := RenderLoss(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "retries") {
+		t.Error("render missing header")
+	}
+}

@@ -1,0 +1,129 @@
+// Package fault is the deterministic lossy-channel model shared by the
+// analytic simulator (internal/sim) and the socket server (internal/netcast).
+// The broadcast medium the paper assumes is perfectly reliable; real wireless
+// channels are not, and the whole point of a cyclic broadcast is that the
+// next cycle *is* the retransmission. The model makes that executable: every
+// transmission of (channel, slot) independently suffers loss, bit
+// corruption, or a delivery stall, decided by a pure hash of
+// (seed, channel, slot).
+//
+// Because the outcome is a function of the absolute slot — not of who is
+// listening or in what order reads happen — the analytic simulator and the
+// socket path observe the *same* fault realization under the same seed, and
+// their client metrics can be cross-checked byte for byte.
+package fault
+
+import "errors"
+
+// ErrRetryBudget is the terminal error a client returns when a lookup
+// exhausted its retry budget without a clean read. Wrap it with %w so
+// errors.Is works across the sim and netcast paths.
+var ErrRetryBudget = errors.New("retry budget exhausted")
+
+// Outcome is the fate of one slot transmission.
+type Outcome int
+
+const (
+	// OK delivers the frame intact.
+	OK Outcome = iota
+	// Drop loses the frame entirely: the client wakes and hears nothing.
+	Drop
+	// Corrupt delivers the frame with a flipped bit, so its checksum fails.
+	Corrupt
+	// Stall delivers the frame intact but late (a scheduling/interference
+	// hiccup). It degrades wall-clock delivery, never slot metrics.
+	Stall
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OK:
+		return "ok"
+	case Drop:
+		return "drop"
+	case Corrupt:
+		return "corrupt"
+	case Stall:
+		return "stall"
+	default:
+		return "invalid"
+	}
+}
+
+// Model is a seeded per-slot fault distribution. The zero Model is a
+// perfect channel. Drop, Corrupt and Stall are per-transmission
+// probabilities; their sum must not exceed 1.
+type Model struct {
+	Seed    int64
+	Drop    float64
+	Corrupt float64
+	Stall   float64
+}
+
+// Enabled reports whether the model injects any fault at all.
+func (m Model) Enabled() bool { return m.Drop > 0 || m.Corrupt > 0 || m.Stall > 0 }
+
+// Validate rejects probabilities outside [0,1] or summing past 1.
+func (m Model) Validate() error {
+	for _, p := range []float64{m.Drop, m.Corrupt, m.Stall} {
+		if p < 0 || p > 1 {
+			return errors.New("fault: probabilities must be in [0,1]")
+		}
+	}
+	if m.Drop+m.Corrupt+m.Stall > 1 {
+		return errors.New("fault: drop+corrupt+stall exceeds 1")
+	}
+	return nil
+}
+
+// At decides the fate of the transmission on channel (1-based) at the
+// absolute slot (0-based, never wrapped to the cycle): each cyclic
+// retransmission of the same bucket gets an independent draw.
+func (m Model) At(channel, slot int) Outcome {
+	if !m.Enabled() {
+		return OK
+	}
+	u := m.uniform(channel, slot, 0)
+	switch {
+	case u < m.Drop:
+		return Drop
+	case u < m.Drop+m.Corrupt:
+		return Corrupt
+	case u < m.Drop+m.Corrupt+m.Stall:
+		return Stall
+	default:
+		return OK
+	}
+}
+
+// BitIndex picks the deterministic bit to flip for a Corrupt transmission
+// of a payload nbits long. A single flipped bit is always caught by the
+// frame CRC.
+func (m Model) BitIndex(channel, slot, nbits int) int {
+	if nbits <= 0 {
+		return 0
+	}
+	return int(m.hash(channel, slot, 1) % uint64(nbits))
+}
+
+// uniform maps (channel, slot, salt) to [0, 1).
+func (m Model) uniform(channel, slot int, salt uint64) float64 {
+	return float64(m.hash(channel, slot, salt)>>11) / (1 << 53)
+}
+
+// hash is a splitmix64 chain over (seed, channel, slot, salt).
+func (m Model) hash(channel, slot int, salt uint64) uint64 {
+	h := mix(uint64(m.Seed) ^ 0x5bf03635aabacdcc)
+	h = mix(h ^ uint64(uint32(channel)))
+	h = mix(h ^ uint64(uint32(slot)))
+	return mix(h ^ salt)
+}
+
+// mix is the splitmix64 finalizer.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

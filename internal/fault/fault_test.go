@@ -1,0 +1,105 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZeroModelIsPerfect(t *testing.T) {
+	var m Model
+	if m.Enabled() {
+		t.Fatal("zero model enabled")
+	}
+	for slot := 0; slot < 1000; slot++ {
+		if m.At(1, slot) != OK {
+			t.Fatalf("zero model faulted slot %d", slot)
+		}
+	}
+}
+
+func TestOutcomeDeterministic(t *testing.T) {
+	m := Model{Seed: 7, Drop: 0.2, Corrupt: 0.1, Stall: 0.05}
+	for ch := 1; ch <= 3; ch++ {
+		for slot := 0; slot < 500; slot++ {
+			if m.At(ch, slot) != m.At(ch, slot) {
+				t.Fatalf("nondeterministic outcome at (%d,%d)", ch, slot)
+			}
+		}
+	}
+}
+
+func TestSeedAndSlotChangeOutcomes(t *testing.T) {
+	a := Model{Seed: 1, Drop: 0.5}
+	b := Model{Seed: 2, Drop: 0.5}
+	diff := 0
+	for slot := 0; slot < 200; slot++ {
+		if a.At(1, slot) != b.At(1, slot) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("seeds 1 and 2 produced identical realizations")
+	}
+	// Different channels draw independently too.
+	diff = 0
+	for slot := 0; slot < 200; slot++ {
+		if a.At(1, slot) != a.At(2, slot) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("channels 1 and 2 produced identical realizations")
+	}
+}
+
+func TestEmpiricalRates(t *testing.T) {
+	m := Model{Seed: 3, Drop: 0.3, Corrupt: 0.2, Stall: 0.1}
+	const n = 200000
+	counts := map[Outcome]int{}
+	for slot := 0; slot < n; slot++ {
+		counts[m.At(1, slot)]++
+	}
+	check := func(o Outcome, want float64) {
+		got := float64(counts[o]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("%v rate %.4f, want ~%.2f", o, got, want)
+		}
+	}
+	check(Drop, 0.3)
+	check(Corrupt, 0.2)
+	check(Stall, 0.1)
+	check(OK, 0.4)
+}
+
+func TestBitIndexInRange(t *testing.T) {
+	m := Model{Seed: 5, Corrupt: 1}
+	seen := map[int]bool{}
+	for slot := 0; slot < 200; slot++ {
+		i := m.BitIndex(1, slot, 64)
+		if i < 0 || i >= 64 {
+			t.Fatalf("bit index %d out of range", i)
+		}
+		seen[i] = true
+	}
+	if len(seen) < 16 {
+		t.Fatalf("bit indices poorly spread: %d distinct of 64", len(seen))
+	}
+	if m.BitIndex(1, 1, 0) != 0 {
+		t.Fatal("empty payload must map to bit 0")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := []Model{{}, {Drop: 1}, {Drop: 0.3, Corrupt: 0.3, Stall: 0.4}}
+	for _, m := range good {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%+v: unexpected %v", m, err)
+		}
+	}
+	bad := []Model{{Drop: -0.1}, {Corrupt: 1.5}, {Drop: 0.6, Corrupt: 0.6}}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("%+v: want error", m)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package netcast
+
+import (
+	"encoding/binary"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// FaultyConn wraps the server side of a netcast connection and injects
+// the deterministic lossy-channel model at the wire level: every outgoing
+// frame draws an outcome from the model keyed by (channel, slot) — the
+// slot stamped on the frame and the channel recovered by pairing frames
+// with the wake-up requests read off the same connection.
+//
+//   - Drop rewrites the frame as a lost-slot marker (length 0): the
+//     client wakes on time but hears nothing.
+//   - Corrupt flips one deterministic payload bit, which the wire CRC is
+//     guaranteed to catch.
+//   - Stall delays the write by StallFor (honoring any write deadline),
+//     degrading wall-clock delivery without touching slot arithmetic.
+//
+// Because the outcome depends only on (seed, channel, slot), a lookup
+// through a FaultyConn observes the exact fault realization the analytic
+// simulator computes, and their metrics can be compared byte for byte.
+type FaultyConn struct {
+	net.Conn
+	model    fault.Model
+	stallFor time.Duration
+
+	mu sync.Mutex
+	// pending holds the channels of requests awaiting their frame, in
+	// order; the lockstep protocol keeps it at most one deep per lookup.
+	pending []int
+	scan    requestScanner
+	// wcarry buffers a partially written frame until it completes.
+	wcarry []byte
+	// writeDeadline mirrors the underlying deadline so a stalled write
+	// can time out exactly like a real slow socket.
+	writeDeadline time.Time
+}
+
+// NewFaultyConn wraps conn with the given fault model. stallFor is how
+// long a Stall outcome delays a frame (0 disables stalling delays).
+func NewFaultyConn(conn net.Conn, model fault.Model, stallFor time.Duration) *FaultyConn {
+	return &FaultyConn{Conn: conn, model: model, stallFor: stallFor}
+}
+
+// Read passes bytes through while pairing each complete request with the
+// channel it names, so the write path knows which channel a frame answers.
+func (f *FaultyConn) Read(p []byte) (int, error) {
+	n, err := f.Conn.Read(p)
+	if n > 0 {
+		f.mu.Lock()
+		f.scan.feed(p[:n], func(channel, slot int) {
+			if channel != detachChannel {
+				f.pending = append(f.pending, channel)
+			}
+		})
+		f.mu.Unlock()
+	}
+	return n, err
+}
+
+// Write buffers until complete frames are available, transforms each
+// according to the fault model, and forwards the result.
+func (f *FaultyConn) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	f.wcarry = append(f.wcarry, p...)
+	var out []byte
+	var stalled bool
+	for len(f.wcarry) >= frameHeaderSize {
+		n := int(binary.BigEndian.Uint16(f.wcarry[4:6]))
+		total := frameHeaderSize + n
+		if len(f.wcarry) < total {
+			break
+		}
+		frame := f.wcarry[:total]
+		slot := int(binary.BigEndian.Uint32(frame[0:4]))
+		channel := 0
+		if len(f.pending) > 0 {
+			channel = f.pending[0]
+			f.pending = f.pending[1:]
+		}
+		switch f.model.At(channel, slot) {
+		case fault.Drop:
+			// Deliver only the header with a zero length: a lost slot.
+			var err error
+			if out, err = appendFrame(out, slot, nil); err != nil {
+				f.mu.Unlock()
+				return 0, err
+			}
+		case fault.Corrupt:
+			mangled := append([]byte{}, frame...)
+			if n > 0 {
+				bit := f.model.BitIndex(channel, slot, n*8)
+				mangled[frameHeaderSize+bit/8] ^= 1 << (bit % 8)
+			}
+			out = append(out, mangled...)
+		case fault.Stall:
+			stalled = true
+			out = append(out, frame...)
+		default:
+			out = append(out, frame...)
+		}
+		f.wcarry = f.wcarry[total:]
+	}
+	deadline := f.writeDeadline
+	f.mu.Unlock()
+
+	if stalled && f.stallFor > 0 {
+		delay := f.stallFor
+		if !deadline.IsZero() {
+			if remain := time.Until(deadline); remain < delay {
+				if remain > 0 {
+					time.Sleep(remain)
+				}
+				return 0, os.ErrDeadlineExceeded
+			}
+		}
+		time.Sleep(delay)
+	}
+	if len(out) > 0 {
+		if _, err := f.Conn.Write(out); err != nil {
+			return 0, err
+		}
+	}
+	return len(p), nil
+}
+
+// SetWriteDeadline mirrors the deadline locally (for stall injection) and
+// forwards it to the wrapped connection.
+func (f *FaultyConn) SetWriteDeadline(t time.Time) error {
+	f.mu.Lock()
+	f.writeDeadline = t
+	f.mu.Unlock()
+	return f.Conn.SetWriteDeadline(t)
+}
+
+// SetDeadline mirrors the write half and forwards.
+func (f *FaultyConn) SetDeadline(t time.Time) error {
+	f.mu.Lock()
+	f.writeDeadline = t
+	f.mu.Unlock()
+	return f.Conn.SetDeadline(t)
+}

@@ -16,16 +16,24 @@
 // has a pending wake-up or has detached — which makes lookups over real
 // sockets deterministic and lets the tests assert byte-identical metrics
 // against the analytic simulator.
+//
+// The medium may be imperfect: ServerOptions.Faults injects the seeded
+// lossy-channel model (frame loss, bit corruption, delivery stalls) at
+// the wire level, and the client recovers by re-tuning to the same cycle
+// slot on the next broadcast cycle, under a bounded retry budget. The
+// server itself is hardened against misbehaving clients: frame writes
+// carry deadlines, and connections that neither request nor detach within
+// a grace period are evicted instead of wedging the broadcast clock.
 package netcast
 
 import (
 	"bufio"
-	"encoding/binary"
 	"fmt"
-	"io"
 	"net"
 	"sync"
+	"time"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/wire"
 )
@@ -33,17 +41,54 @@ import (
 // detachChannel is the channel byte that ends a client's session.
 const detachChannel = 0
 
+// ServerOptions hardens and degrades the broadcast medium.
+type ServerOptions struct {
+	// Faults injects the deterministic lossy-channel model into every
+	// frame delivery. The zero model is a perfect medium.
+	Faults fault.Model
+	// StallFor is how long a Stall outcome delays a frame write.
+	// Defaults to 2ms.
+	StallFor time.Duration
+	// Grace evicts a connection that neither has a wake-up pending nor
+	// detaches for this long while the clock wants to advance. Defaults
+	// to 30s; negative disables eviction (the pre-robustness behavior).
+	Grace time.Duration
+	// WriteTimeout bounds each frame write; a connection that cannot
+	// absorb a frame in time is closed. Defaults to 5s; negative
+	// disables the deadline.
+	WriteTimeout time.Duration
+	// ReadTimeout, when positive, bounds each request read on a
+	// connection. Zero disables (the Grace eviction already bounds how
+	// long a silent connection can hold the clock).
+	ReadTimeout time.Duration
+}
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.StallFor == 0 {
+		o.StallFor = 2 * time.Millisecond
+	}
+	if o.Grace == 0 {
+		o.Grace = 30 * time.Second
+	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = 5 * time.Second
+	}
+	return o
+}
+
 // Server broadcasts one program to any number of connections.
 type Server struct {
 	prog    *sim.Program
 	packets [][][]byte
+	opts    ServerOptions
 	ln      net.Listener
 
-	mu    sync.Mutex
-	cond  *sync.Cond
-	now   int
-	conns map[net.Conn]*connState
-	done  bool
+	mu      sync.Mutex
+	cond    *sync.Cond
+	now     int
+	conns   map[net.Conn]*connState
+	evicted int
+	done    bool
 
 	wg sync.WaitGroup
 }
@@ -52,10 +97,23 @@ type connState struct {
 	hasPending bool
 	channel    int
 	slot       int
+	// idleSince is when the connection last became request-less; the
+	// Grace eviction clock measures from here.
+	idleSince time.Time
 }
 
-// NewServer wraps a compiled program; Attach or Serve bring connections.
+// NewServer wraps a compiled program with default options; Attach or
+// Serve bring connections.
 func NewServer(p *sim.Program) (*Server, error) {
+	return NewServerOpts(p, ServerOptions{})
+}
+
+// NewServerOpts wraps a compiled program with explicit robustness and
+// fault-injection options.
+func NewServerOpts(p *sim.Program, opts ServerOptions) (*Server, error) {
+	if err := opts.Faults.Validate(); err != nil {
+		return nil, err
+	}
 	packets, err := wire.EncodeProgram(p)
 	if err != nil {
 		return nil, err
@@ -63,6 +121,7 @@ func NewServer(p *sim.Program) (*Server, error) {
 	s := &Server{
 		prog:    p,
 		packets: packets,
+		opts:    opts.withDefaults(),
 		conns:   map[net.Conn]*connState{},
 	}
 	s.cond = sync.NewCond(&s.mu)
@@ -89,13 +148,16 @@ func (s *Server) Serve(ln net.Listener) {
 
 // Attach registers a single connection (useful with net.Pipe).
 func (s *Server) Attach(conn net.Conn) {
+	if s.opts.Faults.Enabled() {
+		conn = NewFaultyConn(conn, s.opts.Faults, s.opts.StallFor)
+	}
 	s.mu.Lock()
 	if s.done {
 		s.mu.Unlock()
 		conn.Close()
 		return
 	}
-	s.conns[conn] = &connState{}
+	s.conns[conn] = &connState{idleSince: time.Now()}
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	s.wg.Add(1)
@@ -115,13 +177,15 @@ func (s *Server) handle(conn net.Conn) {
 		conn.Close()
 	}()
 	br := bufio.NewReader(conn)
-	var req [5]byte
+	var req [requestSize]byte
 	for {
-		if _, err := io.ReadFull(br, req[:]); err != nil {
+		if s.opts.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.opts.ReadTimeout))
+		}
+		if _, err := readRequest(br, req[:]); err != nil {
 			return
 		}
-		channel := int(req[0])
-		slot := int(binary.BigEndian.Uint32(req[1:5]))
+		channel, slot := parseRequest(req[:])
 		if channel == detachChannel {
 			return
 		}
@@ -149,7 +213,10 @@ func (s *Server) handle(conn net.Conn) {
 
 // Tick broadcasts the current slot and advances the clock. It waits until
 // every registered connection has a pending wake-up (or has detached), so
-// a lookup in flight can never miss its slot.
+// a lookup in flight can never miss its slot — but a connection that
+// stays silent past the grace period is evicted rather than allowed to
+// wedge the broadcast clock, and a connection that cannot absorb its
+// frame within the write timeout is closed.
 func (s *Server) Tick() error {
 	s.mu.Lock()
 	for {
@@ -158,20 +225,44 @@ func (s *Server) Tick() error {
 			return fmt.Errorf("netcast: server closed")
 		}
 		ready := true
-		for _, st := range s.conns {
-			if !st.hasPending {
-				ready = false
-				break
+		var wake time.Duration
+		now := time.Now()
+		for conn, st := range s.conns {
+			if st.hasPending {
+				continue
 			}
+			if s.opts.Grace > 0 {
+				if idle := now.Sub(st.idleSince); idle >= s.opts.Grace {
+					// The connection neither requested nor detached in
+					// time: detach it forcibly. Close unblocks its
+					// handler, which finishes the cleanup.
+					delete(s.conns, conn)
+					s.evicted++
+					conn.Close()
+					continue
+				} else if rest := s.opts.Grace - idle; wake == 0 || rest < wake {
+					wake = rest
+				}
+			}
+			ready = false
 		}
 		if ready {
 			break
 		}
-		s.cond.Wait()
+		if wake > 0 {
+			// sync.Cond has no timed wait; arm a broadcast for the
+			// earliest grace expiry so the eviction loop re-runs.
+			t := time.AfterFunc(wake+time.Millisecond, s.cond.Broadcast)
+			s.cond.Wait()
+			t.Stop()
+		} else {
+			s.cond.Wait()
+		}
 	}
 	now := s.now
 	type delivery struct {
 		conn  net.Conn
+		st    *connState
 		frame []byte
 	}
 	var due []delivery
@@ -179,24 +270,38 @@ func (s *Server) Tick() error {
 		if st.hasPending && st.slot == now {
 			cycleSlot := now%s.prog.CycleLen() + 1
 			payload := s.packets[st.channel-1][cycleSlot-1]
-			frame := make([]byte, 0, 6+len(payload))
-			frame = binary.BigEndian.AppendUint32(frame, uint32(now))
-			frame = binary.BigEndian.AppendUint16(frame, uint16(len(payload)))
-			frame = append(frame, payload...)
-			due = append(due, delivery{conn, frame})
+			frame, err := appendFrame(make([]byte, 0, frameHeaderSize+len(payload)), now, payload)
+			if err != nil {
+				s.mu.Unlock()
+				return err
+			}
+			due = append(due, delivery{conn, st, frame})
 			st.hasPending = false
+			st.idleSince = time.Now()
 		}
 	}
 	s.now++
 	s.mu.Unlock()
 
+	// Deliveries run concurrently under a write deadline: one stalled or
+	// dead client costs at most WriteTimeout, not the broadcast forever,
+	// and cannot delay the frames of healthy clients.
+	var wg sync.WaitGroup
 	for _, d := range due {
-		if _, err := d.conn.Write(d.frame); err != nil {
-			// A broken client must not stall the broadcast; its
-			// connection handler will clean up.
-			continue
-		}
+		wg.Add(1)
+		go func(d delivery) {
+			defer wg.Done()
+			if s.opts.WriteTimeout > 0 {
+				d.conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+			}
+			if _, err := d.conn.Write(d.frame); err != nil {
+				// A broken client must not stall the broadcast: close
+				// it so its handler cleans up the registration.
+				d.conn.Close()
+			}
+		}(d)
 	}
+	wg.Wait()
 	return nil
 }
 
@@ -215,6 +320,13 @@ func (s *Server) Now() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.now
+}
+
+// Evicted returns how many connections the grace-period policy detached.
+func (s *Server) Evicted() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evicted
 }
 
 // AwaitConns blocks until at least n connections are registered (or the
@@ -248,6 +360,10 @@ func (s *Server) Close() error {
 type Client struct {
 	conn net.Conn
 	br   *bufio.Reader
+	// MaxRetries bounds redundant wake-ups per lookup session on a lossy
+	// broadcast (0 = sim.DefaultMaxRetries). When the budget runs out
+	// the lookup fails with an error wrapping fault.ErrRetryBudget.
+	MaxRetries int
 }
 
 // NewClient wraps an established connection.
@@ -277,59 +393,73 @@ func (c *Client) detach() {
 }
 
 func (c *Client) request(channel, slot int) error {
-	var req [5]byte
-	req[0] = byte(channel)
-	binary.BigEndian.PutUint32(req[1:5], uint32(slot))
-	_, err := c.conn.Write(req[:])
+	req := appendRequest(make([]byte, 0, requestSize), channel, slot)
+	_, err := c.conn.Write(req)
 	return err
 }
 
-// next requests one bucket and blocks for its frame.
-func (c *Client) next(channel, slot int) (int, *wire.Bucket, error) {
-	if err := c.request(channel, slot); err != nil {
-		return 0, nil, err
+func (c *Client) budget() int {
+	if c.MaxRetries <= 0 {
+		return sim.DefaultMaxRetries
 	}
-	var hdr [6]byte
-	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
-		return 0, nil, err
+	return c.MaxRetries
+}
+
+// read requests one bucket and blocks for its frame, recovering from
+// lost or corrupt deliveries: an empty (lost-slot) frame or a payload
+// failing its CRC burns the wake-up and the client re-tunes to the same
+// cycle slot one broadcast cycle later — re-requesting the slot it just
+// heard garbage on; the server's cyclic catch-up serves the next
+// occurrence. This is the exact recovery protocol the analytic simulator
+// models, so metrics stay byte-identical under the same fault seed.
+func (c *Client) read(channel, slot int, m *sim.Metrics) (int, *wire.Bucket, error) {
+	for {
+		if err := c.request(channel, slot); err != nil {
+			return 0, nil, err
+		}
+		gotSlot, payload, err := readFrame(c.br)
+		if err != nil {
+			return 0, nil, err // transport failure: not recoverable in-session
+		}
+		m.TuningTime++
+		if len(payload) != 0 {
+			b, derr := wire.Unmarshal(payload)
+			if derr == nil {
+				return gotSlot, b, nil
+			}
+		}
+		m.Retries++
+		if m.Retries > c.budget() {
+			return 0, nil, fmt.Errorf("netcast: channel %d slot %d: %w after %d redundant wake-ups",
+				channel, gotSlot, fault.ErrRetryBudget, m.Retries-1)
+		}
+		slot = gotSlot
 	}
-	gotSlot := int(binary.BigEndian.Uint32(hdr[0:4]))
-	n := int(binary.BigEndian.Uint16(hdr[4:6]))
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(c.br, payload); err != nil {
-		return 0, nil, err
-	}
-	b, err := wire.Unmarshal(payload)
-	if err != nil {
-		return 0, nil, err
-	}
-	return gotSlot, b, nil
 }
 
 // Lookup retrieves the item with the given key, arriving at the given
 // absolute slot. It implements the same protocol as the simulator's
 // client — probe channel 1, synchronize or start from a root copy, then
-// descend by advertised key ranges — and returns identical metrics.
+// descend by advertised key ranges — and returns identical metrics,
+// including the lossy-channel recovery accounting (Metrics.Retries).
 //
 // A lookup is one session: it detaches from the broadcast when it
 // finishes so the server never waits on an idle radio. Run further
 // lookups over fresh connections.
 func (c *Client) Lookup(arrival int, key int64, pw sim.Power) (found bool, label string, m sim.Metrics, err error) {
 	defer c.detach()
-	slot, b, err := c.next(1, arrival)
+	slot, b, err := c.read(1, arrival, &m)
 	if err != nil {
 		return false, "", m, err
 	}
-	m.TuningTime++
 	descentStart := slot
 	if !b.RootCopy {
-		m.ProbeWait = int(b.NextCycle)
-		if slot, b, err = c.next(1, slot+int(b.NextCycle)); err != nil {
+		if slot, b, err = c.read(1, slot+int(b.NextCycle), &m); err != nil {
 			return false, "", m, err
 		}
-		m.TuningTime++
 		descentStart = slot
 	}
+	m.ProbeWait = descentStart - arrival
 	for hops := 0; hops < 1<<16; hops++ {
 		if b.Kind == wire.KindData {
 			m.DataWait = slot - descentStart + 1
@@ -349,10 +479,9 @@ func (c *Client) Lookup(arrival int, key int64, pw sim.Power) (found bool, label
 			finish(&m, pw)
 			return false, "", m, nil
 		}
-		if slot, b, err = c.next(int(next.Channel), slot+int(next.Offset)); err != nil {
+		if slot, b, err = c.read(int(next.Channel), slot+int(next.Offset), &m); err != nil {
 			return false, "", m, err
 		}
-		m.TuningTime++
 	}
 	return false, "", m, fmt.Errorf("netcast: descent did not terminate")
 }

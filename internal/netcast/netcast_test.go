@@ -247,7 +247,8 @@ func TestLateRequestCatchesNextCycle(t *testing.T) {
 	defer c.Close()
 	done := make(chan error, 1)
 	go func() {
-		slot, _, err := c.next(1, 1) // slot 1 already passed
+		var m sim.Metrics
+		slot, _, err := c.read(1, 1, &m) // slot 1 already passed
 		if err == nil && slot != 1+p.CycleLen() {
 			t.Errorf("late request served at %d, want %d", slot, 1+p.CycleLen())
 		}

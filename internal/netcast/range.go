@@ -3,6 +3,7 @@ package netcast
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/pqueue"
 	"repro/internal/sim"
 	"repro/internal/wire"
@@ -13,27 +14,28 @@ import (
 // advertised subtree pointers is visited in arrival order, and a slot
 // that has already passed (because the single receiver was reading a
 // different channel) is caught on a later cycle by the server's cyclic
-// catch-up. Like Lookup, a range scan is one session: it detaches when
-// done.
+// catch-up. On a lossy broadcast a lost or corrupt frontier read is
+// re-scheduled one cycle later through the same queue the simulator
+// uses, so the two recovery schedules — and their metrics — coincide
+// byte for byte. Like Lookup, a range scan is one session: it detaches
+// when done.
 func (c *Client) LookupRange(arrival int, lo, hi int64, pw sim.Power) (keys []int64, m sim.Metrics, err error) {
 	defer c.detach()
 	if lo > hi {
 		return nil, m, fmt.Errorf("netcast: empty range [%d, %d]", lo, hi)
 	}
-	slot, b, err := c.next(1, arrival)
+	slot, b, err := c.read(1, arrival, &m)
 	if err != nil {
 		return nil, m, err
 	}
-	m.TuningTime++
 	descentStart := slot
 	if !b.RootCopy {
-		m.ProbeWait = int(b.NextCycle)
-		if slot, b, err = c.next(1, slot+int(b.NextCycle)); err != nil {
+		if slot, b, err = c.read(1, slot+int(b.NextCycle), &m); err != nil {
 			return nil, m, err
 		}
-		m.TuningTime++
 		descentStart = slot
 	}
+	m.ProbeWait = descentStart - arrival
 
 	type pend struct {
 		at      int
@@ -61,16 +63,35 @@ func (c *Client) LookupRange(arrival int, lo, hi int64, pw sim.Power) (keys []in
 		next := q.Pop()
 		// The server bumps passed slots to the next cyclic occurrence;
 		// only the arrival timestamp on the frame is authoritative.
-		if guard++; guard > 1<<16 {
+		if guard++; guard > 1<<16+c.budget() {
 			return keys, m, fmt.Errorf("netcast: range scan did not terminate")
 		}
-		at, nb, err := c.next(next.channel, next.at)
+		if err := c.request(next.channel, next.at); err != nil {
+			return keys, m, err
+		}
+		at, payload, err := readFrame(c.br)
 		if err != nil {
 			return keys, m, err
 		}
 		m.TuningTime++
 		if at > now {
 			now = at
+		}
+		var nb *wire.Bucket
+		if len(payload) != 0 {
+			nb, err = wire.Unmarshal(payload)
+		}
+		if len(payload) == 0 || err != nil {
+			// Lost slot or corrupt payload: burn the wake-up and
+			// re-schedule the read; the catch-up bump lands it one
+			// broadcast cycle later, exactly like the simulator.
+			m.Retries++
+			if m.Retries > c.budget() {
+				return keys, m, fmt.Errorf("netcast: channel %d slot %d: %w after %d redundant wake-ups",
+					next.channel, at, fault.ErrRetryBudget, m.Retries-1)
+			}
+			q.Push(pend{at: at, channel: next.channel})
+			continue
 		}
 		visit(at, nb)
 	}

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/pqueue"
 	"repro/internal/tree"
 )
@@ -29,6 +30,14 @@ type pending struct {
 // one is deferred a full cycle (a single-receiver client can only listen
 // to one channel per slot).
 func (p *Program) QueryRange(arrival int, lo, hi int64, pw Power) (RangeResult, error) {
+	return p.QueryRangeFaulty(arrival, lo, hi, pw, FaultConfig{})
+}
+
+// QueryRangeFaulty is QueryRange over a lossy channel: a lost or corrupt
+// frontier read is re-scheduled at the same cycle slot one cycle later
+// (sharing the per-query retry budget), mirroring the netcast range
+// client's recovery byte for byte.
+func (p *Program) QueryRangeFaulty(arrival int, lo, hi int64, pw Power, fc FaultConfig) (RangeResult, error) {
 	var res RangeResult
 	if !p.t.Keyed() {
 		return res, fmt.Errorf("sim: tree is not keyed")
@@ -41,22 +50,20 @@ func (p *Program) QueryRange(arrival int, lo, hi int64, pw Power) (RangeResult, 
 	}
 
 	// Probe and synchronize exactly like a point query.
-	now := arrival
-	b := p.buckets[0][p.slotInCycle(now)-1]
-	res.Metrics.TuningTime++
-	switch {
-	case b.RootCopy || (b.Node != tree.None && b.Node == p.t.Root()):
-		res.Metrics.ProbeWait = 0
-	default:
-		res.Metrics.ProbeWait = b.NextCycle
-		now += b.NextCycle
-		b = p.buckets[0][p.slotInCycle(now)-1]
-		res.Metrics.TuningTime++
-		if b.Node != p.t.Root() {
+	now, b, err := p.readAt(&res.Metrics, fc, 1, arrival)
+	if err != nil {
+		return res, err
+	}
+	if !(b.RootCopy || (b.Node != tree.None && b.Node == p.t.Root())) {
+		if now, b, err = p.readAt(&res.Metrics, fc, 1, now+b.NextCycle); err != nil {
+			return res, err
+		}
+		if !(b.RootCopy || b.Node == p.t.Root()) {
 			return res, fmt.Errorf("sim: cycle start does not hold the root (got %v)", b.Node)
 		}
 	}
 	descentStart := now
+	res.Metrics.ProbeWait = descentStart - arrival
 
 	intersects := func(id tree.ID) bool {
 		l, h, ok := p.t.KeyRange(id)
@@ -88,7 +95,7 @@ func (p *Program) QueryRange(arrival int, lo, hi int64, pw Power) (RangeResult, 
 	}
 
 	guard := 0
-	maxReads := p.t.NumNodes() * (p.cycleLen + 2) // generous safety bound
+	maxReads := p.t.NumNodes()*(p.cycleLen+2) + fc.budget() // generous safety bound
 	for q.Len() > 0 {
 		next := q.Pop()
 		// Single receiver: if the slot already passed while we were
@@ -101,8 +108,19 @@ func (p *Program) QueryRange(arrival int, lo, hi int64, pw Power) (RangeResult, 
 			return res, fmt.Errorf("sim: range query did not terminate")
 		}
 		now = next.at
-		bucket := p.buckets[next.channel-1][p.slotInCycle(now)-1]
 		res.Metrics.TuningTime++
+		if o := fc.Model.At(next.channel, next.at); o == fault.Drop || o == fault.Corrupt {
+			// Nothing usable this slot: re-schedule the same read; the
+			// catch-up bump above lands it one cycle later.
+			res.Metrics.Retries++
+			if res.Metrics.Retries > fc.budget() {
+				return res, fmt.Errorf("sim: channel %d slot %d: %w after %d redundant wake-ups",
+					next.channel, next.at, fault.ErrRetryBudget, res.Metrics.Retries-1)
+			}
+			q.Push(pending{at: now, channel: next.channel, target: next.target})
+			continue
+		}
+		bucket := p.buckets[next.channel-1][p.slotInCycle(now)-1]
 		if bucket.Node != next.target {
 			return res, fmt.Errorf("sim: range pointer to %s found %v",
 				p.t.Label(next.target), bucket.Node)

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"repro/internal/alloc"
+	"repro/internal/fault"
 	"repro/internal/tree"
 )
 
@@ -164,10 +165,39 @@ type Metrics struct {
 	DataWait int
 	// AccessTime = ProbeWait + DataWait: arrival to data in hand.
 	AccessTime int
-	// TuningTime is the number of buckets read (receiver active).
+	// TuningTime is the number of buckets read (receiver active),
+	// including redundant wake-ups that yielded a lost or corrupt frame.
 	TuningTime int
+	// Retries counts redundant wake-ups on a lossy channel: reads that
+	// returned nothing usable, each answered by re-tuning to the same
+	// (channel, slot) in the next broadcast cycle. Zero on a perfect
+	// medium.
+	Retries int
 	// Energy = Active·TuningTime + Doze·(AccessTime − TuningTime).
 	Energy float64
+}
+
+// DefaultMaxRetries is the per-query retry budget when FaultConfig does
+// not set one. It bounds how many lost cycles a client will chase before
+// giving up with fault.ErrRetryBudget.
+const DefaultMaxRetries = 32
+
+// FaultConfig subjects a query to a lossy channel: every bucket read
+// draws an outcome from the model, and a lost or corrupt read is retried
+// at the same cycle slot one full cycle later, up to MaxRetries per query.
+type FaultConfig struct {
+	// Model is the seeded per-slot fault distribution; the zero Model is
+	// a perfect channel.
+	Model fault.Model
+	// MaxRetries bounds redundant wake-ups per query (0 = DefaultMaxRetries).
+	MaxRetries int
+}
+
+func (fc FaultConfig) budget() int {
+	if fc.MaxRetries <= 0 {
+		return DefaultMaxRetries
+	}
+	return fc.MaxRetries
 }
 
 func (m *Metrics) finish(pw Power) {
@@ -187,13 +217,21 @@ func (p *Program) slotInCycle(t int) int { return t%p.cycleLen + 1 }
 // arrival mod CycleLen). It uses only bucket pointers — never the tree
 // structure directly — so it exercises the compiled program end to end.
 func (p *Program) Query(arrival int, target tree.ID, pw Power) (Metrics, error) {
+	return p.QueryFaulty(arrival, target, pw, FaultConfig{})
+}
+
+// QueryFaulty is Query over a lossy channel: every read draws from the
+// fault model, lost/corrupt reads are retried on the next cycle, and the
+// returned Metrics include the redundant wake-ups. It fails with an error
+// wrapping fault.ErrRetryBudget when the budget runs out.
+func (p *Program) QueryFaulty(arrival int, target tree.ID, pw Power, fc FaultConfig) (Metrics, error) {
 	if arrival < 0 {
 		return Metrics{}, fmt.Errorf("sim: negative arrival %d", arrival)
 	}
 	if !p.t.IsData(target) {
 		return Metrics{}, fmt.Errorf("sim: target %s is not a data node", p.t.Label(target))
 	}
-	m, _, err := p.run(arrival, func(b Bucket) (tree.ID, bool) {
+	m, _, err := p.run(arrival, fc, func(b Bucket) (tree.ID, bool) {
 		if b.Node == target {
 			return tree.None, true
 		}
@@ -214,10 +252,15 @@ func (p *Program) Query(arrival int, target tree.ID, pw Power) (Metrics, error) 
 // found is false when no item carries the key; the client still pays the
 // descent to the deepest enclosing range (a negative lookup).
 func (p *Program) QueryKey(arrival int, key int64, pw Power) (Metrics, bool, error) {
+	return p.QueryKeyFaulty(arrival, key, pw, FaultConfig{})
+}
+
+// QueryKeyFaulty is QueryKey over a lossy channel; see QueryFaulty.
+func (p *Program) QueryKeyFaulty(arrival int, key int64, pw Power, fc FaultConfig) (Metrics, bool, error) {
 	if !p.t.Keyed() {
 		return Metrics{}, false, fmt.Errorf("sim: tree is not keyed")
 	}
-	m, found, err := p.run(arrival, func(b Bucket) (tree.ID, bool) {
+	m, found, err := p.run(arrival, fc, func(b Bucket) (tree.ID, bool) {
 		if b.Node != tree.None && p.t.IsData(b.Node) {
 			k, _ := p.t.Key(b.Node)
 			return tree.None, k == key
@@ -233,32 +276,57 @@ func (p *Program) QueryKey(arrival int, key int64, pw Power) (Metrics, bool, err
 	return m, found, err
 }
 
+// readAt reads the bucket transmitted on ch at the absolute slot, under
+// the fault model: a lost or corrupt transmission burns the wake-up
+// (TuningTime, Retries) and the client re-tunes to the same cycle slot
+// one full cycle later, until the per-query budget runs out. It returns
+// the slot of the successful read. This is the recovery protocol the
+// netcast client implements over real sockets, kept in lockstep so the
+// two paths report byte-identical metrics under the same seed.
+func (p *Program) readAt(m *Metrics, fc FaultConfig, ch, slot int) (int, Bucket, error) {
+	for {
+		m.TuningTime++
+		switch fc.Model.At(ch, slot) {
+		case fault.OK, fault.Stall:
+			// Stall delays wall-clock delivery, never the slot clock.
+			return slot, p.buckets[ch-1][p.slotInCycle(slot)-1], nil
+		default: // Drop, Corrupt: nothing usable was heard this slot.
+			m.Retries++
+			if m.Retries > fc.budget() {
+				return 0, Bucket{}, fmt.Errorf("sim: channel %d slot %d: %w after %d redundant wake-ups",
+					ch, slot, fault.ErrRetryBudget, m.Retries-1)
+			}
+			slot += p.cycleLen
+		}
+	}
+}
+
 // run drives the client: probe channel 1, synchronize (or start from a
 // root copy), then follow pointers chosen by descend, which returns the
 // next child to chase or done=true when the current bucket is the answer.
-func (p *Program) run(arrival int, descend func(Bucket) (next tree.ID, done bool), pw Power) (Metrics, bool, error) {
+func (p *Program) run(arrival int, fc FaultConfig, descend func(Bucket) (next tree.ID, done bool), pw Power) (Metrics, bool, error) {
 	var m Metrics
-	now := arrival // beginning of global slot `now`
-	ch := 1
-	b := p.buckets[0][p.slotInCycle(now)-1]
-	m.TuningTime++ // the initial probe read
+	// The initial probe read; on a lossy channel it may take several
+	// cycles to hear any channel-1 bucket at all.
+	now, b, err := p.readAt(&m, fc, 1, arrival)
+	if err != nil {
+		return m, false, err
+	}
 
 	descentStart := now
-	switch {
-	case b.RootCopy || (b.Node != tree.None && b.Node == p.t.Root()):
-		// Lucky probe: the first bucket read already holds the root.
-		m.ProbeWait = 0
-	default:
+	if !(b.RootCopy || (b.Node != tree.None && b.Node == p.t.Root())) {
 		// Doze until the next cycle start, then read the root bucket.
-		m.ProbeWait = b.NextCycle
-		now += b.NextCycle
+		if now, b, err = p.readAt(&m, fc, 1, now+b.NextCycle); err != nil {
+			return m, false, err
+		}
 		descentStart = now
-		b = p.buckets[0][p.slotInCycle(now)-1]
-		m.TuningTime++
-		if b.Node != p.t.Root() {
+		if !(b.RootCopy || b.Node == p.t.Root()) {
 			return m, false, fmt.Errorf("sim: cycle start does not hold the root (got %v)", b.Node)
 		}
 	}
+	// ProbeWait is everything before the root bucket the descent started
+	// from — including whole cycles lost to unreadable probes.
+	m.ProbeWait = descentStart - arrival
 
 	for hops := 0; hops <= p.t.NumNodes()+1; hops++ {
 		next, done := descend(b)
@@ -283,13 +351,12 @@ func (p *Program) run(arrival int, descend func(Bucket) (next tree.ID, done bool
 		if ptr == nil {
 			return m, false, fmt.Errorf("sim: bucket %v has no pointer to %s", b.Node, p.t.Label(next))
 		}
-		now += ptr.Offset
-		ch = ptr.Channel
-		b = p.buckets[ch-1][p.slotInCycle(now)-1]
-		m.TuningTime++
+		if now, b, err = p.readAt(&m, fc, ptr.Channel, now+ptr.Offset); err != nil {
+			return m, false, err
+		}
 		if b.Node != next {
 			return m, false, fmt.Errorf("sim: pointer to %s found %v at channel %d slot %d",
-				p.t.Label(next), b.Node, ch, p.slotInCycle(now))
+				p.t.Label(next), b.Node, ptr.Channel, p.slotInCycle(now))
 		}
 	}
 	return m, false, fmt.Errorf("sim: descent did not terminate")
@@ -298,12 +365,23 @@ func (p *Program) run(arrival int, descend func(Bucket) (next tree.ID, done bool
 // Summary aggregates weighted-average metrics over arrivals and targets.
 type Summary struct {
 	ProbeWait, DataWait, AccessTime, TuningTime, Energy float64
+	// Retries is the expected number of redundant wake-ups per query
+	// (zero on a perfect medium).
+	Retries float64
 }
 
 // Evaluate computes the exact expected metrics of the program: a query
 // arrives uniformly at every cycle phase and requests data node D with
 // probability W(D)/ΣW. All averages are exact sums, not samples.
 func Evaluate(p *Program, pw Power) (Summary, error) {
+	return EvaluateFaulty(p, pw, FaultConfig{})
+}
+
+// EvaluateFaulty is Evaluate over one seeded realization of the lossy
+// channel: the same weighted average, with every query paying the
+// deterministic per-slot losses of fc.Model. Averaging over several model
+// seeds approximates the expectation over channel noise.
+func EvaluateFaulty(p *Program, pw Power, fc FaultConfig) (Summary, error) {
 	var s Summary
 	total := p.t.TotalWeight()
 	if total == 0 {
@@ -313,7 +391,7 @@ func Evaluate(p *Program, pw Power) (Summary, error) {
 	for _, d := range p.t.DataIDs() {
 		w := p.t.Weight(d) / total
 		for a := 0; a < p.cycleLen; a++ {
-			m, err := p.Query(a, d, pw)
+			m, err := p.QueryFaulty(a, d, pw, fc)
 			if err != nil {
 				return s, err
 			}
@@ -321,6 +399,7 @@ func Evaluate(p *Program, pw Power) (Summary, error) {
 			s.DataWait += w * float64(m.DataWait) / phases
 			s.AccessTime += w * float64(m.AccessTime) / phases
 			s.TuningTime += w * float64(m.TuningTime) / phases
+			s.Retries += w * float64(m.Retries) / phases
 			s.Energy += w * m.Energy / phases
 		}
 	}

@@ -1,6 +1,7 @@
 package topo
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/alloc"
@@ -8,6 +9,11 @@ import (
 	"repro/internal/pqueue"
 	"repro/internal/tree"
 )
+
+// ErrExpansionLimit is the sentinel wrapped by Search when it aborts
+// after Options.MaxExpanded expansions; callers detect it with errors.Is
+// to fall back to a heuristic instead of failing outright.
+var ErrExpansionLimit = errors.New("topo: expansion limit exceeded")
 
 // state is one node of the topological tree during search.
 type state struct {
@@ -121,7 +127,7 @@ func Search(t *tree.Tree, opt Options) (*Result, error) {
 			return finish(g, cur, res)
 		}
 		if opt.MaxExpanded > 0 && res.Stats.Expanded >= opt.MaxExpanded {
-			return nil, fmt.Errorf("topo: expansion limit %d exceeded", opt.MaxExpanded)
+			return nil, fmt.Errorf("%w (limit %d)", ErrExpansionLimit, opt.MaxExpanded)
 		}
 		res.Stats.Expanded++
 

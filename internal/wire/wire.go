@@ -9,11 +9,19 @@
 // by round-trip property tests; Marshal/Unmarshal errors describe exactly
 // which field was malformed, so a corrupted broadcast fails loudly rather
 // than silently misrouting clients.
+//
+// Format version 2 trails every bucket with a CRC32-C over all preceding
+// bytes. On a noisy channel a flipped bit is therefore *detectable* — the
+// decode fails with an error wrapping ErrChecksum — and a client can treat
+// the slot as lost and catch the retransmission on the next cycle instead
+// of silently mis-routing its descent.
 package wire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"math"
 
 	"repro/internal/sim"
@@ -22,6 +30,17 @@ import (
 
 // Magic opens every bucket so stray packets are rejected immediately.
 const Magic uint16 = 0xB0CA
+
+// Version is the current frame-format version; it follows the magic so a
+// decoder can reject frames from an incompatible broadcast generation.
+const Version uint8 = 2
+
+// ErrChecksum marks a structurally plausible bucket whose CRC32 trailer
+// does not match: the frame was corrupted in flight.
+var ErrChecksum = errors.New("wire: checksum mismatch")
+
+// crcTable is the Castagnoli polynomial (hardware-accelerated CRC32-C).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Bucket kinds on the wire.
 const (
@@ -53,7 +72,10 @@ type Bucket struct {
 	Pointers  []Pointer
 }
 
-const headerSize = 2 + 1 + 1 + 2 // magic, kind, flags, nextCycle
+const (
+	headerSize = 2 + 1 + 1 + 1 + 2 // magic, version, kind, flags, nextCycle
+	crcSize    = 4                 // CRC32-C trailer
+)
 
 // Marshal encodes the bucket.
 func (b *Bucket) Marshal() ([]byte, error) {
@@ -66,8 +88,9 @@ func (b *Bucket) Marshal() ([]byte, error) {
 	if len(b.Pointers) > math.MaxUint8 {
 		return nil, fmt.Errorf("wire: %d pointers exceed the bucket capacity", len(b.Pointers))
 	}
-	out := make([]byte, 0, headerSize+1+len(b.Label)+8+8+1+len(b.Pointers)*19)
+	out := make([]byte, 0, headerSize+1+len(b.Label)+8+8+1+len(b.Pointers)*19+crcSize)
 	out = binary.BigEndian.AppendUint16(out, Magic)
+	out = append(out, Version)
 	out = append(out, b.Kind)
 	var flags uint8
 	if b.RootCopy {
@@ -86,26 +109,36 @@ func (b *Bucket) Marshal() ([]byte, error) {
 		out = binary.BigEndian.AppendUint64(out, uint64(p.KeyLo))
 		out = binary.BigEndian.AppendUint64(out, uint64(p.KeyHi))
 	}
+	out = binary.BigEndian.AppendUint32(out, crc32.Checksum(out, crcTable))
 	return out, nil
 }
 
-// Unmarshal decodes a bucket, validating structure and length.
+// Unmarshal decodes a bucket, validating the checksum, structure and
+// length. A corrupted frame fails with an error wrapping ErrChecksum.
 func Unmarshal(data []byte) (*Bucket, error) {
-	if len(data) < headerSize {
-		return nil, fmt.Errorf("wire: %d bytes, need at least %d", len(data), headerSize)
+	if len(data) < headerSize+crcSize {
+		return nil, fmt.Errorf("wire: %d bytes, need at least %d", len(data), headerSize+crcSize)
 	}
 	if m := binary.BigEndian.Uint16(data[0:2]); m != Magic {
 		return nil, fmt.Errorf("wire: bad magic %#04x", m)
 	}
-	b := &Bucket{Kind: data[2]}
+	if v := data[2]; v != Version {
+		return nil, fmt.Errorf("wire: unsupported version %d (decoder speaks %d)", v, Version)
+	}
+	body, trailer := data[:len(data)-crcSize], data[len(data)-crcSize:]
+	if got, want := crc32.Checksum(body, crcTable), binary.BigEndian.Uint32(trailer); got != want {
+		return nil, fmt.Errorf("%w (computed %#08x, frame says %#08x)", ErrChecksum, got, want)
+	}
+	data = body
+	b := &Bucket{Kind: data[3]}
 	if b.Kind > KindData {
 		return nil, fmt.Errorf("wire: invalid kind %d", b.Kind)
 	}
-	if data[3]&^1 != 0 {
-		return nil, fmt.Errorf("wire: unknown flag bits %#02x", data[3])
+	if data[4]&^1 != 0 {
+		return nil, fmt.Errorf("wire: unknown flag bits %#02x", data[4])
 	}
-	b.RootCopy = data[3]&1 != 0
-	b.NextCycle = binary.BigEndian.Uint16(data[4:6])
+	b.RootCopy = data[4]&1 != 0
+	b.NextCycle = binary.BigEndian.Uint16(data[5:7])
 	pos := headerSize
 	need := func(n int, what string) error {
 		if len(data) < pos+n {

@@ -1,6 +1,9 @@
 package wire
 
 import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
 	"math"
 	"strings"
 	"testing"
@@ -12,6 +15,18 @@ import (
 	"repro/internal/stats"
 	"repro/internal/tree"
 )
+
+// body strips the CRC trailer from an encoded bucket.
+func body(data []byte) []byte {
+	return append([]byte{}, data[:len(data)-crcSize]...)
+}
+
+// reseal appends a fresh CRC trailer so a mutated body exercises the
+// structural validation paths rather than the checksum.
+func reseal(b []byte) []byte {
+	out := append([]byte{}, b...)
+	return binary.BigEndian.AppendUint32(out, crc32.Checksum(out, crcTable))
+}
 
 func TestRoundTripIndexBucket(t *testing.T) {
 	in := &Bucket{
@@ -88,6 +103,13 @@ func TestUnmarshalErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	index := &Bucket{Kind: KindIndex, Label: "i",
+		Pointers: []Pointer{{Channel: 1, Offset: 1}}}
+	indexData, err := index.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexBody := body(indexData)
 	cases := []struct {
 		name string
 		data []byte
@@ -95,28 +117,19 @@ func TestUnmarshalErrors(t *testing.T) {
 		{"empty", nil},
 		{"short header", good[:3]},
 		{"bad magic", append([]byte{0, 0}, good[2:]...)},
-		{"bad kind", mutate(good, 2, 9)},
-		{"truncated label", good[:7]},
-		{"truncated pointers", func() []byte {
-			b := &Bucket{Kind: KindIndex, Label: "i",
-				Pointers: []Pointer{{Channel: 1, Offset: 1}}}
-			d, _ := b.Marshal()
-			return d[:len(d)-5]
-		}()},
-		{"trailing bytes", append(append([]byte{}, good...), 0xFF)},
+		{"bad version", reseal(mutate(body(good), 2, 9))},
+		{"bad checksum", mutate(good, 8, good[8]^0xFF)},
+		{"bad kind", reseal(mutate(body(good), 3, 9))},
+		{"unknown flags", reseal(mutate(body(good), 4, 0xF0))},
+		{"truncated label", reseal(body(good)[:headerSize+1])},
+		{"truncated pointers", reseal(indexBody[:len(indexBody)-5])},
+		{"trailing bytes", reseal(append(append([]byte{}, body(good)...), 0xFF))},
 		{"zero channel pointer", func() []byte {
-			b := &Bucket{Kind: KindIndex, Label: "i",
-				Pointers: []Pointer{{Channel: 1, Offset: 1}}}
-			d, _ := b.Marshal()
-			d[len(d)-19] = 0 // channel byte of the only pointer
-			return d
+			return reseal(mutate(indexBody, len(indexBody)-19, 0)) // channel byte
 		}()},
 		{"zero offset pointer", func() []byte {
-			b := &Bucket{Kind: KindIndex, Label: "i",
-				Pointers: []Pointer{{Channel: 1, Offset: 1}}}
-			d, _ := b.Marshal()
-			d[len(d)-18], d[len(d)-17] = 0, 0 // offset bytes
-			return d
+			d := mutate(indexBody, len(indexBody)-18, 0)
+			return reseal(mutate(d, len(indexBody)-17, 0)) // offset bytes
 		}()},
 	}
 	for _, c := range cases {
@@ -125,13 +138,49 @@ func TestUnmarshalErrors(t *testing.T) {
 		}
 	}
 	// NaN weight is rejected.
-	nan := append([]byte{}, good...)
-	// weight sits after header(6) + labelLen(1) + label(1) + key(8)
+	nan := body(good)
+	// weight sits after header(7) + labelLen(1) + label(1) + key(8)
 	for i := 0; i < 8; i++ {
-		nan[6+1+1+8+i] = 0xFF
+		nan[7+1+1+8+i] = 0xFF
 	}
-	if _, err := Unmarshal(nan); err == nil {
+	if _, err := Unmarshal(reseal(nan)); err == nil {
 		t.Error("want error for NaN weight")
+	}
+}
+
+// TestEveryBitFlipDetected flips each bit of an encoded bucket in turn and
+// asserts the decoder rejects every corrupted frame — the CRC property the
+// lossy-channel recovery protocol relies on.
+func TestEveryBitFlipDetected(t *testing.T) {
+	in := &Bucket{Kind: KindIndex, Label: "I3", NextCycle: 7,
+		Pointers: []Pointer{{Channel: 2, Offset: 5, KeyLo: 10, KeyHi: 42}}}
+	data, err := in.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bit := 0; bit < len(data)*8; bit++ {
+		flipped := append([]byte{}, data...)
+		flipped[bit/8] ^= 1 << (bit % 8)
+		if _, err := Unmarshal(flipped); err == nil {
+			t.Fatalf("bit flip at %d went undetected", bit)
+		}
+	}
+}
+
+// TestChecksumSentinel: an in-flight corruption of a structurally valid
+// frame surfaces as ErrChecksum, distinguishable via errors.Is.
+func TestChecksumSentinel(t *testing.T) {
+	good, err := (&Bucket{Kind: KindData, Label: "d", Weight: 1}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := mutate(good, len(good)-crcSize-1, good[len(good)-crcSize-1]^0x10)
+	_, err = Unmarshal(corrupt)
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("want ErrChecksum, got %v", err)
+	}
+	if _, err := Unmarshal(good); err != nil {
+		t.Fatalf("pristine frame rejected: %v", err)
 	}
 }
 

@@ -5,12 +5,13 @@
 #   vet       go vet ./...
 #   test      go test ./...          (tier-1: the full unit/property suite)
 #   race      go test -race ./...    (parallel-harness and pool safety)
-#   perf      bcast-bench -exp perf  (short run; writes BENCH_pr1.json)
+#   fuzz      scripts/fuzz.sh        (every fuzz target, 5s each)
+#   perf      bcast-bench -exp perf  (short run; writes BENCH_pr2.json)
 #
 # Usage: scripts/check.sh [bench-json-path]
 set -eu
 
-out="${1:-BENCH_pr1.json}"
+out="${1:-BENCH_pr2.json}"
 
 echo "== build =="
 go build ./...
@@ -23,6 +24,9 @@ go test ./...
 
 echo "== race =="
 go test -race ./...
+
+echo "== fuzz =="
+sh scripts/fuzz.sh 5s
 
 echo "== perf =="
 go run ./cmd/bcast-bench -exp perf -trials 3 -json "$out"

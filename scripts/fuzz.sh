@@ -1,0 +1,28 @@
+#!/bin/sh
+# fuzz.sh — run every Go fuzz target in the module for a short burst.
+#
+# Discovers Fuzz* functions package by package and runs each under
+# `go test -fuzz` for FUZZTIME (default 5s). Any crasher fails the script
+# (and leaves its input under the package's testdata/fuzz corpus).
+#
+# Usage: scripts/fuzz.sh [fuzztime]
+set -eu
+
+fuzztime="${1:-5s}"
+
+found=0
+for pkg in $(go list ./...); do
+	targets=$(go test -list '^Fuzz' "$pkg" | grep '^Fuzz' || true)
+	[ -z "$targets" ] && continue
+	for target in $targets; do
+		found=1
+		echo "== fuzz $pkg.$target ($fuzztime) =="
+		go test -run '^$' -fuzz "^${target}\$" -fuzztime "$fuzztime" "$pkg"
+	done
+done
+
+if [ "$found" = 0 ]; then
+	echo "fuzz: no fuzz targets found" >&2
+	exit 1
+fi
+echo "fuzz: all targets survived $fuzztime"
