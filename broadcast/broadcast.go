@@ -165,6 +165,10 @@ func (s *Schedule) DataWait() float64 { return s.Alloc.DataWait() }
 // CycleLen returns the broadcast cycle length in slots.
 func (s *Schedule) CycleLen() int { return s.program.CycleLen() }
 
+// Program returns the compiled broadcast program the schedule serves —
+// what a tower encodes onto the wire (or stages as the next epoch).
+func (s *Schedule) Program() *sim.Program { return s.program }
+
 // Query simulates a client that arrives at the given global slot and
 // retrieves the data node target.
 func (s *Schedule) Query(arrival int, target ID, pw Power) (Metrics, error) {
@@ -201,6 +205,9 @@ type AverageMetrics struct {
 	// Retries is the expected number of redundant wake-ups per query;
 	// zero unless the schedule is measured under a lossy channel.
 	Retries float64
+	// Restarts is the expected number of epoch-swap descent restarts per
+	// query; zero for a static schedule.
+	Restarts float64
 }
 
 // ItemMetrics is one item's exact expected client cost under the

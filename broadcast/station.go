@@ -47,13 +47,20 @@ type Station struct {
 	est    *hotset.Estimator
 	labels map[int64]string
 
-	mu       sync.Mutex
-	hot      []hotset.HotKey
+	mu  sync.Mutex
+	hot []hotset.HotKey
+	// hotKeys indexes s.hot so the per-request Record/OnAir checks are
+	// O(1) instead of a scan of the hot set.
+	hotKeys  map[int64]struct{}
 	sched    *Schedule
 	rebuilds int
 	hits     int
 	misses   int
 }
+
+// HotKey is one selected item of a station's hot set: its key and the
+// decayed demand estimate that put it on the air.
+type HotKey = hotset.HotKey
 
 // NewStation creates a station over the given key universe. The items'
 // weights seed the demand estimator so the first period starts from the
@@ -89,9 +96,12 @@ func NewStation(universe []Item, cfg StationConfig) (*Station, error) {
 			est.Record(it.Key)
 		}
 	}
-	if err := s.rebuild(); err != nil {
+	sel, _ := est.Select(cfg.HotSize)
+	sched, err := s.PlanSelection(sel)
+	if err != nil {
 		return nil, err
 	}
+	s.Install(sel, sched)
 	return s, nil
 }
 
@@ -101,11 +111,9 @@ func (s *Station) Record(key int64) (onAir bool) {
 	s.est.Record(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, h := range s.hot {
-		if h.Key == key {
-			s.hits++
-			return true
-		}
+	if _, ok := s.hotKeys[key]; ok {
+		s.hits++
+		return true
 	}
 	s.misses++
 	return false
@@ -114,31 +122,50 @@ func (s *Station) Record(key int64) (onAir bool) {
 // EndPeriod closes one broadcast period: demand decays, the hot set is
 // re-selected, and the broadcast is rebuilt when at least MinChurn items
 // changed. It reports whether a rebuild happened and the new selection's
-// demand coverage.
+// demand coverage. The rebuilt broadcast carries exactly the selection
+// that passed the churn check — the selection is threaded through
+// PlanSelection/Install rather than re-drawn.
+//
+// EndPeriod is the synchronous composition of the three phases a live
+// tower runs separately: ClosePeriod (decay + select), PlanSelection
+// (solve, possibly in a background planner goroutine) and Install (swap
+// the result in).
 func (s *Station) EndPeriod() (rebuilt bool, coverage float64, err error) {
-	s.est.Tick()
-	next, coverage := s.est.Select(s.cfg.HotSize)
+	next, coverage := s.ClosePeriod()
 	s.mu.Lock()
 	churn := hotset.Churn(s.hot, next)
 	s.mu.Unlock()
 	if churn < s.cfg.MinChurn {
 		return false, coverage, nil
 	}
-	if err := s.rebuild(); err != nil {
+	sched, err := s.PlanSelection(next)
+	if err != nil {
 		return false, coverage, err
 	}
+	s.Install(next, sched)
 	return true, coverage, nil
 }
 
-// rebuild selects the hot set and re-optimizes the broadcast.
-func (s *Station) rebuild() error {
-	hot, _ := s.est.Select(s.cfg.HotSize)
-	if len(hot) == 0 {
-		return fmt.Errorf("broadcast: no demand tracked; nothing to put on air")
+// ClosePeriod ages the demand counters and selects the next period's hot
+// set, returning it with its demand coverage. It does not touch the
+// broadcast — pass the selection to PlanSelection/Install (or let
+// EndPeriod do all three).
+func (s *Station) ClosePeriod() ([]HotKey, float64) {
+	s.est.Tick()
+	return s.est.Select(s.cfg.HotSize)
+}
+
+// PlanSelection re-optimizes the broadcast for exactly the given
+// selection. It mutates no station state, so a live tower can run it in
+// a background planner goroutine while the current schedule stays on the
+// air; sel is sorted by key in place.
+func (s *Station) PlanSelection(sel []HotKey) (*Schedule, error) {
+	if len(sel) == 0 {
+		return nil, fmt.Errorf("broadcast: no demand tracked; nothing to put on air")
 	}
-	sort.Slice(hot, func(i, j int) bool { return hot[i].Key < hot[j].Key })
-	items := make([]Item, len(hot))
-	for i, h := range hot {
+	sort.Slice(sel, func(i, j int) bool { return sel[i].Key < sel[j].Key })
+	items := make([]Item, len(sel))
+	for i, h := range sel {
 		label := s.labels[h.Key]
 		if label == "" {
 			label = fmt.Sprintf("key-%d", h.Key)
@@ -151,23 +178,28 @@ func (s *Station) rebuild() error {
 	}
 	t, err := NewCatalogTree(items, s.cfg.Fanout)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	sched, err := Optimize(t, Options{
+	return Optimize(t, Options{
 		Channels:        s.cfg.Channels,
 		Polish:          true,
 		MaxExpanded:     s.cfg.MaxExpanded,
 		FallbackOnLimit: true,
 	})
-	if err != nil {
-		return err
+}
+
+// Install puts a planned schedule on the air for the given selection.
+func (s *Station) Install(sel []HotKey, sched *Schedule) {
+	keys := make(map[int64]struct{}, len(sel))
+	for _, h := range sel {
+		keys[h.Key] = struct{}{}
 	}
 	s.mu.Lock()
-	s.hot = hot
+	s.hot = sel
+	s.hotKeys = keys
 	s.sched = sched
 	s.rebuilds++
 	s.mu.Unlock()
-	return nil
 }
 
 // Schedule returns the current broadcast schedule.
@@ -181,12 +213,8 @@ func (s *Station) Schedule() *Schedule {
 func (s *Station) OnAir(key int64) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, h := range s.hot {
-		if h.Key == key {
-			return true
-		}
-	}
-	return false
+	_, ok := s.hotKeys[key]
+	return ok
 }
 
 // Stats returns lifetime counters: broadcast hits, on-demand misses, and

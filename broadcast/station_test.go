@@ -184,3 +184,88 @@ func TestStationSurvivesExpansionCap(t *testing.T) {
 		t.Fatalf("hot key lookup on fallback schedule: found=%v err=%v", found, err)
 	}
 }
+
+// TestStationInstallsChurnCheckedSelection pins the selection
+// pass-through: the broadcast that goes on the air is built from exactly
+// the selection that passed the churn check, even if demand keeps moving
+// between selection and planning (the old code re-selected inside the
+// rebuild and could install a diverged hot set).
+func TestStationInstallsChurnCheckedSelection(t *testing.T) {
+	st, err := broadcast.NewStation(universe(20), broadcast.StationConfig{
+		HotSize:  5,
+		Channels: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, coverage := st.ClosePeriod()
+	if len(sel) != 5 || coverage <= 0 {
+		t.Fatalf("selection %v coverage %v", sel, coverage)
+	}
+	want := map[int64]bool{}
+	for _, h := range sel {
+		want[h.Key] = true
+	}
+	// Demand shifts violently after the selection was drawn: a previously
+	// cold key becomes the hottest item in the universe.
+	for i := 0; i < 10000; i++ {
+		st.Record(20)
+	}
+	sched, err := st.PlanSelection(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Install(sel, sched)
+
+	for key := int64(1); key <= 20; key++ {
+		if st.OnAir(key) != want[key] {
+			t.Fatalf("key %d: onAir=%v, selection says %v — installed set diverged",
+				key, st.OnAir(key), want[key])
+		}
+	}
+	// The installed schedule's catalog is the selection too.
+	tr := st.Schedule().Program().Tree()
+	for _, d := range tr.DataIDs() {
+		k, _ := tr.Key(d)
+		if !want[k] {
+			t.Fatalf("schedule carries key %d outside the selection", k)
+		}
+	}
+}
+
+// TestStationRecordUsesKeyIndex: hits/misses agree with OnAir for every
+// key (the O(1) key-set index and the hot slice never diverge).
+func TestStationRecordHitMissConsistent(t *testing.T) {
+	st, err := broadcast.NewStation(universe(12), broadcast.StationConfig{
+		HotSize: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, m0, _ := st.Stats()
+	wantHits, wantMisses := h0, m0
+	for key := int64(1); key <= 14; key++ {
+		onAir := st.OnAir(key)
+		if got := st.Record(key); got != onAir {
+			t.Fatalf("key %d: Record=%v OnAir=%v", key, got, onAir)
+		}
+		if onAir {
+			wantHits++
+		} else {
+			wantMisses++
+		}
+	}
+	hits, misses, _ := st.Stats()
+	if hits != wantHits || misses != wantMisses {
+		t.Fatalf("hits/misses %d/%d, want %d/%d", hits, misses, wantHits, wantMisses)
+	}
+	if _, _, err := st.EndPeriod(); err != nil {
+		t.Fatal(err)
+	}
+	// The index tracks the install: every hot key still reports a hit.
+	for key := int64(1); key <= 12; key++ {
+		if st.OnAir(key) != st.Record(key) {
+			t.Fatalf("key %d: index diverged after rebuild", key)
+		}
+	}
+}

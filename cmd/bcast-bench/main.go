@@ -38,7 +38,7 @@ type options struct {
 
 func main() {
 	var opt options
-	flag.StringVar(&opt.exp, "exp", "all", "experiment: table1 | fig14 | fig14multi | fig2 | channels | pruning | heuristics | sim | treeshape | replication | largescale | loss | perf | all")
+	flag.StringVar(&opt.exp, "exp", "all", "experiment: table1 | fig14 | fig14multi | fig2 | channels | pruning | heuristics | sim | treeshape | replication | largescale | loss | adapt | perf | all")
 	flag.IntVar(&opt.trials, "trials", 0, "trial count override (0 = experiment default)")
 	flag.Int64Var(&opt.seed, "seed", 1, "random seed")
 	flag.IntVar(&opt.maxM, "max-m", 5, "largest fanout for table1 (6 takes minutes)")
@@ -171,6 +171,16 @@ func run(opt options, w io.Writer) error {
 			}
 			return experiment.RenderLoss(w, rows)
 		},
+		"adapt": func() error {
+			fmt.Fprintln(w, "== A9: demand drift vs rebuild cadence (epoch hot swap) ==")
+			rows, err := experiment.AdaptSweep(experiment.AdaptConfig{
+				Seed: opt.seed, Workers: opt.workers,
+			})
+			if err != nil {
+				return err
+			}
+			return experiment.RenderAdapt(w, rows)
+		},
 		"perf": func() error {
 			fmt.Fprintln(w, "== Perf: search engines and experiment harness ==")
 			report, err := experiment.Perf(experiment.PerfConfig{
@@ -197,7 +207,7 @@ func run(opt options, w io.Writer) error {
 		},
 	}
 	if opt.exp == "all" {
-		for _, name := range []string{"fig2", "table1", "fig14", "fig14multi", "channels", "pruning", "heuristics", "sim", "treeshape", "replication", "largescale", "loss"} {
+		for _, name := range []string{"fig2", "table1", "fig14", "fig14multi", "channels", "pruning", "heuristics", "sim", "treeshape", "replication", "largescale", "loss", "adapt"} {
 			if err := runners[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

@@ -23,7 +23,9 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"repro/internal/alphatree"
 	"repro/internal/core"
+	"repro/internal/epoch"
 	"repro/internal/fault"
 	"repro/internal/netcast"
 	"repro/internal/sim"
@@ -41,6 +43,12 @@ type liveOpts struct {
 	drop, corrupt, stall float64
 	// retries bounds redundant wake-ups per lookup (0 = the default).
 	retries int
+	// swap, when positive, stages a re-optimized epoch-2 program (same
+	// keys, rotated weights) once the broadcast clock reaches that slot;
+	// the tower hot-swaps it at the next cycle boundary and every client
+	// is cross-checked against the adaptive analytic simulator instead,
+	// including its Restarts count.
+	swap int
 }
 
 func main() {
@@ -55,6 +63,7 @@ func main() {
 	flag.Float64Var(&opt.corrupt, "corrupt", 0, "per-slot bit-corruption probability")
 	flag.Float64Var(&opt.stall, "stall", 0, "per-slot delivery stall probability")
 	flag.IntVar(&opt.retries, "retries", 0, "retry budget per lookup (0 = default)")
+	flag.IntVar(&opt.swap, "swap", 0, "stage a rebuilt epoch-2 program at this slot and hot-swap it on air (0 = static broadcast)")
 	flag.Parse()
 	if err := run(*in, opt, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "bcast-live:", err)
@@ -84,9 +93,14 @@ func run(in string, opt liveOpts, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	prog, err := sim.Compile(sol.Alloc, sim.Options{})
+	// Root copies make the first channel's idle slots useful and give the
+	// hot-swap demo the boundary-straddling descents that restart.
+	prog, err := sim.Compile(sol.Alloc, sim.Options{FillWithRootCopies: opt.swap > 0})
 	if err != nil {
 		return err
+	}
+	if opt.swap > 0 {
+		return runAdaptive(t, prog, opt, w)
 	}
 
 	model := fault.Model{Seed: opt.seed, Drop: opt.drop, Corrupt: opt.corrupt, Stall: opt.stall}
@@ -192,5 +206,166 @@ func run(in string, opt liveOpts, w io.Writer) error {
 		return fmt.Errorf("%d of %d clients diverged from the simulator", failures, opt.clients)
 	}
 	fmt.Fprintf(w, "\nall %d live lookups matched the analytic simulator exactly\n", opt.clients)
+	return nil
+}
+
+// rebuildRotated re-optimizes the same catalog under rotated demand: each
+// key inherits its successor's weight, the shifting-popularity workload a
+// real tower re-plans for. Keys and channel count are unchanged, so the
+// epoch-2 tree is a legal hot-swap target.
+func rebuildRotated(t *tree.Tree, channels int) (*sim.Program, error) {
+	ids := t.DataIDs()
+	items := make([]alphatree.Item, len(ids))
+	for i, id := range ids {
+		key, _ := t.Key(id)
+		items[i] = alphatree.Item{Label: t.Label(id), Key: key, Weight: t.Weight(id)}
+	}
+	weights := make([]float64, len(items))
+	for i := range items {
+		weights[i] = items[(i+1)%len(items)].Weight
+	}
+	for i := range items {
+		items[i].Weight = weights[i]
+	}
+	next, err := alphatree.HuTucker(items)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := core.Solve(next, core.Config{Channels: channels})
+	if err != nil {
+		return nil, err
+	}
+	return sim.Compile(sol.Alloc, sim.Options{FillWithRootCopies: true})
+}
+
+// runAdaptive serves the epoch-versioned broadcast: prog airs as epoch 1,
+// a rebuilt program is staged once the clock reaches opt.swap, the tower
+// swaps it in at the next cycle boundary, and every client — whose
+// descent may straddle the swap and restart — is cross-checked against
+// the adaptive analytic simulator, Restarts included.
+func runAdaptive(t *tree.Tree, prog *sim.Program, opt liveOpts, w io.Writer) error {
+	prog2, err := rebuildRotated(t, opt.k)
+	if err != nil {
+		return err
+	}
+	tl, err := sim.NewTimeline(prog, 1)
+	if err != nil {
+		return err
+	}
+	swapSlot, err := tl.Append(prog2, 2, opt.swap)
+	if err != nil {
+		return err
+	}
+
+	model := fault.Model{Seed: opt.seed, Drop: opt.drop, Corrupt: opt.corrupt, Stall: opt.stall}
+	fc := sim.FaultConfig{Model: model, MaxRetries: opt.retries}
+	reg, err := epoch.NewRegistry(prog)
+	if err != nil {
+		return err
+	}
+	server, err := netcast.NewAdaptiveServer(reg, netcast.ServerOptions{
+		Faults:   model,
+		StallFor: time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer server.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	server.Serve(ln)
+	fmt.Fprintf(w, "broadcasting %d nodes over %d channels at %s (epoch 1, cycle %d slots)\n",
+		t.NumNodes(), opt.k, ln.Addr(), prog.CycleLen())
+	fmt.Fprintf(w, "hot swap: epoch 2 (cycle %d slots) staged at slot %d, lands at cycle boundary %d\n",
+		prog2.CycleLen(), opt.swap, swapSlot)
+	if model.Enabled() {
+		fmt.Fprintf(w, "lossy medium: drop %.2f, corrupt %.2f, stall %.2f (seed %d)\n",
+			opt.drop, opt.corrupt, opt.stall, opt.seed)
+	}
+	fmt.Fprintln(w)
+
+	power := sim.Power{Active: 1, Doze: 0.05}
+	rng := stats.NewRNG(opt.seed)
+	dataIDs := t.DataIDs()
+
+	type outcome struct {
+		idx     int
+		arrival int
+		key     int64
+		found   bool
+		m       sim.Metrics
+		want    sim.Metrics
+		err     error
+		wantErr error
+	}
+	done := make(chan outcome, opt.clients)
+	for i := 0; i < opt.clients; i++ {
+		key, _ := t.Key(dataIDs[rng.Intn(len(dataIDs))])
+		// Arrivals cluster around the swap so descents straddle it.
+		arrival := rng.Intn(swapSlot + 2*prog2.CycleLen())
+		want, _, wantErr := tl.QuerySwitch(arrival, key, power, fc)
+		if wantErr != nil && !errors.Is(wantErr, fault.ErrRetryBudget) {
+			return wantErr
+		}
+		go func(idx, arrival int, key int64, want sim.Metrics, wantErr error) {
+			c, err := netcast.Dial(ln.Addr().String())
+			if err != nil {
+				done <- outcome{idx: idx, err: err}
+				return
+			}
+			defer c.Close()
+			c.MaxRetries = opt.retries
+			found, _, m, err := c.Lookup(arrival, key, power)
+			done <- outcome{idx, arrival, key, found, m, want, err, wantErr}
+		}(i, arrival, key, want, wantErr)
+	}
+
+	go func() {
+		server.AwaitConns(opt.clients)
+		server.Run(opt.swap)
+		if _, err := reg.Stage(prog2); err != nil {
+			return
+		}
+		budget := opt.retries
+		if budget <= 0 {
+			budget = sim.DefaultMaxRetries
+		}
+		server.Run(swapSlot - opt.swap + (2*(opt.clients+2)+budget+8)*(prog.CycleLen()+prog2.CycleLen()))
+	}()
+
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "client\tarrival\tkey\tfound\taccess\ttuning\tretries\trestarts\tenergy\tmatches simulator")
+	failures, restarts := 0, 0
+	for i := 0; i < opt.clients; i++ {
+		o := <-done
+		if o.err != nil {
+			if errors.Is(o.err, fault.ErrRetryBudget) && errors.Is(o.wantErr, fault.ErrRetryBudget) {
+				fmt.Fprintf(tw, "%d\t%d\t%d\t-\t-\t-\t-\t-\t-\tbudget exhausted (as predicted)\n",
+					o.idx, o.arrival, o.key)
+				continue
+			}
+			return fmt.Errorf("client %d: %w", o.idx, o.err)
+		}
+		if o.wantErr != nil {
+			return fmt.Errorf("client %d: simulator predicted %v but the socket lookup succeeded", o.idx, o.wantErr)
+		}
+		match := o.m == o.want
+		if !match {
+			failures++
+		}
+		restarts += o.m.Restarts
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%v\t%d\t%d\t%d\t%d\t%.2f\t%v\n",
+			o.idx, o.arrival, o.key, o.found, o.m.AccessTime, o.m.TuningTime, o.m.Retries, o.m.Restarts, o.m.Energy, match)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d of %d clients diverged from the adaptive simulator", failures, opt.clients)
+	}
+	fmt.Fprintf(w, "\nswaps landed: %d; %d descent restarts; all %d live lookups matched the adaptive simulator exactly\n",
+		server.Swaps(), restarts, opt.clients)
 	return nil
 }

@@ -87,6 +87,39 @@ func TestLiveLossyEndToEnd(t *testing.T) {
 	}
 }
 
+func TestLiveHotSwapEndToEnd(t *testing.T) {
+	var sb strings.Builder
+	opt := liveOpts{k: 3, clients: 6, seed: 1, swap: 5}
+	if err := run(catalogFile(t, 10), opt, &sb); err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "hot swap: epoch 2") {
+		t.Fatalf("missing swap banner:\n%s", out)
+	}
+	if !strings.Contains(out, "swaps landed: 1") {
+		t.Fatalf("the staged epoch never landed (or landed twice):\n%s", out)
+	}
+	if !strings.Contains(out, "all 6 live lookups matched the adaptive simulator exactly") {
+		t.Fatalf("missing success line:\n%s", out)
+	}
+}
+
+func TestLiveHotSwapLossy(t *testing.T) {
+	var sb strings.Builder
+	opt := liveOpts{k: 3, clients: 5, seed: 7, swap: 5, drop: 0.2, corrupt: 0.1, retries: 64}
+	if err := run(catalogFile(t, 10), opt, &sb); err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "lossy medium") {
+		t.Fatalf("missing fault banner:\n%s", out)
+	}
+	if !strings.Contains(out, "all 5 live lookups matched the adaptive simulator exactly") {
+		t.Fatalf("missing success line:\n%s", out)
+	}
+}
+
 func TestLiveBudgetExhaustionAgrees(t *testing.T) {
 	var sb strings.Builder
 	opt := liveOpts{k: 1, clients: 2, seed: 4, drop: 1, retries: 3}

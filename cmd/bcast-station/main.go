@@ -4,20 +4,33 @@
 // broadcast when demand drifts. Per period it prints the hot set, demand
 // coverage and hit ratio.
 //
+// With -async the rebuild runs the way a live tower does it: each period
+// end kicks the epoch planner goroutine, the solved program is staged in
+// the epoch registry while the old broadcast stays on the air, and the
+// swap (plus the station's hot-set install) lands at the next period
+// boundary — demand adaptation with a one-period adoption lag instead of
+// a planning stall on the air path.
+//
 // Example:
 //
 //	bcast-station -universe 50 -hot 8 -k 2 -periods 12 -shift 6
+//	bcast-station -universe 50 -hot 8 -periods 12 -async
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"sync"
 	"text/tabwriter"
+	"time"
 
 	"repro/broadcast"
+	"repro/internal/epoch"
+	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -32,9 +45,16 @@ func main() {
 		theta    = flag.Float64("theta", 0.9, "zipf skew of the demand")
 		decay    = flag.Float64("decay", 0.4, "demand decay per period")
 		seed     = flag.Int64("seed", 1, "random seed")
+		async    = flag.Bool("async", false, "plan rebuilds in the background epoch planner and hot-swap at period boundaries")
 	)
 	flag.Parse()
-	if err := run(*universe, *hot, *k, *periods, *perP, *shift, *theta, *decay, *seed, os.Stdout); err != nil {
+	var err error
+	if *async {
+		err = runAsync(*universe, *hot, *k, *periods, *perP, *shift, *theta, *decay, *seed, os.Stdout)
+	} else {
+		err = run(*universe, *hot, *k, *periods, *perP, *shift, *theta, *decay, *seed, os.Stdout)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "bcast-station:", err)
 		os.Exit(1)
 	}
@@ -106,6 +126,148 @@ func run(universe, hot, k, periods, perP, shift int, theta, decay float64, seed 
 	}
 	totalHits, totalMisses, rebuilds := station.Stats()
 	fmt.Fprintf(w, "\ntotals: %d hits, %d misses, %d rebuilds\n", totalHits, totalMisses, rebuilds)
+	fmt.Fprintf(w, "final broadcast:\n%s\n", station.Schedule().Alloc)
+	return nil
+}
+
+// runAsync drives the same trace through the live-tower pipeline: the
+// station's three rebuild phases are split apart, with PlanSelection
+// running inside an epoch.Planner goroutine that stages each solved
+// program in an epoch.Registry, and the swap — registry promotion plus
+// the station's hot-set install — landing only at the next period
+// boundary, the way the netcast tower promotes epochs only at cycle
+// boundaries. The broadcast therefore never waits on a solve; the price
+// is one period of adoption lag, visible in the hit-ratio column.
+func runAsync(universe, hot, k, periods, perP, shift int, theta, decay float64, seed int64, w io.Writer) error {
+	if universe < hot {
+		return fmt.Errorf("universe %d smaller than hot set %d", universe, hot)
+	}
+	items := make([]broadcast.Item, universe)
+	for i := range items {
+		items[i] = broadcast.Item{
+			Label:  fmt.Sprintf("item-%03d", i+1),
+			Key:    int64(i + 1),
+			Weight: 1,
+		}
+	}
+	station, err := broadcast.NewStation(items, broadcast.StationConfig{
+		HotSize:  hot,
+		Channels: k,
+		Decay:    decay,
+	})
+	if err != nil {
+		return err
+	}
+
+	reg, err := epoch.NewRegistry(station.Schedule().Program())
+	if err != nil {
+		return err
+	}
+	// The planner snapshot: the selection the next build should plan for,
+	// and the schedule that build produced (installed only when its epoch
+	// is promoted).
+	type plan struct {
+		sel   []broadcast.HotKey
+		sched *broadcast.Schedule
+	}
+	var pmu sync.Mutex
+	var next []broadcast.HotKey
+	var built *plan
+	planner := epoch.NewPlanner(context.Background(), reg, func(ctx context.Context) (*sim.Program, error) {
+		pmu.Lock()
+		sel := append([]broadcast.HotKey(nil), next...)
+		pmu.Unlock()
+		sched, err := station.PlanSelection(sel)
+		if err != nil {
+			return nil, err
+		}
+		pmu.Lock()
+		built = &plan{sel: sel, sched: sched}
+		pmu.Unlock()
+		return sched.Program(), nil
+	})
+	defer planner.Close()
+
+	// awaitPlanner blocks until the kicked build has either staged or
+	// failed, so each period's table row is deterministic.
+	awaitPlanner := func(builds int) error {
+		for {
+			st, lastErr := planner.Stats()
+			if st.Staged+st.Failed >= builds {
+				if st.Failed > 0 {
+					return lastErr
+				}
+				return nil
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	rng := stats.NewRNG(seed)
+	zipfKey := func(offset int) int64 {
+		total := 0.0
+		weights := make([]float64, universe)
+		for r := 0; r < universe; r++ {
+			weights[r] = 1 / math.Pow(float64(r+1), theta)
+			total += weights[r]
+		}
+		x := rng.Float64() * total
+		for r := 0; r < universe; r++ {
+			if x -= weights[r]; x <= 0 {
+				return int64((r+offset)%universe + 1)
+			}
+		}
+		return int64(universe)
+	}
+
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "period\tepoch\tswapped\tcoverage\thit ratio\tdata wait")
+	builds := 0
+	for p := 1; p <= periods; p++ {
+		// Period boundary: promote whatever the planner staged last
+		// period and install its hot set — the tower's cycle-boundary
+		// swap, one period behind the demand that justified it.
+		entry, swapped := reg.TrySwap()
+		if swapped {
+			pmu.Lock()
+			done := built
+			pmu.Unlock()
+			station.Install(done.sel, done.sched)
+		}
+
+		offset := 0
+		if p > shift {
+			offset = universe / 2
+		}
+		hits := 0
+		for i := 0; i < perP; i++ {
+			if station.Record(zipfKey(offset)) {
+				hits++
+			}
+		}
+
+		sel, coverage := station.ClosePeriod()
+		pmu.Lock()
+		next = sel
+		pmu.Unlock()
+		planner.Request()
+		builds++
+		if err := awaitPlanner(builds); err != nil {
+			return err
+		}
+
+		fmt.Fprintf(tw, "%d\t%d\t%v\t%.1f%%\t%.1f%%\t%.3f\n",
+			p, entry.ID, swapped, 100*coverage, 100*float64(hits)/float64(perP),
+			station.Schedule().DataWait())
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	totalHits, totalMisses, rebuilds := station.Stats()
+	st, _ := planner.Stats()
+	staged, swapped := reg.Stats()
+	fmt.Fprintf(w, "\ntotals: %d hits, %d misses, %d installs; planner: %d builds, %d staged, %d failed; registry: %d staged, %d swapped\n",
+		totalHits, totalMisses, rebuilds, st.Builds, st.Staged, st.Failed, staged, swapped)
 	fmt.Fprintf(w, "final broadcast:\n%s\n", station.Schedule().Alloc)
 	return nil
 }

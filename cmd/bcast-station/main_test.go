@@ -27,3 +27,31 @@ func TestStationLoopErrors(t *testing.T) {
 		t.Fatal("want error for universe < hot")
 	}
 }
+
+func TestStationAsyncPipelinesRebuilds(t *testing.T) {
+	var sb strings.Builder
+	if err := runAsync(30, 5, 2, 8, 400, 4, 0.9, 0.4, 1, &sb); err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, sb.String())
+	}
+	out := sb.String()
+	// Every period kicks a build; the first period still airs epoch 1 and
+	// each later one airs the epoch staged the period before.
+	if !strings.Contains(out, "planner: 8 builds, 8 staged, 0 failed") {
+		t.Fatalf("planner did not stage every build:\n%s", out)
+	}
+	if !strings.Contains(out, "registry: 8 staged, 7 swapped") {
+		t.Fatalf("swaps did not trail stagings by exactly one period:\n%s", out)
+	}
+	if !strings.Contains(out, "8 installs") {
+		t.Fatalf("hot-set installs did not track the swaps:\n%s", out)
+	}
+	if !strings.Contains(out, "final broadcast:") {
+		t.Fatalf("missing final allocation:\n%s", out)
+	}
+}
+
+func TestStationAsyncErrors(t *testing.T) {
+	if err := runAsync(3, 5, 1, 2, 10, 1, 0.9, 0.4, 1, &strings.Builder{}); err == nil {
+		t.Fatal("want error for universe < hot")
+	}
+}

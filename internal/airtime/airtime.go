@@ -86,7 +86,7 @@ type Tower struct {
 // NewTower wire-encodes the program and returns a tower whose clock is at
 // slot 0.
 func NewTower(p *sim.Program) (*Tower, error) {
-	packets, err := wire.EncodeProgram(p)
+	packets, err := wire.EncodeProgram(p, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,99 @@
+package experiment
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// small keeps the A9 grid cheap enough for the race detector.
+func smallAdapt() AdaptConfig {
+	return AdaptConfig{
+		Universe: 16, HotSize: 10, Channels: 3,
+		Periods: 4, PeriodSlots: 48, Cadences: []int{0, 1, 2},
+	}
+}
+
+func TestAdaptSweepShape(t *testing.T) {
+	rows, err := AdaptSweep(smallAdapt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("got %d rows, want 3 drifts x 3 cadences", len(rows))
+	}
+	byCell := map[string]AdaptRow{}
+	for _, r := range rows {
+		byCell[r.Drift+"/"+string(rune('0'+r.Cadence))] = r
+		// Rebuild count: cadence c lands a swap at each period t in
+		// 1..Periods-1 with t%c == 0.
+		wantRebuilds := 0
+		if r.Cadence > 0 {
+			for p := 1; p < 4; p++ {
+				if p%r.Cadence == 0 {
+					wantRebuilds++
+				}
+			}
+		}
+		if r.Rebuilds != wantRebuilds {
+			t.Errorf("%s cadence %d: %d rebuilds, want %d", r.Drift, r.Cadence, r.Rebuilds, wantRebuilds)
+		}
+		if r.Cadence == 0 && r.Summary.Restarts != 0 {
+			t.Errorf("%s: restarts %v with no rebuilds", r.Drift, r.Summary.Restarts)
+		}
+		if r.HitRate <= 0 || r.HitRate > 1 {
+			t.Errorf("%s cadence %d: hit rate %v outside (0, 1]", r.Drift, r.Cadence, r.HitRate)
+		}
+		if r.StaleCost < 0 {
+			t.Errorf("%s cadence %d: negative stale cost %v", r.Drift, r.Cadence, r.StaleCost)
+		}
+	}
+	// Rebuilding must beat never-rebuilding under a moving hotspot, and
+	// the hot swaps must surface as client restarts somewhere.
+	if byCell["hotspot/1"].HitRate <= byCell["hotspot/0"].HitRate {
+		t.Errorf("hotspot: cadence 1 hit %v not above never-rebuild hit %v",
+			byCell["hotspot/1"].HitRate, byCell["hotspot/0"].HitRate)
+	}
+	var restarts float64
+	for _, r := range rows {
+		restarts += r.Summary.Restarts
+	}
+	if restarts == 0 {
+		t.Error("no client ever restarted across a swap")
+	}
+}
+
+func TestAdaptSweepParallelMatchesSerial(t *testing.T) {
+	cfg := smallAdapt()
+	cfg.Workers = 1
+	serial, err := AdaptSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	parallel, err := AdaptSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("parallel sweep diverged from serial")
+	}
+}
+
+func TestRenderAdapt(t *testing.T) {
+	rows, err := AdaptSweep(smallAdapt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RenderAdapt(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"drift", "cadence", "restarts", "hit rate", "zipf-shift", "hotspot", "flash", "never"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/epoch"
 	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/wire"
@@ -76,21 +77,51 @@ func (o ServerOptions) withDefaults() ServerOptions {
 	return o
 }
 
-// Server broadcasts one program to any number of connections.
+// Server broadcasts one program to any number of connections. A static
+// server (NewServer) broadcasts one program forever; an adaptive server
+// (NewAdaptiveServer) serves the current epoch of a registry and
+// promotes staged successors at cycle boundaries — never mid-cycle —
+// without ever skipping a broadcast slot.
 type Server struct {
-	prog    *sim.Program
-	packets [][][]byte
-	opts    ServerOptions
-	ln      net.Listener
+	opts ServerOptions
+	ln   net.Listener
+	// reg, when non-nil, is the double-buffered program store the tower
+	// swaps from at cycle boundaries.
+	reg *epoch.Registry
 
 	mu      sync.Mutex
 	cond    *sync.Cond
+	prog    *sim.Program
+	packets [][][]byte
+	// epochStart is the absolute slot the current program took the air;
+	// the on-air cycle slot is (now-epochStart) mod CycleLen + 1.
+	epochStart int
+	// spans records every epoch's start slot and cycle length so the
+	// cyclic catch-up of a re-requested past slot bumps by the cycle
+	// length of the epoch that aired it — the rule the analytic timeline
+	// simulator applies, keeping the two in lockstep.
+	spans   []span
+	swaps   int
 	now     int
 	conns   map[net.Conn]*connState
 	evicted int
 	done    bool
 
 	wg sync.WaitGroup
+}
+
+// span is one epoch's tenure on the slot axis.
+type span struct {
+	start, cycleLen int
+}
+
+// cycleLenAt returns the cycle length of the epoch that aired slot.
+func (s *Server) cycleLenAt(slot int) int {
+	i := len(s.spans) - 1
+	for i > 0 && s.spans[i].start > slot {
+		i--
+	}
+	return s.spans[i].cycleLen
 }
 
 type connState struct {
@@ -114,7 +145,7 @@ func NewServerOpts(p *sim.Program, opts ServerOptions) (*Server, error) {
 	if err := opts.Faults.Validate(); err != nil {
 		return nil, err
 	}
-	packets, err := wire.EncodeProgram(p)
+	packets, err := wire.EncodeProgram(p, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -122,6 +153,26 @@ func NewServerOpts(p *sim.Program, opts ServerOptions) (*Server, error) {
 		prog:    p,
 		packets: packets,
 		opts:    opts.withDefaults(),
+		spans:   []span{{0, p.CycleLen()}},
+		conns:   map[net.Conn]*connState{},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
+}
+
+// NewAdaptiveServer serves the registry's current epoch and promotes a
+// staged successor at the next cycle boundary of the outgoing program.
+func NewAdaptiveServer(reg *epoch.Registry, opts ServerOptions) (*Server, error) {
+	if err := opts.Faults.Validate(); err != nil {
+		return nil, err
+	}
+	cur := reg.Current()
+	s := &Server{
+		reg:     reg,
+		prog:    cur.Prog,
+		packets: cur.Packets,
+		opts:    opts.withDefaults(),
+		spans:   []span{{0, cur.Prog.CycleLen()}},
 		conns:   map[net.Conn]*connState{},
 	}
 	s.cond = sync.NewCond(&s.mu)
@@ -199,9 +250,10 @@ func (s *Server) handle(conn net.Conn) {
 			s.mu.Unlock()
 			return
 		}
-		// A request for a passed slot catches the next cyclic occurrence.
+		// A request for a passed slot catches the next cyclic occurrence
+		// — of whichever epoch aired the missed slot.
 		for slot < s.now {
-			slot += s.prog.CycleLen()
+			slot += s.cycleLenAt(slot)
 		}
 		st.hasPending = true
 		st.channel = channel
@@ -260,6 +312,18 @@ func (s *Server) Tick() error {
 		}
 	}
 	now := s.now
+	// A staged epoch lands exactly at a cycle boundary of the outgoing
+	// program — the no-mid-cycle-swap invariant (DESIGN.md §8). The swap
+	// replaces what subsequent slots carry; it never stalls or skips the
+	// slot clock.
+	if s.reg != nil && (now-s.epochStart)%s.prog.CycleLen() == 0 {
+		if e, swapped := s.reg.TrySwap(); swapped {
+			s.prog, s.packets = e.Prog, e.Packets
+			s.epochStart = now
+			s.spans = append(s.spans, span{now, e.Prog.CycleLen()})
+			s.swaps++
+		}
+	}
 	type delivery struct {
 		conn  net.Conn
 		st    *connState
@@ -268,7 +332,7 @@ func (s *Server) Tick() error {
 	var due []delivery
 	for conn, st := range s.conns {
 		if st.hasPending && st.slot == now {
-			cycleSlot := now%s.prog.CycleLen() + 1
+			cycleSlot := (now-s.epochStart)%s.prog.CycleLen() + 1
 			payload := s.packets[st.channel-1][cycleSlot-1]
 			frame, err := appendFrame(make([]byte, 0, frameHeaderSize+len(payload)), now, payload)
 			if err != nil {
@@ -327,6 +391,13 @@ func (s *Server) Evicted() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.evicted
+}
+
+// Swaps returns how many epoch swaps have landed on the air.
+func (s *Server) Swaps() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.swaps
 }
 
 // AwaitConns blocks until at least n connections are registered (or the
@@ -429,12 +500,23 @@ func (c *Client) read(channel, slot int, m *sim.Metrics) (int, *wire.Bucket, err
 			}
 		}
 		m.Retries++
-		if m.Retries > c.budget() {
+		if m.Retries+m.Restarts > c.budget() {
 			return 0, nil, fmt.Errorf("netcast: channel %d slot %d: %w after %d redundant wake-ups",
 				channel, gotSlot, fault.ErrRetryBudget, m.Retries-1)
 		}
 		slot = gotSlot
 	}
+}
+
+// restart charges one epoch-swap descent restart against the shared
+// retry budget, mirroring the analytic simulator's accounting.
+func (c *Client) restart(m *sim.Metrics, channel, slot int) error {
+	m.Restarts++
+	if m.Retries+m.Restarts > c.budget() {
+		return fmt.Errorf("netcast: channel %d slot %d: %w after %d descent restarts",
+			channel, slot, fault.ErrRetryBudget, m.Restarts-1)
+	}
+	return nil
 }
 
 // Lookup retrieves the item with the given key, arriving at the given
@@ -443,47 +525,75 @@ func (c *Client) read(channel, slot int, m *sim.Metrics) (int, *wire.Bucket, err
 // descend by advertised key ranges — and returns identical metrics,
 // including the lossy-channel recovery accounting (Metrics.Retries).
 //
+// On an adaptive broadcast the descent tracks the epoch stamp of the
+// bucket it started from: a bucket from a newer epoch means the cached
+// pointers are stale (the program was hot-swapped mid-traversal), so the
+// client charges a restart against the retry budget and probes again
+// from the next slot (Metrics.Restarts). A sync jump always lands on a
+// cycle start, which always holds a root — the outgoing epoch's or the
+// new one's — so epoch changes observed at sync are adopted silently.
+// On a static broadcast every stamp is equal and the restart path is
+// never taken.
+//
 // A lookup is one session: it detaches from the broadcast when it
 // finishes so the server never waits on an idle radio. Run further
 // lookups over fresh connections.
 func (c *Client) Lookup(arrival int, key int64, pw sim.Power) (found bool, label string, m sim.Metrics, err error) {
 	defer c.detach()
-	slot, b, err := c.read(1, arrival, &m)
-	if err != nil {
-		return false, "", m, err
-	}
-	descentStart := slot
-	if !b.RootCopy {
-		if slot, b, err = c.read(1, slot+int(b.NextCycle), &m); err != nil {
+	probeAt := arrival
+	for {
+		slot, b, err := c.read(1, probeAt, &m)
+		if err != nil {
 			return false, "", m, err
 		}
-		descentStart = slot
-	}
-	m.ProbeWait = descentStart - arrival
-	for hops := 0; hops < 1<<16; hops++ {
-		if b.Kind == wire.KindData {
-			m.DataWait = slot - descentStart + 1
-			finish(&m, pw)
-			return b.Key == key, b.Label, m, nil
-		}
-		var next *wire.Pointer
-		for i := range b.Pointers {
-			p := &b.Pointers[i]
-			if key >= p.KeyLo && key <= p.KeyHi {
-				next = p
-				break
+		if !b.RootCopy {
+			if slot, b, err = c.read(1, slot+int(b.NextCycle), &m); err != nil {
+				return false, "", m, err
 			}
 		}
-		if next == nil {
-			m.DataWait = slot - descentStart + 1
-			finish(&m, pw)
-			return false, "", m, nil
+		epoch := b.Epoch
+		descentStart := slot
+		m.ProbeWait = descentStart - arrival
+
+		restarted := false
+		for hops := 0; hops < 1<<16; hops++ {
+			// The epoch stamp is checked before the bucket is interpreted:
+			// across a swap this slot may hold anything, and only the
+			// stamp says so.
+			if b.Epoch != epoch {
+				if err := c.restart(&m, 1, slot); err != nil {
+					return false, "", m, err
+				}
+				probeAt = slot + 1
+				restarted = true
+				break
+			}
+			if b.Kind == wire.KindData {
+				m.DataWait = slot - descentStart + 1
+				finish(&m, pw)
+				return b.Key == key, b.Label, m, nil
+			}
+			var next *wire.Pointer
+			for i := range b.Pointers {
+				p := &b.Pointers[i]
+				if key >= p.KeyLo && key <= p.KeyHi {
+					next = p
+					break
+				}
+			}
+			if next == nil {
+				m.DataWait = slot - descentStart + 1
+				finish(&m, pw)
+				return false, "", m, nil
+			}
+			if slot, b, err = c.read(int(next.Channel), slot+int(next.Offset), &m); err != nil {
+				return false, "", m, err
+			}
 		}
-		if slot, b, err = c.read(int(next.Channel), slot+int(next.Offset), &m); err != nil {
-			return false, "", m, err
+		if !restarted {
+			return false, "", m, fmt.Errorf("netcast: descent did not terminate")
 		}
 	}
-	return false, "", m, fmt.Errorf("netcast: descent did not terminate")
 }
 
 func finish(m *sim.Metrics, pw sim.Power) {

@@ -17,85 +17,103 @@ import (
 // catch-up. On a lossy broadcast a lost or corrupt frontier read is
 // re-scheduled one cycle later through the same queue the simulator
 // uses, so the two recovery schedules — and their metrics — coincide
-// byte for byte. Like Lookup, a range scan is one session: it detaches
-// when done.
+// byte for byte.
+//
+// On an adaptive broadcast a bucket stamped with a newer epoch than the
+// scan started in invalidates the whole frontier — its offsets address a
+// program no longer on the air — so the client discards the partial key
+// set, charges one restart against the retry budget (Metrics.Restarts)
+// and re-scans from the new epoch's root. Like Lookup, a range scan is
+// one session: it detaches when done.
 func (c *Client) LookupRange(arrival int, lo, hi int64, pw sim.Power) (keys []int64, m sim.Metrics, err error) {
 	defer c.detach()
 	if lo > hi {
 		return nil, m, fmt.Errorf("netcast: empty range [%d, %d]", lo, hi)
 	}
-	slot, b, err := c.read(1, arrival, &m)
-	if err != nil {
-		return nil, m, err
-	}
-	descentStart := slot
-	if !b.RootCopy {
-		if slot, b, err = c.read(1, slot+int(b.NextCycle), &m); err != nil {
-			return nil, m, err
-		}
-		descentStart = slot
-	}
-	m.ProbeWait = descentStart - arrival
-
 	type pend struct {
 		at      int
 		channel int
 	}
-	q := pqueue.New(func(a, b pend) bool { return a.at < b.at })
-	visit := func(at int, b *wire.Bucket) {
-		if b.Kind == wire.KindData {
-			if b.Key >= lo && b.Key <= hi {
-				keys = append(keys, b.Key)
-			}
-			return
-		}
-		for _, p := range b.Pointers {
-			if p.KeyLo <= hi && p.KeyHi >= lo {
-				q.Push(pend{at: at + int(p.Offset), channel: int(p.Channel)})
-			}
-		}
-	}
-	visit(slot, b)
-
-	now := slot
-	guard := 0
-	for q.Len() > 0 {
-		next := q.Pop()
-		// The server bumps passed slots to the next cyclic occurrence;
-		// only the arrival timestamp on the frame is authoritative.
-		if guard++; guard > 1<<16+c.budget() {
-			return keys, m, fmt.Errorf("netcast: range scan did not terminate")
-		}
-		if err := c.request(next.channel, next.at); err != nil {
-			return keys, m, err
-		}
-		at, payload, err := readFrame(c.br)
+	probeAt := arrival
+restartScan:
+	for {
+		slot, b, err := c.read(1, probeAt, &m)
 		if err != nil {
-			return keys, m, err
+			return nil, m, err
 		}
-		m.TuningTime++
-		if at > now {
-			now = at
-		}
-		var nb *wire.Bucket
-		if len(payload) != 0 {
-			nb, err = wire.Unmarshal(payload)
-		}
-		if len(payload) == 0 || err != nil {
-			// Lost slot or corrupt payload: burn the wake-up and
-			// re-schedule the read; the catch-up bump lands it one
-			// broadcast cycle later, exactly like the simulator.
-			m.Retries++
-			if m.Retries > c.budget() {
-				return keys, m, fmt.Errorf("netcast: channel %d slot %d: %w after %d redundant wake-ups",
-					next.channel, at, fault.ErrRetryBudget, m.Retries-1)
+		if !b.RootCopy {
+			if slot, b, err = c.read(1, slot+int(b.NextCycle), &m); err != nil {
+				return nil, m, err
 			}
-			q.Push(pend{at: at, channel: next.channel})
-			continue
 		}
-		visit(at, nb)
+		epoch := b.Epoch
+		descentStart := slot
+		m.ProbeWait = descentStart - arrival
+		keys = keys[:0]
+
+		q := pqueue.New(func(a, b pend) bool { return a.at < b.at })
+		visit := func(at int, b *wire.Bucket) {
+			if b.Kind == wire.KindData {
+				if b.Key >= lo && b.Key <= hi {
+					keys = append(keys, b.Key)
+				}
+				return
+			}
+			for _, p := range b.Pointers {
+				if p.KeyLo <= hi && p.KeyHi >= lo {
+					q.Push(pend{at: at + int(p.Offset), channel: int(p.Channel)})
+				}
+			}
+		}
+		visit(slot, b)
+
+		now := slot
+		guard := 0
+		for q.Len() > 0 {
+			next := q.Pop()
+			// The server bumps passed slots to the next cyclic occurrence;
+			// only the arrival timestamp on the frame is authoritative.
+			if guard++; guard > 1<<16+c.budget() {
+				return keys, m, fmt.Errorf("netcast: range scan did not terminate")
+			}
+			if err := c.request(next.channel, next.at); err != nil {
+				return keys, m, err
+			}
+			at, payload, err := readFrame(c.br)
+			if err != nil {
+				return keys, m, err
+			}
+			m.TuningTime++
+			if at > now {
+				now = at
+			}
+			var nb *wire.Bucket
+			if len(payload) != 0 {
+				nb, err = wire.Unmarshal(payload)
+			}
+			if len(payload) == 0 || err != nil {
+				// Lost slot or corrupt payload: burn the wake-up and
+				// re-schedule the read; the catch-up bump lands it one
+				// broadcast cycle later, exactly like the simulator.
+				m.Retries++
+				if m.Retries+m.Restarts > c.budget() {
+					return keys, m, fmt.Errorf("netcast: channel %d slot %d: %w after %d redundant wake-ups",
+						next.channel, at, fault.ErrRetryBudget, m.Retries-1)
+				}
+				q.Push(pend{at: at, channel: next.channel})
+				continue
+			}
+			if nb.Epoch != epoch {
+				if err := c.restart(&m, next.channel, at); err != nil {
+					return keys, m, err
+				}
+				probeAt = at + 1
+				continue restartScan
+			}
+			visit(at, nb)
+		}
+		m.DataWait = now - descentStart + 1
+		finish(&m, pw)
+		return keys, m, nil
 	}
-	m.DataWait = now - descentStart + 1
-	finish(&m, pw)
-	return keys, m, nil
 }

@@ -1,0 +1,393 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/pqueue"
+	"repro/internal/tree"
+)
+
+// This file is the analytic twin of an adaptive broadcast tower: a
+// Timeline concatenates epoch-versioned programs along the absolute slot
+// axis, with each swap landing exactly at a cycle boundary of the
+// outgoing epoch (the same invariant the netcast server enforces), and
+// QuerySwitch/QueryRangeSwitch drive a client across swaps with the
+// restart protocol the TCP client implements over real sockets. The two
+// paths are kept in lockstep so they report byte-identical Metrics —
+// including Restarts — under identical seeds.
+
+// Entry is one epoch of a broadcast timeline: the program that is on the
+// air from absolute slot Start until the next entry's Start.
+type Entry struct {
+	// Epoch is the program generation stamped into every bucket on the
+	// wire. Monotonically increasing along the timeline.
+	Epoch uint32
+	// Prog is the compiled program broadcast during this epoch.
+	Prog *Program
+	// Start is the absolute slot at which this epoch takes the air; it is
+	// always a cycle boundary of the preceding epoch.
+	Start int
+}
+
+// Timeline is a broadcast schedule over absolute time: a sequence of
+// epochs, each serving its program cyclically until the next swap.
+type Timeline struct {
+	entries []Entry
+}
+
+// NewTimeline starts a timeline broadcasting p as the given epoch from
+// absolute slot 0.
+func NewTimeline(p *Program, epoch uint32) (*Timeline, error) {
+	if p == nil {
+		return nil, fmt.Errorf("sim: nil program")
+	}
+	return &Timeline{entries: []Entry{{Epoch: epoch, Prog: p, Start: 0}}}, nil
+}
+
+// Append stages the next epoch: p takes the air at the first cycle
+// boundary of the current last epoch at or after absolute slot notBefore
+// (the slot at which the rebuilt program became available). It returns
+// the swap slot. The channel count must not change across epochs — the
+// client's tuner has no way to learn of new channels mid-flight — and
+// epochs must strictly increase.
+func (tl *Timeline) Append(p *Program, epoch uint32, notBefore int) (int, error) {
+	last := &tl.entries[len(tl.entries)-1]
+	if p == nil {
+		return 0, fmt.Errorf("sim: nil program")
+	}
+	if p.Channels() != last.Prog.Channels() {
+		return 0, fmt.Errorf("sim: epoch %d has %d channels, timeline has %d",
+			epoch, p.Channels(), last.Prog.Channels())
+	}
+	if epoch <= last.Epoch {
+		return 0, fmt.Errorf("sim: epoch %d does not advance %d", epoch, last.Epoch)
+	}
+	if notBefore <= last.Start {
+		return 0, fmt.Errorf("sim: epoch %d staged at slot %d before its predecessor aired (start %d)",
+			epoch, notBefore, last.Start)
+	}
+	L := last.Prog.CycleLen()
+	start := last.Start + (notBefore-last.Start+L-1)/L*L
+	tl.entries = append(tl.entries, Entry{Epoch: epoch, Prog: p, Start: start})
+	return start, nil
+}
+
+// Entries returns the timeline's epochs in air order.
+func (tl *Timeline) Entries() []Entry { return tl.entries }
+
+// EntryAt returns the epoch on the air at absolute slot t.
+func (tl *Timeline) EntryAt(t int) Entry {
+	i := len(tl.entries) - 1
+	for i > 0 && tl.entries[i].Start > t {
+		i--
+	}
+	return tl.entries[i]
+}
+
+// CycleSlot maps absolute slot t to the on-air epoch and its 1-based
+// cycle slot.
+func (tl *Timeline) CycleSlot(t int) (Entry, int) {
+	e := tl.EntryAt(t)
+	return e, (t-e.Start)%e.Prog.CycleLen() + 1
+}
+
+// bucketAt reads the bucket on the air at (ch, t).
+func (tl *Timeline) bucketAt(ch, t int) (Entry, Bucket) {
+	e, cs := tl.CycleSlot(t)
+	return e, e.Prog.buckets[ch-1][cs-1]
+}
+
+// readAt is the timeline counterpart of Program.readAt: a lost or
+// corrupt read re-tunes to the same cycle slot one cycle later — one
+// cycle of whichever epoch owns the missed slot, exactly the catch-up
+// the netcast server performs for a re-requested slot.
+func (tl *Timeline) readAt(m *Metrics, fc FaultConfig, ch, slot int) (int, Entry, Bucket, error) {
+	for {
+		m.TuningTime++
+		switch fc.Model.At(ch, slot) {
+		case fault.OK, fault.Stall:
+			e, b := tl.bucketAt(ch, slot)
+			return slot, e, b, nil
+		default:
+			m.Retries++
+			if m.Retries+m.Restarts > fc.budget() {
+				return 0, Entry{}, Bucket{}, fmt.Errorf("sim: channel %d slot %d: %w after %d redundant wake-ups",
+					ch, slot, fault.ErrRetryBudget, m.Retries-1)
+			}
+			slot += tl.EntryAt(slot).Prog.CycleLen()
+		}
+	}
+}
+
+// isRoot reports whether b opens a descent of e's program.
+func isRoot(e Entry, b Bucket) bool {
+	return b.RootCopy || (b.Node != tree.None && b.Node == e.Prog.t.Root())
+}
+
+// restart charges one descent restart against the shared retry budget.
+func (tl *Timeline) restart(m *Metrics, fc FaultConfig, ch, slot int) error {
+	m.Restarts++
+	if m.Retries+m.Restarts > fc.budget() {
+		return fmt.Errorf("sim: channel %d slot %d: %w after %d descent restarts",
+			ch, slot, fault.ErrRetryBudget, m.Restarts-1)
+	}
+	return nil
+}
+
+// QuerySwitch retrieves the data item with the given key from the
+// timeline, arriving at the given absolute slot. A descent that reads a
+// bucket from a newer epoch than the one it started in has stale
+// pointers: the client charges a restart against the retry budget and
+// probes again from the next slot, descending the new epoch's tree. The
+// returned found is false when the key is absent from the tree the
+// descent completed in. ProbeWait covers everything before the root
+// bucket the *successful* descent started from, so restarted work
+// surfaces as probe wait — the client-visible reallocation cost.
+func (tl *Timeline) QuerySwitch(arrival int, key int64, pw Power, fc FaultConfig) (Metrics, bool, error) {
+	var m Metrics
+	if arrival < 0 {
+		return m, false, fmt.Errorf("sim: negative arrival %d", arrival)
+	}
+	for _, e := range tl.entries {
+		if !e.Prog.t.Keyed() {
+			return m, false, fmt.Errorf("sim: epoch %d tree is not keyed", e.Epoch)
+		}
+	}
+
+	probeAt := arrival
+	for {
+		// Probe and synchronize. A sync jump always lands on a cycle
+		// start, and every cycle start on the timeline holds a root —
+		// the outgoing epoch's or, exactly at a swap, the new epoch's —
+		// so the client adopts whatever epoch it finds there silently.
+		now, e, b, err := tl.readAt(&m, fc, 1, probeAt)
+		if err != nil {
+			return m, false, err
+		}
+		if !isRoot(e, b) {
+			if now, e, b, err = tl.readAt(&m, fc, 1, now+b.NextCycle); err != nil {
+				return m, false, err
+			}
+			if !isRoot(e, b) {
+				return m, false, fmt.Errorf("sim: cycle start does not hold the root (got %v)", b.Node)
+			}
+		}
+		epoch := e.Epoch
+		descentStart := now
+		m.ProbeWait = descentStart - arrival
+
+		restarted := false
+		for hops := 0; hops <= e.Prog.t.NumNodes()+1; hops++ {
+			// The epoch stamp is checked before the bucket is interpreted:
+			// across a swap the slot may hold anything — an empty filler,
+			// a different subtree — and only the stamp says so.
+			if e.Epoch != epoch {
+				if err := tl.restart(&m, fc, 1, now); err != nil {
+					return m, false, err
+				}
+				probeAt = now + 1
+				restarted = true
+				break
+			}
+			t := e.Prog.t
+			if b.Node != tree.None && t.IsData(b.Node) {
+				k, _ := t.Key(b.Node)
+				m.DataWait = now - descentStart + 1
+				m.finish(pw)
+				return m, k == key, nil
+			}
+			var ptr *Pointer
+			for i := range b.Children {
+				lo, hi, _ := t.KeyRange(b.Children[i].Target)
+				if key >= lo && key <= hi {
+					ptr = &b.Children[i]
+					break
+				}
+			}
+			if ptr == nil {
+				// Negative lookup: no child covers the key.
+				m.DataWait = now - descentStart + 1
+				m.finish(pw)
+				return m, false, nil
+			}
+			if now, e, b, err = tl.readAt(&m, fc, ptr.Channel, now+ptr.Offset); err != nil {
+				return m, false, err
+			}
+			if e.Epoch == epoch && b.Node != ptr.Target {
+				return m, false, fmt.Errorf("sim: pointer to %s found %v at channel %d slot %d",
+					t.Label(ptr.Target), b.Node, ptr.Channel, now)
+			}
+		}
+		if !restarted {
+			return m, false, fmt.Errorf("sim: descent did not terminate")
+		}
+	}
+}
+
+// QueryRangeSwitch retrieves every data item with a key in [lo, hi]
+// from the timeline; see Program.QueryRange for the frontier protocol.
+// A swap observed mid-scan invalidates the whole frontier — offsets from
+// a retired program address slots that no longer exist — so the client
+// discards the partial result set, charges one restart and re-scans from
+// the new epoch's root.
+func (tl *Timeline) QueryRangeSwitch(arrival int, lo, hi int64, pw Power, fc FaultConfig) (RangeResult, error) {
+	var res RangeResult
+	if arrival < 0 {
+		return res, fmt.Errorf("sim: negative arrival %d", arrival)
+	}
+	if lo > hi {
+		return res, fmt.Errorf("sim: empty range [%d, %d]", lo, hi)
+	}
+	for _, e := range tl.entries {
+		if !e.Prog.t.Keyed() {
+			return res, fmt.Errorf("sim: epoch %d tree is not keyed", e.Epoch)
+		}
+	}
+
+	probeAt := arrival
+restartScan:
+	for {
+		now, e, b, err := tl.readAt(&res.Metrics, fc, 1, probeAt)
+		if err != nil {
+			return res, err
+		}
+		if !isRoot(e, b) {
+			if now, e, b, err = tl.readAt(&res.Metrics, fc, 1, now+b.NextCycle); err != nil {
+				return res, err
+			}
+			if !isRoot(e, b) {
+				return res, fmt.Errorf("sim: cycle start does not hold the root (got %v)", b.Node)
+			}
+		}
+		epoch := e.Epoch
+		prog := e.Prog
+		descentStart := now
+		res.Metrics.ProbeWait = descentStart - arrival
+		res.Keys = res.Keys[:0]
+
+		intersects := func(id tree.ID) bool {
+			l, h, ok := prog.t.KeyRange(id)
+			return ok && l <= hi && h >= lo
+		}
+		q := pqueue.New(func(a, b pending) bool { return a.at < b.at })
+		visit := func(at int, bucket Bucket) error {
+			node := bucket.Node
+			if node == tree.None {
+				return fmt.Errorf("sim: range query read an empty bucket")
+			}
+			if prog.t.IsData(node) {
+				k, _ := prog.t.Key(node)
+				if k >= lo && k <= hi {
+					res.Keys = append(res.Keys, k)
+				}
+				return nil
+			}
+			for _, c := range bucket.Children {
+				if intersects(c.Target) {
+					q.Push(pending{at: at + c.Offset, channel: c.Channel, target: c.Target})
+				}
+			}
+			return nil
+		}
+		if err := visit(now, b); err != nil {
+			return res, err
+		}
+
+		guard := 0
+		maxReads := prog.t.NumNodes()*(prog.cycleLen+2) + fc.budget()
+		for q.Len() > 0 {
+			next := q.Pop()
+			// Single receiver: a passed or colliding slot is caught on a
+			// later cyclic transmission — one cycle of whichever epoch
+			// owns the missed slot, mirroring the server's catch-up.
+			for next.at <= now {
+				next.at += tl.EntryAt(next.at).Prog.CycleLen()
+			}
+			if guard++; guard > maxReads {
+				return res, fmt.Errorf("sim: range query did not terminate")
+			}
+			now = next.at
+			res.Metrics.TuningTime++
+			if o := fc.Model.At(next.channel, next.at); o == fault.Drop || o == fault.Corrupt {
+				res.Metrics.Retries++
+				if res.Metrics.Retries+res.Metrics.Restarts > fc.budget() {
+					return res, fmt.Errorf("sim: channel %d slot %d: %w after %d redundant wake-ups",
+						next.channel, next.at, fault.ErrRetryBudget, res.Metrics.Retries-1)
+				}
+				q.Push(pending{at: now, channel: next.channel, target: next.target})
+				continue
+			}
+			re, bucket := tl.bucketAt(next.channel, now)
+			if re.Epoch != epoch {
+				if err := tl.restart(&res.Metrics, fc, next.channel, now); err != nil {
+					return res, err
+				}
+				probeAt = now + 1
+				continue restartScan
+			}
+			if bucket.Node != next.target {
+				return res, fmt.Errorf("sim: range pointer to %s found %v",
+					prog.t.Label(next.target), bucket.Node)
+			}
+			if err := visit(now, bucket); err != nil {
+				return res, err
+			}
+		}
+		res.Metrics.DataWait = now - descentStart + 1
+		res.Metrics.finish(pw)
+		return res, nil
+	}
+}
+
+// Demand is one key's request weight in an adaptive evaluation.
+type Demand struct {
+	Key    int64
+	Weight float64
+}
+
+// EvaluateAdaptive computes the expected client cost of the timeline
+// over the arrival window [lo, hi): a query arrives uniformly at every
+// slot in the window and requests each demanded key with probability
+// proportional to its weight. It returns the weighted-average Summary
+// and the hit rate — the weighted fraction of lookups that found their
+// key, which drops below 1 exactly when the on-air program is stale
+// against the demand. All averages are exact sums, not samples.
+func EvaluateAdaptive(tl *Timeline, lo, hi int, demand []Demand, pw Power, fc FaultConfig) (Summary, float64, error) {
+	var s Summary
+	if lo < 0 || hi <= lo {
+		return s, 0, fmt.Errorf("sim: bad arrival window [%d, %d)", lo, hi)
+	}
+	var total float64
+	for _, d := range demand {
+		if d.Weight < 0 {
+			return s, 0, fmt.Errorf("sim: negative weight %v for key %d", d.Weight, d.Key)
+		}
+		total += d.Weight
+	}
+	if total == 0 {
+		return s, 0, fmt.Errorf("sim: zero total demand")
+	}
+	phases := float64(hi - lo)
+	var hits float64
+	for _, d := range demand {
+		w := d.Weight / total
+		for a := lo; a < hi; a++ {
+			m, found, err := tl.QuerySwitch(a, d.Key, pw, fc)
+			if err != nil {
+				return s, 0, fmt.Errorf("sim: key %d arrival %d: %w", d.Key, a, err)
+			}
+			s.ProbeWait += w * float64(m.ProbeWait) / phases
+			s.DataWait += w * float64(m.DataWait) / phases
+			s.AccessTime += w * float64(m.AccessTime) / phases
+			s.TuningTime += w * float64(m.TuningTime) / phases
+			s.Retries += w * float64(m.Retries) / phases
+			s.Restarts += w * float64(m.Restarts) / phases
+			s.Energy += w * m.Energy / phases
+			if found {
+				hits += w / phases
+			}
+		}
+	}
+	return s, hits, nil
+}

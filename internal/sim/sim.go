@@ -173,6 +173,12 @@ type Metrics struct {
 	// (channel, slot) in the next broadcast cycle. Zero on a perfect
 	// medium.
 	Retries int
+	// Restarts counts descents abandoned because the broadcast program was
+	// hot-swapped mid-traversal: the client observed a bucket from a newer
+	// epoch, discarded its cached pointers and restarted from the new root.
+	// Restarts share the retry budget (Retries + Restarts ≤ MaxRetries).
+	// Zero on a static broadcast.
+	Restarts int
 	// Energy = Active·TuningTime + Doze·(AccessTime − TuningTime).
 	Energy float64
 }
@@ -292,7 +298,7 @@ func (p *Program) readAt(m *Metrics, fc FaultConfig, ch, slot int) (int, Bucket,
 			return slot, p.buckets[ch-1][p.slotInCycle(slot)-1], nil
 		default: // Drop, Corrupt: nothing usable was heard this slot.
 			m.Retries++
-			if m.Retries > fc.budget() {
+			if m.Retries+m.Restarts > fc.budget() {
 				return 0, Bucket{}, fmt.Errorf("sim: channel %d slot %d: %w after %d redundant wake-ups",
 					ch, slot, fault.ErrRetryBudget, m.Retries-1)
 			}
@@ -368,6 +374,9 @@ type Summary struct {
 	// Retries is the expected number of redundant wake-ups per query
 	// (zero on a perfect medium).
 	Retries float64
+	// Restarts is the expected number of epoch-swap descent restarts per
+	// query (zero on a static broadcast).
+	Restarts float64
 }
 
 // Evaluate computes the exact expected metrics of the program: a query
@@ -400,6 +409,7 @@ func EvaluateFaulty(p *Program, pw Power, fc FaultConfig) (Summary, error) {
 			s.AccessTime += w * float64(m.AccessTime) / phases
 			s.TuningTime += w * float64(m.TuningTime) / phases
 			s.Retries += w * float64(m.Retries) / phases
+			s.Restarts += w * float64(m.Restarts) / phases
 			s.Energy += w * m.Energy / phases
 		}
 	}

@@ -6,13 +6,16 @@ import (
 )
 
 // FuzzUnmarshal asserts that arbitrary bytes never panic the decoder and
-// that anything accepted re-encodes to the identical byte string (the
-// codec is canonical).
+// that anything accepted is well-behaved: a current-version (v3) frame
+// re-encodes to the identical byte string (the codec is canonical), and a
+// legacy v2 frame decodes to a bucket that re-marshals cleanly as v3 with
+// every field preserved and Epoch 0.
 func FuzzUnmarshal(f *testing.F) {
 	seeds := []*Bucket{
 		{Kind: KindEmpty},
 		{Kind: KindData, Label: "AAPL", Key: 7, Weight: 2.5},
-		{Kind: KindIndex, Label: "I1", NextCycle: 9, RootCopy: true,
+		{Kind: KindData, Label: "hot", Key: -3, Weight: 1, Epoch: 42},
+		{Kind: KindIndex, Label: "I1", NextCycle: 9, RootCopy: true, Epoch: 7,
 			Pointers: []Pointer{{Channel: 1, Offset: 2, KeyLo: 1, KeyHi: 5}}},
 	}
 	for _, s := range seeds {
@@ -22,6 +25,7 @@ func FuzzUnmarshal(f *testing.F) {
 		}
 		f.Add(data)
 		f.Add(data[:len(data)-1])
+		f.Add(marshalV2(s))
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0xB0, 0xCA})
@@ -35,8 +39,24 @@ func FuzzUnmarshal(f *testing.F) {
 		if err != nil {
 			t.Fatalf("accepted bucket fails to marshal: %v", err)
 		}
-		if !bytes.Equal(out, data) {
-			t.Fatalf("codec not canonical:\n in: %x\nout: %x", data, out)
+		switch data[2] {
+		case Version:
+			if !bytes.Equal(out, data) {
+				t.Fatalf("codec not canonical:\n in: %x\nout: %x", data, out)
+			}
+		case VersionV2:
+			if b.Epoch != 0 {
+				t.Fatalf("v2 frame decoded with epoch %d", b.Epoch)
+			}
+			rt, err := Unmarshal(out)
+			if err != nil {
+				t.Fatalf("v2→v3 re-encode rejected: %v", err)
+			}
+			if rt.Kind != b.Kind || rt.Label != b.Label || rt.Key != b.Key ||
+				rt.Weight != b.Weight || rt.NextCycle != b.NextCycle ||
+				rt.RootCopy != b.RootCopy || len(rt.Pointers) != len(b.Pointers) {
+				t.Fatalf("v2→v3 round trip mismatch: %+v vs %+v", rt, b)
+			}
 		}
 	})
 }

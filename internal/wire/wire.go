@@ -15,6 +15,14 @@
 // decode fails with an error wrapping ErrChecksum — and a client can treat
 // the slot as lost and catch the retransmission on the next cycle instead
 // of silently mis-routing its descent.
+//
+// Format version 3 additionally stamps every bucket with the 32-bit epoch
+// ID of the broadcast program it belongs to, making programs versioned,
+// swappable artifacts: a tower can hot-swap to a re-optimized program at a
+// cycle boundary and a client that observes the epoch change mid-descent
+// knows its cached pointers are stale and restarts from the new root. The
+// decoder still accepts v2 frames (epoch 0), so a v3 client can ride a
+// broadcast recorded by an older tower.
 package wire
 
 import (
@@ -33,7 +41,11 @@ const Magic uint16 = 0xB0CA
 
 // Version is the current frame-format version; it follows the magic so a
 // decoder can reject frames from an incompatible broadcast generation.
-const Version uint8 = 2
+const Version uint8 = 3
+
+// VersionV2 is the previous frame format (no epoch stamp). The decoder
+// still accepts it, reporting epoch 0.
+const VersionV2 uint8 = 2
 
 // ErrChecksum marks a structurally plausible bucket whose CRC32 trailer
 // does not match: the frame was corrupted in flight.
@@ -66,15 +78,22 @@ type Bucket struct {
 	// it can begin its descent immediately.
 	RootCopy  bool
 	NextCycle uint16 // channel-1 buckets: offset to the next cycle start
-	Label     string
-	Key       int64   // data buckets on keyed trees
-	Weight    float64 // data buckets: advertised access frequency
-	Pointers  []Pointer
+	// Epoch identifies the broadcast program generation this bucket was
+	// compiled from. A client that started its descent in one epoch and
+	// reads a bucket from another must restart: pointer arithmetic does
+	// not survive a program swap. Epoch 0 means "unversioned" (v2 frames
+	// and static broadcasts).
+	Epoch    uint32
+	Label    string
+	Key      int64   // data buckets on keyed trees
+	Weight   float64 // data buckets: advertised access frequency
+	Pointers []Pointer
 }
 
 const (
-	headerSize = 2 + 1 + 1 + 1 + 2 // magic, version, kind, flags, nextCycle
-	crcSize    = 4                 // CRC32-C trailer
+	headerSizeV2 = 2 + 1 + 1 + 1 + 2 // magic, version, kind, flags, nextCycle
+	headerSize   = headerSizeV2 + 4  // v3 adds the epoch stamp
+	crcSize      = 4                 // CRC32-C trailer
 )
 
 // Marshal encodes the bucket.
@@ -98,6 +117,7 @@ func (b *Bucket) Marshal() ([]byte, error) {
 	}
 	out = append(out, flags)
 	out = binary.BigEndian.AppendUint16(out, b.NextCycle)
+	out = binary.BigEndian.AppendUint32(out, b.Epoch)
 	out = append(out, uint8(len(b.Label)))
 	out = append(out, b.Label...)
 	out = binary.BigEndian.AppendUint64(out, uint64(b.Key))
@@ -115,15 +135,25 @@ func (b *Bucket) Marshal() ([]byte, error) {
 
 // Unmarshal decodes a bucket, validating the checksum, structure and
 // length. A corrupted frame fails with an error wrapping ErrChecksum.
+// Both the current v3 format and the epoch-less v2 format are accepted;
+// v2 frames decode with Epoch 0.
 func Unmarshal(data []byte) (*Bucket, error) {
-	if len(data) < headerSize+crcSize {
-		return nil, fmt.Errorf("wire: %d bytes, need at least %d", len(data), headerSize+crcSize)
+	if len(data) < headerSizeV2+crcSize {
+		return nil, fmt.Errorf("wire: %d bytes, need at least %d", len(data), headerSizeV2+crcSize)
 	}
 	if m := binary.BigEndian.Uint16(data[0:2]); m != Magic {
 		return nil, fmt.Errorf("wire: bad magic %#04x", m)
 	}
-	if v := data[2]; v != Version {
-		return nil, fmt.Errorf("wire: unsupported version %d (decoder speaks %d)", v, Version)
+	version := data[2]
+	if version != Version && version != VersionV2 {
+		return nil, fmt.Errorf("wire: unsupported version %d (decoder speaks %d and %d)", version, VersionV2, Version)
+	}
+	hdr := headerSize
+	if version == VersionV2 {
+		hdr = headerSizeV2
+	}
+	if len(data) < hdr+crcSize {
+		return nil, fmt.Errorf("wire: %d bytes, need at least %d", len(data), hdr+crcSize)
 	}
 	body, trailer := data[:len(data)-crcSize], data[len(data)-crcSize:]
 	if got, want := crc32.Checksum(body, crcTable), binary.BigEndian.Uint32(trailer); got != want {
@@ -139,7 +169,10 @@ func Unmarshal(data []byte) (*Bucket, error) {
 	}
 	b.RootCopy = data[4]&1 != 0
 	b.NextCycle = binary.BigEndian.Uint16(data[5:7])
-	pos := headerSize
+	if version == Version {
+		b.Epoch = binary.BigEndian.Uint32(data[7:11])
+	}
+	pos := hdr
 	need := func(n int, what string) error {
 		if len(data) < pos+n {
 			return fmt.Errorf("wire: truncated %s (%d of %d bytes)", what, len(data)-pos, n)
@@ -196,8 +229,10 @@ func Unmarshal(data []byte) (*Bucket, error) {
 }
 
 // EncodeProgram serializes a compiled broadcast program into per-channel
-// per-slot packets: out[channel-1][slot-1] is the encoded bucket.
-func EncodeProgram(p *sim.Program) ([][][]byte, error) {
+// per-slot packets, stamping every bucket with the given epoch ID:
+// out[channel-1][slot-1] is the encoded bucket. Epoch 0 marks a static,
+// unversioned broadcast.
+func EncodeProgram(p *sim.Program, epoch uint32) ([][][]byte, error) {
 	t := p.Tree()
 	out := make([][][]byte, p.Channels())
 	for ch := 1; ch <= p.Channels(); ch++ {
@@ -207,6 +242,7 @@ func EncodeProgram(p *sim.Program) ([][][]byte, error) {
 			wb := &Bucket{
 				NextCycle: uint16(sb.NextCycle),
 				RootCopy:  sb.RootCopy || sb.Node == t.Root(),
+				Epoch:     epoch,
 			}
 			if sb.Node == tree.None {
 				wb.Kind = KindEmpty

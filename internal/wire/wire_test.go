@@ -139,12 +139,116 @@ func TestUnmarshalErrors(t *testing.T) {
 	}
 	// NaN weight is rejected.
 	nan := body(good)
-	// weight sits after header(7) + labelLen(1) + label(1) + key(8)
+	// weight sits after header + labelLen(1) + label(1) + key(8)
 	for i := 0; i < 8; i++ {
-		nan[7+1+1+8+i] = 0xFF
+		nan[headerSize+1+1+8+i] = 0xFF
 	}
 	if _, err := Unmarshal(reseal(nan)); err == nil {
 		t.Error("want error for NaN weight")
+	}
+}
+
+// marshalV2 encodes a bucket in the legacy epoch-less v2 layout, so the
+// decoder's backward-compatibility path can be exercised against real v2
+// byte strings (the Epoch field is ignored).
+func marshalV2(b *Bucket) []byte {
+	out := binary.BigEndian.AppendUint16(nil, Magic)
+	out = append(out, VersionV2, b.Kind)
+	var flags uint8
+	if b.RootCopy {
+		flags |= 1
+	}
+	out = append(out, flags)
+	out = binary.BigEndian.AppendUint16(out, b.NextCycle)
+	out = append(out, uint8(len(b.Label)))
+	out = append(out, b.Label...)
+	out = binary.BigEndian.AppendUint64(out, uint64(b.Key))
+	out = binary.BigEndian.AppendUint64(out, math.Float64bits(b.Weight))
+	out = append(out, uint8(len(b.Pointers)))
+	for _, p := range b.Pointers {
+		out = append(out, p.Channel)
+		out = binary.BigEndian.AppendUint16(out, p.Offset)
+		out = binary.BigEndian.AppendUint64(out, uint64(p.KeyLo))
+		out = binary.BigEndian.AppendUint64(out, uint64(p.KeyHi))
+	}
+	return binary.BigEndian.AppendUint32(out, crc32.Checksum(out, crcTable))
+}
+
+// TestEpochRoundTrip pins the v3 epoch stamp through the codec.
+func TestEpochRoundTrip(t *testing.T) {
+	in := &Bucket{Kind: KindData, Label: "d", Weight: 2, Epoch: 0xDEADBEEF}
+	data, err := in.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Epoch != in.Epoch {
+		t.Fatalf("epoch %#x != %#x", out.Epoch, in.Epoch)
+	}
+}
+
+// TestV2Decode: the decoder accepts the previous epoch-less format,
+// reporting epoch 0 and preserving every other field.
+func TestV2Decode(t *testing.T) {
+	in := &Bucket{
+		Kind: KindIndex, Label: "I3", NextCycle: 7, RootCopy: true,
+		Pointers: []Pointer{{Channel: 2, Offset: 5, KeyLo: 10, KeyHi: 42}},
+	}
+	out, err := Unmarshal(marshalV2(in))
+	if err != nil {
+		t.Fatalf("v2 frame rejected: %v", err)
+	}
+	if out.Epoch != 0 {
+		t.Fatalf("v2 frame decoded with epoch %d", out.Epoch)
+	}
+	if out.Kind != in.Kind || out.Label != in.Label || out.NextCycle != in.NextCycle ||
+		!out.RootCopy || len(out.Pointers) != 1 || out.Pointers[0] != in.Pointers[0] {
+		t.Fatalf("v2 decode mismatch: %+v", out)
+	}
+	// A v2 frame with a corrupted bit still fails its CRC.
+	bad := marshalV2(in)
+	bad[9] ^= 0x08
+	if _, err := Unmarshal(bad); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupt v2 frame: want ErrChecksum, got %v", err)
+	}
+}
+
+// TestMixedVersionDecode interleaves v2 and v3 frames through one decoder
+// path — the on-air situation during a tower upgrade, where recordings of
+// old broadcasts and live epoch-stamped buckets coexist.
+func TestMixedVersionDecode(t *testing.T) {
+	buckets := []*Bucket{
+		{Kind: KindData, Label: "a", Key: 1, Weight: 5},
+		{Kind: KindIndex, Label: "i", NextCycle: 3,
+			Pointers: []Pointer{{Channel: 1, Offset: 2, KeyLo: 1, KeyHi: 9}}},
+		{Kind: KindEmpty, NextCycle: 1},
+	}
+	for i, in := range buckets {
+		v2 := marshalV2(in)
+		in.Epoch = uint32(i + 1)
+		v3, err := in.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, frame := range [][]byte{v2, v3, v2, v3} {
+			out, err := Unmarshal(frame)
+			if err != nil {
+				t.Fatalf("bucket %d: %v", i, err)
+			}
+			wantEpoch := uint32(0)
+			if frame[2] == Version {
+				wantEpoch = in.Epoch
+			}
+			if out.Epoch != wantEpoch {
+				t.Fatalf("bucket %d: epoch %d, want %d", i, out.Epoch, wantEpoch)
+			}
+			if out.Kind != in.Kind || out.Label != in.Label || out.NextCycle != in.NextCycle {
+				t.Fatalf("bucket %d: mixed decode mismatch: %+v", i, out)
+			}
+		}
 	}
 }
 
@@ -277,7 +381,8 @@ func TestEncodeProgram(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	packets, err := EncodeProgram(p)
+	const epoch = 11
+	packets, err := EncodeProgram(p, epoch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,6 +394,9 @@ func TestEncodeProgram(t *testing.T) {
 			wb, err := Unmarshal(packets[ch-1][s-1])
 			if err != nil {
 				t.Fatalf("channel %d slot %d: %v", ch, s, err)
+			}
+			if wb.Epoch != epoch {
+				t.Fatalf("channel %d slot %d: epoch %d, want %d", ch, s, wb.Epoch, epoch)
 			}
 			sb := p.BucketAt(ch, s)
 			switch {

@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// DriftKind selects how demand moves between periods of a Drift workload.
+type DriftKind int
+
+const (
+	// ZipfShift ramps the Zipf skew parameter from ThetaLo to ThetaHi
+	// across the periods: demand starts near-uniform and concentrates (or
+	// the reverse), so the optimal hot set and tree shape drift gradually.
+	ZipfShift DriftKind = iota
+	// HotspotRotate keeps the skew fixed but rotates which keys are hot:
+	// each period the rank-to-key mapping advances by RotateStep, the
+	// moving-hotspot pattern of broadcast-disk studies.
+	HotspotRotate
+	// FlashCrowd multiplies one key's demand by FlashBoost at period
+	// FlashAt and decays the spike geometrically afterwards — the
+	// breaking-news access pattern that punishes slow rebuild cadences
+	// hardest.
+	FlashCrowd
+)
+
+// String names the drift kind for experiment tables.
+func (k DriftKind) String() string {
+	switch k {
+	case ZipfShift:
+		return "zipf-shift"
+	case HotspotRotate:
+		return "hotspot"
+	case FlashCrowd:
+		return "flash"
+	default:
+		return fmt.Sprintf("drift(%d)", int(k))
+	}
+}
+
+// DriftConfig parameterizes Drift. The zero value of every optional field
+// picks a sensible default; Universe and Periods are required.
+type DriftConfig struct {
+	// Kind selects the drift pattern.
+	Kind DriftKind
+	// Universe is the catalog size; keys are 1..Universe.
+	Universe int
+	// Periods is how many demand snapshots to generate.
+	Periods int
+
+	// Theta is the Zipf skew for HotspotRotate and FlashCrowd, and the
+	// starting skew for ZipfShift (default 0.4).
+	Theta float64
+	// ThetaHi is ZipfShift's final skew (default 1.6).
+	ThetaHi float64
+	// RotateStep is how many ranks HotspotRotate advances per period
+	// (default 2).
+	RotateStep int
+	// FlashKey is the key that spikes (default: the coldest key,
+	// Universe). FlashAt is the period the spike lands (default
+	// Periods/2); FlashBoost multiplies its weight (default 50);
+	// FlashDecay in (0,1) shrinks the spike each later period (default
+	// 0.5).
+	FlashKey   int64
+	FlashAt    int
+	FlashBoost float64
+	FlashDecay float64
+}
+
+// Drift generates one demand snapshot per period: a catalog of the same
+// Universe keys whose weights move according to the configured pattern.
+// The output is fully deterministic — drift is structural, not sampled —
+// so experiments over it reproduce bit for bit.
+func Drift(cfg DriftConfig) ([][]Item, error) {
+	if cfg.Universe < 1 {
+		return nil, fmt.Errorf("workload: drift universe %d, want >= 1", cfg.Universe)
+	}
+	if cfg.Periods < 1 {
+		return nil, fmt.Errorf("workload: drift periods %d, want >= 1", cfg.Periods)
+	}
+	theta := cfg.Theta
+	if theta == 0 {
+		theta = 0.4
+	}
+	thetaHi := cfg.ThetaHi
+	if thetaHi == 0 {
+		thetaHi = 1.6
+	}
+	step := cfg.RotateStep
+	if step == 0 {
+		step = 2
+	}
+	flashKey := cfg.FlashKey
+	if flashKey == 0 {
+		flashKey = int64(cfg.Universe)
+	}
+	if flashKey < 1 || flashKey > int64(cfg.Universe) {
+		return nil, fmt.Errorf("workload: flash key %d outside universe 1..%d", flashKey, cfg.Universe)
+	}
+	flashAt := cfg.FlashAt
+	if flashAt == 0 {
+		flashAt = cfg.Periods / 2
+	}
+	boost := cfg.FlashBoost
+	if boost == 0 {
+		boost = 50
+	}
+	decay := cfg.FlashDecay
+	if decay <= 0 || decay >= 1 {
+		decay = 0.5
+	}
+
+	n := cfg.Universe
+	// zipf returns the weight of rank r (1-based) under skew th, scaled so
+	// rank 1 weighs 100.
+	zipf := func(r int, th float64) float64 { return 100 / math.Pow(float64(r), th) }
+
+	out := make([][]Item, cfg.Periods)
+	for t := 0; t < cfg.Periods; t++ {
+		items := make([]Item, n)
+		for i := range items {
+			key := int64(i + 1)
+			var w float64
+			switch cfg.Kind {
+			case ZipfShift:
+				frac := 0.0
+				if cfg.Periods > 1 {
+					frac = float64(t) / float64(cfg.Periods-1)
+				}
+				w = zipf(i+1, theta+(thetaHi-theta)*frac)
+			case HotspotRotate:
+				// The key holding rank 1 advances by step each period.
+				rank := ((i-t*step)%n+n)%n + 1
+				w = zipf(rank, theta)
+			case FlashCrowd:
+				w = zipf(i+1, theta)
+				if key == flashKey && t >= flashAt {
+					spike := boost * math.Pow(decay, float64(t-flashAt))
+					if spike > 1 {
+						w *= spike
+					}
+				}
+			default:
+				return nil, fmt.Errorf("workload: unknown drift kind %d", int(cfg.Kind))
+			}
+			items[i] = Item{Label: fmt.Sprintf("K%d", key), Key: key, Weight: w}
+		}
+		out[t] = items
+	}
+	return out, nil
+}

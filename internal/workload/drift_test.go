@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+func hottest(items []Item) Item {
+	best := items[0]
+	for _, it := range items[1:] {
+		if it.Weight > best.Weight {
+			best = it
+		}
+	}
+	return best
+}
+
+func TestDriftZipfShiftSkewRamps(t *testing.T) {
+	snaps, err := Drift(DriftConfig{Kind: ZipfShift, Universe: 12, Periods: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 5 {
+		t.Fatalf("got %d periods, want 5", len(snaps))
+	}
+	skew := func(items []Item) float64 { return items[0].Weight / items[len(items)-1].Weight }
+	for p := 1; p < len(snaps); p++ {
+		if len(snaps[p]) != 12 {
+			t.Fatalf("period %d has %d items, want 12", p, len(snaps[p]))
+		}
+		if skew(snaps[p]) <= skew(snaps[p-1]) {
+			t.Fatalf("period %d skew %.3f did not grow past %.3f", p, skew(snaps[p]), skew(snaps[p-1]))
+		}
+	}
+}
+
+func TestDriftHotspotRotates(t *testing.T) {
+	snaps, err := Drift(DriftConfig{Kind: HotspotRotate, Universe: 10, Periods: 4, RotateStep: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, snap := range snaps {
+		want := int64(p*3%10 + 1)
+		if got := hottest(snap).Key; got != want {
+			t.Fatalf("period %d hottest key %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestDriftFlashCrowdSpikesAndDecays(t *testing.T) {
+	snaps, err := Drift(DriftConfig{
+		Kind: FlashCrowd, Universe: 8, Periods: 6,
+		FlashKey: 7, FlashAt: 2, FlashBoost: 40, FlashDecay: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := func(p int) float64 { return snaps[p][6].Weight }
+	base := w(0)
+	if w(1) != base {
+		t.Fatalf("flash fired before FlashAt: %v != %v", w(1), base)
+	}
+	if w(2) != base*40 {
+		t.Fatalf("spike = %v, want %v", w(2), base*40)
+	}
+	if !(w(3) < w(2) && w(4) < w(3)) {
+		t.Fatalf("spike did not decay: %v %v %v", w(2), w(3), w(4))
+	}
+	if hottest(snaps[2]).Key != 7 {
+		t.Fatalf("period 2 hottest key %d, want the flash key 7", hottest(snaps[2]).Key)
+	}
+	if hottest(snaps[0]).Key != 1 {
+		t.Fatalf("period 0 hottest key %d, want 1", hottest(snaps[0]).Key)
+	}
+}
+
+func TestDriftDeterministic(t *testing.T) {
+	for _, kind := range []DriftKind{ZipfShift, HotspotRotate, FlashCrowd} {
+		a, err := Drift(DriftConfig{Kind: kind, Universe: 9, Periods: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Drift(DriftConfig{Kind: kind, Universe: 9, Periods: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%v: drift is not deterministic", kind)
+		}
+	}
+}
+
+func TestDriftRejectsBadConfig(t *testing.T) {
+	cases := []DriftConfig{
+		{Kind: ZipfShift, Universe: 0, Periods: 3},
+		{Kind: ZipfShift, Universe: 5, Periods: 0},
+		{Kind: FlashCrowd, Universe: 5, Periods: 3, FlashKey: 9},
+		{Kind: DriftKind(99), Universe: 5, Periods: 3},
+	}
+	for i, cfg := range cases {
+		if _, err := Drift(cfg); err == nil {
+			t.Errorf("case %d: no error for %+v", i, cfg)
+		}
+	}
+}

@@ -6,12 +6,12 @@
 #   test      go test ./...          (tier-1: the full unit/property suite)
 #   race      go test -race ./...    (parallel-harness and pool safety)
 #   fuzz      scripts/fuzz.sh        (every fuzz target, 5s each)
-#   perf      bcast-bench -exp perf  (short run; writes BENCH_pr2.json)
+#   perf      bcast-bench -exp perf  (short run; writes BENCH_pr3.json)
 #
 # Usage: scripts/check.sh [bench-json-path]
 set -eu
 
-out="${1:-BENCH_pr2.json}"
+out="${1:-BENCH_pr3.json}"
 
 echo "== build =="
 go build ./...
