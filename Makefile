@@ -1,18 +1,22 @@
 # Tier-1+ quality gates. `make check` is what a change must pass before
-# merge: build, vet, the full test suite, the race detector, a short
-# burst on every fuzz target, and a short perf run that refreshes the
-# benchmark JSON.
+# merge: build, vet, bcast-vet (the repo's own invariant analyzers),
+# staticcheck/govulncheck when installed, the full test suite, the race
+# detector, a short burst on every fuzz target, and a short perf run
+# that refreshes the benchmark JSON.
 
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: build vet test race fuzz bench check
+.PHONY: build vet bcast-vet test race fuzz bench check
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+bcast-vet:
+	$(GO) run ./cmd/bcast-vet ./...
 
 test:
 	$(GO) test ./...

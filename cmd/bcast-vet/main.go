@@ -1,0 +1,83 @@
+// Command bcast-vet runs the repo's custom static analyzers — the
+// determinism, pooling, goroutine-lifecycle, and error-sentinel
+// invariants documented in DESIGN.md §9 — over module packages.
+//
+// Usage:
+//
+//	bcast-vet [-list] [pattern ...]
+//
+// Patterns are module-relative: "./..." (the default), "./internal/sim",
+// or "internal/topo/...". Diagnostics print to stdout one per line as
+// file:line:col: message [bcast-analyzer]; the exit status is 0 when the
+// tree is clean, 1 when any analyzer fired, and 2 when loading or
+// type-checking failed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("bcast-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the registered analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: bcast-vet [-list] [pattern ...]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "bcast-%s: %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		fmt.Fprintf(stderr, "bcast-vet: %v\n", err)
+		return 2
+	}
+	diags, err := analysis.Vet(root, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "bcast-vet: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		d.Pos.Filename = relToCwd(d.Pos.Filename)
+		fmt.Fprintln(stdout, d)
+	}
+	if n := len(diags); n > 0 {
+		fmt.Fprintf(stderr, "bcast-vet: %d issue(s)\n", n)
+		return 1
+	}
+	return 0
+}
+
+// relToCwd shortens absolute diagnostic paths for terminal output.
+func relToCwd(path string) string {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return path
+	}
+	rel, err := filepath.Rel(cwd, path)
+	if err != nil || len(rel) >= len(path) {
+		return path
+	}
+	return rel
+}

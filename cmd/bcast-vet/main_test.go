@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWholeModuleIsClean mirrors the check.sh gate: bcast-vet over the
+// full module must exit 0.
+func TestWholeModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	if code := run([]string{"./..."}, os.Stdout, os.Stderr); code != 0 {
+		t.Fatalf("bcast-vet ./... exited %d, want 0", code)
+	}
+}
+
+func TestListExitsZero(t *testing.T) {
+	if code := run([]string{"-list"}, os.Stdout, os.Stderr); code != 0 {
+		t.Fatalf("bcast-vet -list exited %d, want 0", code)
+	}
+}
+
+// TestSeededViolationExitsOne proves the failure path end to end: a
+// scratch module with a determinism violation in a replay-critical
+// package must drive the exit status to 1.
+func TestSeededViolationExitsOne(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "internal", "sim"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]string{
+		"go.mod": "module scratch\n\ngo 1.22\n",
+		filepath.Join("internal", "sim", "sim.go"): "package sim\n\nimport \"time\"\n\nfunc Now() int64 { return time.Now().Unix() }\n",
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Chdir(dir)
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	if code := run([]string{"./..."}, devnull, devnull); code != 1 {
+		t.Fatalf("seeded violation exited %d, want 1", code)
+	}
+}
+
+// TestUnmatchedPatternExitsTwo: a pattern that matches no packages
+// (testdata trees included) is a usage error, not a clean run.
+func TestUnmatchedPatternExitsTwo(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	if code := run([]string{"./internal/analysis/testdata/src/errsentinel/bad"}, devnull, devnull); code != 2 {
+		t.Fatalf("unmatched pattern exited %d, want 2", code)
+	}
+}
+
+func TestBadFlagExitsTwo(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	if code := run([]string{"-no-such-flag"}, devnull, devnull); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+}

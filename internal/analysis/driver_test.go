@@ -1,0 +1,74 @@
+package analysis
+
+import "testing"
+
+// TestRepoComesUpClean is the acceptance gate in test form: the whole
+// module — test files included — must pass every analyzer. It doubles
+// as an end-to-end exercise of the loader (module-local resolution plus
+// the stdlib source importer).
+func TestRepoComesUpClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Vet(root, []string{"./..."}, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+func TestLoaderEnumeratesModulePackages(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := l.PackageDirs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, d := range dirs {
+		seen[d] = true
+	}
+	for _, want := range []string{".", "internal/topo", "internal/analysis", "cmd/bcast-vet", "broadcast"} {
+		if !seen[want] {
+			t.Errorf("PackageDirs missing %q (got %v)", want, dirs)
+		}
+	}
+	if seen["internal/analysis/testdata"] || seen["internal/analysis/testdata/src/determinism/bad"] {
+		t.Error("PackageDirs must skip testdata trees")
+	}
+}
+
+func TestLoadPatternFiltering(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := l.Load([]string{"./internal/pool"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) == 0 {
+		t.Fatal("no units for ./internal/pool")
+	}
+	for _, u := range units {
+		if u.Path != "repro/internal/pool" {
+			t.Errorf("unexpected unit %s", u.Path)
+		}
+	}
+}

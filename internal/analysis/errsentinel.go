@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrSentinel forbids identity and string comparison of sentinel errors
+// — fault.ErrRetryBudget, topo/datatree.ErrExpansionLimit, and friends
+// travel wrapped (%w), so == misses them and errors.Is is the only
+// comparison that stays correct. Test files are checked too: tests are
+// where sentinel comparisons concentrate.
+var ErrSentinel = &Analyzer{
+	Name: "errsentinel",
+	Doc: "sentinel errors must be tested with errors.Is, never with ==/!=, switch, err.Error() text, or " +
+		"strings matching",
+	Run: runErrSentinel,
+}
+
+func runErrSentinel(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					checkErrComparison(pass, n)
+				}
+			case *ast.SwitchStmt:
+				checkErrSwitch(pass, n)
+			case *ast.CallExpr:
+				checkErrStringMatch(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// sentinelVar resolves e to a package-level error variable, the shape
+// of every sentinel (var ErrX = errors.New(...)).
+func sentinelVar(info *types.Info, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !isErrorType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+// errorTextCall reports whether e is a call to the Error() string
+// method of an error value.
+func errorTextCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	f := calleeFunc(info, call)
+	if f == nil || f.Name() != "Error" {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	return ok && sig.Recv() != nil && isErrorType(sig.Recv().Type())
+}
+
+func checkErrComparison(pass *Pass, n *ast.BinaryExpr) {
+	if errorTextCall(pass.Info, n.X) || errorTextCall(pass.Info, n.Y) {
+		pass.Reportf(n.Pos(), "comparing err.Error() text is brittle under wrapping; use errors.Is or errors.As")
+		return
+	}
+	for _, side := range []ast.Expr{n.X, n.Y} {
+		if v := sentinelVar(pass.Info, side); v != nil {
+			// Only flag comparisons against an error-typed counterpart;
+			// comparing to nil stays idiomatic.
+			other := n.Y
+			if side == n.Y {
+				other = n.X
+			}
+			if tv, ok := pass.Info.Types[other]; ok && tv.IsNil() {
+				return
+			}
+			pass.Reportf(n.Pos(), "sentinel %s compared with %s; wrapped errors escape identity checks — use errors.Is(err, %s)", v.Name(), n.Op, v.Name())
+			return
+		}
+	}
+}
+
+func checkErrSwitch(pass *Pass, n *ast.SwitchStmt) {
+	if n.Tag == nil {
+		return
+	}
+	tv, ok := pass.Info.Types[n.Tag]
+	if !ok || !isErrorType(tv.Type) {
+		return
+	}
+	for _, c := range n.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if v := sentinelVar(pass.Info, e); v != nil {
+				pass.Reportf(e.Pos(), "switch matches sentinel %s by identity; wrapped errors escape it — use errors.Is(err, %s)", v.Name(), v.Name())
+			}
+		}
+	}
+}
+
+func checkErrStringMatch(pass *Pass, n *ast.CallExpr) {
+	f := calleeFunc(pass.Info, n)
+	if f == nil || funcPkgPath(f) != "strings" {
+		return
+	}
+	switch f.Name() {
+	case "Contains", "HasPrefix", "HasSuffix", "EqualFold", "Index":
+	default:
+		return
+	}
+	for _, arg := range n.Args {
+		if errorTextCall(pass.Info, arg) {
+			pass.Reportf(n.Pos(), "matching err.Error() with strings.%s is brittle under wrapping; use errors.Is or errors.As", f.Name())
+			return
+		}
+	}
+}

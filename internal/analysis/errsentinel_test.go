@@ -1,0 +1,11 @@
+package analysis
+
+import "testing"
+
+func TestErrSentinelFiresOnIdentityAndStringMatching(t *testing.T) {
+	RunFixture(t, ErrSentinel, "fix/errs/bad", "testdata/src/errsentinel/bad")
+}
+
+func TestErrSentinelSilentOnErrorsIsAndNilChecks(t *testing.T) {
+	RunFixture(t, ErrSentinel, "fix/errs/good", "testdata/src/errsentinel/good")
+}

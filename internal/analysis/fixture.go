@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// TB is the subset of *testing.T the fixture harness needs; keeping it
+// an interface keeps the testing package out of the bcast-vet binary.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+var (
+	fixtureMu     sync.Mutex
+	fixtureLoader *Loader
+)
+
+// Want clauses come as line comments ("// want ...") or, when the line's
+// trailing comment slot is taken — e.g. expecting the reasonless-nolint
+// diagnostic on a //nolint line — as block comments ("/* want ... */").
+var (
+	wantLineRe  = regexp.MustCompile(`^\s*want\s+(.+)$`)
+	wantQuoteRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+)
+
+// commentBody strips the comment markers from a raw comment.
+func commentBody(text string) string {
+	if rest, ok := strings.CutPrefix(text, "//"); ok {
+		return rest
+	}
+	rest := strings.TrimPrefix(text, "/*")
+	return strings.TrimSuffix(rest, "*/")
+}
+
+type wantExpectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// RunFixture is the analysistest-style harness: it loads the fixture
+// package rooted at dir (relative to the calling test's directory),
+// type-checks it under importPath — synthetic paths let fixtures opt in
+// to path-scoped analyzers — runs the single analyzer through the full
+// pipeline (nolint suppression included), and matches the diagnostics
+// against the fixture's expectations:
+//
+//	badCall() // want "regexp matching the message"
+//
+// Every diagnostic must be wanted and every want must fire.
+func RunFixture(t TB, a *Analyzer, importPath, dir string) {
+	t.Helper()
+	fixtureMu.Lock()
+	defer fixtureMu.Unlock()
+	if fixtureLoader == nil {
+		root, err := FindModuleRoot(".")
+		if err != nil {
+			t.Fatalf("RunFixture: %v", err)
+		}
+		fixtureLoader, err = NewLoader(root)
+		if err != nil {
+			t.Fatalf("RunFixture: %v", err)
+		}
+	}
+	units, err := fixtureLoader.LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("RunFixture(%s): %v", dir, err)
+	}
+	var wants []*wantExpectation
+	for _, u := range units {
+		for _, f := range u.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantLineRe.FindStringSubmatch(commentBody(c.Text))
+					if m == nil {
+						continue
+					}
+					pos := u.Fset.Position(c.Pos())
+					for _, q := range wantQuoteRe.FindAllString(m[1], -1) {
+						raw, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, q, err)
+						}
+						re, err := regexp.Compile(raw)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+						}
+						wants = append(wants, &wantExpectation{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+					}
+				}
+			}
+		}
+	}
+	diags := RunAnalyzers(units, []*Analyzer{a})
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// LifecyclePaths are the serving packages whose goroutines must be
+// shut-downable: the TCP tower, the epoch planner, and the station.
+var LifecyclePaths = []string{
+	"internal/netcast",
+	"internal/epoch",
+	"broadcast",
+}
+
+// GoroutineLifecycle requires every go statement in the serving
+// packages to be tied to a lifecycle: a context.Context (cancellation),
+// a sync.WaitGroup (join), or an explicit //bcast:detached directive on
+// or directly above the statement. Test files are exempt — their
+// goroutines are bounded by the test binary.
+var GoroutineLifecycle = &Analyzer{
+	Name: "goroutinelifecycle",
+	Doc: "go statements in internal/netcast, internal/epoch, and broadcast must reference a context.Context or " +
+		"sync.WaitGroup, or carry a //bcast:detached directive",
+	Run: runGoroutineLifecycle,
+}
+
+func runGoroutineLifecycle(pass *Pass) {
+	if !pathMatches(pass.Path, LifecyclePaths) {
+		return
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		// Lines carrying a //bcast:detached directive (the directive also
+		// covers a go statement on the line directly below it).
+		detached := map[int]bool{}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, "//bcast:detached") {
+					detached[pass.Fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			line := pass.Fset.Position(g.Pos()).Line
+			if detached[line] || detached[line-1] {
+				return true
+			}
+			if goStmtTied(pass, g) {
+				return true
+			}
+			pass.Reportf(g.Pos(), "goroutine has no lifecycle: tie it to a context.Context or sync.WaitGroup, or mark it //bcast:detached with a justification")
+			return true
+		})
+	}
+}
+
+// goStmtTied reports whether the spawned call references a
+// context.Context or sync.WaitGroup anywhere in its expression — the
+// function literal's body included — or invokes a function that takes a
+// context parameter.
+func goStmtTied(pass *Pass, g *ast.GoStmt) bool {
+	tied := false
+	ast.Inspect(g.Call, func(n ast.Node) bool {
+		if tied {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if tv, ok := pass.Info.Types[e]; ok {
+			if typeIs(tv.Type, "context", "Context") || typeIs(tv.Type, "sync", "WaitGroup") {
+				tied = true
+				return false
+			}
+		}
+		return true
+	})
+	if tied {
+		return true
+	}
+	// A named callee whose signature accepts a context is cancellable by
+	// construction even when the argument expression itself is opaque.
+	if f := calleeFunc(pass.Info, g.Call); f != nil {
+		if sig, ok := f.Type().(interface{ String() string }); ok && strings.Contains(sig.String(), "context.Context") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,11 @@
+package analysis
+
+import "testing"
+
+func TestGoroutineLifecycleFiresOnOrphans(t *testing.T) {
+	RunFixture(t, GoroutineLifecycle, "fix/internal/netcast/bad", "testdata/src/goroutinelifecycle/bad")
+}
+
+func TestGoroutineLifecycleSilentOnTiedGoroutines(t *testing.T) {
+	RunFixture(t, GoroutineLifecycle, "fix/internal/epoch/good", "testdata/src/goroutinelifecycle/good")
+}

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// Suppression directive:
+//
+//	//nolint:bcast-<name>[,bcast-<name>...] // <reason>
+//
+// The reason is mandatory — a directive without one does not suppress
+// anything and is itself reported. A directive applies to diagnostics
+// on its own line and, so it can stand alone above a long statement, on
+// the line directly below it.
+var nolintRe = regexp.MustCompile(`^//\s*nolint:([a-zA-Z0-9_,-]+)(.*)$`)
+
+type nolintDirective struct {
+	pos       token.Position
+	analyzers []string // names with the bcast- prefix stripped
+	hasReason bool
+}
+
+type nolintSet struct {
+	// byFile maps filename -> directives in that file.
+	byFile map[string][]nolintDirective
+}
+
+func collectNolint(u *Unit) nolintSet {
+	set := nolintSet{byFile: map[string][]nolintDirective{}}
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := nolintRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				var names []string
+				for _, n := range strings.Split(m[1], ",") {
+					if rest, ok := strings.CutPrefix(n, "bcast-"); ok && rest != "" {
+						names = append(names, rest)
+					}
+				}
+				if len(names) == 0 {
+					continue // not ours (e.g. a golangci directive)
+				}
+				reason := strings.TrimSpace(m[2])
+				reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(reason, "//"), "--"))
+				d := nolintDirective{
+					pos:       u.Fset.Position(c.Pos()),
+					analyzers: names,
+					hasReason: reason != "",
+				}
+				set.byFile[d.pos.Filename] = append(set.byFile[d.pos.Filename], d)
+			}
+		}
+	}
+	return set
+}
+
+// suppresses reports whether a directive with a reason covers a
+// diagnostic of the named analyzer at pos.
+func (s nolintSet) suppresses(analyzer string, pos token.Position) bool {
+	for _, d := range s.byFile[pos.Filename] {
+		if !d.hasReason {
+			continue
+		}
+		if pos.Line != d.pos.Line && pos.Line != d.pos.Line+1 {
+			continue
+		}
+		for _, n := range d.analyzers {
+			if n == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// reasonless returns one diagnostic per directive that is missing its
+// mandatory reason.
+func (s nolintSet) reasonless() []Diagnostic {
+	var out []Diagnostic
+	for _, ds := range s.byFile {
+		for _, d := range ds {
+			if !d.hasReason {
+				out = append(out, Diagnostic{
+					Pos:      d.pos,
+					Analyzer: "nolint",
+					Message:  "nolint:bcast-" + strings.Join(d.analyzers, ",bcast-") + " directive needs a reason (//nolint:bcast-name // why)",
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PooledReturn enforces the free-list ownership contract from PR 1
+// (repro/internal/pool and any sync.Pool): a function that takes values
+// out of a pool must also contain the matching Put — dominated work
+// goes back, survivors escape by being returned — and a value must not
+// be used after it has been Put. The check is function-scoped: closures
+// count as part of their enclosing declaration, matching how the search
+// loops wrap Get in a reset helper.
+var PooledReturn = &Analyzer{
+	Name: "pooledreturn",
+	Doc: "every pool Get must be matched by a Put on the same pool in the same function (or the value must be " +
+		"returned), and pooled values must not be used after Put",
+	Run: runPooledReturn,
+}
+
+// isPoolType reports whether t is sync.Pool or a type declared in an
+// internal/pool package.
+func isPoolType(t types.Type) bool {
+	n := namedType(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	path := n.Obj().Pkg().Path()
+	return (path == "sync" && n.Obj().Name() == "Pool") || pathMatches(path, []string{"internal/pool"})
+}
+
+type poolPut struct {
+	call   *ast.CallExpr
+	key    string
+	argObj types.Object
+}
+
+func runPooledReturn(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkPoolFunc(pass, fd)
+			}
+		}
+	}
+}
+
+func checkPoolFunc(pass *Pass, fd *ast.FuncDecl) {
+	gets := map[string][]*ast.CallExpr{} // pool expr -> Get calls
+	putsByKey := map[string]int{}
+	var puts []poolPut
+	assigned := map[string][]types.Object{} // pool expr -> objects holding Get results
+	returned := map[types.Object]bool{}
+	getInReturn := map[*ast.CallExpr]bool{}
+	deferred := map[*ast.CallExpr]bool{}
+	var stmtLists [][]ast.Stmt
+
+	poolCall := func(n *ast.CallExpr) (key, method string, ok bool) {
+		sel, isSel := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+		if !isSel || (sel.Sel.Name != "Get" && sel.Sel.Name != "Put") {
+			return "", "", false
+		}
+		tv, okT := pass.Info.Types[sel.X]
+		if !okT || !isPoolType(tv.Type) {
+			return "", "", false
+		}
+		return types.ExprString(sel.X), sel.Sel.Name, true
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			stmtLists = append(stmtLists, n.List)
+		case *ast.CaseClause:
+			stmtLists = append(stmtLists, n.Body)
+		case *ast.CommClause:
+			stmtLists = append(stmtLists, n.Body)
+		case *ast.DeferStmt:
+			deferred[n.Call] = true
+		case *ast.CallExpr:
+			key, method, ok := poolCall(n)
+			if !ok {
+				return true
+			}
+			if method == "Get" {
+				gets[key] = append(gets[key], n)
+			} else {
+				p := poolPut{call: n, key: key}
+				if len(n.Args) == 1 {
+					if id := rootIdent(n.Args[0]); id != nil {
+						p.argObj = pass.Info.Uses[id]
+					}
+				}
+				putsByKey[key]++
+				puts = append(puts, p)
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 {
+				rhs := ast.Unparen(n.Rhs[0])
+				if ta, ok := rhs.(*ast.TypeAssertExpr); ok {
+					rhs = ast.Unparen(ta.X) // b := pool.Get().(*T)
+				}
+				if call, ok := rhs.(*ast.CallExpr); ok {
+					if key, method, ok := poolCall(call); ok && method == "Get" {
+						for _, lhs := range n.Lhs {
+							if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+								if obj := pass.Info.Defs[id]; obj != nil {
+									assigned[key] = append(assigned[key], obj)
+								} else if obj := pass.Info.Uses[id]; obj != nil {
+									assigned[key] = append(assigned[key], obj)
+								}
+							}
+						}
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if id := rootIdent(res); id != nil {
+					if obj := pass.Info.Uses[id]; obj != nil {
+						returned[obj] = true
+					}
+				}
+				ast.Inspect(res, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						if _, method, ok := poolCall(call); ok && method == "Get" {
+							getInReturn[call] = true
+						}
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+
+	// Rule 1: a Get with no Put anywhere in the function, whose result
+	// neither is returned directly nor through a variable, leaks pooled
+	// storage (or silently abandons the recycling the hot loop relies on).
+	for key, calls := range gets {
+		if putsByKey[key] > 0 {
+			continue
+		}
+		escapes := false
+		for _, obj := range assigned[key] {
+			if returned[obj] {
+				escapes = true
+			}
+		}
+		for _, call := range calls {
+			if escapes || getInReturn[call] {
+				continue
+			}
+			pass.Reportf(call.Pos(), "%s.Get has no matching %s.Put in this function and the value does not escape by return; recycle it or hand ownership off explicitly", key, key)
+		}
+	}
+
+	// Rule 2: no use after Put. Scan the statements following the Put in
+	// its innermost statement list, stopping at a top-level reassignment
+	// of the variable. A deferred Put runs at function exit, so anything
+	// textually after it is still before the hand-back.
+	for _, p := range puts {
+		if p.argObj == nil || deferred[p.call] {
+			continue
+		}
+		list, idx := innermostStmt(stmtLists, p.call.Pos())
+		if list == nil {
+			continue
+		}
+		for _, s := range list[idx+1:] {
+			if reassignsObject(pass.Info, s, p.argObj) {
+				break
+			}
+			if pos, found := findUse(pass.Info, s, p.argObj); found {
+				pass.Reportf(pos, "%s is used after %s.Put returned it to the pool", p.argObj.Name(), p.key)
+				break
+			}
+		}
+	}
+}
+
+// innermostStmt finds the statement list directly containing pos and
+// the index of the containing statement, preferring the tightest span.
+func innermostStmt(lists [][]ast.Stmt, pos token.Pos) (list []ast.Stmt, idx int) {
+	bestSpan := -1
+	for _, l := range lists {
+		for i, s := range l {
+			if s.Pos() <= pos && pos < s.End() {
+				span := int(s.End() - s.Pos())
+				if bestSpan == -1 || span < bestSpan {
+					bestSpan, list, idx = span, l, i
+				}
+			}
+		}
+	}
+	return list, idx
+}
+
+// reassignsObject reports whether stmt assigns a fresh value to obj at
+// its top level (x = ... or x := ...).
+func reassignsObject(info *types.Info, stmt ast.Stmt, obj types.Object) bool {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			if info.Uses[id] == obj || info.Defs[id] == obj {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// findUse reports the first use of obj within stmt.
+func findUse(info *types.Info, stmt ast.Stmt, obj types.Object) (pos token.Pos, found bool) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			pos, found = id.Pos(), true
+			return false
+		}
+		return true
+	})
+	return pos, found
+}

@@ -1,0 +1,11 @@
+package analysis
+
+import "testing"
+
+func TestPooledReturnFiresOnLeakAndUseAfterPut(t *testing.T) {
+	RunFixture(t, PooledReturn, "fix/pooled/bad", "testdata/src/pooledreturn/bad")
+}
+
+func TestPooledReturnSilentOnBalancedAndEscaping(t *testing.T) {
+	RunFixture(t, PooledReturn, "fix/pooled/good", "testdata/src/pooledreturn/good")
+}

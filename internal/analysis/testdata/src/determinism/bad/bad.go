@@ -1,0 +1,53 @@
+// Package bad seeds every determinism violation the analyzer must
+// catch. Its fixture import path places it under internal/sim.
+package bad
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+func Clock() int64 {
+	return time.Now().Unix() // want `time\.Now in a deterministic package`
+}
+
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since in a deterministic package`
+}
+
+func Draw() int {
+	return rand.Intn(10) // want `global math/rand\.Intn`
+}
+
+func Shuffle(vs []int) {
+	rand.Shuffle(len(vs), func(i, j int) { vs[i], vs[j] = vs[j], vs[i] }) // want `global math/rand\.Shuffle`
+}
+
+func Render(m map[string]int) string {
+	var b strings.Builder
+	for k, v := range m {
+		fmt.Fprintf(&b, "%s=%d\n", k, v) // want `map iteration order leaks into fmt\.Fprintf`
+	}
+	return b.String()
+}
+
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `appends to keys in map order`
+	}
+	return keys
+}
+
+func Send(m map[string]int, out chan<- string) {
+	for k := range m {
+		out <- k // want `leaks into a channel send`
+	}
+}
+
+func Reasonless() int64 {
+	/* want `directive needs a reason` */ //nolint:bcast-determinism
+	return time.Now().Unix() // want `time\.Now in a deterministic package`
+}

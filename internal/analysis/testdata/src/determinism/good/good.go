@@ -1,0 +1,43 @@
+// Package good shows the sanctioned counterparts of every determinism
+// violation: seeded sources, sorted map iteration, order-insensitive
+// aggregation, and reasoned nolint suppression.
+package good
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+func Draw(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+func Render(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d\n", k, m[k])
+	}
+	return b.String()
+}
+
+func Total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func Timed() time.Duration {
+	start := time.Now() //nolint:bcast-determinism // fixture: wall-clock timing is the point here
+	return time.Since(start) //nolint:bcast-determinism // fixture: wall-clock timing is the point here
+}

@@ -1,0 +1,9 @@
+// Package outside uses the wall clock in a package that is not on the
+// deterministic-path list; the analyzer must stay silent.
+package outside
+
+import "time"
+
+func Clock() int64 {
+	return time.Now().Unix()
+}

@@ -1,0 +1,41 @@
+// Package bad compares sentinel errors every forbidden way: identity,
+// switch dispatch, and string matching.
+package bad
+
+import (
+	"errors"
+	"strings"
+)
+
+var ErrBudget = errors.New("retry budget exhausted")
+
+func Check(err error) bool {
+	return err == ErrBudget // want `sentinel ErrBudget compared with ==`
+}
+
+func CheckNeq(err error) bool {
+	if err != ErrBudget { // want `sentinel ErrBudget compared with !=`
+		return true
+	}
+	return false
+}
+
+func Reversed(err error) bool {
+	return ErrBudget == err // want `sentinel ErrBudget compared with ==`
+}
+
+func Text(err error) bool {
+	return err.Error() == "retry budget exhausted" // want `comparing err\.Error\(\) text`
+}
+
+func Match(err error) bool {
+	return strings.Contains(err.Error(), "budget") // want `matching err\.Error\(\) with strings\.Contains`
+}
+
+func Dispatch(err error) int {
+	switch err {
+	case ErrBudget: // want `switch matches sentinel ErrBudget`
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,31 @@
+// Package good tests sentinels the sanctioned way and keeps the
+// idiomatic nil checks the analyzer must not flag.
+package good
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrBudget = errors.New("retry budget exhausted")
+
+func Check(err error) bool {
+	return errors.Is(err, ErrBudget)
+}
+
+func NilCheck(err error) bool {
+	return err != nil
+}
+
+func NilCheckEq(err error) bool {
+	return nil == err
+}
+
+func Wrap(limit int) error {
+	return fmt.Errorf("%w (limit %d)", ErrBudget, limit)
+}
+
+func LocalCompare() bool {
+	a, b := 1, 2
+	return a == b
+}

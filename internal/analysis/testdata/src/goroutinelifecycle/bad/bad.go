@@ -1,0 +1,21 @@
+// Package bad launches goroutines with no lifecycle; its fixture
+// import path places it under internal/netcast.
+package bad
+
+func Spawn() {
+	go func() { // want `goroutine has no lifecycle`
+		println("orphan")
+	}()
+}
+
+func SpawnNamed(work func()) {
+	go work() // want `goroutine has no lifecycle`
+}
+
+func SpawnLoop(n int) {
+	for i := 0; i < n; i++ {
+		go func(i int) { // want `goroutine has no lifecycle`
+			println(i)
+		}(i)
+	}
+}

@@ -1,0 +1,45 @@
+// Package good ties every goroutine to a lifecycle: context
+// cancellation, WaitGroup join, or an explicit detached declaration.
+package good
+
+import (
+	"context"
+	"sync"
+)
+
+func WithCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func WithWG(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+type server struct {
+	wg sync.WaitGroup
+}
+
+func (s *server) Serve() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+	}()
+}
+
+func NamedCtx(ctx context.Context) {
+	go loop(ctx)
+}
+
+func loop(ctx context.Context) { <-ctx.Done() }
+
+func Detached() {
+	//bcast:detached process-lifetime metrics flusher by design
+	go func() {
+		println("detached")
+	}()
+}

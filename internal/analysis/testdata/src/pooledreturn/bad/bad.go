@@ -1,0 +1,24 @@
+// Package bad violates the pool ownership contract both ways: a Get
+// with no matching Put, and a use of a value after it was Put.
+package bad
+
+import (
+	"sync"
+
+	"repro/internal/pool"
+)
+
+var bufs = sync.Pool{New: func() any { return new([]byte) }}
+
+func Leak() int {
+	b := bufs.Get().(*[]byte) // want `bufs\.Get has no matching bufs\.Put`
+	return len(*b)
+}
+
+type state struct{ v int }
+
+func UseAfterPut(p *pool.Pool[*state]) int {
+	s := p.Get()
+	p.Put(s)
+	return s.v // want `s is used after p\.Put`
+}

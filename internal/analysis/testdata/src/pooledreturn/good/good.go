@@ -1,0 +1,72 @@
+// Package good exercises the sanctioned pool usages: balanced Get/Put,
+// escape by return (ownership handoff), and reuse after reassignment.
+package good
+
+import (
+	"sync"
+
+	"repro/internal/pool"
+)
+
+var bufs = sync.Pool{New: func() any { return new([]byte) }}
+
+type state struct{ v int }
+
+func Recycle(p *pool.Pool[*state]) int {
+	s := p.Get()
+	s.v++
+	out := s.v
+	p.Put(s)
+	return out
+}
+
+func Handoff(p *pool.Pool[*state]) *state {
+	return p.Get()
+}
+
+func HandoffVar(p *pool.Pool[*state]) *state {
+	s := p.Get()
+	s.v = 1
+	return s
+}
+
+func Reuse(p *pool.Pool[*state]) int {
+	s := p.Get()
+	p.Put(s)
+	s = p.Get() // fresh ownership: the earlier Put no longer taints s
+	out := s.v
+	p.Put(s)
+	return out
+}
+
+func Balanced() int {
+	b := bufs.Get().(*[]byte)
+	n := len(*b)
+	bufs.Put(b)
+	return n
+}
+
+// DeferredPut hands the value back at function exit; uses after the
+// defer statement are still before the Put runs.
+func DeferredPut(p *pool.Pool[*state]) int {
+	s := p.Get()
+	defer p.Put(s)
+	s.v++
+	return s.v
+}
+
+// InLoop mirrors the search hot loop: dominated work is recycled with
+// Put mid-loop and the variable is refilled by the next Get.
+func InLoop(p *pool.Pool[*state], rounds int) int {
+	total := 0
+	for i := 0; i < rounds; i++ {
+		s := p.Get()
+		if s.v < 0 {
+			p.Put(s)
+			continue
+		}
+		total += s.v
+		p.Put(s)
+	}
+	return total
+}

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// pathMatches reports whether importPath contains any of the fragments
+// as a segment-aligned sub-path ("internal/sim" matches
+// "repro/internal/sim" and "x/internal/sim/deep", not "internal/simx").
+// The loader's ".test" suffix on external test units is ignored.
+func pathMatches(importPath string, fragments []string) bool {
+	p := "/" + strings.TrimSuffix(importPath, ".test") + "/"
+	for _, f := range fragments {
+		if strings.Contains(p, "/"+f+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the statically-known callee of a call, or nil for
+// indirect calls, conversions, and builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	f, _ := info.Uses[id].(*types.Func)
+	return f
+}
+
+// funcPkgPath returns the import path of the package declaring f, or ""
+// for methods resolved through their receiver when unavailable.
+func funcPkgPath(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// rootIdent peels selectors, indexes, and parens down to the leftmost
+// identifier of an expression (x in x.y[i].z), or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.CallExpr:
+			e = v.Fun
+		default:
+			return nil
+		}
+	}
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorType reports whether t is error or implements it.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorIface) || types.Implements(types.NewPointer(t), errorIface)
+}
+
+// namedType returns the named (or alias-resolved) form of t with
+// pointers stripped, or nil.
+func namedType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, _ := types.Unalias(t).(*types.Named)
+	return n
+}
+
+// typeIs reports whether t (pointers stripped) is the named type
+// pkgPath.name.
+func typeIs(t types.Type, pkgPath, name string) bool {
+	n := namedType(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/bitset"
+	"repro/internal/pool"
 	"repro/internal/pqueue"
 	"repro/internal/searchstats"
 	"repro/internal/tree"
@@ -340,21 +341,15 @@ func Search(t *tree.Tree, opt Options) (*Result, error) {
 
 	dom := newDomTable()
 
-	// free recycles states skipped stale at pop time. Such a state is
+	// states recycles states skipped stale at pop time. Such a state is
 	// referenced by nothing — it was never expanded (so its pathInfo is
 	// nobody's prev) and the dominance entry for its key aliases a strictly
 	// cheaper state — so its storage, pathInfo included, can serve a future
 	// state. The root is built outside the pool so pooled states always
 	// carry a non-nil pathInfo to reuse.
-	var free []*state
-	newState := func() *state {
-		if n := len(free); n > 0 {
-			s := free[n-1]
-			free = free[:n-1]
-			return s
-		}
+	states := pool.New(func() *state {
 		return &state{used: bitset.New(c.n), covered: bitset.New(c.n), info: &pathInfo{}}
-	}
+	})
 
 	q := pqueue.New(func(a, b *state) bool { return a.f < b.f })
 	push := func(s *state, h uint64, e *domEntry) {
@@ -373,7 +368,7 @@ func Search(t *tree.Tree, opt Options) (*Result, error) {
 		if e := dom.lookup(h, cur.used, cur.last()); e != nil && e.v < cur.v {
 			res.Stats.DomStale++
 			if cur.info != nil {
-				free = append(free, cur)
+				states.Put(cur)
 			}
 			continue
 		}
@@ -393,7 +388,7 @@ func Search(t *tree.Tree, opt Options) (*Result, error) {
 				res.Stats.RulePruned++
 				continue
 			}
-			next := newState()
+			next := states.Get()
 			next.used.Copy(cur.used)
 			next.used.Add(int(d))
 			ni := next.info
@@ -406,7 +401,7 @@ func Search(t *tree.Tree, opt Options) (*Result, error) {
 			e := dom.lookup(nh, next.used, d)
 			if e != nil && e.v <= next.v {
 				res.Stats.DomPruned++
-				free = append(free, next)
+				states.Put(next)
 				continue
 			}
 			next.covered.Copy(cur.covered)

@@ -19,13 +19,17 @@ func TestForEachTrialOrderAndErrors(t *testing.T) {
 	}
 
 	// The lowest-index error wins, matching a serial loop.
+	trialErrs := make([]error, 8)
+	for i := range trialErrs {
+		trialErrs[i] = fmt.Errorf("trial %d failed", i)
+	}
 	_, err = forEachTrial(4, 8, func(i int) (int, error) {
 		if i >= 3 {
-			return 0, fmt.Errorf("trial %d failed", i)
+			return 0, trialErrs[i]
 		}
 		return i, nil
 	})
-	if err == nil || err.Error() != "trial 3 failed" {
+	if !errors.Is(err, trialErrs[3]) {
 		t.Fatalf("err = %v, want trial 3's error", err)
 	}
 

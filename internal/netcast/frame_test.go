@@ -3,8 +3,8 @@ package netcast
 import (
 	"bufio"
 	"bytes"
+	"errors"
 	"io"
-	"strings"
 	"testing"
 )
 
@@ -61,8 +61,8 @@ func TestReadFrameOversizedLength(t *testing.T) {
 	if err == nil {
 		t.Fatal("oversized length field decoded successfully")
 	}
-	if !strings.Contains(err.Error(), "truncated") {
-		t.Fatalf("want a truncation error, got %v", err)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("want a truncation error wrapping io.ErrUnexpectedEOF, got %v", err)
 	}
 }
 
@@ -89,7 +89,7 @@ func TestReadFrameNeverOverReads(t *testing.T) {
 			t.Fatalf("frame slot %d, want %d", slot, want)
 		}
 	}
-	if _, err := br.ReadByte(); err != io.EOF {
+	if _, err := br.ReadByte(); !errors.Is(err, io.EOF) {
 		t.Fatalf("stream not fully consumed: %v", err)
 	}
 }

@@ -1,0 +1,47 @@
+package pool
+
+import "testing"
+
+func TestGetFallsBackToNew(t *testing.T) {
+	calls := 0
+	p := New(func() *int { calls++; v := calls; return &v })
+	a, b := p.Get(), p.Get() //nolint:bcast-pooledreturn // the test asserts construction counts; recycling is not under test
+	if calls != 2 || *a != 1 || *b != 2 {
+		t.Fatalf("Get did not construct fresh values: calls=%d a=%d b=%d", calls, *a, *b)
+	}
+}
+
+func TestLIFOReuse(t *testing.T) {
+	p := New(func() *int { return new(int) })
+	a, b := p.Get(), p.Get()
+	p.Put(a)
+	p.Put(b)
+	if p.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", p.Len())
+	}
+	// LIFO: the last Put comes back first, and no fresh construction
+	// happens while the free list is non-empty.
+	if got := p.Get(); got != b { //nolint:bcast-pooledreturn // identity after Put is exactly the LIFO property under test
+		t.Fatal("Get did not return the most recently Put item")
+	}
+	if got := p.Get(); got != a { //nolint:bcast-pooledreturn // identity after Put is exactly the LIFO property under test
+		t.Fatal("Get did not drain the free list in LIFO order")
+	}
+	if p.Len() != 0 {
+		t.Fatalf("Len = %d after draining, want 0", p.Len())
+	}
+}
+
+func TestRecycledItemsKeepState(t *testing.T) {
+	// The pool's contract is that Get returns recycled items as-is; the
+	// caller resets what its constructor does not. Pin that contract so
+	// callers that rely on reusing backing storage (bitsets, slices)
+	// keep working.
+	p := New(func() *[]int { s := make([]int, 0, 4); return &s })
+	v := p.Get()
+	*v = append(*v, 7)
+	p.Put(v)
+	if got := p.Get(); got != v || len(*got) != 1 || (*got)[0] != 7 { //nolint:bcast-pooledreturn // reading the recycled item back is the contract being pinned
+		t.Fatal("recycled item did not keep its state")
+	}
+}

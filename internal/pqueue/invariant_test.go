@@ -1,0 +1,78 @@
+package pqueue
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// checkHeapInvariant walks the backing array directly: every node must
+// not order after either child. This is the structural property the
+// search engines rely on; the black-box tests only observe its
+// consequence (sorted pops).
+func checkHeapInvariant(t *testing.T, q *Queue[int]) {
+	t.Helper()
+	for i := range q.items {
+		for _, c := range []int{2*i + 1, 2*i + 2} {
+			if c < len(q.items) && q.less(q.items[c], q.items[i]) {
+				t.Fatalf("heap invariant broken: items[%d]=%d orders after child items[%d]=%d (len %d)",
+					i, q.items[i], c, q.items[c], len(q.items))
+			}
+		}
+	}
+}
+
+// TestHeapInvariantAfterMixedOps interleaves pushes and pops and checks
+// the heap shape after every single operation, not just the final drain
+// order. Duplicate keys are included deliberately: sift-down ties are
+// where a broken comparator direction hides.
+func TestHeapInvariantAfterMixedOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	q := New(func(a, b int) bool { return a < b })
+	min := func() int { // reference: the true minimum of the live items
+		m := q.items[0]
+		for _, v := range q.items {
+			if v < m {
+				m = v
+			}
+		}
+		return m
+	}
+	for op := 0; op < 2000; op++ {
+		if q.Len() == 0 || rng.Intn(5) < 3 {
+			q.Push(rng.Intn(50)) // small domain forces duplicates
+		} else {
+			want := min()
+			if got := q.Pop(); got != want {
+				t.Fatalf("op %d: Pop = %d, want minimum %d", op, got, want)
+			}
+		}
+		checkHeapInvariant(t, q)
+	}
+	for q.Len() > 0 {
+		want := min()
+		if got := q.Pop(); got != want {
+			t.Fatalf("drain: Pop = %d, want minimum %d", got, want)
+		}
+		checkHeapInvariant(t, q)
+	}
+}
+
+// TestPeakSurvivesDrain pins Peak as a high-water mark: draining the
+// queue must not reset it, and further pushes below the mark must not
+// move it.
+func TestPeakSurvivesDrain(t *testing.T) {
+	q := New(func(a, b int) bool { return a < b })
+	for i := 0; i < 10; i++ {
+		q.Push(i)
+	}
+	for q.Len() > 0 {
+		q.Pop()
+	}
+	if q.Peak() != 10 {
+		t.Fatalf("Peak = %d after drain, want 10", q.Peak())
+	}
+	q.Push(1)
+	if q.Peak() != 10 {
+		t.Fatalf("Peak = %d after refill below the mark, want 10", q.Peak())
+	}
+}

@@ -170,7 +170,7 @@ func (tl *Timeline) QuerySwitch(arrival int, key int64, pw Power, fc FaultConfig
 				return m, false, err
 			}
 			if !isRoot(e, b) {
-				return m, false, fmt.Errorf("sim: cycle start does not hold the root (got %v)", b.Node)
+				return m, false, fmt.Errorf("%w (got %v)", ErrMissingRoot, b.Node)
 			}
 		}
 		epoch := e.Epoch
@@ -215,8 +215,8 @@ func (tl *Timeline) QuerySwitch(arrival int, key int64, pw Power, fc FaultConfig
 				return m, false, err
 			}
 			if e.Epoch == epoch && b.Node != ptr.Target {
-				return m, false, fmt.Errorf("sim: pointer to %s found %v at channel %d slot %d",
-					t.Label(ptr.Target), b.Node, ptr.Channel, now)
+				return m, false, fmt.Errorf("%w: pointer to %s found %v at channel %d slot %d",
+					ErrBrokenPointer, t.Label(ptr.Target), b.Node, ptr.Channel, now)
 			}
 		}
 		if !restarted {
@@ -257,7 +257,7 @@ restartScan:
 				return res, err
 			}
 			if !isRoot(e, b) {
-				return res, fmt.Errorf("sim: cycle start does not hold the root (got %v)", b.Node)
+				return res, fmt.Errorf("%w (got %v)", ErrMissingRoot, b.Node)
 			}
 		}
 		epoch := e.Epoch
@@ -327,8 +327,8 @@ restartScan:
 				continue restartScan
 			}
 			if bucket.Node != next.target {
-				return res, fmt.Errorf("sim: range pointer to %s found %v",
-					prog.t.Label(next.target), bucket.Node)
+				return res, fmt.Errorf("%w: range pointer to %s found %v",
+					ErrBrokenPointer, prog.t.Label(next.target), bucket.Node)
 			}
 			if err := visit(now, bucket); err != nil {
 				return res, err

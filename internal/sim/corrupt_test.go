@@ -1,7 +1,7 @@
 package sim
 
 import (
-	"strings"
+	"errors"
 	"testing"
 
 	"repro/internal/topo"
@@ -49,7 +49,7 @@ func TestQueryDetectsDanglingPointer(t *testing.T) {
 	if err == nil {
 		t.Fatal("corrupted pointer went undetected")
 	}
-	if !strings.Contains(err.Error(), "pointer") {
+	if !errors.Is(err, ErrBrokenPointer) {
 		t.Fatalf("unexpected error: %v", err)
 	}
 }
@@ -65,7 +65,7 @@ func TestQueryDetectsMissingRootAtCycleStart(t *testing.T) {
 	if err == nil {
 		t.Fatal("missing root went undetected")
 	}
-	if !strings.Contains(err.Error(), "root") {
+	if !errors.Is(err, ErrMissingRoot) {
 		t.Fatalf("unexpected error: %v", err)
 	}
 }

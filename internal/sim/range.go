@@ -59,7 +59,7 @@ func (p *Program) QueryRangeFaulty(arrival int, lo, hi int64, pw Power, fc Fault
 			return res, err
 		}
 		if !(b.RootCopy || b.Node == p.t.Root()) {
-			return res, fmt.Errorf("sim: cycle start does not hold the root (got %v)", b.Node)
+			return res, fmt.Errorf("%w (got %v)", ErrMissingRoot, b.Node)
 		}
 	}
 	descentStart := now
@@ -122,8 +122,8 @@ func (p *Program) QueryRangeFaulty(arrival int, lo, hi int64, pw Power, fc Fault
 		}
 		bucket := p.buckets[next.channel-1][p.slotInCycle(now)-1]
 		if bucket.Node != next.target {
-			return res, fmt.Errorf("sim: range pointer to %s found %v",
-				p.t.Label(next.target), bucket.Node)
+			return res, fmt.Errorf("%w: range pointer to %s found %v",
+				ErrBrokenPointer, p.t.Label(next.target), bucket.Node)
 		}
 		if err := visit(now, bucket); err != nil {
 			return res, err

@@ -19,11 +19,26 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/alloc"
 	"repro/internal/fault"
 	"repro/internal/tree"
+)
+
+// Sentinel corruption errors. Query and its range/adaptive variants wrap
+// these with %w so callers can classify a failure with errors.Is instead
+// of matching the position/label detail in the message text.
+var (
+	// ErrMissingRoot reports a cycle start whose channel-1 slot carries
+	// neither the index root nor a root copy.
+	ErrMissingRoot = errors.New("sim: cycle start does not hold the root")
+
+	// ErrBrokenPointer reports an index pointer whose target slot holds a
+	// different node than the pointer promised (or a bucket missing the
+	// pointer the descent needs).
+	ErrBrokenPointer = errors.New("sim: broken index pointer")
 )
 
 // Pointer addresses a future bucket relative to the current slot.
@@ -327,7 +342,7 @@ func (p *Program) run(arrival int, fc FaultConfig, descend func(Bucket) (next tr
 		}
 		descentStart = now
 		if !(b.RootCopy || b.Node == p.t.Root()) {
-			return m, false, fmt.Errorf("sim: cycle start does not hold the root (got %v)", b.Node)
+			return m, false, fmt.Errorf("%w (got %v)", ErrMissingRoot, b.Node)
 		}
 	}
 	// ProbeWait is everything before the root bucket the descent started
@@ -355,14 +370,14 @@ func (p *Program) run(arrival int, fc FaultConfig, descend func(Bucket) (next tr
 			}
 		}
 		if ptr == nil {
-			return m, false, fmt.Errorf("sim: bucket %v has no pointer to %s", b.Node, p.t.Label(next))
+			return m, false, fmt.Errorf("%w: bucket %v has no pointer to %s", ErrBrokenPointer, b.Node, p.t.Label(next))
 		}
 		if now, b, err = p.readAt(&m, fc, ptr.Channel, now+ptr.Offset); err != nil {
 			return m, false, err
 		}
 		if b.Node != next {
-			return m, false, fmt.Errorf("sim: pointer to %s found %v at channel %d slot %d",
-				p.t.Label(next), b.Node, ptr.Channel, p.slotInCycle(now))
+			return m, false, fmt.Errorf("%w: pointer to %s found %v at channel %d slot %d",
+				ErrBrokenPointer, p.t.Label(next), b.Node, ptr.Channel, p.slotInCycle(now))
 		}
 	}
 	return m, false, fmt.Errorf("sim: descent did not terminate")

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/bitset"
+	"repro/internal/pool"
 	"repro/internal/pqueue"
 	"repro/internal/tree"
 )
@@ -79,20 +80,16 @@ func Search(t *tree.Tree, opt Options) (*Result, error) {
 
 	dom := newDomTable()
 
-	// free recycles states skipped stale at pop time. Such a state is
+	// states recycles states skipped stale at pop time. Such a state is
 	// referenced by nothing — it was never expanded (so it is nobody's
 	// parent) and the dominance entry for its key aliases a strictly
 	// cheaper state — so its backing storage can serve a future state.
-	var free []*state
+	states := pool.New(func() *state { return &state{placed: bitset.New(g.n)} })
 	newState := func() *state {
-		if n := len(free); n > 0 {
-			s := free[n-1]
-			free = free[:n-1]
-			s.parent = nil
-			s.tail = nil
-			return s
-		}
-		return &state{placed: bitset.New(g.n)}
+		s := states.Get()
+		s.parent = nil
+		s.tail = nil
+		return s
 	}
 
 	q := pqueue.New(func(a, b *state) bool { return a.f < b.f })
@@ -118,7 +115,7 @@ func Search(t *tree.Tree, opt Options) (*Result, error) {
 		h := domHash(cur.placed, cur.depth, cur.sorted)
 		if e := dom.lookup(h, cur.placed, cur.depth, cur.sorted); e != nil && e.v < cur.v {
 			res.Stats.DomStale++
-			free = append(free, cur)
+			states.Put(cur)
 			continue
 		}
 		if cur.placed.Equal(g.all) {
@@ -168,7 +165,7 @@ func Search(t *tree.Tree, opt Options) (*Result, error) {
 			e := dom.lookup(nh, next.placed, depth, sortBuf)
 			if e != nil && e.v <= v {
 				res.Stats.DomPruned++
-				free = append(free, next)
+				states.Put(next)
 				return
 			}
 			next.compound = append(next.compound[:0], comp...)

@@ -1,8 +1,8 @@
 package topo
 
 import (
+	"errors"
 	"math/rand"
-	"strings"
 	"testing"
 
 	"repro/internal/tree"
@@ -78,7 +78,7 @@ func TestMaxExpandedBoundary(t *testing.T) {
 	opt.MaxExpanded = e - 1
 	if _, err := Search(tr, opt); err == nil {
 		t.Fatalf("MaxExpanded=%d: want error, got success", e-1)
-	} else if !strings.Contains(err.Error(), "expansion limit") {
+	} else if !errors.Is(err, ErrExpansionLimit) {
 		t.Fatalf("unexpected error: %v", err)
 	}
 }

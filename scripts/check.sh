@@ -1,23 +1,47 @@
 #!/bin/sh
 # check.sh — the tier-1+ gate: everything a change must pass before merge.
 #
-#   build     go build ./...
-#   vet       go vet ./...
-#   test      go test ./...          (tier-1: the full unit/property suite)
-#   race      go test -race ./...    (parallel-harness and pool safety)
-#   fuzz      scripts/fuzz.sh        (every fuzz target, 5s each)
-#   perf      bcast-bench -exp perf  (short run; writes BENCH_pr3.json)
+#   build       go build ./...
+#   vet         go vet ./...
+#   bcast-vet   go run ./cmd/bcast-vet ./...   (repo-specific invariants)
+#   staticcheck staticcheck ./...              (skipped when not installed)
+#   govulncheck govulncheck ./...              (skipped when not installed)
+#   test        go test ./...                  (tier-1: the full unit/property suite)
+#   race        go test -race ./...            (parallel-harness and pool safety)
+#   fuzz        scripts/fuzz.sh                (every fuzz target, 5s each)
+#   perf        bcast-bench -exp perf          (short run; writes BENCH_pr$PR.json)
+#
+# staticcheck and govulncheck are pinned in tools/go.mod and installed in
+# CI; offline dev boxes without the binaries get a warning, not a failure.
 #
 # Usage: scripts/check.sh [bench-json-path]
+#   PR=5 scripts/check.sh     # writes BENCH_pr5.json
 set -eu
 
-out="${1:-BENCH_pr3.json}"
+out="${1:-BENCH_pr${PR:-4}.json}"
 
 echo "== build =="
 go build ./...
 
 echo "== vet =="
 go vet ./...
+
+echo "== bcast-vet =="
+go run ./cmd/bcast-vet ./...
+
+echo "== staticcheck =="
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./...
+else
+    echo "warning: staticcheck not installed; skipping (pinned in tools/go.mod)" >&2
+fi
+
+echo "== govulncheck =="
+if command -v govulncheck >/dev/null 2>&1; then
+    govulncheck ./...
+else
+    echo "warning: govulncheck not installed; skipping (pinned in tools/go.mod)" >&2
+fi
 
 echo "== test =="
 go test ./...

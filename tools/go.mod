@@ -1,0 +1,13 @@
+// Nested module that exists only to pin the versions of external
+// analysis tools (see tools.go). It is never built as part of the main
+// module: `go build ./...` and bcast-vet both skip nested modules. CI
+// extracts the versions below and installs each with
+// `go install <pkg>@<version>`.
+module repro/tools
+
+go 1.22
+
+require (
+	golang.org/x/vuln v1.1.4
+	honnef.co/go/tools v0.6.1
+)

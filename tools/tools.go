@@ -1,0 +1,13 @@
+//go:build tools
+
+// Package tools pins external analysis tools as module dependencies so
+// their versions are reviewed like any other dependency bump (the
+// canonical "tools.go" idiom). The build tag keeps the imports out of
+// every real build; the surrounding nested module keeps them out of the
+// main module's dependency graph entirely.
+package tools
+
+import (
+	_ "golang.org/x/vuln/cmd/govulncheck"
+	_ "honnef.co/go/tools/cmd/staticcheck"
+)
