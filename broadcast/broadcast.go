@@ -20,6 +20,7 @@ import (
 	"repro/internal/alphatree"
 	"repro/internal/core"
 	"repro/internal/driver"
+	"repro/internal/searchstats"
 	"repro/internal/sim"
 	"repro/internal/tree"
 )
@@ -124,6 +125,9 @@ type Schedule struct {
 	// before Options.FallbackOnLimit rescued it with a heuristic; nil on
 	// a clean solve.
 	LimitErr error
+	// Stats holds the per-search performance counters of the solve that
+	// produced Alloc (zero when a closed-form or heuristic path ran).
+	Stats searchstats.Stats
 
 	program *sim.Program
 }
@@ -154,6 +158,7 @@ func Optimize(t *Tree, opt Options) (*Schedule, error) {
 		Optimal:  sol.Optimal,
 		Used:     sol.Used,
 		LimitErr: sol.LimitErr,
+		Stats:    sol.Stats,
 		program:  prog,
 	}, nil
 }

@@ -4,8 +4,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/hotset"
+	"repro/internal/obs"
+	"repro/internal/searchstats"
 )
 
 // StationConfig tunes a Station.
@@ -26,6 +29,37 @@ type StationConfig struct {
 	// sorting heuristic instead of failing — a station must always stay
 	// on the air.
 	MaxExpanded int
+	// Obs receives the station's counters (periods, hits, misses, plans,
+	// installs, limit fallbacks), the station_plan_ns latency histogram,
+	// per-rebuild search-effort counters bridged from the solver, and
+	// period/plan/install trace events; nil disables instrumentation.
+	Obs *obs.Registry
+	// NowNanos is the clock used to time plans. Defaults to the wall
+	// clock; injectable so tests observe deterministic latencies.
+	NowNanos func() int64
+}
+
+// stationObs bundles the station's instrument handles; all handles are
+// nil-safe, so a zero bundle (no registry) makes every call a no-op.
+type stationObs struct {
+	reg                                               *obs.Registry
+	periods, hits, misses, plans, installs, fallbacks *obs.Counter
+	planNs                                            *obs.Histogram
+	hot                                               *obs.Gauge
+}
+
+func newStationObs(r *obs.Registry) stationObs {
+	return stationObs{
+		reg:       r,
+		periods:   r.Counter("station_periods_total"),
+		hits:      r.Counter("station_hits_total"),
+		misses:    r.Counter("station_misses_total"),
+		plans:     r.Counter("station_plans_total"),
+		installs:  r.Counter("station_installs_total"),
+		fallbacks: r.Counter("station_limit_fallbacks_total"),
+		planNs:    r.Histogram("station_plan_ns", obs.DefaultLatencyBounds),
+		hot:       r.Gauge("station_hot_keys"),
+	}
 }
 
 // Station runs the complete server loop of a broadcast system — all three
@@ -46,6 +80,8 @@ type Station struct {
 	cfg    StationConfig
 	est    *hotset.Estimator
 	labels map[int64]string
+	om     stationObs
+	now    func() int64
 
 	mu  sync.Mutex
 	hot []hotset.HotKey
@@ -85,7 +121,11 @@ func NewStation(universe []Item, cfg StationConfig) (*Station, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Station{cfg: cfg, est: est, labels: make(map[int64]string, len(universe))}
+	s := &Station{cfg: cfg, est: est, labels: make(map[int64]string, len(universe)),
+		om: newStationObs(cfg.Obs), now: cfg.NowNanos}
+	if s.now == nil {
+		s.now = func() int64 { return time.Now().UnixNano() }
+	}
 	for _, it := range universe {
 		if _, dup := s.labels[it.Key]; dup {
 			return nil, fmt.Errorf("broadcast: duplicate key %d", it.Key)
@@ -113,9 +153,11 @@ func (s *Station) Record(key int64) (onAir bool) {
 	defer s.mu.Unlock()
 	if _, ok := s.hotKeys[key]; ok {
 		s.hits++
+		s.om.hits.Inc()
 		return true
 	}
 	s.misses++
+	s.om.misses.Inc()
 	return false
 }
 
@@ -152,7 +194,12 @@ func (s *Station) EndPeriod() (rebuilt bool, coverage float64, err error) {
 // EndPeriod do all three).
 func (s *Station) ClosePeriod() ([]HotKey, float64) {
 	s.est.Tick()
-	return s.est.Select(s.cfg.HotSize)
+	sel, coverage := s.est.Select(s.cfg.HotSize)
+	s.om.periods.Inc()
+	s.om.reg.Emit("period_close",
+		obs.A("hot", int64(len(sel))),
+		obs.A("coverage_ppm", int64(coverage*1e6)))
+	return sel, coverage
 }
 
 // PlanSelection re-optimizes the broadcast for exactly the given
@@ -180,12 +227,29 @@ func (s *Station) PlanSelection(sel []HotKey) (*Schedule, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Optimize(t, Options{
+	start := s.now()
+	sched, err := Optimize(t, Options{
 		Channels:        s.cfg.Channels,
 		Polish:          true,
 		MaxExpanded:     s.cfg.MaxExpanded,
 		FallbackOnLimit: true,
 	})
+	if err != nil {
+		return nil, err
+	}
+	elapsed := s.now() - start
+	s.om.plans.Inc()
+	s.om.planNs.Observe(elapsed)
+	searchstats.Publish(s.om.reg, sched.Stats)
+	optimal := int64(0)
+	if sched.Optimal {
+		optimal = 1
+	}
+	if sched.LimitErr != nil {
+		s.om.fallbacks.Inc()
+	}
+	s.om.reg.Emit("plan", obs.A("optimal", optimal), obs.A("ns", elapsed))
+	return sched, nil
 }
 
 // Install puts a planned schedule on the air for the given selection.
@@ -200,6 +264,9 @@ func (s *Station) Install(sel []HotKey, sched *Schedule) {
 	s.sched = sched
 	s.rebuilds++
 	s.mu.Unlock()
+	s.om.installs.Inc()
+	s.om.hot.Set(int64(len(sel)))
+	s.om.reg.Emit("install", obs.A("hot", int64(len(sel))))
 }
 
 // Schedule returns the current broadcast schedule.

@@ -1,0 +1,83 @@
+package broadcast_test
+
+import (
+	"testing"
+
+	"repro/broadcast"
+	"repro/internal/obs"
+)
+
+// TestStationPublishesObs pins the station's instrumentation across a
+// full serve-and-rebuild cycle: hit/miss counters, period and install
+// counters, the plan-latency histogram fed by the injected clock, and
+// the search-effort counters bridged from the solver.
+func TestStationPublishesObs(t *testing.T) {
+	r := obs.New()
+	var now int64
+	st, err := broadcast.NewStation(universe(20), broadcast.StationConfig{
+		HotSize:  4,
+		Decay:    0.3,
+		Obs:      r,
+		NowNanos: func() int64 { now += 500; return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One hit (key 1 is hottest, on air) and one miss.
+	if !st.Record(1) {
+		t.Fatal("key 1 should be on air")
+	}
+	if st.Record(20) {
+		t.Fatal("key 20 should be off air")
+	}
+	// Shift demand onto cold keys until a period rebuild triggers.
+	rebuilt := false
+	for period := 0; period < 8 && !rebuilt; period++ {
+		for i := 0; i < 50; i++ {
+			for key := int64(15); key <= 20; key++ {
+				st.Record(key)
+			}
+		}
+		var err error
+		if rebuilt, _, err = st.EndPeriod(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !rebuilt {
+		t.Fatal("demand shift never triggered a rebuild")
+	}
+
+	s := r.Snapshot()
+	if s.Counters["station_hits_total"] < 1 || s.Counters["station_misses_total"] < 1 {
+		t.Fatalf("hit/miss counters %+v", s.Counters)
+	}
+	if s.Counters["station_periods_total"] < 1 {
+		t.Fatalf("no periods counted: %+v", s.Counters)
+	}
+	// NewStation plans+installs once, the rebuild a second time.
+	if s.Counters["station_plans_total"] < 2 || s.Counters["station_installs_total"] < 2 {
+		t.Fatalf("plan/install counters %+v", s.Counters)
+	}
+	if g := s.Gauges["station_hot_keys"]; g != 4 {
+		t.Fatalf("station_hot_keys = %d, want 4", g)
+	}
+	// Each plan spans exactly two reads of the 500ns-step clock.
+	h := s.Histograms["station_plan_ns"]
+	if h.Count != s.Counters["station_plans_total"] || h.Min != 500 || h.Max != 500 {
+		t.Fatalf("plan latency histogram %+v", h)
+	}
+	// The exact solver ran (4 items is far under the exact-search limit),
+	// so the bridged search-effort counters moved.
+	if s.Counters["search_generated_total"] == 0 || s.Gauges["search_peak_queue"] == 0 {
+		t.Fatalf("solver effort not bridged: counters %+v gauges %+v", s.Counters, s.Gauges)
+	}
+	// The trace carries the period/plan/install schedule.
+	kinds := map[string]int{}
+	for _, e := range r.Events(0) {
+		kinds[e.Kind]++
+	}
+	if kinds["period_close"] < 1 || kinds["plan"] < 2 || kinds["install"] < 2 {
+		t.Fatalf("trace kinds %+v", kinds)
+	}
+}

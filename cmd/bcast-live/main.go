@@ -7,10 +7,18 @@
 // lossy simulator instead — the metrics, including retry counts, must
 // still match exactly.
 //
+// With -obs addr the process serves its observability endpoint — JSON
+// metrics at /metrics, recent trace events at /trace, and net/http/pprof
+// under /debug/pprof/ — and dumps a final text snapshot of every metric
+// to stderr on shutdown. Bind loopback: the endpoint is unauthenticated.
+// Observation never changes behavior; the metrics cross-checked against
+// the simulator stay byte-identical with or without -obs.
+//
 // Example:
 //
 //	bcast-gen -type catalog -n 12 | bcast-live -k 2 -clients 8
 //	bcast-gen -type catalog -n 12 | bcast-live -clients 4 -drop 0.2 -corrupt 0.1
+//	bcast-gen -type catalog -n 12 | bcast-live -swap 9 -obs 127.0.0.1:0
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"repro/internal/epoch"
 	"repro/internal/fault"
 	"repro/internal/netcast"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/tree"
@@ -49,6 +58,9 @@ type liveOpts struct {
 	// is cross-checked against the adaptive analytic simulator instead,
 	// including its Restarts count.
 	swap int
+	// obs, when non-nil, receives server and client metrics and trace
+	// events; main wires it to the -obs HTTP endpoint.
+	obs *obs.Registry
 }
 
 func main() {
@@ -64,8 +76,25 @@ func main() {
 	flag.Float64Var(&opt.stall, "stall", 0, "per-slot delivery stall probability")
 	flag.IntVar(&opt.retries, "retries", 0, "retry budget per lookup (0 = default)")
 	flag.IntVar(&opt.swap, "swap", 0, "stage a rebuilt epoch-2 program at this slot and hot-swap it on air (0 = static broadcast)")
+	obsAddr := flag.String("obs", "", "serve /metrics, /trace and /debug/pprof on this address (bind loopback, e.g. 127.0.0.1:0)")
 	flag.Parse()
-	if err := run(*in, opt, os.Stdout); err != nil {
+	var obsSrv *obs.Server
+	if *obsAddr != "" {
+		opt.obs = obs.NewWithOptions(obs.Options{Clock: func() int64 { return time.Now().UnixNano() }})
+		var err error
+		if obsSrv, err = obs.Serve(*obsAddr, opt.obs); err != nil {
+			fmt.Fprintln(os.Stderr, "bcast-live:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "obs: serving http://%s/metrics\n", obsSrv.Addr())
+	}
+	err := run(*in, opt, os.Stdout)
+	if obsSrv != nil {
+		obsSrv.Close()
+		fmt.Fprintln(os.Stderr, "\nobs: final metrics snapshot")
+		opt.obs.WriteText(os.Stderr)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "bcast-live:", err)
 		os.Exit(1)
 	}
@@ -108,6 +137,7 @@ func run(in string, opt liveOpts, w io.Writer) error {
 	server, err := netcast.NewServerOpts(prog, netcast.ServerOptions{
 		Faults:   model,
 		StallFor: time.Millisecond,
+		Obs:      opt.obs,
 	})
 	if err != nil {
 		return err
@@ -157,6 +187,7 @@ func run(in string, opt liveOpts, w io.Writer) error {
 			}
 			defer c.Close()
 			c.MaxRetries = opt.retries
+			c.Instrument(opt.obs)
 			found, _, m, err := c.Lookup(arrival, key, power)
 			done <- outcome{idx, arrival, key, found, m, want, err, wantErr}
 		}(i, arrival, key, want, wantErr)
@@ -266,6 +297,7 @@ func runAdaptive(t *tree.Tree, prog *sim.Program, opt liveOpts, w io.Writer) err
 	server, err := netcast.NewAdaptiveServer(reg, netcast.ServerOptions{
 		Faults:   model,
 		StallFor: time.Millisecond,
+		Obs:      opt.obs,
 	})
 	if err != nil {
 		return err
@@ -317,6 +349,7 @@ func runAdaptive(t *tree.Tree, prog *sim.Program, opt liveOpts, w io.Writer) err
 			}
 			defer c.Close()
 			c.MaxRetries = opt.retries
+			c.Instrument(opt.obs)
 			found, _, m, err := c.Lookup(arrival, key, power)
 			done <- outcome{idx, arrival, key, found, m, want, err, wantErr}
 		}(i, arrival, key, want, wantErr)

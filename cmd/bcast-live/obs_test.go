@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestLiveObsMetricsMove is the -obs integration pin for the tower: a
+// lossy hot-swap run with an instrumented registry must move the server
+// tick/swap/request counters and the client lookup/retry/restart
+// counters, leave swap and retry trace events behind, and — the
+// determinism half — report byte-identical simulator cross-checks, since
+// run() only succeeds when every client matches the analytic twin.
+func TestLiveObsMetricsMove(t *testing.T) {
+	r := obs.New()
+	var sb strings.Builder
+	opt := liveOpts{k: 2, clients: 6, seed: 5, swap: 9, drop: 0.1, retries: 64, obs: r}
+	if err := run(catalogFile(t, 10), opt, &sb); err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "matched the adaptive simulator exactly") {
+		t.Fatalf("cross-check did not complete:\n%s", sb.String())
+	}
+
+	s := r.Snapshot()
+	for _, c := range []string{
+		"netcast_ticks_total", "netcast_frames_total", "netcast_requests_total",
+		"netcast_swaps_total", "netcast_conns_attached_total",
+		"client_lookups_total", "client_reads_total", "client_retries_total",
+	} {
+		if s.Counters[c] == 0 {
+			t.Errorf("counter %s did not move; counters: %+v", c, s.Counters)
+		}
+	}
+	if s.Counters["netcast_swaps_total"] != 1 {
+		t.Errorf("netcast_swaps_total = %d, want 1", s.Counters["netcast_swaps_total"])
+	}
+	if s.Counters["client_lookups_total"] != 6 {
+		t.Errorf("client_lookups_total = %d, want 6", s.Counters["client_lookups_total"])
+	}
+	// The span gauge reflects the compacted history, not the swap count.
+	if g := s.Gauges["netcast_spans"]; g < 1 || g > 3 {
+		t.Errorf("netcast_spans = %d, want a small compacted history", g)
+	}
+	kinds := map[string]bool{}
+	for _, e := range r.Events(0) {
+		kinds[e.Kind] = true
+	}
+	for _, k := range []string{"tune", "swap", "retry"} {
+		if !kinds[k] {
+			t.Errorf("trace carries no %q events", k)
+		}
+	}
+}

@@ -11,10 +11,18 @@
 // boundary — demand adaptation with a one-period adoption lag instead of
 // a planning stall on the air path.
 //
+// With -obs addr the process serves its observability endpoint — JSON
+// metrics at /metrics, recent trace events at /trace, and net/http/pprof
+// under /debug/pprof/ — on that address for the lifetime of the run
+// (bind loopback; the endpoint is unauthenticated), holds it open for
+// -obs-hold afterwards so a scraper can catch a finished run, and dumps
+// a final text snapshot of every metric to stderr on shutdown.
+//
 // Example:
 //
 //	bcast-station -universe 50 -hot 8 -k 2 -periods 12 -shift 6
 //	bcast-station -universe 50 -hot 8 -periods 12 -async
+//	bcast-station -periods 6 -async -obs 127.0.0.1:9477 -obs-hold 30s
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 
 	"repro/broadcast"
 	"repro/internal/epoch"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -46,13 +55,34 @@ func main() {
 		decay    = flag.Float64("decay", 0.4, "demand decay per period")
 		seed     = flag.Int64("seed", 1, "random seed")
 		async    = flag.Bool("async", false, "plan rebuilds in the background epoch planner and hot-swap at period boundaries")
+		obsAddr  = flag.String("obs", "", "serve /metrics, /trace and /debug/pprof on this address (bind loopback, e.g. 127.0.0.1:0)")
+		obsHold  = flag.Duration("obs-hold", 0, "keep the -obs endpoint serving this long after the run completes")
 	)
 	flag.Parse()
+	var r *obs.Registry
+	var obsSrv *obs.Server
+	if *obsAddr != "" {
+		r = obs.NewWithOptions(obs.Options{Clock: func() int64 { return time.Now().UnixNano() }})
+		var err error
+		if obsSrv, err = obs.Serve(*obsAddr, r); err != nil {
+			fmt.Fprintln(os.Stderr, "bcast-station:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "obs: serving http://%s/metrics\n", obsSrv.Addr())
+	}
 	var err error
 	if *async {
-		err = runAsync(*universe, *hot, *k, *periods, *perP, *shift, *theta, *decay, *seed, os.Stdout)
+		err = runAsync(*universe, *hot, *k, *periods, *perP, *shift, *theta, *decay, *seed, os.Stdout, r)
 	} else {
-		err = run(*universe, *hot, *k, *periods, *perP, *shift, *theta, *decay, *seed, os.Stdout)
+		err = run(*universe, *hot, *k, *periods, *perP, *shift, *theta, *decay, *seed, os.Stdout, r)
+	}
+	if obsSrv != nil {
+		if err == nil && *obsHold > 0 {
+			time.Sleep(*obsHold)
+		}
+		obsSrv.Close()
+		fmt.Fprintln(os.Stderr, "\nobs: final metrics snapshot")
+		r.WriteText(os.Stderr)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bcast-station:", err)
@@ -60,7 +90,7 @@ func main() {
 	}
 }
 
-func run(universe, hot, k, periods, perP, shift int, theta, decay float64, seed int64, w io.Writer) error {
+func run(universe, hot, k, periods, perP, shift int, theta, decay float64, seed int64, w io.Writer, r *obs.Registry) error {
 	if universe < hot {
 		return fmt.Errorf("universe %d smaller than hot set %d", universe, hot)
 	}
@@ -76,6 +106,7 @@ func run(universe, hot, k, periods, perP, shift int, theta, decay float64, seed 
 		HotSize:  hot,
 		Channels: k,
 		Decay:    decay,
+		Obs:      r,
 	})
 	if err != nil {
 		return err
@@ -138,7 +169,7 @@ func run(universe, hot, k, periods, perP, shift int, theta, decay float64, seed 
 // boundary, the way the netcast tower promotes epochs only at cycle
 // boundaries. The broadcast therefore never waits on a solve; the price
 // is one period of adoption lag, visible in the hit-ratio column.
-func runAsync(universe, hot, k, periods, perP, shift int, theta, decay float64, seed int64, w io.Writer) error {
+func runAsync(universe, hot, k, periods, perP, shift int, theta, decay float64, seed int64, w io.Writer, r *obs.Registry) error {
 	if universe < hot {
 		return fmt.Errorf("universe %d smaller than hot set %d", universe, hot)
 	}
@@ -154,6 +185,7 @@ func runAsync(universe, hot, k, periods, perP, shift int, theta, decay float64, 
 		HotSize:  hot,
 		Channels: k,
 		Decay:    decay,
+		Obs:      r,
 	})
 	if err != nil {
 		return err
@@ -173,7 +205,7 @@ func runAsync(universe, hot, k, periods, perP, shift int, theta, decay float64, 
 	var pmu sync.Mutex
 	var next []broadcast.HotKey
 	var built *plan
-	planner := epoch.NewPlanner(context.Background(), reg, func(ctx context.Context) (*sim.Program, error) {
+	planner := epoch.NewPlannerOpts(context.Background(), reg, func(ctx context.Context) (*sim.Program, error) {
 		pmu.Lock()
 		sel := append([]broadcast.HotKey(nil), next...)
 		pmu.Unlock()
@@ -185,7 +217,7 @@ func runAsync(universe, hot, k, periods, perP, shift int, theta, decay float64, 
 		built = &plan{sel: sel, sched: sched}
 		pmu.Unlock()
 		return sched.Program(), nil
-	})
+	}, epoch.PlannerOptions{Obs: r})
 	defer planner.Close()
 
 	// awaitPlanner blocks until the kicked build has either staged or

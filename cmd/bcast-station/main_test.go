@@ -7,7 +7,7 @@ import (
 
 func TestStationLoopShiftsHotSet(t *testing.T) {
 	var sb strings.Builder
-	if err := run(30, 5, 2, 8, 400, 4, 0.9, 0.4, 1, &sb); err != nil {
+	if err := run(30, 5, 2, 8, 400, 4, 0.9, 0.4, 1, &sb, nil); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -23,14 +23,14 @@ func TestStationLoopShiftsHotSet(t *testing.T) {
 }
 
 func TestStationLoopErrors(t *testing.T) {
-	if err := run(3, 5, 1, 2, 10, 1, 0.9, 0.4, 1, &strings.Builder{}); err == nil {
+	if err := run(3, 5, 1, 2, 10, 1, 0.9, 0.4, 1, &strings.Builder{}, nil); err == nil {
 		t.Fatal("want error for universe < hot")
 	}
 }
 
 func TestStationAsyncPipelinesRebuilds(t *testing.T) {
 	var sb strings.Builder
-	if err := runAsync(30, 5, 2, 8, 400, 4, 0.9, 0.4, 1, &sb); err != nil {
+	if err := runAsync(30, 5, 2, 8, 400, 4, 0.9, 0.4, 1, &sb, nil); err != nil {
 		t.Fatalf("%v\noutput:\n%s", err, sb.String())
 	}
 	out := sb.String()
@@ -51,7 +51,7 @@ func TestStationAsyncPipelinesRebuilds(t *testing.T) {
 }
 
 func TestStationAsyncErrors(t *testing.T) {
-	if err := runAsync(3, 5, 1, 2, 10, 1, 0.9, 0.4, 1, &strings.Builder{}); err == nil {
+	if err := runAsync(3, 5, 1, 2, 10, 1, 0.9, 0.4, 1, &strings.Builder{}, nil); err == nil {
 		t.Fatal("want error for universe < hot")
 	}
 }

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestStationObsEndpoint is the -obs integration pin: the same wiring
+// main performs for `-obs 127.0.0.1:0` — wall-clock registry, HTTP
+// endpoint, instrumented async run — must serve /metrics, /trace and
+// pprof over the wire, with the station, planner and solver counters
+// actually moving during the run.
+func TestStationObsEndpoint(t *testing.T) {
+	r := obs.NewWithOptions(obs.Options{Clock: func() int64 { return time.Now().UnixNano() }})
+	srv, err := obs.Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var sb strings.Builder
+	if err := runAsync(30, 5, 2, 8, 400, 4, 0.9, 0.4, 1, &sb, r); err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, sb.String())
+	}
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	var snap obs.Snapshot
+	if err := json.Unmarshal(get("/metrics"), &snap); err != nil {
+		t.Fatal(err)
+	}
+	// Every period kicks a build, and each build plans + bridges the
+	// solver's effort; the acceptance criterion is that these moved.
+	for _, c := range []string{
+		"station_periods_total", "station_plans_total", "station_installs_total",
+		"station_hits_total", "station_misses_total",
+		"epoch_requests_total", "epoch_builds_total", "epoch_staged_total",
+		"search_generated_total",
+	} {
+		if snap.Counters[c] == 0 {
+			t.Errorf("counter %s did not move; counters: %+v", c, snap.Counters)
+		}
+	}
+	if snap.Histograms["epoch_rebuild_ns"].Count == 0 || snap.Histograms["station_plan_ns"].Count == 0 {
+		t.Errorf("latency histograms empty: %+v", snap.Histograms)
+	}
+
+	var events []obs.Event
+	if err := json.Unmarshal(get("/trace"), &events); err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]bool{}
+	for _, e := range events {
+		kinds[e.Kind] = true
+	}
+	for _, k := range []string{"period_close", "plan", "install", "rebuild"} {
+		if !kinds[k] {
+			t.Errorf("trace carries no %q events", k)
+		}
+	}
+
+	if body := string(get("/debug/pprof/")); !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index does not list profiles: %.100s", body)
+	}
+}

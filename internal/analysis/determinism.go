@@ -9,6 +9,10 @@ import (
 // DeterministicPaths are the package sub-paths whose output must replay
 // byte-identically from a seed (the fault model, the epoch-swap twins,
 // and the experiment harness all pin cross-checks on this).
+// internal/obs is held to the same bar because instrumented code calls
+// it from inside those replay loops: a wall-clock read or map-ordered
+// snapshot there would leak nondeterminism into every instrumented
+// cross-check.
 var DeterministicPaths = []string{
 	"internal/sim",
 	"internal/fault",
@@ -16,6 +20,7 @@ var DeterministicPaths = []string{
 	"internal/topo",
 	"internal/datatree",
 	"internal/core",
+	"internal/obs",
 }
 
 // Determinism forbids the three ways nondeterminism has crept into

@@ -23,6 +23,7 @@ func TestPathMatches(t *testing.T) {
 		{"repro/internal/sim.test", true}, // external test unit suffix
 		{"repro/internal/simx", false},
 		{"x/internal/sim/deep", true},
+		{"repro/internal/obs", true},
 		{"repro/internal/netcast", false},
 		{"repro", false},
 	}

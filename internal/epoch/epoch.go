@@ -21,7 +21,9 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/wire"
 )
@@ -147,10 +149,43 @@ type PlannerStats struct {
 	Failed int
 }
 
+// PlannerOptions tunes a Planner beyond its build function.
+type PlannerOptions struct {
+	// Obs receives the planner's counters (epoch_requests_total,
+	// epoch_builds_total, epoch_staged_total, epoch_build_failures_total),
+	// the epoch_rebuild_ns latency histogram and "rebuild" trace events;
+	// nil disables instrumentation.
+	Obs *obs.Registry
+	// NowNanos is the clock used to time rebuilds. Defaults to the wall
+	// clock; injectable so tests observe deterministic latencies.
+	NowNanos func() int64
+}
+
+// plannerObs is the planner's bundle of instrument handles. All handles
+// are nil-safe, so a zero bundle (no registry) makes every call a no-op.
+type plannerObs struct {
+	reg                              *obs.Registry
+	requests, builds, staged, failed *obs.Counter
+	latency                          *obs.Histogram
+}
+
+func newPlannerObs(r *obs.Registry) plannerObs {
+	return plannerObs{
+		reg:      r,
+		requests: r.Counter("epoch_requests_total"),
+		builds:   r.Counter("epoch_builds_total"),
+		staged:   r.Counter("epoch_staged_total"),
+		failed:   r.Counter("epoch_build_failures_total"),
+		latency:  r.Histogram("epoch_rebuild_ns", obs.DefaultLatencyBounds),
+	}
+}
+
 // Planner runs Builder in the background and stages each result.
 type Planner struct {
 	reg   *Registry
 	build Builder
+	om    plannerObs
+	now   func() int64
 
 	kick   chan struct{}
 	cancel context.CancelFunc
@@ -163,10 +198,21 @@ type Planner struct {
 
 // NewPlanner starts the planning goroutine; Close releases it.
 func NewPlanner(ctx context.Context, reg *Registry, build Builder) *Planner {
+	return NewPlannerOpts(ctx, reg, build, PlannerOptions{})
+}
+
+// NewPlannerOpts is NewPlanner with instrumentation options.
+func NewPlannerOpts(ctx context.Context, reg *Registry, build Builder, o PlannerOptions) *Planner {
 	ctx, cancel := context.WithCancel(ctx)
+	now := o.NowNanos
+	if now == nil {
+		now = func() int64 { return time.Now().UnixNano() }
+	}
 	pl := &Planner{
 		reg:    reg,
 		build:  build,
+		om:     newPlannerObs(o.Obs),
+		now:    now,
 		kick:   make(chan struct{}, 1),
 		cancel: cancel,
 		done:   make(chan struct{}),
@@ -176,8 +222,10 @@ func NewPlanner(ctx context.Context, reg *Registry, build Builder) *Planner {
 }
 
 // Request asks for one rebuild. Requests arriving while a build is in
-// flight coalesce into a single follow-up rebuild.
+// flight coalesce into a single follow-up rebuild — the gap between
+// epoch_requests_total and epoch_builds_total measures that coalescing.
 func (pl *Planner) Request() {
+	pl.om.requests.Inc()
 	select {
 	case pl.kick <- struct{}{}:
 	default:
@@ -195,10 +243,15 @@ func (pl *Planner) loop(ctx context.Context) {
 		pl.mu.Lock()
 		pl.stats.Builds++
 		pl.mu.Unlock()
+		pl.om.builds.Inc()
+		start := pl.now()
 		prog, err := pl.build(ctx)
+		var id uint32
 		if err == nil {
-			_, err = pl.reg.Stage(prog)
+			id, err = pl.reg.Stage(prog)
 		}
+		elapsed := pl.now() - start
+		pl.om.latency.Observe(elapsed)
 		pl.mu.Lock()
 		if err != nil {
 			pl.stats.Failed++
@@ -207,6 +260,13 @@ func (pl *Planner) loop(ctx context.Context) {
 			pl.stats.Staged++
 		}
 		pl.mu.Unlock()
+		if err != nil {
+			pl.om.failed.Inc()
+			pl.om.reg.Emit("rebuild", obs.A("ok", 0), obs.A("ns", elapsed))
+		} else {
+			pl.om.staged.Inc()
+			pl.om.reg.Emit("rebuild", obs.A("ok", 1), obs.A("epoch", int64(id)), obs.A("ns", elapsed))
+		}
 		if ctx.Err() != nil {
 			return
 		}

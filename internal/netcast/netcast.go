@@ -30,11 +30,13 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/epoch"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/wire"
 )
@@ -62,6 +64,11 @@ type ServerOptions struct {
 	// connection. Zero disables (the Grace eviction already bounds how
 	// long a silent connection can hold the clock).
 	ReadTimeout time.Duration
+	// Obs, when non-nil, receives the server's metrics and trace events
+	// (ticks, frames, requests, evictions, epoch swaps, span history).
+	// Observation never changes behavior: a nil registry costs one
+	// predictable nil check per instrument touch.
+	Obs *obs.Registry
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -107,7 +114,39 @@ type Server struct {
 	evicted int
 	done    bool
 
+	om serverObs
+
 	wg sync.WaitGroup
+}
+
+// serverObs bundles the server's instrument handles. With no registry
+// attached every handle is nil and records nothing.
+type serverObs struct {
+	reg       *obs.Registry
+	ticks     *obs.Counter
+	frames    *obs.Counter
+	requests  *obs.Counter
+	evictions *obs.Counter
+	swaps     *obs.Counter
+	attached  *obs.Counter
+	conns     *obs.Gauge
+	spans     *obs.Gauge
+	clock     *obs.Gauge
+}
+
+func newServerObs(r *obs.Registry) serverObs {
+	return serverObs{
+		reg:       r,
+		ticks:     r.Counter("netcast_ticks_total"),
+		frames:    r.Counter("netcast_frames_total"),
+		requests:  r.Counter("netcast_requests_total"),
+		evictions: r.Counter("netcast_evictions_total"),
+		swaps:     r.Counter("netcast_swaps_total"),
+		attached:  r.Counter("netcast_conns_attached_total"),
+		conns:     r.Gauge("netcast_conns"),
+		spans:     r.Gauge("netcast_spans"),
+		clock:     r.Gauge("netcast_now"),
+	}
 }
 
 // span is one epoch's tenure on the slot axis.
@@ -115,19 +154,54 @@ type span struct {
 	start, cycleLen int
 }
 
-// cycleLenAt returns the cycle length of the epoch that aired slot.
+// cycleLenAt returns the cycle length of the epoch that aired slot: the
+// last span starting at or before it. Slots older than the compacted
+// history resolve to the oldest retained span — by construction no live,
+// protocol-following connection can still re-request one (see
+// compactSpansLocked).
 func (s *Server) cycleLenAt(slot int) int {
-	i := len(s.spans) - 1
-	for i > 0 && s.spans[i].start > slot {
-		i--
+	i := sort.Search(len(s.spans), func(i int) bool { return s.spans[i].start > slot }) - 1
+	if i < 0 {
+		i = 0
 	}
 	return s.spans[i].cycleLen
+}
+
+// compactSpansLocked drops epoch spans no live connection can still
+// re-request a slot from, bounding the history an adaptive server keeps
+// across swaps (it used to grow one entry per swap, forever).
+//
+// The floor is the oldest slot any live connection may still ask for: a
+// connection attached at slot T never requests a slot before T (a radio
+// cannot arrive in the past), and within a session every request is at
+// or after the last slot it requested — a retry re-requests the slot it
+// just heard garbage on, a descent or sync only moves forward — so each
+// connection's floor is raised to every slot it requests. Spans entirely
+// below min(floor) can never influence another catch-up and are dropped;
+// the span containing the floor and everything after it are kept. With
+// no connections the floor is the broadcast clock itself.
+func (s *Server) compactSpansLocked() {
+	floor := s.now
+	for _, st := range s.conns {
+		if st.floor < floor {
+			floor = st.floor
+		}
+	}
+	i := sort.Search(len(s.spans), func(i int) bool { return s.spans[i].start > floor }) - 1
+	if i > 0 {
+		s.spans = append(s.spans[:0], s.spans[i:]...)
+	}
+	s.om.spans.Set(int64(len(s.spans)))
 }
 
 type connState struct {
 	hasPending bool
 	channel    int
 	slot       int
+	// floor is the oldest slot this connection may still request: the
+	// clock at attach, raised to every slot it has requested since. It
+	// lower-bounds the span history the server must retain.
+	floor int
 	// idleSince is when the connection last became request-less; the
 	// Grace eviction clock measures from here.
 	idleSince time.Time
@@ -155,6 +229,7 @@ func NewServerOpts(p *sim.Program, opts ServerOptions) (*Server, error) {
 		opts:    opts.withDefaults(),
 		spans:   []span{{0, p.CycleLen()}},
 		conns:   map[net.Conn]*connState{},
+		om:      newServerObs(opts.Obs),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s, nil
@@ -174,6 +249,7 @@ func NewAdaptiveServer(reg *epoch.Registry, opts ServerOptions) (*Server, error)
 		opts:    opts.withDefaults(),
 		spans:   []span{{0, cur.Prog.CycleLen()}},
 		conns:   map[net.Conn]*connState{},
+		om:      newServerObs(opts.Obs),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s, nil
@@ -208,7 +284,9 @@ func (s *Server) Attach(conn net.Conn) {
 		conn.Close()
 		return
 	}
-	s.conns[conn] = &connState{idleSince: time.Now()}
+	s.conns[conn] = &connState{floor: s.now, idleSince: time.Now()}
+	s.om.attached.Inc()
+	s.om.conns.Set(int64(len(s.conns)))
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	s.wg.Add(1)
@@ -223,6 +301,7 @@ func (s *Server) handle(conn net.Conn) {
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
+		s.om.conns.Set(int64(len(s.conns)))
 		s.cond.Broadcast()
 		s.mu.Unlock()
 		conn.Close()
@@ -249,6 +328,13 @@ func (s *Server) handle(conn net.Conn) {
 		if st == nil {
 			s.mu.Unlock()
 			return
+		}
+		s.om.requests.Inc()
+		// The requested slot raises the connection's floor: the protocol
+		// never asks for a slot before the last one it requested, so span
+		// history older than every floor is compactable.
+		if slot > st.floor {
+			st.floor = slot
 		}
 		// A request for a passed slot catches the next cyclic occurrence
 		// — of whichever epoch aired the missed slot.
@@ -290,6 +376,9 @@ func (s *Server) Tick() error {
 					// handler, which finishes the cleanup.
 					delete(s.conns, conn)
 					s.evicted++
+					s.om.evictions.Inc()
+					s.om.conns.Set(int64(len(s.conns)))
+					s.om.reg.Emit("evict", obs.A("slot", int64(s.now)))
 					conn.Close()
 					continue
 				} else if rest := s.opts.Grace - idle; wake == 0 || rest < wake {
@@ -322,6 +411,14 @@ func (s *Server) Tick() error {
 			s.epochStart = now
 			s.spans = append(s.spans, span{now, e.Prog.CycleLen()})
 			s.swaps++
+			// Swap time is when stale spans retire: compact the history
+			// down to what live connections can still re-request.
+			s.compactSpansLocked()
+			s.om.swaps.Inc()
+			s.om.reg.Emit("swap",
+				obs.A("epoch", int64(e.ID)),
+				obs.A("slot", int64(now)),
+				obs.A("spans", int64(len(s.spans))))
 		}
 	}
 	type delivery struct {
@@ -345,6 +442,9 @@ func (s *Server) Tick() error {
 		}
 	}
 	s.now++
+	s.om.ticks.Inc()
+	s.om.clock.Set(int64(s.now))
+	s.om.frames.Add(int64(len(due)))
 	s.mu.Unlock()
 
 	// Deliveries run concurrently under a write deadline: one stalled or
@@ -400,6 +500,15 @@ func (s *Server) Swaps() int {
 	return s.swaps
 }
 
+// SpanCount returns how many epoch spans the server currently retains
+// for cyclic catch-up. On a long-running adaptive server this stays
+// bounded by the connection churn window, not the swap count.
+func (s *Server) SpanCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.spans)
+}
+
 // AwaitConns blocks until at least n connections are registered (or the
 // server closes). Drivers call it before ticking so concurrently dialing
 // clients cannot miss their arrival slots.
@@ -435,6 +544,34 @@ type Client struct {
 	// broadcast (0 = sim.DefaultMaxRetries). When the budget runs out
 	// the lookup fails with an error wrapping fault.ErrRetryBudget.
 	MaxRetries int
+
+	om clientObs
+}
+
+// clientObs bundles the client's instrument handles; all nil (no-op)
+// until Instrument attaches a registry.
+type clientObs struct {
+	reg       *obs.Registry
+	lookups   *obs.Counter
+	reads     *obs.Counter
+	retries   *obs.Counter
+	restarts  *obs.Counter
+	exhausted *obs.Counter
+}
+
+// Instrument attaches an observability registry to the client: lookup
+// sessions, frame reads, retries, restarts and budget exhaustions are
+// counted, and retry/restart trace events are emitted. Metrics returned
+// to the caller are unaffected.
+func (c *Client) Instrument(r *obs.Registry) {
+	c.om = clientObs{
+		reg:       r,
+		lookups:   r.Counter("client_lookups_total"),
+		reads:     r.Counter("client_reads_total"),
+		retries:   r.Counter("client_retries_total"),
+		restarts:  r.Counter("client_restarts_total"),
+		exhausted: r.Counter("client_budget_exhausted_total"),
+	}
 }
 
 // NewClient wraps an established connection.
@@ -493,6 +630,7 @@ func (c *Client) read(channel, slot int, m *sim.Metrics) (int, *wire.Bucket, err
 			return 0, nil, err // transport failure: not recoverable in-session
 		}
 		m.TuningTime++
+		c.om.reads.Inc()
 		if len(payload) != 0 {
 			b, derr := wire.Unmarshal(payload)
 			if derr == nil {
@@ -500,7 +638,10 @@ func (c *Client) read(channel, slot int, m *sim.Metrics) (int, *wire.Bucket, err
 			}
 		}
 		m.Retries++
+		c.om.retries.Inc()
+		c.om.reg.Emit("retry", obs.A("channel", int64(channel)), obs.A("slot", int64(gotSlot)))
 		if m.Retries+m.Restarts > c.budget() {
+			c.om.exhausted.Inc()
 			return 0, nil, fmt.Errorf("netcast: channel %d slot %d: %w after %d redundant wake-ups",
 				channel, gotSlot, fault.ErrRetryBudget, m.Retries-1)
 		}
@@ -512,7 +653,10 @@ func (c *Client) read(channel, slot int, m *sim.Metrics) (int, *wire.Bucket, err
 // retry budget, mirroring the analytic simulator's accounting.
 func (c *Client) restart(m *sim.Metrics, channel, slot int) error {
 	m.Restarts++
+	c.om.restarts.Inc()
+	c.om.reg.Emit("restart", obs.A("channel", int64(channel)), obs.A("slot", int64(slot)))
 	if m.Retries+m.Restarts > c.budget() {
+		c.om.exhausted.Inc()
 		return fmt.Errorf("netcast: channel %d slot %d: %w after %d descent restarts",
 			channel, slot, fault.ErrRetryBudget, m.Restarts-1)
 	}
@@ -540,6 +684,8 @@ func (c *Client) restart(m *sim.Metrics, channel, slot int) error {
 // lookups over fresh connections.
 func (c *Client) Lookup(arrival int, key int64, pw sim.Power) (found bool, label string, m sim.Metrics, err error) {
 	defer c.detach()
+	c.om.lookups.Inc()
+	c.om.reg.Emit("tune", obs.A("arrival", int64(arrival)), obs.A("key", key))
 	probeAt := arrival
 	for {
 		slot, b, err := c.read(1, probeAt, &m)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/pqueue"
 	"repro/internal/sim"
 	"repro/internal/wire"
@@ -30,6 +31,8 @@ func (c *Client) LookupRange(arrival int, lo, hi int64, pw sim.Power) (keys []in
 	if lo > hi {
 		return nil, m, fmt.Errorf("netcast: empty range [%d, %d]", lo, hi)
 	}
+	c.om.lookups.Inc()
+	c.om.reg.Emit("tune", obs.A("arrival", int64(arrival)), obs.A("lo", lo), obs.A("hi", hi))
 	type pend struct {
 		at      int
 		channel int
@@ -84,6 +87,7 @@ restartScan:
 				return keys, m, err
 			}
 			m.TuningTime++
+			c.om.reads.Inc()
 			if at > now {
 				now = at
 			}
@@ -96,7 +100,10 @@ restartScan:
 				// re-schedule the read; the catch-up bump lands it one
 				// broadcast cycle later, exactly like the simulator.
 				m.Retries++
+				c.om.retries.Inc()
+				c.om.reg.Emit("retry", obs.A("channel", int64(next.channel)), obs.A("slot", int64(at)))
 				if m.Retries+m.Restarts > c.budget() {
+					c.om.exhausted.Inc()
 					return keys, m, fmt.Errorf("netcast: channel %d slot %d: %w after %d redundant wake-ups",
 						next.channel, at, fault.ErrRetryBudget, m.Retries-1)
 				}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+)
+
+// Handler serves the registry over HTTP:
+//
+//	/metrics        JSON Snapshot (expvar-style, deterministic key order)
+//	/trace          JSON array of recent trace events (?n=100 limits)
+//	/debug/pprof/*  the standard runtime profiles
+//
+// The handler exposes process internals (heap, goroutine and CPU
+// profiles); bind it to loopback unless the deployment firewall says
+// otherwise — the cmd binaries default their -obs flag examples to
+// 127.0.0.1 for exactly this reason.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		n := 0
+		if q := req.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil {
+				n = v
+			}
+		}
+		events := r.Events(n)
+		if events == nil {
+			events = []Event{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(events)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+
+	once sync.Once
+	done chan struct{}
+}
+
+// Serve starts the observability endpoint on addr (e.g. "127.0.0.1:0";
+// see Handler for why loopback is the sensible default) and serves until
+// Close. The returned Server reports the bound address, so ":0" works.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		srv:  &http.Server{Handler: Handler(r)},
+		ln:   ln,
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the endpoint and waits for the serve goroutine to exit.
+func (s *Server) Close() error {
+	var err error
+	s.once.Do(func() {
+		err = s.srv.Close()
+		<-s.done
+	})
+	return err
+}

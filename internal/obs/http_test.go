@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func TestHandlerServesMetricsTraceAndPprof(t *testing.T) {
+	r := New()
+	r.Counter("netcast_ticks_total").Add(17)
+	r.Gauge("netcast_spans").Set(2)
+	r.Histogram("epoch_rebuild_ns", nil).Observe(1500)
+	r.Emit("swap", A("epoch", 2), A("slot", 40))
+
+	ts := httptest.NewServer(Handler(r))
+	defer ts.Close()
+
+	var snap Snapshot
+	if err := json.Unmarshal(get(t, ts.URL+"/metrics"), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["netcast_ticks_total"] != 17 || snap.Gauges["netcast_spans"] != 2 {
+		t.Fatalf("metrics snapshot %+v", snap)
+	}
+	if snap.Histograms["epoch_rebuild_ns"].Count != 1 {
+		t.Fatalf("histogram missing from snapshot %+v", snap)
+	}
+
+	var events []Event
+	if err := json.Unmarshal(get(t, ts.URL+"/trace"), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Kind != "swap" || events[0].Attrs[0].Val != 2 {
+		t.Fatalf("trace events %+v", events)
+	}
+
+	// ?n bounds the event count.
+	for i := 0; i < 5; i++ {
+		r.Emit("tick")
+	}
+	if err := json.Unmarshal(get(t, ts.URL+"/trace?n=3"), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("trace?n=3 returned %d events", len(events))
+	}
+
+	if body := string(get(t, ts.URL+"/debug/pprof/cmdline")); body == "" {
+		t.Fatal("pprof cmdline empty")
+	}
+	if body := string(get(t, ts.URL+"/debug/pprof/")); !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index does not list profiles: %.100s", body)
+	}
+}
+
+func TestServeBindsAndCloses(t *testing.T) {
+	r := New()
+	r.Counter("up").Inc()
+	s, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := get(t, fmt.Sprintf("http://%s/metrics", s.Addr()))
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["up"] != 1 {
+		t.Fatalf("snapshot over the wire: %+v", snap)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close is idempotent and the port is released.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(fmt.Sprintf("http://%s/metrics", s.Addr())); err == nil {
+		t.Fatal("endpoint still serving after Close")
+	}
+}

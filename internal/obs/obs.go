@@ -1,0 +1,444 @@
+// Package obs is the repo's observability subsystem: a metrics registry
+// (counters, gauges, bounded histograms) plus a ring-buffered structured
+// trace-event log, built on the standard library only and safe for the
+// repo's determinism discipline.
+//
+// The design rules:
+//
+//   - Observation never changes behavior. Instrumented code records into
+//     the registry and emits trace events; nothing reads them back on a
+//     decision path, so the sim/netcast byte-identical cross-checks are
+//     unaffected by whether a registry is attached.
+//
+//   - No wall-clock reads. The package is on the bcast-determinism
+//     analyzer's list: trace events are stamped by an injectable Clock,
+//     and the default clock is the event sequence number itself — a
+//     deterministic, monotone stamp. Callers that want real timestamps
+//     (the cmd/ binaries) inject time.Now from outside the package, and
+//     durations observed into histograms are measured by the caller.
+//
+//   - Nil is off. A nil *Registry hands out nil instrument handles, and
+//     every method on a nil handle is a no-op, so hot paths carry at most
+//     one predictable nil check when observability is disabled.
+//
+// Instruments are identified by name; looking one up twice returns the
+// same instrument. Snapshots marshal deterministically (encoding/json
+// sorts map keys; the text dump sorts explicitly).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Clock stamps trace events. It returns a monotone value in whatever
+// unit the injector chooses (the cmd binaries inject wall nanoseconds);
+// nil means events are stamped with their own sequence number.
+type Clock func() int64
+
+// Options configures a Registry.
+type Options struct {
+	// Clock stamps trace events; nil uses the event sequence number.
+	Clock Clock
+	// TraceCap bounds the trace ring (default 1024 events). The ring
+	// keeps the most recent TraceCap events; older ones are overwritten.
+	TraceCap int
+}
+
+// Registry holds named instruments and the trace ring. The zero value is
+// not usable; call New or NewWithOptions. A nil *Registry is the
+// disabled registry: every lookup returns a nil (no-op) instrument.
+type Registry struct {
+	clock    Clock
+	traceCap int
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+
+	seq    uint64 // next trace sequence number
+	events []Event
+	start  int // ring read position
+	count  int // live events in the ring
+}
+
+// New returns a registry with the deterministic default clock and the
+// default trace capacity.
+func New() *Registry { return NewWithOptions(Options{}) }
+
+// NewWithOptions returns a registry with an injected clock and/or trace
+// capacity.
+func NewWithOptions(o Options) *Registry {
+	if o.TraceCap <= 0 {
+		o.TraceCap = 1024
+	}
+	return &Registry{
+		clock:    o.Clock,
+		traceCap: o.TraceCap,
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		events:   make([]Event, 0, o.TraceCap),
+	}
+}
+
+// Counter is a monotone event count. All methods are safe for concurrent
+// use and are no-ops on a nil receiver.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative n is ignored: counters are monotone).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value instrument with a high-water helper. All methods
+// are safe for concurrent use and are no-ops on a nil receiver.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// SetMax stores v if it exceeds the current value (a high-water mark).
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a bounded histogram over int64 observations: a fixed set
+// of upper bounds plus an overflow bucket, with count/sum/min/max. All
+// methods are safe for concurrent use and are no-ops on a nil receiver.
+type Histogram struct {
+	bounds []int64 // ascending upper bounds; observations > last go to overflow
+	mu     sync.Mutex
+	counts []int64 // len(bounds)+1
+	n      int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// DefaultLatencyBounds are nanosecond buckets from 1µs to 10s in decades
+// — wide enough for a rebuild latency histogram without unbounded state.
+var DefaultLatencyBounds = []int64{
+	1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10,
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i]++
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if h.n == 0 || v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Count returns how many values were observed (0 on a nil histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil
+// registry returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bounds on first use (nil bounds = DefaultLatencyBounds). Later lookups
+// return the existing histogram regardless of bounds. A nil registry
+// returns a nil (no-op) histogram.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		if bounds == nil {
+			bounds = DefaultLatencyBounds
+		}
+		b := append([]int64(nil), bounds...)
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+		h = &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Attr is one structured trace-event attribute; values are numeric so
+// events stay allocation-light and deterministic to render.
+type Attr struct {
+	Key string `json:"k"`
+	Val int64  `json:"v"`
+}
+
+// A returns an Attr (shorthand for composing Emit calls).
+func A(key string, val int64) Attr { return Attr{Key: key, Val: val} }
+
+// Event is one structured trace record.
+type Event struct {
+	// Seq is the event's global sequence number (monotone from 1).
+	Seq uint64 `json:"seq"`
+	// At is the clock stamp: injected-clock units, or Seq under the
+	// deterministic default clock.
+	At int64 `json:"at"`
+	// Kind names the event (tune, retry, restart, swap, evict, ...).
+	Kind string `json:"kind"`
+	// Attrs carry the event's numeric payload in emit order.
+	Attrs []Attr `json:"attrs,omitempty"`
+}
+
+// Emit appends a trace event to the ring, overwriting the oldest event
+// once the ring is full. No-op on a nil registry.
+func (r *Registry) Emit(kind string, attrs ...Attr) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.seq++
+	e := Event{Seq: r.seq, Kind: kind}
+	if r.clock != nil {
+		e.At = r.clock()
+	} else {
+		e.At = int64(r.seq)
+	}
+	if len(attrs) > 0 {
+		e.Attrs = append([]Attr(nil), attrs...)
+	}
+	if len(r.events) < r.traceCap {
+		r.events = append(r.events, e)
+		r.count = len(r.events)
+	} else {
+		r.events[r.start] = e
+		r.start = (r.start + 1) % r.traceCap
+	}
+	r.mu.Unlock()
+}
+
+// Events returns up to n most recent trace events, oldest first (n <= 0
+// returns all buffered events). Nil registry returns nil.
+func (r *Registry) Events(n int) []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	total := r.count
+	if n <= 0 || n > total {
+		n = total
+	}
+	out := make([]Event, 0, n)
+	for i := total - n; i < total; i++ {
+		out = append(out, r.events[(r.start+i)%len(r.events)])
+	}
+	return out
+}
+
+// HistogramSnapshot is one histogram's frozen state.
+type HistogramSnapshot struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Min   int64 `json:"min"`
+	Max   int64 `json:"max"`
+	// Buckets holds cumulative-free per-bucket counts; Le is the bucket's
+	// inclusive upper bound, with Le == -1 marking the overflow bucket.
+	Buckets []BucketCount `json:"buckets"`
+}
+
+// BucketCount is one histogram bucket's population.
+type BucketCount struct {
+	Le int64 `json:"le"`
+	N  int64 `json:"n"`
+}
+
+// Snapshot is a frozen, JSON-marshalable view of every instrument.
+// encoding/json renders map keys sorted, so the wire form is
+// deterministic for a given set of instrument states.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot freezes the registry. Nil registry returns an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	// Freeze the instrument sets under the registry lock, then read the
+	// instruments outside it (each has its own synchronization). Names are
+	// sorted so every conversion below iterates deterministically.
+	r.mu.Lock()
+	counterNames := sortedKeys(r.counters)
+	counters := make([]*Counter, len(counterNames))
+	for i, k := range counterNames {
+		counters[i] = r.counters[k]
+	}
+	gaugeNames := sortedKeys(r.gauges)
+	gauges := make([]*Gauge, len(gaugeNames))
+	for i, k := range gaugeNames {
+		gauges[i] = r.gauges[k]
+	}
+	histNames := sortedKeys(r.hists)
+	hists := make([]*Histogram, len(histNames))
+	for i, k := range histNames {
+		hists[i] = r.hists[k]
+	}
+	r.mu.Unlock()
+	for i, k := range counterNames {
+		s.Counters[k] = counters[i].Value()
+	}
+	for i, k := range gaugeNames {
+		s.Gauges[k] = gauges[i].Value()
+	}
+	for i, k := range histNames {
+		h := hists[i]
+		h.mu.Lock()
+		hs := HistogramSnapshot{Count: h.n, Sum: h.sum, Min: h.min, Max: h.max}
+		for j, b := range h.bounds {
+			if h.counts[j] > 0 {
+				hs.Buckets = append(hs.Buckets, BucketCount{Le: b, N: h.counts[j]})
+			}
+		}
+		if over := h.counts[len(h.bounds)]; over > 0 {
+			hs.Buckets = append(hs.Buckets, BucketCount{Le: -1, N: over})
+		}
+		h.mu.Unlock()
+		s.Histograms[k] = hs
+	}
+	return s
+}
+
+// sortedKeys returns m's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteText renders the snapshot as sorted "kind name value" lines — the
+// shutdown dump format of the cmd binaries.
+func (r *Registry) WriteText(w io.Writer) error {
+	s := r.Snapshot()
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if _, err := fmt.Fprintf(w, "counter %-36s %d\n", k, s.Counters[k]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for k := range s.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if _, err := fmt.Fprintf(w, "gauge   %-36s %d\n", k, s.Gauges[k]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for k := range s.Histograms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		h := s.Histograms[k]
+		if _, err := fmt.Fprintf(w, "hist    %-36s count=%d sum=%d min=%d max=%d\n",
+			k, h.Count, h.Sum, h.Min, h.Max); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatalf("nil counter value %d", c.Value())
+	}
+	g := r.Gauge("y")
+	g.Set(3)
+	g.SetMax(9)
+	if g.Value() != 0 {
+		t.Fatalf("nil gauge value %d", g.Value())
+	}
+	h := r.Histogram("z", nil)
+	h.Observe(1)
+	if h.Count() != 0 {
+		t.Fatalf("nil histogram count %d", h.Count())
+	}
+	r.Emit("ev", A("k", 1))
+	if ev := r.Events(0); ev != nil {
+		t.Fatalf("nil registry events %v", ev)
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot %+v", s)
+	}
+}
+
+func TestInstrumentIdentityAndValues(t *testing.T) {
+	r := New()
+	c := r.Counter("ticks")
+	c.Inc()
+	r.Counter("ticks").Add(2)
+	c.Add(-5) // ignored: counters are monotone
+	if got := r.Counter("ticks").Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	g := r.Gauge("spans")
+	g.Set(7)
+	g.SetMax(3) // below current: ignored
+	g.SetMax(9)
+	if got := r.Gauge("spans").Value(); got != 9 {
+		t.Fatalf("gauge = %d, want 9", got)
+	}
+	h := r.Histogram("lat", []int64{10, 100})
+	for _, v := range []int64{5, 50, 500, 7} {
+		h.Observe(v)
+	}
+	if got := r.Histogram("lat", nil).Count(); got != 4 {
+		t.Fatalf("histogram count = %d, want 4", got)
+	}
+	s := r.Snapshot()
+	hs := s.Histograms["lat"]
+	want := HistogramSnapshot{
+		Count: 4, Sum: 562, Min: 5, Max: 500,
+		Buckets: []BucketCount{{Le: 10, N: 2}, {Le: 100, N: 1}, {Le: -1, N: 1}},
+	}
+	if !reflect.DeepEqual(hs, want) {
+		t.Fatalf("histogram snapshot %+v, want %+v", hs, want)
+	}
+}
+
+func TestTraceRingBounded(t *testing.T) {
+	r := NewWithOptions(Options{TraceCap: 4})
+	for i := 0; i < 10; i++ {
+		r.Emit("ev", A("i", int64(i)))
+	}
+	events := r.Events(0)
+	if len(events) != 4 {
+		t.Fatalf("%d events buffered, want 4", len(events))
+	}
+	for i, e := range events {
+		wantSeq := uint64(7 + i)
+		if e.Seq != wantSeq || e.Kind != "ev" || e.Attrs[0].Val != int64(6+i) {
+			t.Fatalf("event %d = %+v, want seq %d attr %d", i, e, wantSeq, 6+i)
+		}
+		// Default clock: stamp == sequence number, deterministically.
+		if e.At != int64(e.Seq) {
+			t.Fatalf("event %d stamped %d, want seq %d", i, e.At, e.Seq)
+		}
+	}
+	if got := r.Events(2); len(got) != 2 || got[1].Seq != 10 {
+		t.Fatalf("Events(2) = %+v", got)
+	}
+}
+
+func TestInjectedClockStampsEvents(t *testing.T) {
+	now := int64(1000)
+	r := NewWithOptions(Options{Clock: func() int64 { now += 5; return now }})
+	r.Emit("a")
+	r.Emit("b")
+	events := r.Events(0)
+	if events[0].At != 1005 || events[1].At != 1010 {
+		t.Fatalf("stamps %d, %d; want 1005, 1010", events[0].At, events[1].At)
+	}
+}
+
+// TestSnapshotJSONDeterministic pins that two snapshots of the same
+// state marshal to identical bytes — the property the /metrics endpoint
+// and the shutdown dump rely on.
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	r := New()
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		r.Counter(name).Add(3)
+		r.Gauge("g_" + name).Set(1)
+		r.Histogram("h_"+name, nil).Observe(42)
+	}
+	a, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("snapshots differ:\n%s\n%s", a, b)
+	}
+	var buf1, buf2 bytes.Buffer
+	if err := r.WriteText(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteText(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf1.String() != buf2.String() {
+		t.Fatalf("text dumps differ:\n%s\n%s", buf1.String(), buf2.String())
+	}
+}
+
+// TestRegistryConcurrency is the satellite's registry concurrency pin:
+// parallel increments across instrument kinds plus concurrent snapshots
+// and emits must race-cleanly land every update (run under -race).
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewWithOptions(Options{TraceCap: 64})
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("shared")
+			g := r.Gauge("high")
+			h := r.Histogram("obs", nil)
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.SetMax(int64(w*perWorker + i))
+				h.Observe(int64(i))
+				if i%100 == 0 {
+					r.Emit("tick", A("w", int64(w)), A("i", int64(i)))
+					r.Snapshot()
+					r.Events(8)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if got := s.Counters["shared"]; got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := s.Gauges["high"]; got != workers*perWorker-1 {
+		t.Fatalf("gauge high-water = %d, want %d", got, workers*perWorker-1)
+	}
+	if got := s.Histograms["obs"].Count; got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	if got := len(r.Events(0)); got != 64 {
+		t.Fatalf("%d events buffered, want full ring of 64", got)
+	}
+}

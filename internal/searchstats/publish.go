@@ -1,0 +1,17 @@
+package searchstats
+
+import "repro/internal/obs"
+
+// Publish accumulates one search's counters into the registry, bridging
+// the solver's per-search Stats into the process-wide metrics the -obs
+// endpoint serves. Counters add; PeakQueue keeps its high-water mark. A
+// nil registry is a no-op, so solver callers publish unconditionally.
+func Publish(r *obs.Registry, s Stats) {
+	r.Counter("search_generated_total").Add(int64(s.Generated))
+	r.Counter("search_expanded_total").Add(int64(s.Expanded))
+	r.Counter("search_rule_pruned_total").Add(int64(s.RulePruned))
+	r.Counter("search_dom_pruned_total").Add(int64(s.DomPruned))
+	r.Counter("search_dom_stale_total").Add(int64(s.DomStale))
+	r.Counter("search_hash_collisions_total").Add(int64(s.HashCollisions))
+	r.Gauge("search_peak_queue").SetMax(int64(s.PeakQueue))
+}

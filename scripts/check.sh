@@ -16,9 +16,21 @@
 #
 # Usage: scripts/check.sh [bench-json-path]
 #   PR=5 scripts/check.sh     # writes BENCH_pr5.json
+#
+# Without an explicit bench-json-path the PR env var is REQUIRED: the
+# bench artifact is a per-PR perf snapshot, and a silent default would
+# overwrite another PR's baseline.
 set -eu
 
-out="${1:-BENCH_pr${PR:-4}.json}"
+if [ $# -ge 1 ]; then
+    out="$1"
+elif [ -n "${PR:-}" ]; then
+    out="BENCH_pr${PR}.json"
+else
+    echo "check.sh: set PR (e.g. PR=6 scripts/check.sh) or pass an explicit bench-json path;" >&2
+    echo "          refusing to guess which BENCH_pr*.json to overwrite" >&2
+    exit 2
+fi
 
 echo "== build =="
 go build ./...
