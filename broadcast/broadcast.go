@@ -111,6 +111,13 @@ type Options struct {
 	// failing when MaxExpanded trips; the limit error is preserved on
 	// Schedule.LimitErr and Optimal is reported false.
 	FallbackOnLimit bool
+	// LiveChannels restricts the plan to the listed physical channels —
+	// the survivors of an outage. The solver plans at survivor width and
+	// the compiled program is remapped back onto the full Channels-wide
+	// tower, dark channels transmitting filler, so the schedule stays
+	// hot-swappable against a full-width predecessor. Must be strictly
+	// increasing within [1, Channels]; empty means all channels are live.
+	LiveChannels []int
 }
 
 // Schedule is an optimized, compiled broadcast.
@@ -145,6 +152,7 @@ func Optimize(t *Tree, opt Options) (*Schedule, error) {
 		Polish:          opt.Polish,
 		MaxExpanded:     opt.MaxExpanded,
 		FallbackOnLimit: opt.FallbackOnLimit,
+		LiveChannels:    opt.LiveChannels,
 	})
 	if err != nil {
 		return nil, err
@@ -152,6 +160,11 @@ func Optimize(t *Tree, opt Options) (*Schedule, error) {
 	prog, err := sim.Compile(sol.Alloc, sim.Options{FillWithRootCopies: opt.ReplicateRoot})
 	if err != nil {
 		return nil, err
+	}
+	if len(sol.Live) > 0 && len(sol.Live) < opt.Channels {
+		if prog, err = prog.Remap(sol.Live, opt.Channels); err != nil {
+			return nil, err
+		}
 	}
 	return &Schedule{
 		Alloc:    sol.Alloc,
@@ -213,6 +226,9 @@ type AverageMetrics struct {
 	// Restarts is the expected number of epoch-swap descent restarts per
 	// query; zero for a static schedule.
 	Restarts float64
+	// Failovers is the expected number of dead-air channel failovers per
+	// query; zero unless the schedule is measured under channel outages.
+	Failovers float64
 }
 
 // ItemMetrics is one item's exact expected client cost under the

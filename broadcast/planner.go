@@ -57,6 +57,7 @@ type Planner struct {
 	observed []float64 // accesses since the last replan
 	sched    *Schedule
 	replans  int
+	live     []int // channel subset for subsequent replans; nil = all
 }
 
 // NewPlanner builds the initial schedule for the catalog.
@@ -94,6 +95,7 @@ func (p *Planner) replan() error {
 		Strategy:        p.cfg.Strategy,
 		MaxExpanded:     p.cfg.MaxExpanded,
 		FallbackOnLimit: true,
+		LiveChannels:    p.live,
 	})
 	if err != nil {
 		return err
@@ -104,6 +106,29 @@ func (p *Planner) replan() error {
 		p.observed[i] = 0
 	}
 	return nil
+}
+
+// SetLive restricts every subsequent replan to the given live-channel
+// subset (nil restores full width) and rebuilds the schedule immediately
+// — the tower's response to a channel going dark or coming back. The
+// subset must be strictly increasing within [1, Channels].
+func (p *Planner) SetLive(live []int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if live == nil {
+		p.live = nil
+	} else {
+		p.live = append([]int{}, live...)
+	}
+	return p.replan()
+}
+
+// Live returns the live-channel subset replans are restricted to (nil
+// when all channels are live).
+func (p *Planner) Live() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.live
 }
 
 // Schedule returns the current broadcast schedule.

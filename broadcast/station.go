@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/epoch"
 	"repro/internal/hotset"
 	"repro/internal/obs"
 	"repro/internal/searchstats"
@@ -250,6 +251,20 @@ func (s *Station) PlanSelection(sel []HotKey) (*Schedule, error) {
 	}
 	s.om.reg.Emit("plan", obs.A("optimal", optimal), obs.A("ns", elapsed))
 	return sched, nil
+}
+
+// InstallPlanned puts a planned schedule on the air for the given
+// selection, surfacing a failed plan instead of silently keeping the
+// stale program: a nil schedule — what an async planner hands over when
+// its build errored — is rejected with an error wrapping
+// epoch.ErrBuildFailed, and the previously installed schedule stays on
+// the air. Callers distinguish the case with errors.Is.
+func (s *Station) InstallPlanned(sel []HotKey, sched *Schedule) error {
+	if sched == nil {
+		return fmt.Errorf("%w: station keeps the stale schedule on the air", epoch.ErrBuildFailed)
+	}
+	s.Install(sel, sched)
+	return nil
 }
 
 // Install puts a planned schedule on the air for the given selection.

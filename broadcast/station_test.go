@@ -1,11 +1,13 @@
 package broadcast_test
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
 
 	"repro/broadcast"
+	"repro/internal/epoch"
 )
 
 func universe(n int) []broadcast.Item {
@@ -118,6 +120,44 @@ func TestStationStableDemandNoRebuild(t *testing.T) {
 	_, _, after := st.Stats()
 	if after != before {
 		t.Fatalf("rebuilds %d -> %d under stable demand", before, after)
+	}
+}
+
+// TestStationInstallPlannedSurfacesBuildFailure: handing the install
+// path a nil schedule — what an async planner produces when its build
+// errored — returns the typed epoch.ErrBuildFailed sentinel and leaves
+// the previous schedule on the air.
+func TestStationInstallPlannedSurfacesBuildFailure(t *testing.T) {
+	st, err := broadcast.NewStation(universe(20), broadcast.StationConfig{
+		HotSize:  5,
+		Channels: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := st.Schedule()
+	err = st.InstallPlanned(nil, nil)
+	if !errors.Is(err, epoch.ErrBuildFailed) {
+		t.Fatalf("err %v, want epoch.ErrBuildFailed", err)
+	}
+	if st.Schedule() != before {
+		t.Fatal("failed install replaced the on-air schedule")
+	}
+	_, _, rebuilds := st.Stats()
+	if rebuilds != 1 {
+		t.Fatalf("rebuilds = %d, want 1 (failed install must not count)", rebuilds)
+	}
+
+	sel, _ := st.ClosePeriod()
+	sched, err := st.PlanSelection(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.InstallPlanned(sel, sched); err != nil {
+		t.Fatalf("valid install rejected: %v", err)
+	}
+	if st.Schedule() != sched {
+		t.Fatal("valid install did not take the air")
 	}
 }
 

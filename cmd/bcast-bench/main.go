@@ -38,7 +38,7 @@ type options struct {
 
 func main() {
 	var opt options
-	flag.StringVar(&opt.exp, "exp", "all", "experiment: table1 | fig14 | fig14multi | fig2 | channels | pruning | heuristics | sim | treeshape | replication | largescale | loss | adapt | perf | all")
+	flag.StringVar(&opt.exp, "exp", "all", "experiment: table1 | fig14 | fig14multi | fig2 | channels | pruning | heuristics | sim | treeshape | replication | largescale | loss | adapt | outage | perf | all")
 	flag.IntVar(&opt.trials, "trials", 0, "trial count override (0 = experiment default)")
 	flag.Int64Var(&opt.seed, "seed", 1, "random seed")
 	flag.IntVar(&opt.maxM, "max-m", 5, "largest fanout for table1 (6 takes minutes)")
@@ -181,6 +181,16 @@ func run(opt options, w io.Writer) error {
 			}
 			return experiment.RenderAdapt(w, rows)
 		},
+		"outage": func() error {
+			fmt.Fprintln(w, "== A10: channel outages vs watchdog replanning ==")
+			rows, err := experiment.OutageSweep(experiment.OutageSweepConfig{
+				Trials: opt.trials, Seed: opt.seed, Workers: opt.workers,
+			})
+			if err != nil {
+				return err
+			}
+			return experiment.RenderOutage(w, rows)
+		},
 		"perf": func() error {
 			fmt.Fprintln(w, "== Perf: search engines and experiment harness ==")
 			report, err := experiment.Perf(experiment.PerfConfig{
@@ -207,7 +217,7 @@ func run(opt options, w io.Writer) error {
 		},
 	}
 	if opt.exp == "all" {
-		for _, name := range []string{"fig2", "table1", "fig14", "fig14multi", "channels", "pruning", "heuristics", "sim", "treeshape", "replication", "largescale", "loss", "adapt"} {
+		for _, name := range []string{"fig2", "table1", "fig14", "fig14multi", "channels", "pruning", "heuristics", "sim", "treeshape", "replication", "largescale", "loss", "adapt", "outage"} {
 			if err := runners[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

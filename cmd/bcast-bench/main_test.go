@@ -24,6 +24,7 @@ func TestRunEachExperiment(t *testing.T) {
 		{"heuristics", "partitioning"},
 		{"sim", "SV96"},
 		{"treeshape", "hu-tucker"},
+		{"outage", "watchdog"},
 	}
 	for _, c := range cases {
 		t.Run(c.exp, func(t *testing.T) {

@@ -7,6 +7,14 @@
 // lossy simulator instead — the metrics, including retry counts, must
 // still match exactly.
 //
+// With -outage CH:START:END (repeatable via commas) channels go dark for
+// whole windows of absolute slots: the tower's missed-tick watchdog
+// detects each outage, replans the catalog onto the surviving channels,
+// hot-swaps the survivor program at a cycle boundary, and replans back
+// to full width on recovery — while every client survives the dead air
+// through the failover protocol. The cross-check runs against the
+// analytic outage twin, Failovers included.
+//
 // With -obs addr the process serves its observability endpoint — JSON
 // metrics at /metrics, recent trace events at /trace, and net/http/pprof
 // under /debug/pprof/ — and dumps a final text snapshot of every metric
@@ -19,6 +27,7 @@
 //	bcast-gen -type catalog -n 12 | bcast-live -k 2 -clients 8
 //	bcast-gen -type catalog -n 12 | bcast-live -clients 4 -drop 0.2 -corrupt 0.1
 //	bcast-gen -type catalog -n 12 | bcast-live -swap 9 -obs 127.0.0.1:0
+//	bcast-gen -type catalog -n 12 | bcast-live -k 2 -outage 1:10:40 -clients 6
 package main
 
 import (
@@ -28,12 +37,14 @@ import (
 	"io"
 	"net"
 	"os"
+	"strings"
 	"text/tabwriter"
 	"time"
 
 	"repro/internal/alphatree"
 	"repro/internal/core"
 	"repro/internal/epoch"
+	"repro/internal/experiment"
 	"repro/internal/fault"
 	"repro/internal/netcast"
 	"repro/internal/obs"
@@ -58,6 +69,12 @@ type liveOpts struct {
 	// is cross-checked against the adaptive analytic simulator instead,
 	// including its Restarts count.
 	swap int
+	// outages is the channel-outage schedule (empty = no outages);
+	// watchdog the tower's missed-tick threshold (0 = default, negative
+	// disables replanning); deadAir the client's consecutive-unusable-read
+	// failover threshold (0 = default, negative disables failover).
+	outages           fault.Outages
+	watchdog, deadAir int
 	// obs, when non-nil, receives server and client metrics and trace
 	// events; main wires it to the -obs HTTP endpoint.
 	obs *obs.Registry
@@ -76,19 +93,26 @@ func main() {
 	flag.Float64Var(&opt.stall, "stall", 0, "per-slot delivery stall probability")
 	flag.IntVar(&opt.retries, "retries", 0, "retry budget per lookup (0 = default)")
 	flag.IntVar(&opt.swap, "swap", 0, "stage a rebuilt epoch-2 program at this slot and hot-swap it on air (0 = static broadcast)")
+	outageSpec := flag.String("outage", "", "channel-outage windows CH:START:END, comma-separated (e.g. 1:10:40,2:60:80)")
+	flag.IntVar(&opt.watchdog, "watchdog", 0, "missed-tick threshold before the tower replans (0 = default, negative = no replanning)")
+	flag.IntVar(&opt.deadAir, "deadair", 0, "consecutive unusable reads before a client fails over (0 = default, negative = no failover)")
 	obsAddr := flag.String("obs", "", "serve /metrics, /trace and /debug/pprof on this address (bind loopback, e.g. 127.0.0.1:0)")
 	flag.Parse()
+	var err error
+	if opt.outages, err = parseOutages(*outageSpec); err != nil {
+		fmt.Fprintln(os.Stderr, "bcast-live:", err)
+		os.Exit(1)
+	}
 	var obsSrv *obs.Server
 	if *obsAddr != "" {
 		opt.obs = obs.NewWithOptions(obs.Options{Clock: func() int64 { return time.Now().UnixNano() }})
-		var err error
 		if obsSrv, err = obs.Serve(*obsAddr, opt.obs); err != nil {
 			fmt.Fprintln(os.Stderr, "bcast-live:", err)
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "obs: serving http://%s/metrics\n", obsSrv.Addr())
 	}
-	err := run(*in, opt, os.Stdout)
+	err = run(*in, opt, os.Stdout)
 	if obsSrv != nil {
 		obsSrv.Close()
 		fmt.Fprintln(os.Stderr, "\nobs: final metrics snapshot")
@@ -122,11 +146,18 @@ func run(in string, opt liveOpts, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	// Root copies make the first channel's idle slots useful and give the
-	// hot-swap demo the boundary-straddling descents that restart.
-	prog, err := sim.Compile(sol.Alloc, sim.Options{FillWithRootCopies: opt.swap > 0})
+	// Root copies make the first channel's idle slots useful, give the
+	// hot-swap demo the boundary-straddling descents that restart, and
+	// give failed-over clients a root to re-tune to during an outage.
+	prog, err := sim.Compile(sol.Alloc, sim.Options{FillWithRootCopies: opt.swap > 0 || opt.outages.Enabled()})
 	if err != nil {
 		return err
+	}
+	if opt.outages.Enabled() {
+		if opt.swap > 0 {
+			return fmt.Errorf("-outage and -swap are separate demos; pick one")
+		}
+		return runOutage(t, prog, opt, w)
 	}
 	if opt.swap > 0 {
 		return runAdaptive(t, prog, opt, w)
@@ -400,5 +431,182 @@ func runAdaptive(t *tree.Tree, prog *sim.Program, opt liveOpts, w io.Writer) err
 	}
 	fmt.Fprintf(w, "\nswaps landed: %d; %d descent restarts; all %d live lookups matched the adaptive simulator exactly\n",
 		server.Swaps(), restarts, opt.clients)
+	return nil
+}
+
+// parseOutages parses the -outage flag: comma-separated CH:START:END
+// windows of absolute slots.
+func parseOutages(s string) (fault.Outages, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out fault.Outages
+	for _, part := range strings.Split(s, ",") {
+		var o fault.Outage
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d:%d:%d", &o.Channel, &o.StartSlot, &o.EndSlot); err != nil {
+			return nil, fmt.Errorf("bad outage %q (want CH:START:END): %v", part, err)
+		}
+		out = append(out, o)
+	}
+	return out, out.Validate()
+}
+
+// runOutage serves the broadcast while channels suffer the scheduled
+// outages: the tower's watchdog detects each window, replans the catalog
+// onto the survivors (staged through the epoch registry and hot-swapped
+// at a cycle boundary), and replans back to full width on recovery.
+// Clients arm the failover protocol and every session is cross-checked
+// against the analytic outage twin — the timeline carrying the same
+// replans at the same detection slots — Failovers included.
+func runOutage(t *tree.Tree, prog *sim.Program, opt liveOpts, w io.Writer) error {
+	wdog := opt.watchdog
+	if wdog == 0 {
+		wdog = netcast.DefaultWatchdog
+	}
+	deadAir := opt.deadAir
+	if deadAir == 0 {
+		deadAir = sim.DefaultDeadAir
+	}
+	budget := opt.retries
+	if budget <= 0 {
+		budget = sim.DefaultMaxRetries
+	}
+	L := prog.CycleLen()
+	maxEnd := 0
+	for _, o := range opt.outages {
+		if o.EndSlot > maxEnd {
+			maxEnd = o.EndSlot
+		}
+	}
+	// The tick budget covers every client exhausting its retry budget
+	// past the last window; detections are replayed over the same span so
+	// tower and twin see the identical schedule.
+	runSlots := maxEnd + (2*(opt.clients+2)+budget+8)*L
+	events := opt.outages.Detections(opt.k, wdog, runSlots)
+	progs, err := experiment.ReplanPrograms(prog, events, opt.k)
+	if err != nil {
+		return err
+	}
+	tl, replans, err := experiment.ReplanTimeline(prog, events, progs)
+	if err != nil {
+		return err
+	}
+
+	model := fault.Model{Seed: opt.seed, Drop: opt.drop, Corrupt: opt.corrupt, Stall: opt.stall}
+	oc := sim.OutageConfig{Model: model, Outages: opt.outages, MaxRetries: opt.retries, DeadAir: deadAir}
+	reg, err := epoch.NewRegistry(prog)
+	if err != nil {
+		return err
+	}
+	idx := 0
+	server, err := netcast.NewAdaptiveServer(reg, netcast.ServerOptions{
+		Faults:   model,
+		Outages:  opt.outages,
+		Watchdog: wdog,
+		StallFor: time.Millisecond,
+		Obs:      opt.obs,
+		OnLiveChange: func(live []int, slot int) {
+			if idx < len(progs) {
+				reg.Stage(progs[idx])
+				idx++
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer server.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	server.Serve(ln)
+	fmt.Fprintf(w, "broadcasting %d nodes over %d channels at %s (cycle %d slots)\n",
+		t.NumNodes(), opt.k, ln.Addr(), L)
+	fmt.Fprintf(w, "outages: %v; watchdog %d, dead air %d, %d replans will air\n",
+		opt.outages, wdog, deadAir, replans)
+	if model.Enabled() {
+		fmt.Fprintf(w, "lossy medium: drop %.2f, corrupt %.2f, stall %.2f (seed %d)\n",
+			opt.drop, opt.corrupt, opt.stall, opt.seed)
+	}
+	fmt.Fprintln(w)
+
+	power := sim.Power{Active: 1, Doze: 0.05}
+	rng := stats.NewRNG(opt.seed)
+	dataIDs := t.DataIDs()
+
+	type outcome struct {
+		idx     int
+		arrival int
+		key     int64
+		found   bool
+		m       sim.Metrics
+		want    sim.Metrics
+		err     error
+		wantErr error
+	}
+	done := make(chan outcome, opt.clients)
+	for i := 0; i < opt.clients; i++ {
+		key, _ := t.Key(dataIDs[rng.Intn(len(dataIDs))])
+		// Arrivals spread across the outage windows so sessions hit dead
+		// air before, during, and after the replans.
+		arrival := rng.Intn(maxEnd + 2*L)
+		want, _, wantErr := tl.QueryOutage(arrival, key, power, oc)
+		if wantErr != nil && !errors.Is(wantErr, fault.ErrRetryBudget) {
+			return wantErr
+		}
+		go func(idx, arrival int, key int64, want sim.Metrics, wantErr error) {
+			c, err := netcast.Dial(ln.Addr().String())
+			if err != nil {
+				done <- outcome{idx: idx, err: err}
+				return
+			}
+			defer c.Close()
+			c.MaxRetries = opt.retries
+			c.DeadAir = deadAir
+			c.Channels = opt.k
+			c.Instrument(opt.obs)
+			found, _, m, err := c.Lookup(arrival, key, power)
+			done <- outcome{idx, arrival, key, found, m, want, err, wantErr}
+		}(i, arrival, key, want, wantErr)
+	}
+
+	go func() {
+		server.AwaitConns(opt.clients)
+		server.Run(runSlots)
+	}()
+
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "client\tarrival\tkey\tfound\taccess\ttuning\tretries\tfailovers\tenergy\tmatches simulator")
+	failures, failovers := 0, 0
+	for i := 0; i < opt.clients; i++ {
+		o := <-done
+		if o.err != nil {
+			if errors.Is(o.err, fault.ErrRetryBudget) && errors.Is(o.wantErr, fault.ErrRetryBudget) {
+				fmt.Fprintf(tw, "%d\t%d\t%d\t-\t-\t-\t-\t-\t-\tbudget exhausted (as predicted)\n",
+					o.idx, o.arrival, o.key)
+				continue
+			}
+			return fmt.Errorf("client %d: %w", o.idx, o.err)
+		}
+		if o.wantErr != nil {
+			return fmt.Errorf("client %d: simulator predicted %v but the socket lookup succeeded", o.idx, o.wantErr)
+		}
+		match := o.m == o.want
+		if !match {
+			failures++
+		}
+		failovers += o.m.Failovers
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%v\t%d\t%d\t%d\t%d\t%.2f\t%v\n",
+			o.idx, o.arrival, o.key, o.found, o.m.AccessTime, o.m.TuningTime, o.m.Retries, o.m.Failovers, o.m.Energy, match)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d of %d clients diverged from the outage simulator", failures, opt.clients)
+	}
+	fmt.Fprintf(w, "\nswaps landed: %d; channels live: %v; %d channel failovers; all %d live lookups matched the outage simulator exactly\n",
+		server.Swaps(), server.ChannelsLive(), failovers, opt.clients)
 	return nil
 }

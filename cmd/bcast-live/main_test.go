@@ -120,6 +120,40 @@ func TestLiveHotSwapLossy(t *testing.T) {
 	}
 }
 
+func TestLiveOutageEndToEnd(t *testing.T) {
+	var sb strings.Builder
+	out, err := parseOutages("1:12:60,2:30:70")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := liveOpts{k: 3, clients: 8, seed: 1, drop: 0.1, retries: 48, outages: out}
+	if err := run(catalogFile(t, 12), opt, &sb); err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, sb.String())
+	}
+	got := sb.String()
+	if !strings.Contains(got, "replans will air") {
+		t.Fatalf("missing outage banner:\n%s", got)
+	}
+	if !strings.Contains(got, "all 8 live lookups matched the outage simulator exactly") {
+		t.Fatalf("missing success line:\n%s", got)
+	}
+	if !strings.Contains(got, "channels live: [1 2 3]") {
+		t.Fatalf("tower did not recover to full width:\n%s", got)
+	}
+}
+
+func TestLiveOutageFlagErrors(t *testing.T) {
+	if _, err := parseOutages("1:10"); err == nil {
+		t.Fatal("want error for malformed window")
+	}
+	if _, err := parseOutages("0:10:20"); err == nil {
+		t.Fatal("want error for channel 0")
+	}
+	if _, err := parseOutages("1:20:10"); err == nil {
+		t.Fatal("want error for inverted window")
+	}
+}
+
 func TestLiveBudgetExhaustionAgrees(t *testing.T) {
 	var sb strings.Builder
 	opt := liveOpts{k: 1, clients: 2, seed: 4, drop: 1, retries: 3}

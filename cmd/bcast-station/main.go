@@ -264,7 +264,18 @@ func runAsync(universe, hot, k, periods, perP, shift int, theta, decay float64, 
 			pmu.Lock()
 			done := built
 			pmu.Unlock()
-			station.Install(done.sel, done.sched)
+			// A promoted epoch whose plan snapshot is missing means the
+			// build failed; InstallPlanned surfaces that as a typed error
+			// instead of dereferencing a nil plan or silently keeping the
+			// stale hot set.
+			var sel []broadcast.HotKey
+			var sched *broadcast.Schedule
+			if done != nil {
+				sel, sched = done.sel, done.sched
+			}
+			if err := station.InstallPlanned(sel, sched); err != nil {
+				return err
+			}
 		}
 
 		offset := 0

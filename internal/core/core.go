@@ -96,6 +96,13 @@ type Config struct {
 	// Polish runs the exchange-based local search over heuristic results
 	// (no effect on already-optimal solutions).
 	Polish bool
+	// LiveChannels restricts the solve to a subset of the physical
+	// channels — the survivors of an outage. It must be a strictly
+	// increasing list of channels in [1, Channels]; the solver then plans
+	// at width len(LiveChannels) and records the subset on Solution.Live
+	// so the caller can remap the compiled program back to full physical
+	// width. Empty means all channels are live.
+	LiveChannels []int
 }
 
 func (c Config) withDefaults() Config {
@@ -129,6 +136,10 @@ type Solution struct {
 	// before Config.FallbackOnLimit rescued the solve with a heuristic;
 	// nil when the strategy that ran completed on its own.
 	LimitErr error
+	// Live echoes Config.LiveChannels when the solve was restricted to a
+	// channel subset: Alloc's channel i lives on physical channel Live[i-1].
+	// Nil for a full-width solve.
+	Live []int
 }
 
 // Solve computes an index-and-data allocation for t on cfg.Channels
@@ -137,6 +148,25 @@ func Solve(t *tree.Tree, cfg Config) (*Solution, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Channels < 1 {
 		return nil, fmt.Errorf("core: %d channels", cfg.Channels)
+	}
+	if live := cfg.LiveChannels; len(live) > 0 {
+		for i, ch := range live {
+			if ch < 1 || ch > cfg.Channels {
+				return nil, fmt.Errorf("core: live channel %d outside [1, %d]", ch, cfg.Channels)
+			}
+			if i > 0 && ch <= live[i-1] {
+				return nil, fmt.Errorf("core: live channels %v not strictly increasing", live)
+			}
+		}
+		sub := cfg
+		sub.LiveChannels = nil
+		sub.Channels = len(live)
+		sol, err := Solve(t, sub)
+		if err != nil {
+			return nil, err
+		}
+		sol.Live = append([]int{}, live...)
+		return sol, nil
 	}
 	switch cfg.Strategy {
 	case Auto:

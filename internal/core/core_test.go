@@ -54,6 +54,38 @@ func TestSolveFig1AllStrategies(t *testing.T) {
 	}
 }
 
+// TestSolveLiveChannels: a live-channel subset solves at survivor width
+// and echoes the subset, byte-identical to the directly shrunk solve.
+func TestSolveLiveChannels(t *testing.T) {
+	tr := tree.Fig1()
+	sol, err := Solve(tr, Config{Channels: 3, LiveChannels: []int{1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Solve(tr, Config{Channels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost != want.Cost || sol.Used != want.Used || sol.Optimal != want.Optimal {
+		t.Fatalf("live solve %+v, want shrunk solve %+v", sol, want)
+	}
+	if sol.Alloc.Channels() != 2 {
+		t.Fatalf("live solve allocated %d channels, want 2", sol.Alloc.Channels())
+	}
+	if len(sol.Live) != 2 || sol.Live[0] != 1 || sol.Live[1] != 3 {
+		t.Fatalf("Live = %v, want [1 3]", sol.Live)
+	}
+	if want.Live != nil {
+		t.Fatalf("full-width solve recorded Live %v", want.Live)
+	}
+
+	for _, bad := range [][]int{{0, 1}, {2, 4}, {2, 1}, {1, 1}} {
+		if _, err := Solve(tr, Config{Channels: 3, LiveChannels: bad}); err == nil {
+			t.Errorf("LiveChannels %v accepted", bad)
+		}
+	}
+}
+
 func TestAutoUsesCorollary1(t *testing.T) {
 	tr := tree.Fig1() // MaxLevelWidth 4
 	sol, err := Solve(tr, Config{Channels: 4})

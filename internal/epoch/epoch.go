@@ -19,6 +19,7 @@ package epoch
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -27,6 +28,12 @@ import (
 	"repro/internal/sim"
 	"repro/internal/wire"
 )
+
+// ErrBuildFailed marks a planner rebuild that returned an error: the
+// registry keeps serving the stale program, and callers that install
+// planner output (broadcast.Station, the tower's replan path) surface
+// the sentinel via errors.Is instead of silently carrying on.
+var ErrBuildFailed = errors.New("epoch: program build failed")
 
 // Entry is one epoch of a broadcast program: the compiled program, its
 // pre-encoded wire packets (every bucket stamped with ID), and the ID.
@@ -138,6 +145,13 @@ func (r *Registry) Stats() (staged, swapped int) {
 // ctx so a shutdown does not wait out a long solve.
 type Builder func(ctx context.Context) (*sim.Program, error)
 
+// ChannelBuilder compiles the next program from live demand restricted
+// to the given live channels (1-based, sorted; nil means all channels).
+// A tower uses it to replan around an outage: the build solves over the
+// survivors and remaps the result to full physical width so the staged
+// program stays swappable.
+type ChannelBuilder func(ctx context.Context, live []int) (*sim.Program, error)
+
 // PlannerStats counts the planner's lifecycle events.
 type PlannerStats struct {
 	// Builds is the number of build attempts started.
@@ -183,7 +197,7 @@ func newPlannerObs(r *obs.Registry) plannerObs {
 // Planner runs Builder in the background and stages each result.
 type Planner struct {
 	reg   *Registry
-	build Builder
+	build ChannelBuilder
 	om    plannerObs
 	now   func() int64
 
@@ -194,6 +208,7 @@ type Planner struct {
 	mu    sync.Mutex
 	stats PlannerStats
 	err   error // last build failure
+	live  []int // channel subset for the next build; nil = all
 }
 
 // NewPlanner starts the planning goroutine; Close releases it.
@@ -203,6 +218,15 @@ func NewPlanner(ctx context.Context, reg *Registry, build Builder) *Planner {
 
 // NewPlannerOpts is NewPlanner with instrumentation options.
 func NewPlannerOpts(ctx context.Context, reg *Registry, build Builder, o PlannerOptions) *Planner {
+	return NewChannelPlanner(ctx, reg, func(ctx context.Context, _ []int) (*sim.Program, error) {
+		return build(ctx)
+	}, o)
+}
+
+// NewChannelPlanner starts a planning goroutine whose build function
+// receives the live-channel subset most recently passed to RequestLive
+// (nil until the first such request). Close releases it.
+func NewChannelPlanner(ctx context.Context, reg *Registry, build ChannelBuilder, o PlannerOptions) *Planner {
 	ctx, cancel := context.WithCancel(ctx)
 	now := o.NowNanos
 	if now == nil {
@@ -232,6 +256,20 @@ func (pl *Planner) Request() {
 	}
 }
 
+// RequestLive records the live-channel subset the next build should plan
+// for — nil restores full width — and asks for one rebuild. Like
+// Request, bursts coalesce; the latest live set wins.
+func (pl *Planner) RequestLive(live []int) {
+	var copied []int
+	if live != nil {
+		copied = append([]int{}, live...)
+	}
+	pl.mu.Lock()
+	pl.live = copied
+	pl.mu.Unlock()
+	pl.Request()
+}
+
 func (pl *Planner) loop(ctx context.Context) {
 	defer close(pl.done)
 	for {
@@ -242,10 +280,14 @@ func (pl *Planner) loop(ctx context.Context) {
 		}
 		pl.mu.Lock()
 		pl.stats.Builds++
+		live := pl.live
 		pl.mu.Unlock()
 		pl.om.builds.Inc()
 		start := pl.now()
-		prog, err := pl.build(ctx)
+		prog, err := pl.build(ctx, live)
+		if err != nil {
+			err = fmt.Errorf("%w: %w", ErrBuildFailed, err)
+		}
 		var id uint32
 		if err == nil {
 			id, err = pl.reg.Stage(prog)

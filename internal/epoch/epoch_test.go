@@ -212,8 +212,38 @@ func TestPlannerRecordsFailures(t *testing.T) {
 	if !errors.Is(buildErr, boom) || st.Failed != 1 || st.Staged != 0 {
 		t.Fatalf("stats = %+v err %v", st, buildErr)
 	}
+	// Build failures carry the typed sentinel so install paths can
+	// distinguish "planner broke" from transport errors.
+	if !errors.Is(buildErr, ErrBuildFailed) {
+		t.Fatalf("err %v does not wrap ErrBuildFailed", buildErr)
+	}
 	if _, ok := r.Pending(); ok {
 		t.Fatal("failed build staged a program")
+	}
+}
+
+// TestChannelPlannerThreadsLiveSet: RequestLive hands the build function
+// the latest live-channel subset, and a plain Request after recovery
+// keeps the previously recorded set until RequestLive(nil) resets it.
+func TestChannelPlannerThreadsLiveSet(t *testing.T) {
+	r, err := NewRegistry(prog(t, 8, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(chan []int, 4)
+	pl := NewChannelPlanner(context.Background(), r, func(ctx context.Context, live []int) (*sim.Program, error) {
+		seen <- live
+		return prog(t, 8, 2, 2), nil
+	}, PlannerOptions{})
+	defer pl.Close()
+
+	pl.RequestLive([]int{2})
+	if got := <-seen; len(got) != 1 || got[0] != 2 {
+		t.Fatalf("first build saw live %v, want [2]", got)
+	}
+	pl.RequestLive(nil)
+	if got := <-seen; got != nil {
+		t.Fatalf("reset build saw live %v, want nil", got)
 	}
 }
 

@@ -1,0 +1,71 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOutageSweep: the no-replan baseline visibly loses availability
+// under the default outage schedules, replanning onto survivors wins it
+// back, and parallel runs reduce to the serial result.
+func TestOutageSweep(t *testing.T) {
+	cfg := OutageSweepConfig{Trials: 4, Seed: 5}
+	rows, err := OutageSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	base := rows[0]
+	if base.Watchdog >= 0 || base.Replans != 0 {
+		t.Fatalf("first row is not the no-replan baseline: %+v", base)
+	}
+	if base.Summary.Failovers <= 0 {
+		t.Fatalf("outage schedule never forced a failover: %+v", base.Summary)
+	}
+	if base.Availability <= 0 || base.Availability >= 1 {
+		t.Fatalf("baseline availability %.3f should show budget exhaustion", base.Availability)
+	}
+	for _, r := range rows[1:] {
+		if r.Watchdog <= 0 {
+			t.Fatalf("replanned row has watchdog %d", r.Watchdog)
+		}
+		if r.Replans <= 0 {
+			t.Errorf("watchdog %d staged no replans", r.Watchdog)
+		}
+		if r.Availability < base.Availability {
+			t.Errorf("watchdog %d availability %.3f below the no-replan baseline %.3f",
+				r.Watchdog, r.Availability, base.Availability)
+		}
+		if r.Availability <= 0 || r.Availability > 1 {
+			t.Errorf("watchdog %d availability %.3f out of range", r.Watchdog, r.Availability)
+		}
+		sum := r.Summary.ProbeWait + r.Summary.DataWait
+		if r.Summary.AccessTime < sum-1e-9 || r.Summary.AccessTime > sum+1e-9 {
+			t.Errorf("watchdog %d: inconsistent summary %+v", r.Watchdog, r.Summary)
+		}
+	}
+
+	serial, err := OutageSweep(OutageSweepConfig{Trials: 4, Seed: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := OutageSweep(OutageSweepConfig{Trials: 4, Seed: 5, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("worker count changed the result at watchdog %d", serial[i].Watchdog)
+		}
+	}
+
+	var sb strings.Builder
+	if err := RenderOutage(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "watchdog") || !strings.Contains(sb.String(), "off") {
+		t.Error("render missing header or baseline row")
+	}
+}

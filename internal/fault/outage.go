@@ -1,0 +1,183 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// This file extends the lossy-channel model with whole-channel outages: a
+// transmitter loses one of its k channels for a window of slots, and every
+// slot the channel would have aired in that window is dead air. Unlike
+// Drop — an independent per-slot coin — an outage is a correlated burst,
+// which is what makes failover (re-tuning the descent onto a surviving
+// channel) worth modeling: no amount of same-channel retrying brings the
+// data back before the window ends.
+//
+// Outage windows are plain data and the dark/live decision is a pure
+// function of (channel, absolute slot), so the analytic simulator and the
+// socket tower observe the same outage realization and stay byte-identical.
+
+// Outage is one channel-outage window: the channel transmits dead air for
+// every absolute slot in [StartSlot, EndSlot) and is healthy outside it.
+type Outage struct {
+	// Channel is the 1-based channel that goes dark.
+	Channel int
+	// StartSlot is the first dark absolute slot (0-based).
+	StartSlot int
+	// EndSlot is the first slot back on the air (half-open window).
+	EndSlot int
+}
+
+// Covers reports whether the window includes the absolute slot.
+func (o Outage) Covers(slot int) bool {
+	return slot >= o.StartSlot && slot < o.EndSlot
+}
+
+// Len returns the window length in slots.
+func (o Outage) Len() int { return o.EndSlot - o.StartSlot }
+
+// Validate rejects a malformed window.
+func (o Outage) Validate() error {
+	if o.Channel < 1 {
+		return fmt.Errorf("fault: outage channel %d, want >= 1", o.Channel)
+	}
+	if o.StartSlot < 0 {
+		return fmt.Errorf("fault: outage start slot %d, want >= 0", o.StartSlot)
+	}
+	if o.EndSlot <= o.StartSlot {
+		return fmt.Errorf("fault: outage window [%d, %d) is empty", o.StartSlot, o.EndSlot)
+	}
+	return nil
+}
+
+// String renders the window as channel:start:end.
+func (o Outage) String() string {
+	return fmt.Sprintf("%d:%d:%d", o.Channel, o.StartSlot, o.EndSlot)
+}
+
+// Outages is an outage schedule. Windows may overlap — on one channel
+// (the union is dark) or across channels (several channels dark at once).
+type Outages []Outage
+
+// Enabled reports whether the schedule darkens anything at all.
+func (os Outages) Enabled() bool { return len(os) > 0 }
+
+// Validate rejects a schedule containing a malformed window.
+func (os Outages) Validate() error {
+	for i, o := range os {
+		if err := o.Validate(); err != nil {
+			return fmt.Errorf("fault: outage %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// DarkAt reports whether the channel is dark at the absolute slot: some
+// window covering (channel, slot) exists. Schedules are small (a handful
+// of windows), so the linear scan is deterministic and cache-friendly.
+func (os Outages) DarkAt(channel, slot int) bool {
+	for _, o := range os {
+		if o.Channel == channel && o.Covers(slot) {
+			return true
+		}
+	}
+	return false
+}
+
+// ErrOutageGen rejects invalid generator parameters.
+var ErrOutageGen = errors.New("fault: invalid outage generator parameters")
+
+// GenOutages derives a deterministic outage schedule from a seed via the
+// same splitmix64 chain the per-slot fault model uses: n windows, each on
+// a channel in [1, channels], starting in [0, horizon) and lasting between
+// minLen and maxLen slots. Identical arguments always produce the
+// identical schedule, so a sweep over seeds is a sweep over outage
+// realizations.
+func GenOutages(seed int64, channels, n, horizon, minLen, maxLen int) (Outages, error) {
+	switch {
+	case channels < 1:
+		return nil, fmt.Errorf("%w: %d channels", ErrOutageGen, channels)
+	case n < 0:
+		return nil, fmt.Errorf("%w: %d windows", ErrOutageGen, n)
+	case horizon < 1:
+		return nil, fmt.Errorf("%w: horizon %d", ErrOutageGen, horizon)
+	case minLen < 1 || maxLen < minLen:
+		return nil, fmt.Errorf("%w: window length [%d, %d]", ErrOutageGen, minLen, maxLen)
+	}
+	h := mix(uint64(seed) ^ 0xa02f_1c5d_93b4_77e6)
+	out := make(Outages, 0, n)
+	for i := 0; i < n; i++ {
+		h = mix(h ^ uint64(3*i+1))
+		ch := int(h%uint64(channels)) + 1
+		h = mix(h ^ uint64(3*i+2))
+		start := int(h % uint64(horizon))
+		h = mix(h ^ uint64(3*i+3))
+		length := minLen + int(h%uint64(maxLen-minLen+1))
+		out = append(out, Outage{Channel: ch, StartSlot: start, EndSlot: start + length})
+	}
+	return out, nil
+}
+
+// LiveEvent is one change of the live-channel set under the watchdog: at
+// Slot the detector's view flips, and Live is the sorted set of channels
+// it then believes healthy.
+type LiveEvent struct {
+	Slot int
+	Live []int
+}
+
+// Detections replays the missed-tick watchdog over slots [0, horizon) and
+// returns every live-set change it would report. The detector is strictly
+// causal: its state entering slot t is a function of slots 0..t-1 only. A
+// channel is marked dark once its last watchdog consecutive transmitted
+// slots were all dark, and marked healthy again once its last watchdog
+// consecutive slots were all live — a symmetric debounce, so a one-slot
+// glitch in either direction never flaps the set.
+//
+// This is the pure-function twin of the netcast server's incremental
+// health tracker; the two are pinned equal by test, and the analytic
+// evaluators use Detections to place replans on the timeline at exactly
+// the slots the tower would trigger them.
+func (os Outages) Detections(channels, watchdog, horizon int) []LiveEvent {
+	if watchdog < 1 || channels < 1 || !os.Enabled() {
+		return nil
+	}
+	darkRun := make([]int, channels)
+	liveRun := make([]int, channels)
+	dark := make([]bool, channels)
+	var events []LiveEvent
+	for t := 1; t <= horizon; t++ {
+		// Account the transmission of slot t-1; the resulting state is the
+		// detector's view entering slot t.
+		changed := false
+		for ch := 1; ch <= channels; ch++ {
+			if os.DarkAt(ch, t-1) {
+				darkRun[ch-1]++
+				liveRun[ch-1] = 0
+			} else {
+				liveRun[ch-1]++
+				darkRun[ch-1] = 0
+			}
+			switch {
+			case !dark[ch-1] && darkRun[ch-1] >= watchdog:
+				dark[ch-1] = true
+				changed = true
+			case dark[ch-1] && liveRun[ch-1] >= watchdog:
+				dark[ch-1] = false
+				changed = true
+			}
+		}
+		if changed {
+			live := make([]int, 0, channels)
+			for ch := 1; ch <= channels; ch++ {
+				if !dark[ch-1] {
+					live = append(live, ch)
+				}
+			}
+			sort.Ints(live)
+			events = append(events, LiveEvent{Slot: t, Live: live})
+		}
+	}
+	return events
+}

@@ -1,0 +1,207 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestOutageCovers(t *testing.T) {
+	o := Outage{Channel: 2, StartSlot: 10, EndSlot: 14}
+	for slot, want := range map[int]bool{9: false, 10: true, 13: true, 14: false} {
+		if got := o.Covers(slot); got != want {
+			t.Errorf("Covers(%d) = %v, want %v", slot, got, want)
+		}
+	}
+	if o.Len() != 4 {
+		t.Errorf("Len = %d, want 4", o.Len())
+	}
+	if o.String() != "2:10:14" {
+		t.Errorf("String = %q", o.String())
+	}
+}
+
+func TestOutageValidate(t *testing.T) {
+	bad := []Outage{
+		{Channel: 0, StartSlot: 0, EndSlot: 1},
+		{Channel: 1, StartSlot: -1, EndSlot: 1},
+		{Channel: 1, StartSlot: 5, EndSlot: 5},
+		{Channel: 1, StartSlot: 5, EndSlot: 4},
+	}
+	for _, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("%+v validated", o)
+		}
+	}
+	if err := (Outage{Channel: 1, StartSlot: 0, EndSlot: 1}).Validate(); err != nil {
+		t.Errorf("minimal window rejected: %v", err)
+	}
+	sched := Outages{{Channel: 1, StartSlot: 0, EndSlot: 3}, {Channel: 0, StartSlot: 0, EndSlot: 1}}
+	if err := sched.Validate(); err == nil {
+		t.Error("schedule with a bad window validated")
+	}
+}
+
+func TestDarkAtUnionsOverlappingWindows(t *testing.T) {
+	os := Outages{
+		{Channel: 1, StartSlot: 5, EndSlot: 10},
+		{Channel: 1, StartSlot: 8, EndSlot: 15}, // overlaps the first
+		{Channel: 3, StartSlot: 0, EndSlot: 4},
+	}
+	cases := []struct {
+		ch, slot int
+		want     bool
+	}{
+		{1, 4, false}, {1, 5, true}, {1, 9, true}, {1, 12, true}, {1, 15, false},
+		{2, 7, false},
+		{3, 0, true}, {3, 3, true}, {3, 4, false},
+	}
+	for _, c := range cases {
+		if got := os.DarkAt(c.ch, c.slot); got != c.want {
+			t.Errorf("DarkAt(%d, %d) = %v, want %v", c.ch, c.slot, got, c.want)
+		}
+	}
+	if Outages(nil).Enabled() || Outages(nil).DarkAt(1, 0) {
+		t.Error("empty schedule darkens something")
+	}
+}
+
+func TestGenOutagesDeterministic(t *testing.T) {
+	a, err := GenOutages(7, 4, 6, 1000, 3, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenOutages(7, 4, 6, 1000, 3, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 6 {
+		t.Fatalf("generated %d windows, want 6", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("window %d differs across identical calls: %v vs %v", i, a[i], b[i])
+		}
+		if err := a[i].Validate(); err != nil {
+			t.Fatalf("window %d invalid: %v", i, err)
+		}
+		if a[i].Channel > 4 || a[i].StartSlot >= 1000 {
+			t.Fatalf("window %d out of range: %v", i, a[i])
+		}
+		if l := a[i].Len(); l < 3 || l > 20 {
+			t.Fatalf("window %d length %d outside [3, 20]", i, l)
+		}
+	}
+	c, err := GenOutages(8, 4, 6, 1000, 3, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced the identical schedule")
+	}
+}
+
+func TestGenOutagesRejectsBadArgs(t *testing.T) {
+	cases := [][6]int{
+		{0, 0, 1, 100, 1, 2},  // channels 0
+		{0, 2, -1, 100, 1, 2}, // negative n
+		{0, 2, 1, 0, 1, 2},    // horizon 0
+		{0, 2, 1, 100, 0, 2},  // minLen 0
+		{0, 2, 1, 100, 5, 4},  // maxLen < minLen
+	}
+	for _, c := range cases {
+		if _, err := GenOutages(int64(c[0]), c[1], c[2], c[3], c[4], c[5]); !errors.Is(err, ErrOutageGen) {
+			t.Errorf("GenOutages(%v) error = %v, want ErrOutageGen", c, err)
+		}
+	}
+}
+
+// TestDetectionsDebounce pins the watchdog protocol: a channel is marked
+// dark exactly watchdog slots after the window opens and healthy again
+// exactly watchdog slots after it closes, and sub-threshold glitches never
+// flap the live set.
+func TestDetectionsDebounce(t *testing.T) {
+	const w = 3
+	os := Outages{
+		{Channel: 2, StartSlot: 10, EndSlot: 20},
+		{Channel: 1, StartSlot: 40, EndSlot: 42}, // 2 < w slots: never detected
+	}
+	events := os.Detections(3, w, 100)
+	want := []LiveEvent{
+		{Slot: 13, Live: []int{1, 3}},    // dark after slots 10,11,12
+		{Slot: 23, Live: []int{1, 2, 3}}, // healthy after slots 20,21,22
+	}
+	if len(events) != len(want) {
+		t.Fatalf("events %+v, want %+v", events, want)
+	}
+	for i := range want {
+		if events[i].Slot != want[i].Slot || len(events[i].Live) != len(want[i].Live) {
+			t.Fatalf("event %d = %+v, want %+v", i, events[i], want[i])
+		}
+		for j := range want[i].Live {
+			if events[i].Live[j] != want[i].Live[j] {
+				t.Fatalf("event %d = %+v, want %+v", i, events[i], want[i])
+			}
+		}
+	}
+}
+
+// TestDetectionsOverlap: two channels dark at once shrink the live set to
+// the lone survivor, and recoveries restore it stepwise.
+func TestDetectionsOverlap(t *testing.T) {
+	os := Outages{
+		{Channel: 1, StartSlot: 10, EndSlot: 30},
+		{Channel: 2, StartSlot: 15, EndSlot: 25},
+	}
+	events := os.Detections(3, 2, 60)
+	wantLive := [][]int{{2, 3}, {3}, {2, 3}, {1, 2, 3}}
+	wantSlot := []int{12, 17, 27, 32}
+	if len(events) != len(wantLive) {
+		t.Fatalf("got %d events %+v, want %d", len(events), events, len(wantLive))
+	}
+	for i, e := range events {
+		if e.Slot != wantSlot[i] || len(e.Live) != len(wantLive[i]) {
+			t.Fatalf("event %d = %+v, want slot %d live %v", i, e, wantSlot[i], wantLive[i])
+		}
+		for j := range wantLive[i] {
+			if e.Live[j] != wantLive[i][j] {
+				t.Fatalf("event %d = %+v, want live %v", i, e, wantLive[i])
+			}
+		}
+	}
+}
+
+func TestDetectionsDisabled(t *testing.T) {
+	os := Outages{{Channel: 1, StartSlot: 0, EndSlot: 50}}
+	if ev := os.Detections(2, 0, 100); ev != nil {
+		t.Errorf("watchdog 0 produced events %+v", ev)
+	}
+	if ev := Outages(nil).Detections(2, 3, 100); ev != nil {
+		t.Errorf("empty schedule produced events %+v", ev)
+	}
+}
+
+// TestOutageComposesWithModel: the dark decision is independent of the
+// per-slot fault model — a channel can be dark while the model says OK,
+// and the two compose into "unusable" either way.
+func TestOutageComposesWithModel(t *testing.T) {
+	m := Model{Seed: 3, Drop: 0.5}
+	os := Outages{{Channel: 1, StartSlot: 0, EndSlot: 100}}
+	sawOK := false
+	for slot := 0; slot < 100; slot++ {
+		if m.At(1, slot) == OK {
+			sawOK = true
+		}
+		if !os.DarkAt(1, slot) {
+			t.Fatalf("slot %d not dark inside the window", slot)
+		}
+	}
+	if !sawOK {
+		t.Error("model never said OK in 100 slots at drop 0.5")
+	}
+}

@@ -192,3 +192,91 @@ func TestRetryBudgetBoundaryAdaptiveRestart(t *testing.T) {
 		t.Fatal("no lossy query mixed retries and restarts across the swap")
 	}
 }
+
+// TestRetryBudgetBoundaryFailover pins the boundary for the full shared
+// budget: on a lossy adaptive broadcast whose root channel also suffers
+// an outage (detected, replanned onto the survivor, hot-swapped, then
+// recovered), a query whose spend mixes retries, restarts AND channel
+// failovers must succeed at budget = exact need with byte-identical
+// metrics on both sides, and fail with fault.ErrRetryBudget at need-1 on
+// both sides. This is the only test where all three budget components
+// are simultaneously nonzero.
+func TestRetryBudgetBoundaryFailover(t *testing.T) {
+	p1 := compiled(t, 8, 2, 31, true)
+	L := p1.CycleLen()
+	const w = 3
+	out := fault.Outages{{Channel: 1, StartSlot: 2 * L, EndSlot: 6 * L}}
+	horizon := 12 * L
+	events := out.Detections(p1.Channels(), w, horizon)
+	progs := make([]*sim.Program, len(events))
+	for i, ev := range events {
+		progs[i] = survivorProgram(t, p1, ev.Live, p1.Channels())
+	}
+	tl, err := sim.NewTimeline(p1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ev := range events {
+		if _, err := tl.Append(progs[i], uint32(i+2), ev.Slot); err != nil {
+			t.Fatal(err)
+		}
+	}
+	model := fault.Model{Seed: 5, Drop: 0.3, Corrupt: 0.05}
+	opts := ServerOptions{Faults: model, Outages: out, Watchdog: w}
+	generous := sim.OutageConfig{Model: model, Outages: out, MaxRetries: 1 << 20, DeadAir: w}
+
+	lookupAt := func(arrival int, key int64, budget int) outageOutcome {
+		s := outageTower(t, p1, progs, opts)
+		defer s.Close()
+		c := pipeClient(t, s)
+		defer c.Close()
+		c.MaxRetries, c.DeadAir, c.Channels = budget, w, p1.Channels()
+		done := make(chan outageOutcome, 1)
+		go func() {
+			found, _, m, err := c.Lookup(arrival, key, pw)
+			done <- outageOutcome{found, m, err}
+		}()
+		return driveUntil(t, s, done)
+	}
+
+	full := false
+	for arrival := 0; arrival < 8*L && !full; arrival++ {
+		for key := int64(1); key <= 8; key++ {
+			m, _, err := tl.QueryOutage(arrival, key, pw, generous)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Retries < 1 || m.Restarts < 1 || m.Failovers < 1 {
+				continue
+			}
+			need := m.Retries + m.Restarts + m.Failovers
+			exact := generous
+			exact.MaxRetries = need
+			wantM, wantFound, err := tl.QueryOutage(arrival, key, pw, exact)
+			if err != nil {
+				t.Fatalf("arrival %d key %d: sim at exact budget %d: %v", arrival, key, need, err)
+			}
+			out := lookupAt(arrival, key, need)
+			if out.err != nil {
+				t.Fatalf("arrival %d key %d: net at exact budget %d: %v", arrival, key, need, out.err)
+			}
+			if out.m != wantM || out.found != wantFound {
+				t.Fatalf("arrival %d key %d at exact budget %d: net %+v/%v != sim %+v/%v",
+					arrival, key, need, out.m, out.found, wantM, wantFound)
+			}
+			below := generous
+			below.MaxRetries = need - 1
+			if _, _, err := tl.QueryOutage(arrival, key, pw, below); !errors.Is(err, fault.ErrRetryBudget) {
+				t.Fatalf("arrival %d key %d: sim below budget: want ErrRetryBudget, got %v", arrival, key, err)
+			}
+			if out := lookupAt(arrival, key, need-1); !errors.Is(out.err, fault.ErrRetryBudget) {
+				t.Fatalf("arrival %d key %d: net below budget: want ErrRetryBudget, got %v", arrival, key, out.err)
+			}
+			full = true
+			break
+		}
+	}
+	if !full {
+		t.Fatal("no query mixed retries, restarts and failovers")
+	}
+}

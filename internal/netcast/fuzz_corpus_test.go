@@ -1,0 +1,80 @@
+package netcast
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestDarkChannelFuzzCorpus pins the checked-in seed corpus for
+// FuzzReadFrame. The corpus encodes the frame shapes a channel outage
+// produces on the wire — the dead-air frame itself, every proper prefix
+// of it (a connection torn mid-frame), a header claiming payload bytes
+// the dark channel never sent, and v4 buckets cut at the header,
+// payload and CRC boundaries. `go test` replays seed corpus entries
+// through the fuzz target automatically; this test additionally keeps
+// the files themselves from rotting: every entry must parse as corpus
+// format, truncated entries must fail readFrame cleanly, and complete
+// entries must round-trip canonically.
+func TestDarkChannelFuzzCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzReadFrame")
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("seed corpus missing: %v", err)
+	}
+	if len(ents) < 10 {
+		t.Fatalf("seed corpus holds %d entries, want the full dark-channel set", len(ents))
+	}
+	sawDarkAir := false
+	for _, e := range ents {
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		header, rest, ok := strings.Cut(string(raw), "\n")
+		if !ok || header != "go test fuzz v1" {
+			t.Fatalf("%s: not a corpus file (header %q)", e.Name(), header)
+		}
+		rest = strings.TrimSpace(rest)
+		if !strings.HasPrefix(rest, "[]byte(") || !strings.HasSuffix(rest, ")") {
+			t.Fatalf("%s: unexpected literal %q", e.Name(), rest)
+		}
+		s, err := strconv.Unquote(strings.TrimSuffix(strings.TrimPrefix(rest, "[]byte("), ")"))
+		if err != nil {
+			t.Fatalf("%s: bad byte literal: %v", e.Name(), err)
+		}
+		data := []byte(s)
+
+		slot, payload, err := readFrame(bufio.NewReader(bytes.NewReader(data)))
+		truncated := strings.Contains(e.Name(), "trunc") || strings.Contains(e.Name(), "short-claim")
+		switch {
+		case truncated:
+			if err == nil {
+				t.Fatalf("%s: truncated frame decoded to slot %d, %d payload bytes", e.Name(), slot, len(payload))
+			}
+		case err != nil:
+			t.Fatalf("%s: complete frame rejected: %v", e.Name(), err)
+		default:
+			re, err := appendFrame(nil, slot, payload)
+			if err != nil {
+				t.Fatalf("%s: re-encode: %v", e.Name(), err)
+			}
+			if !bytes.Equal(re, data) {
+				t.Fatalf("%s: round trip not canonical", e.Name())
+			}
+			if e.Name() == "dark-air" {
+				if len(payload) != 0 {
+					t.Fatalf("dark-air seed carries %d payload bytes", len(payload))
+				}
+				sawDarkAir = true
+			}
+		}
+	}
+	if !sawDarkAir {
+		t.Fatal("corpus lost the dead-air frame seed")
+	}
+}

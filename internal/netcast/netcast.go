@@ -24,6 +24,20 @@
 // server itself is hardened against misbehaving clients: frame writes
 // carry deadlines, and connections that neither request nor detach within
 // a grace period are evicted instead of wedging the broadcast clock.
+//
+// Whole channels may also fail: ServerOptions.Outages darkens scheduled
+// windows of (channel, slot) pairs, during which the tower transmits
+// lost-slot frames on the dark channel — dead air a client detects purely
+// from slot arithmetic, never from wall time. A missed-tick watchdog
+// inside the server debounces the same windows into live-set changes and
+// hands them to ServerOptions.OnLiveChange, so an operator loop can
+// replan the broadcast onto the surviving channels and stage the result
+// for the next cycle-boundary swap; the analytic twin of the watchdog is
+// fault.Outages.Detections, and the two are pinned equal by test. Clients
+// arm failover with Client.DeadAir: after that many consecutive unusable
+// reads on one channel they re-tune to their current belief of the root
+// channel (refreshed from the RootChannel stamp of every bucket they
+// read) and restart the descent, charging the shared retry budget.
 package netcast
 
 import (
@@ -43,6 +57,13 @@ import (
 
 // detachChannel is the channel byte that ends a client's session.
 const detachChannel = 0
+
+// DefaultWatchdog is the missed-tick threshold of the server's channel
+// health tracker when ServerOptions does not set one: a channel is marked
+// dark after this many consecutive dark slots and healthy again after as
+// many consecutive live ones. It equals sim.DefaultDeadAir so the tower's
+// detector and the clients' failover trigger agree on what "dead" means.
+const DefaultWatchdog = 3
 
 // ServerOptions hardens and degrades the broadcast medium.
 type ServerOptions struct {
@@ -64,6 +85,23 @@ type ServerOptions struct {
 	// connection. Zero disables (the Grace eviction already bounds how
 	// long a silent connection can hold the clock).
 	ReadTimeout time.Duration
+	// Outages darkens whole channels for scheduled windows of absolute
+	// slots: a delivery whose (channel, slot) falls inside a window is
+	// replaced by a lost-slot frame. The schedule is plain data shared
+	// with the analytic simulator, so both observe the same realization.
+	Outages fault.Outages
+	// Watchdog is the missed-tick debounce of the channel health tracker:
+	// a channel is marked dark after Watchdog consecutive dark slots and
+	// healthy after as many live ones (0 = DefaultWatchdog, negative
+	// disables detection; dark channels still transmit dead air).
+	Watchdog int
+	// OnLiveChange, when non-nil, is invoked whenever the watchdog's
+	// live-channel set changes, with the sorted surviving channels and the
+	// detection slot. It runs on the Tick goroutine with the server lock
+	// held — before the detection slot airs, so a program staged from the
+	// callback can swap at that very slot's cycle boundary — and must not
+	// call back into the Server.
+	OnLiveChange func(live []int, slot int)
 	// Obs, when non-nil, receives the server's metrics and trace events
 	// (ticks, frames, requests, evictions, epoch swaps, span history).
 	// Observation never changes behavior: a nil registry costs one
@@ -80,6 +118,9 @@ func (o ServerOptions) withDefaults() ServerOptions {
 	}
 	if o.WriteTimeout == 0 {
 		o.WriteTimeout = 5 * time.Second
+	}
+	if o.Watchdog == 0 {
+		o.Watchdog = DefaultWatchdog
 	}
 	return o
 }
@@ -114,6 +155,16 @@ type Server struct {
 	evicted int
 	done    bool
 
+	// Channel health tracking: the incremental twin of
+	// fault.Outages.Detections. darkRun/liveRun count consecutive dark and
+	// live slots per channel, darkCh is the debounced verdict, and
+	// healthAt is the first slot not yet accounted — the tracker's state
+	// entering slot healthAt is a function of slots 0..healthAt-1 only,
+	// exactly like the analytic detector.
+	darkRun, liveRun []int
+	darkCh           []bool
+	healthAt         int
+
 	om serverObs
 
 	wg sync.WaitGroup
@@ -122,30 +173,38 @@ type Server struct {
 // serverObs bundles the server's instrument handles. With no registry
 // attached every handle is nil and records nothing.
 type serverObs struct {
-	reg       *obs.Registry
-	ticks     *obs.Counter
-	frames    *obs.Counter
-	requests  *obs.Counter
-	evictions *obs.Counter
-	swaps     *obs.Counter
-	attached  *obs.Counter
-	conns     *obs.Gauge
-	spans     *obs.Gauge
-	clock     *obs.Gauge
+	reg        *obs.Registry
+	ticks      *obs.Counter
+	frames     *obs.Counter
+	requests   *obs.Counter
+	evictions  *obs.Counter
+	swaps      *obs.Counter
+	attached   *obs.Counter
+	outages    *obs.Counter
+	recoveries *obs.Counter
+	replans    *obs.Counter
+	conns      *obs.Gauge
+	spans      *obs.Gauge
+	clock      *obs.Gauge
+	live       *obs.Gauge
 }
 
 func newServerObs(r *obs.Registry) serverObs {
 	return serverObs{
-		reg:       r,
-		ticks:     r.Counter("netcast_ticks_total"),
-		frames:    r.Counter("netcast_frames_total"),
-		requests:  r.Counter("netcast_requests_total"),
-		evictions: r.Counter("netcast_evictions_total"),
-		swaps:     r.Counter("netcast_swaps_total"),
-		attached:  r.Counter("netcast_conns_attached_total"),
-		conns:     r.Gauge("netcast_conns"),
-		spans:     r.Gauge("netcast_spans"),
-		clock:     r.Gauge("netcast_now"),
+		reg:        r,
+		ticks:      r.Counter("netcast_ticks_total"),
+		frames:     r.Counter("netcast_frames_total"),
+		requests:   r.Counter("netcast_requests_total"),
+		evictions:  r.Counter("netcast_evictions_total"),
+		swaps:      r.Counter("netcast_swaps_total"),
+		attached:   r.Counter("netcast_conns_attached_total"),
+		outages:    r.Counter("netcast_outages_total"),
+		recoveries: r.Counter("netcast_recoveries_total"),
+		replans:    r.Counter("netcast_replans_total"),
+		conns:      r.Gauge("netcast_conns"),
+		spans:      r.Gauge("netcast_spans"),
+		clock:      r.Gauge("netcast_now"),
+		live:       r.Gauge("netcast_channels_live"),
 	}
 }
 
@@ -219,6 +278,9 @@ func NewServerOpts(p *sim.Program, opts ServerOptions) (*Server, error) {
 	if err := opts.Faults.Validate(); err != nil {
 		return nil, err
 	}
+	if err := opts.Outages.Validate(); err != nil {
+		return nil, err
+	}
 	packets, err := wire.EncodeProgram(p, 0)
 	if err != nil {
 		return nil, err
@@ -231,14 +293,30 @@ func NewServerOpts(p *sim.Program, opts ServerOptions) (*Server, error) {
 		conns:   map[net.Conn]*connState{},
 		om:      newServerObs(opts.Obs),
 	}
+	s.initHealth()
 	s.cond = sync.NewCond(&s.mu)
 	return s, nil
+}
+
+// initHealth sizes the channel health tracker. Epoch swaps preserve the
+// channel count (the registry enforces it, and survivor replans are
+// remapped back to full width), so the width fixed here holds for the
+// server's lifetime.
+func (s *Server) initHealth() {
+	k := s.prog.Channels()
+	s.darkRun = make([]int, k)
+	s.liveRun = make([]int, k)
+	s.darkCh = make([]bool, k)
+	s.om.live.Set(int64(k))
 }
 
 // NewAdaptiveServer serves the registry's current epoch and promotes a
 // staged successor at the next cycle boundary of the outgoing program.
 func NewAdaptiveServer(reg *epoch.Registry, opts ServerOptions) (*Server, error) {
 	if err := opts.Faults.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Outages.Validate(); err != nil {
 		return nil, err
 	}
 	cur := reg.Current()
@@ -251,6 +329,7 @@ func NewAdaptiveServer(reg *epoch.Registry, opts ServerOptions) (*Server, error)
 		conns:   map[net.Conn]*connState{},
 		om:      newServerObs(opts.Obs),
 	}
+	s.initHealth()
 	s.cond = sync.NewCond(&s.mu)
 	return s, nil
 }
@@ -401,6 +480,11 @@ func (s *Server) Tick() error {
 		}
 	}
 	now := s.now
+	// Account every slot that has aired since the last tick into the
+	// channel health tracker — before the swap check, so a program staged
+	// by the OnLiveChange callback can land at this very slot if it is a
+	// cycle boundary.
+	s.updateHealthLocked()
 	// A staged epoch lands exactly at a cycle boundary of the outgoing
 	// program — the no-mid-cycle-swap invariant (DESIGN.md §8). The swap
 	// replaces what subsequent slots carry; it never stalls or skips the
@@ -431,6 +515,12 @@ func (s *Server) Tick() error {
 		if st.hasPending && st.slot == now {
 			cycleSlot := (now-s.epochStart)%s.prog.CycleLen() + 1
 			payload := s.packets[st.channel-1][cycleSlot-1]
+			// A dark channel transmits dead air: the client wakes on time
+			// and hears a lost-slot frame, so outage detection stays a
+			// pure function of slot arithmetic on both ends of the wire.
+			if s.opts.Outages.DarkAt(st.channel, now) {
+				payload = nil
+			}
 			frame, err := appendFrame(make([]byte, 0, frameHeaderSize+len(payload)), now, payload)
 			if err != nil {
 				s.mu.Unlock()
@@ -467,6 +557,72 @@ func (s *Server) Tick() error {
 	}
 	wg.Wait()
 	return nil
+}
+
+// updateHealthLocked advances the missed-tick watchdog over the slots
+// that have aired since it last ran: slot t-1's transmission is accounted
+// when the clock reaches t, so the tracker's verdict entering slot t
+// depends on slots 0..t-1 only — the exact semantics of the analytic
+// fault.Outages.Detections, which tests pin this tracker against. On
+// every live-set change the watchdog updates the channels_live gauge and
+// hands the surviving channels to the OnLiveChange replan hook.
+func (s *Server) updateHealthLocked() {
+	w := s.opts.Watchdog
+	if w < 1 || !s.opts.Outages.Enabled() {
+		return
+	}
+	for t := s.healthAt + 1; t <= s.now; t++ {
+		changed := false
+		for ch := 1; ch <= len(s.darkCh); ch++ {
+			if s.opts.Outages.DarkAt(ch, t-1) {
+				s.darkRun[ch-1]++
+				s.liveRun[ch-1] = 0
+			} else {
+				s.liveRun[ch-1]++
+				s.darkRun[ch-1] = 0
+			}
+			switch {
+			case !s.darkCh[ch-1] && s.darkRun[ch-1] >= w:
+				s.darkCh[ch-1] = true
+				changed = true
+				s.om.outages.Inc()
+				s.om.reg.Emit("outage", obs.A("channel", int64(ch)), obs.A("slot", int64(t)))
+			case s.darkCh[ch-1] && s.liveRun[ch-1] >= w:
+				s.darkCh[ch-1] = false
+				changed = true
+				s.om.recoveries.Inc()
+				s.om.reg.Emit("recovery", obs.A("channel", int64(ch)), obs.A("slot", int64(t)))
+			}
+		}
+		if changed {
+			live := s.liveLocked()
+			s.om.live.Set(int64(len(live)))
+			if s.opts.OnLiveChange != nil {
+				s.om.replans.Inc()
+				s.opts.OnLiveChange(live, t)
+			}
+		}
+	}
+	s.healthAt = s.now
+}
+
+// liveLocked returns the sorted channels the watchdog believes healthy.
+func (s *Server) liveLocked() []int {
+	live := make([]int, 0, len(s.darkCh))
+	for ch := 1; ch <= len(s.darkCh); ch++ {
+		if !s.darkCh[ch-1] {
+			live = append(live, ch)
+		}
+	}
+	return live
+}
+
+// ChannelsLive returns the channels the watchdog currently believes
+// healthy (all of them when outage detection is disabled or idle).
+func (s *Server) ChannelsLive() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.liveLocked()
 }
 
 // Run ticks the server the given number of slots.
@@ -541,9 +697,21 @@ type Client struct {
 	conn net.Conn
 	br   *bufio.Reader
 	// MaxRetries bounds redundant wake-ups per lookup session on a lossy
-	// broadcast (0 = sim.DefaultMaxRetries). When the budget runs out
+	// broadcast (0 = sim.DefaultMaxRetries). Retries, epoch restarts and
+	// channel failovers all draw from this one budget; when it runs out
 	// the lookup fails with an error wrapping fault.ErrRetryBudget.
 	MaxRetries int
+	// DeadAir arms channel failover: after DeadAir consecutive unusable
+	// reads on one channel during a Lookup the client declares the
+	// channel dead and re-tunes its descent to the believed root channel
+	// instead of retrying forever. 0 disables failover (the pre-outage
+	// behavior); set it to sim.DefaultDeadAir to match the analytic
+	// twin's OutageConfig default. Range scans never fail over.
+	DeadAir int
+	// Channels is the tower's channel count, which the failover protocol
+	// needs to advance its root belief past a dead channel. Required when
+	// DeadAir > 0.
+	Channels int
 
 	om clientObs
 }
@@ -556,13 +724,14 @@ type clientObs struct {
 	reads     *obs.Counter
 	retries   *obs.Counter
 	restarts  *obs.Counter
+	failovers *obs.Counter
 	exhausted *obs.Counter
 }
 
 // Instrument attaches an observability registry to the client: lookup
-// sessions, frame reads, retries, restarts and budget exhaustions are
-// counted, and retry/restart trace events are emitted. Metrics returned
-// to the caller are unaffected.
+// sessions, frame reads, retries, restarts, channel failovers and budget
+// exhaustions are counted, and retry/restart/failover trace events are
+// emitted. Metrics returned to the caller are unaffected.
 func (c *Client) Instrument(r *obs.Registry) {
 	c.om = clientObs{
 		reg:       r,
@@ -570,6 +739,7 @@ func (c *Client) Instrument(r *obs.Registry) {
 		reads:     r.Counter("client_reads_total"),
 		retries:   r.Counter("client_retries_total"),
 		restarts:  r.Counter("client_restarts_total"),
+		failovers: r.Counter("client_failovers_total"),
 		exhausted: r.Counter("client_budget_exhausted_total"),
 	}
 }
@@ -640,7 +810,7 @@ func (c *Client) read(channel, slot int, m *sim.Metrics) (int, *wire.Bucket, err
 		m.Retries++
 		c.om.retries.Inc()
 		c.om.reg.Emit("retry", obs.A("channel", int64(channel)), obs.A("slot", int64(gotSlot)))
-		if m.Retries+m.Restarts > c.budget() {
+		if m.Retries+m.Restarts+m.Failovers > c.budget() {
 			c.om.exhausted.Inc()
 			return 0, nil, fmt.Errorf("netcast: channel %d slot %d: %w after %d redundant wake-ups",
 				channel, gotSlot, fault.ErrRetryBudget, m.Retries-1)
@@ -649,13 +819,77 @@ func (c *Client) read(channel, slot int, m *sim.Metrics) (int, *wire.Bucket, err
 	}
 }
 
+// readOutage is read with the dead-air detector armed: it counts the
+// consecutive unusable reads of this one logical bucket fetch, and once
+// they reach DeadAir it reports dead == true with the slot of the last
+// failed read instead of re-tuning again, so the caller can fail over.
+// With DeadAir 0 it is exactly read. This mirrors the analytic
+// Timeline.readOutage operation for operation, which is what keeps the
+// tower and the twin byte-identical under identical outage schedules.
+func (c *Client) readOutage(channel, slot int, m *sim.Metrics) (int, *wire.Bucket, bool, error) {
+	run := 0
+	for {
+		if err := c.request(channel, slot); err != nil {
+			return 0, nil, false, err
+		}
+		gotSlot, payload, err := readFrame(c.br)
+		if err != nil {
+			return 0, nil, false, err // transport failure: not recoverable in-session
+		}
+		m.TuningTime++
+		c.om.reads.Inc()
+		if len(payload) != 0 {
+			b, derr := wire.Unmarshal(payload)
+			if derr == nil {
+				return gotSlot, b, false, nil
+			}
+		}
+		m.Retries++
+		c.om.retries.Inc()
+		c.om.reg.Emit("retry", obs.A("channel", int64(channel)), obs.A("slot", int64(gotSlot)))
+		if m.Retries+m.Restarts+m.Failovers > c.budget() {
+			c.om.exhausted.Inc()
+			return 0, nil, false, fmt.Errorf("netcast: channel %d slot %d: %w after %d redundant wake-ups",
+				channel, gotSlot, fault.ErrRetryBudget, m.Retries-1)
+		}
+		run++
+		if c.DeadAir > 0 && run >= c.DeadAir {
+			return gotSlot, nil, true, nil
+		}
+		slot = gotSlot
+	}
+}
+
+// failover charges one channel failover against the shared retry budget,
+// mirroring the analytic simulator's accounting.
+func (c *Client) failover(m *sim.Metrics, channel, slot int) error {
+	m.Failovers++
+	c.om.failovers.Inc()
+	c.om.reg.Emit("failover", obs.A("channel", int64(channel)), obs.A("slot", int64(slot)))
+	if m.Retries+m.Restarts+m.Failovers > c.budget() {
+		c.om.exhausted.Inc()
+		return fmt.Errorf("netcast: channel %d slot %d: %w after %d channel failovers",
+			channel, slot, fault.ErrRetryBudget, m.Failovers-1)
+	}
+	return nil
+}
+
+// rootBelief reads the root-channel stamp off a bucket; v2/v3 frames are
+// unstamped (0), which clients interpret as the channel-1 default.
+func rootBelief(b *wire.Bucket) int {
+	if b.RootChannel == 0 {
+		return 1
+	}
+	return int(b.RootChannel)
+}
+
 // restart charges one epoch-swap descent restart against the shared
 // retry budget, mirroring the analytic simulator's accounting.
 func (c *Client) restart(m *sim.Metrics, channel, slot int) error {
 	m.Restarts++
 	c.om.restarts.Inc()
 	c.om.reg.Emit("restart", obs.A("channel", int64(channel)), obs.A("slot", int64(slot)))
-	if m.Retries+m.Restarts > c.budget() {
+	if m.Retries+m.Restarts+m.Failovers > c.budget() {
 		c.om.exhausted.Inc()
 		return fmt.Errorf("netcast: channel %d slot %d: %w after %d descent restarts",
 			channel, slot, fault.ErrRetryBudget, m.Restarts-1)
@@ -665,9 +899,10 @@ func (c *Client) restart(m *sim.Metrics, channel, slot int) error {
 
 // Lookup retrieves the item with the given key, arriving at the given
 // absolute slot. It implements the same protocol as the simulator's
-// client — probe channel 1, synchronize or start from a root copy, then
-// descend by advertised key ranges — and returns identical metrics,
-// including the lossy-channel recovery accounting (Metrics.Retries).
+// client — probe the believed root channel, synchronize or start from a
+// root copy, then descend by advertised key ranges — and returns
+// identical metrics, including the lossy-channel recovery accounting
+// (Metrics.Retries).
 //
 // On an adaptive broadcast the descent tracks the epoch stamp of the
 // bucket it started from: a bucket from a newer epoch means the cached
@@ -679,23 +914,63 @@ func (c *Client) restart(m *sim.Metrics, channel, slot int) error {
 // On a static broadcast every stamp is equal and the restart path is
 // never taken.
 //
+// With DeadAir > 0 channel failover is armed: a channel that serves
+// DeadAir consecutive unusable slots is declared dead, the client charges
+// one failover against the shared budget (Metrics.Failovers), and
+// re-probes on its current belief of the root channel — initially 1,
+// refreshed from the RootChannel stamp of every bucket it reads, and
+// advanced round-robin past the dead channel when the believed root
+// itself is what died. This is byte-for-byte the analytic simulator's
+// Timeline.QueryOutage protocol.
+//
 // A lookup is one session: it detaches from the broadcast when it
 // finishes so the server never waits on an idle radio. Run further
 // lookups over fresh connections.
 func (c *Client) Lookup(arrival int, key int64, pw sim.Power) (found bool, label string, m sim.Metrics, err error) {
 	defer c.detach()
+	if c.DeadAir > 0 && c.Channels < 1 {
+		return false, "", m, fmt.Errorf("netcast: DeadAir %d requires Channels to be set", c.DeadAir)
+	}
 	c.om.lookups.Inc()
 	c.om.reg.Emit("tune", obs.A("arrival", int64(arrival)), obs.A("key", key))
+	rootCh := 1
 	probeAt := arrival
+probe:
 	for {
-		slot, b, err := c.read(1, probeAt, &m)
+		// Probe the believed root channel and synchronize on a root bucket.
+		slot, b, dead, err := c.readOutage(rootCh, probeAt, &m)
 		if err != nil {
 			return false, "", m, err
 		}
-		if !b.RootCopy {
-			if slot, b, err = c.read(1, slot+int(b.NextCycle), &m); err != nil {
+		if dead {
+			if err := c.failover(&m, rootCh, slot); err != nil {
 				return false, "", m, err
 			}
+			rootCh = rootCh%c.Channels + 1
+			probeAt = slot + 1
+			continue
+		}
+		rootCh = rootBelief(b)
+		for redirects := 0; !b.RootCopy; redirects++ {
+			if redirects >= sim.MaxProbeRedirects {
+				return false, "", m, fmt.Errorf("netcast: %w after %d redirects", sim.ErrMissingRoot, redirects)
+			}
+			step := int(b.NextCycle)
+			if step <= 0 {
+				step = 1
+			}
+			if slot, b, dead, err = c.readOutage(rootCh, slot+step, &m); err != nil {
+				return false, "", m, err
+			}
+			if dead {
+				if err := c.failover(&m, rootCh, slot); err != nil {
+					return false, "", m, err
+				}
+				rootCh = rootCh%c.Channels + 1
+				probeAt = slot + 1
+				continue probe
+			}
+			rootCh = rootBelief(b)
 		}
 		epoch := b.Epoch
 		descentStart := slot
@@ -707,7 +982,7 @@ func (c *Client) Lookup(arrival int, key int64, pw sim.Power) (found bool, label
 			// across a swap this slot may hold anything, and only the
 			// stamp says so.
 			if b.Epoch != epoch {
-				if err := c.restart(&m, 1, slot); err != nil {
+				if err := c.restart(&m, rootCh, slot); err != nil {
 					return false, "", m, err
 				}
 				probeAt = slot + 1
@@ -732,9 +1007,22 @@ func (c *Client) Lookup(arrival int, key int64, pw sim.Power) (found bool, label
 				finish(&m, pw)
 				return false, "", m, nil
 			}
-			if slot, b, err = c.read(int(next.Channel), slot+int(next.Offset), &m); err != nil {
+			if slot, b, dead, err = c.readOutage(int(next.Channel), slot+int(next.Offset), &m); err != nil {
 				return false, "", m, err
 			}
+			if dead {
+				// A pointer target went dark mid-descent. The root belief
+				// only moves when the root channel itself is what died.
+				if err := c.failover(&m, int(next.Channel), slot); err != nil {
+					return false, "", m, err
+				}
+				if int(next.Channel) == rootCh {
+					rootCh = rootCh%c.Channels + 1
+				}
+				probeAt = slot + 1
+				continue probe
+			}
+			rootCh = rootBelief(b)
 		}
 		if !restarted {
 			return false, "", m, fmt.Errorf("netcast: descent did not terminate")

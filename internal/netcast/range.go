@@ -102,7 +102,7 @@ restartScan:
 				m.Retries++
 				c.om.retries.Inc()
 				c.om.reg.Emit("retry", obs.A("channel", int64(next.channel)), obs.A("slot", int64(at)))
-				if m.Retries+m.Restarts > c.budget() {
+				if m.Retries+m.Restarts+m.Failovers > c.budget() {
 					c.om.exhausted.Inc()
 					return keys, m, fmt.Errorf("netcast: channel %d slot %d: %w after %d redundant wake-ups",
 						next.channel, at, fault.ErrRetryBudget, m.Retries-1)

@@ -1,0 +1,341 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/tree"
+)
+
+// This file is the analytic twin of channel-outage tolerance: queries run
+// against a timeline whose channels go dark for whole windows of absolute
+// slots, and the client protocol — declare a channel dead after DeadAir
+// consecutive unusable reads, fail over to a surviving channel's index,
+// restart the descent — matches the netcast client byte for byte under
+// identical (seed, outage schedule). Failovers share the unified retry
+// budget: Retries + Restarts + Failovers ≤ MaxRetries, and exhausting it
+// is terminal with fault.ErrRetryBudget.
+
+// DefaultDeadAir is the number of consecutive unusable reads on one
+// channel after which a client declares the channel dead, when
+// OutageConfig does not set a threshold. Three reads separate a dead
+// channel from an unlucky run on a merely lossy one at any drop rate the
+// experiments model.
+const DefaultDeadAir = 3
+
+// MaxProbeRedirects bounds how many cycle-start jumps a probing client
+// will chase before concluding the timeline carries no reachable root.
+const MaxProbeRedirects = 8
+
+// OutageConfig subjects a query to channel outages layered over a lossy
+// channel: a slot inside an outage window is dead air regardless of what
+// the per-slot model says, and the client's failover protocol is armed.
+type OutageConfig struct {
+	// Model is the seeded per-slot fault distribution composing with the
+	// outage schedule; the zero Model is a perfect medium between outages.
+	Model fault.Model
+	// Outages is the channel-outage schedule.
+	Outages fault.Outages
+	// MaxRetries bounds Retries+Restarts+Failovers per query
+	// (0 = DefaultMaxRetries).
+	MaxRetries int
+	// DeadAir is the consecutive-unusable-read threshold for declaring a
+	// channel dead (0 = DefaultDeadAir, negative = failover disabled).
+	DeadAir int
+}
+
+func (oc OutageConfig) budget() int {
+	return FaultConfig{MaxRetries: oc.MaxRetries}.budget()
+}
+
+func (oc OutageConfig) deadAir() int {
+	if oc.DeadAir == 0 {
+		return DefaultDeadAir
+	}
+	if oc.DeadAir < 0 {
+		return 0
+	}
+	return oc.DeadAir
+}
+
+func (oc OutageConfig) faultConfig() FaultConfig {
+	return FaultConfig{Model: oc.Model, MaxRetries: oc.MaxRetries}
+}
+
+// readOutage reads (ch, slot) under the composed outage+fault model. An
+// unusable slot — dark or lost or corrupt — charges a retry and re-tunes
+// to the same cycle slot one cycle later, exactly like readAt; but after
+// deadAir consecutive unusable reads the client gives up on the channel
+// instead, returning dead == true with the slot of the last failed read
+// so the caller can fail over.
+func (tl *Timeline) readOutage(m *Metrics, oc OutageConfig, ch, slot int) (now int, e Entry, b Bucket, dead bool, err error) {
+	deadAir := oc.deadAir()
+	run := 0
+	for {
+		m.TuningTime++
+		if !oc.Outages.DarkAt(ch, slot) {
+			switch oc.Model.At(ch, slot) {
+			case fault.OK, fault.Stall:
+				e, b = tl.bucketAt(ch, slot)
+				return slot, e, b, false, nil
+			}
+		}
+		m.Retries++
+		if m.Retries+m.Restarts+m.Failovers > oc.budget() {
+			return 0, Entry{}, Bucket{}, false, fmt.Errorf("sim: channel %d slot %d: %w after %d redundant wake-ups",
+				ch, slot, fault.ErrRetryBudget, m.Retries-1)
+		}
+		run++
+		if deadAir > 0 && run >= deadAir {
+			return slot, Entry{}, Bucket{}, true, nil
+		}
+		slot += tl.EntryAt(slot).Prog.CycleLen()
+	}
+}
+
+// failover charges one channel failover against the shared retry budget.
+func (tl *Timeline) failover(m *Metrics, oc OutageConfig, ch, slot int) error {
+	m.Failovers++
+	if m.Retries+m.Restarts+m.Failovers > oc.budget() {
+		return fmt.Errorf("sim: channel %d slot %d: %w after %d channel failovers",
+			ch, slot, fault.ErrRetryBudget, m.Failovers-1)
+	}
+	return nil
+}
+
+// QueryOutage retrieves the data item with the given key from the
+// timeline while channels suffer outages. The client keeps a belief
+// about which channel carries the index root — initially channel 1,
+// refreshed from the RootChannel stamp of every bucket it successfully
+// reads — and probes there. Dead air during the probe or the descent
+// triggers a failover: the client charges one failover against the
+// shared budget, advances its root belief past the dead channel if that
+// is the channel it lost, and re-probes from the next slot. Epoch swaps
+// mid-descent restart exactly as in QuerySwitch.
+func (tl *Timeline) QueryOutage(arrival int, key int64, pw Power, oc OutageConfig) (Metrics, bool, error) {
+	var m Metrics
+	if arrival < 0 {
+		return m, false, fmt.Errorf("sim: negative arrival %d", arrival)
+	}
+	for _, e := range tl.entries {
+		if !e.Prog.t.Keyed() {
+			return m, false, fmt.Errorf("sim: epoch %d tree is not keyed", e.Epoch)
+		}
+	}
+	fc := oc.faultConfig()
+	K := tl.entries[0].Prog.Channels()
+	rootCh := 1
+	probeAt := arrival
+
+probe:
+	for {
+		// Probe the believed root channel and synchronize on a root bucket.
+		now, e, b, dead, err := tl.readOutage(&m, oc, rootCh, probeAt)
+		if err != nil {
+			return m, false, err
+		}
+		if dead {
+			if err := tl.failover(&m, oc, rootCh, now); err != nil {
+				return m, false, err
+			}
+			rootCh = rootCh%K + 1
+			probeAt = now + 1
+			continue
+		}
+		rootCh = e.Prog.RootChannel()
+		for redirects := 0; !isRoot(e, b); redirects++ {
+			if redirects >= MaxProbeRedirects {
+				return m, false, fmt.Errorf("%w after %d redirects (got %v)", ErrMissingRoot, redirects, b.Node)
+			}
+			step := b.NextCycle
+			if step <= 0 {
+				step = 1
+			}
+			if now, e, b, dead, err = tl.readOutage(&m, oc, rootCh, now+step); err != nil {
+				return m, false, err
+			}
+			if dead {
+				if err := tl.failover(&m, oc, rootCh, now); err != nil {
+					return m, false, err
+				}
+				rootCh = rootCh%K + 1
+				probeAt = now + 1
+				continue probe
+			}
+			rootCh = e.Prog.RootChannel()
+		}
+		epoch := e.Epoch
+		descentStart := now
+		m.ProbeWait = descentStart - arrival
+
+		restarted := false
+		for hops := 0; hops <= e.Prog.t.NumNodes()+1; hops++ {
+			// Epoch stamp first: across a swap the slot may hold anything.
+			if e.Epoch != epoch {
+				if err := tl.restart(&m, fc, rootCh, now); err != nil {
+					return m, false, err
+				}
+				probeAt = now + 1
+				restarted = true
+				break
+			}
+			t := e.Prog.t
+			if b.Node != tree.None && t.IsData(b.Node) {
+				k, _ := t.Key(b.Node)
+				m.DataWait = now - descentStart + 1
+				m.finish(pw)
+				return m, k == key, nil
+			}
+			var ptr *Pointer
+			for i := range b.Children {
+				lo, hi, _ := t.KeyRange(b.Children[i].Target)
+				if key >= lo && key <= hi {
+					ptr = &b.Children[i]
+					break
+				}
+			}
+			if ptr == nil {
+				// Negative lookup: no child covers the key.
+				m.DataWait = now - descentStart + 1
+				m.finish(pw)
+				return m, false, nil
+			}
+			var dead bool
+			if now, e, b, dead, err = tl.readOutage(&m, oc, ptr.Channel, now+ptr.Offset); err != nil {
+				return m, false, err
+			}
+			if dead {
+				// A pointer target went dark mid-descent. The root belief only
+				// moves when the root channel itself is the one that died.
+				if err := tl.failover(&m, oc, ptr.Channel, now); err != nil {
+					return m, false, err
+				}
+				if ptr.Channel == rootCh {
+					rootCh = rootCh%K + 1
+				}
+				probeAt = now + 1
+				continue probe
+			}
+			rootCh = e.Prog.RootChannel()
+			if e.Epoch == epoch && b.Node != ptr.Target {
+				return m, false, fmt.Errorf("%w: pointer to %s found %v at channel %d slot %d",
+					ErrBrokenPointer, t.Label(ptr.Target), b.Node, ptr.Channel, now)
+			}
+		}
+		if !restarted {
+			return m, false, fmt.Errorf("sim: descent did not terminate")
+		}
+	}
+}
+
+// QueryOutage runs the outage protocol against a static program: the
+// single-epoch timeline degenerate case.
+func (p *Program) QueryOutage(arrival int, key int64, pw Power, oc OutageConfig) (Metrics, bool, error) {
+	tl, err := NewTimeline(p, 0)
+	if err != nil {
+		return Metrics{}, false, err
+	}
+	return tl.QueryOutage(arrival, key, pw, oc)
+}
+
+// OutageReport is the outcome of an evaluation under channel outages.
+// Queries that exhaust the retry budget are excluded from the cost
+// averages — Summary is the conditional mean over completed queries —
+// and surface in Availability instead.
+type OutageReport struct {
+	// Summary is the weighted-average cost of the queries that completed.
+	Summary Summary
+	// Availability is the weighted fraction of queries that completed
+	// (did not end in fault.ErrRetryBudget).
+	Availability float64
+	// HitRate is the weighted fraction of completed queries that found
+	// their key.
+	HitRate float64
+}
+
+// EvaluateOutage computes the expected client cost of a static program
+// under channel outages over the arrival window [lo, hi): a query
+// arrives uniformly at every slot in the window and requests each data
+// item with probability proportional to its weight. The window is in
+// absolute slots because outages are absolute-time events — the same
+// program costs differently before, during, and after a window.
+func EvaluateOutage(p *Program, lo, hi int, pw Power, oc OutageConfig) (OutageReport, error) {
+	tl, err := NewTimeline(p, 0)
+	if err != nil {
+		return OutageReport{}, err
+	}
+	if !p.t.Keyed() {
+		return OutageReport{}, fmt.Errorf("sim: tree is not keyed")
+	}
+	var demand []Demand
+	for _, d := range p.t.DataIDs() {
+		k, ok := p.t.Key(d)
+		if !ok {
+			return OutageReport{}, fmt.Errorf("sim: data node %v has no key", d)
+		}
+		demand = append(demand, Demand{Key: k, Weight: p.t.Weight(d)})
+	}
+	return EvaluateOutageAdaptive(tl, lo, hi, demand, pw, oc)
+}
+
+// EvaluateOutageAdaptive computes the expected client cost of an
+// adaptive timeline under channel outages over the arrival window
+// [lo, hi) and the given demand; see EvaluateOutage. All averages are
+// exact sums, not samples.
+func EvaluateOutageAdaptive(tl *Timeline, lo, hi int, demand []Demand, pw Power, oc OutageConfig) (OutageReport, error) {
+	var r OutageReport
+	if lo < 0 || hi <= lo {
+		return r, fmt.Errorf("sim: bad arrival window [%d, %d)", lo, hi)
+	}
+	var total float64
+	for _, d := range demand {
+		if d.Weight < 0 {
+			return r, fmt.Errorf("sim: negative weight %v for key %d", d.Weight, d.Key)
+		}
+		total += d.Weight
+	}
+	if total == 0 {
+		return r, fmt.Errorf("sim: zero total demand")
+	}
+	phases := float64(hi - lo)
+	var completed, failed, hits float64
+	for _, d := range demand {
+		u := d.Weight / total / phases
+		for a := lo; a < hi; a++ {
+			m, found, err := tl.QueryOutage(a, d.Key, pw, oc)
+			if errors.Is(err, fault.ErrRetryBudget) {
+				failed += u
+				continue
+			}
+			if err != nil {
+				return r, fmt.Errorf("sim: key %d arrival %d: %w", d.Key, a, err)
+			}
+			completed += u
+			r.Summary.ProbeWait += u * float64(m.ProbeWait)
+			r.Summary.DataWait += u * float64(m.DataWait)
+			r.Summary.AccessTime += u * float64(m.AccessTime)
+			r.Summary.TuningTime += u * float64(m.TuningTime)
+			r.Summary.Retries += u * float64(m.Retries)
+			r.Summary.Restarts += u * float64(m.Restarts)
+			r.Summary.Failovers += u * float64(m.Failovers)
+			r.Summary.Energy += u * m.Energy
+			if found {
+				hits += u
+			}
+		}
+	}
+	r.Availability = completed / (completed + failed)
+	if completed > 0 {
+		r.Summary.ProbeWait /= completed
+		r.Summary.DataWait /= completed
+		r.Summary.AccessTime /= completed
+		r.Summary.TuningTime /= completed
+		r.Summary.Retries /= completed
+		r.Summary.Restarts /= completed
+		r.Summary.Failovers /= completed
+		r.Summary.Energy /= completed
+		r.HitRate = hits / completed
+	}
+	return r, nil
+}

@@ -54,7 +54,8 @@ type Bucket struct {
 	// Children points at the node's children (index buckets only).
 	Children []Pointer
 	// NextCycle is the offset to the first slot of the next cycle; set on
-	// every channel-1 bucket so any arriving client can synchronize.
+	// every bucket of every channel so any arriving client — including one
+	// redirected off a dead channel — can synchronize from wherever it is.
 	NextCycle int
 	// RootCopy marks a replicated root bucket occupying a filler slot.
 	RootCopy bool
@@ -76,6 +77,10 @@ type Program struct {
 	buckets  [][]Bucket // [channel-1][slot-1]
 	slotOf   []alloc.Position
 	opt      Options
+	// rootCh is the channel whose cycle starts carry the index root: 1 for
+	// a directly compiled program, the first surviving channel for a
+	// program remapped onto a degraded tower (see Remap).
+	rootCh int
 }
 
 // Tree returns the index tree the program broadcasts.
@@ -83,6 +88,15 @@ func (p *Program) Tree() *tree.Tree { return p.t }
 
 // Channels returns the channel count.
 func (p *Program) Channels() int { return p.k }
+
+// RootChannel returns the channel whose cycle starts hold the index root
+// — channel 1 except for programs remapped onto a degraded channel set.
+func (p *Program) RootChannel() int {
+	if p.rootCh == 0 {
+		return 1
+	}
+	return p.rootCh
+}
 
 // CycleLen returns the broadcast cycle length in slots.
 func (p *Program) CycleLen() int { return p.cycleLen }
@@ -109,6 +123,7 @@ func Compile(a *alloc.Allocation, opt Options) (*Program, error) {
 		cycleLen: a.NumSlots(),
 		slotOf:   make([]alloc.Position, t.NumNodes()),
 		opt:      opt,
+		rootCh:   1,
 	}
 	p.buckets = make([][]Bucket, p.k)
 	for ch := range p.buckets {
@@ -132,8 +147,13 @@ func Compile(a *alloc.Allocation, opt Options) (*Program, error) {
 		}
 		p.buckets[pos.Channel-1][pos.Slot-1] = b
 	}
-	for s := 1; s <= p.cycleLen; s++ {
-		p.buckets[0][s-1].NextCycle = p.cycleLen - s + 1
+	// Every bucket on every channel advertises the next cycle start, so a
+	// client that lost its channel mid-descent can resynchronize from any
+	// surviving channel instead of only from channel 1.
+	for ch := range p.buckets {
+		for s := 1; s <= p.cycleLen; s++ {
+			p.buckets[ch][s-1].NextCycle = p.cycleLen - s + 1
+		}
 	}
 	if opt.FillWithRootCopies && t.NumNodes() > 1 {
 		p.fillRootCopies(a)
@@ -194,6 +214,12 @@ type Metrics struct {
 	// Restarts share the retry budget (Retries + Restarts ≤ MaxRetries).
 	// Zero on a static broadcast.
 	Restarts int
+	// Failovers counts channel failovers: descents abandoned because the
+	// client declared the channel it was reading dead (DeadAir consecutive
+	// unusable reads) and re-tuned via a surviving channel. Failovers share
+	// the retry budget (Retries + Restarts + Failovers ≤ MaxRetries). Zero
+	// unless the query ran under an outage schedule.
+	Failovers int
 	// Energy = Active·TuningTime + Doze·(AccessTime − TuningTime).
 	Energy float64
 }
@@ -313,7 +339,7 @@ func (p *Program) readAt(m *Metrics, fc FaultConfig, ch, slot int) (int, Bucket,
 			return slot, p.buckets[ch-1][p.slotInCycle(slot)-1], nil
 		default: // Drop, Corrupt: nothing usable was heard this slot.
 			m.Retries++
-			if m.Retries+m.Restarts > fc.budget() {
+			if m.Retries+m.Restarts+m.Failovers > fc.budget() {
 				return 0, Bucket{}, fmt.Errorf("sim: channel %d slot %d: %w after %d redundant wake-ups",
 					ch, slot, fault.ErrRetryBudget, m.Retries-1)
 			}
@@ -392,6 +418,9 @@ type Summary struct {
 	// Restarts is the expected number of epoch-swap descent restarts per
 	// query (zero on a static broadcast).
 	Restarts float64
+	// Failovers is the expected number of channel failovers per query
+	// (zero unless evaluated under an outage schedule).
+	Failovers float64
 }
 
 // Evaluate computes the exact expected metrics of the program: a query
@@ -425,6 +454,7 @@ func EvaluateFaulty(p *Program, pw Power, fc FaultConfig) (Summary, error) {
 			s.TuningTime += w * float64(m.TuningTime) / phases
 			s.Retries += w * float64(m.Retries) / phases
 			s.Restarts += w * float64(m.Restarts) / phases
+			s.Failovers += w * float64(m.Failovers) / phases
 			s.Energy += w * m.Energy / phases
 		}
 	}

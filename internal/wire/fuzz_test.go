@@ -6,10 +6,10 @@ import (
 )
 
 // FuzzUnmarshal asserts that arbitrary bytes never panic the decoder and
-// that anything accepted is well-behaved: a current-version (v3) frame
+// that anything accepted is well-behaved: a current-version (v4) frame
 // re-encodes to the identical byte string (the codec is canonical), and a
-// legacy v2 frame decodes to a bucket that re-marshals cleanly as v3 with
-// every field preserved and Epoch 0.
+// legacy v2/v3 frame decodes to a bucket that re-marshals cleanly as v4
+// with every field preserved and the missing stamps zero.
 func FuzzUnmarshal(f *testing.F) {
 	seeds := []*Bucket{
 		{Kind: KindEmpty},
@@ -17,6 +17,7 @@ func FuzzUnmarshal(f *testing.F) {
 		{Kind: KindData, Label: "hot", Key: -3, Weight: 1, Epoch: 42},
 		{Kind: KindIndex, Label: "I1", NextCycle: 9, RootCopy: true, Epoch: 7,
 			Pointers: []Pointer{{Channel: 1, Offset: 2, KeyLo: 1, KeyHi: 5}}},
+		{Kind: KindEmpty, NextCycle: 3, Epoch: 9, RootChannel: 2},
 	}
 	for _, s := range seeds {
 		data, err := s.Marshal()
@@ -26,6 +27,7 @@ func FuzzUnmarshal(f *testing.F) {
 		f.Add(data)
 		f.Add(data[:len(data)-1])
 		f.Add(marshalV2(s))
+		f.Add(marshalV3(s))
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0xB0, 0xCA})
@@ -44,18 +46,21 @@ func FuzzUnmarshal(f *testing.F) {
 			if !bytes.Equal(out, data) {
 				t.Fatalf("codec not canonical:\n in: %x\nout: %x", data, out)
 			}
-		case VersionV2:
-			if b.Epoch != 0 {
+		case VersionV2, VersionV3:
+			if data[2] == VersionV2 && b.Epoch != 0 {
 				t.Fatalf("v2 frame decoded with epoch %d", b.Epoch)
+			}
+			if b.RootChannel != 0 {
+				t.Fatalf("v%d frame decoded with root channel %d", data[2], b.RootChannel)
 			}
 			rt, err := Unmarshal(out)
 			if err != nil {
-				t.Fatalf("v2→v3 re-encode rejected: %v", err)
+				t.Fatalf("legacy re-encode rejected: %v", err)
 			}
 			if rt.Kind != b.Kind || rt.Label != b.Label || rt.Key != b.Key ||
 				rt.Weight != b.Weight || rt.NextCycle != b.NextCycle ||
 				rt.RootCopy != b.RootCopy || len(rt.Pointers) != len(b.Pointers) {
-				t.Fatalf("v2→v3 round trip mismatch: %+v vs %+v", rt, b)
+				t.Fatalf("legacy round trip mismatch: %+v vs %+v", rt, b)
 			}
 		}
 	})

@@ -23,6 +23,14 @@
 // knows its cached pointers are stale and restarts from the new root. The
 // decoder still accepts v2 frames (epoch 0), so a v3 client can ride a
 // broadcast recorded by an older tower.
+//
+// Format version 4 additionally stamps every bucket with the 1-based
+// channel that carries the index root. Under a channel outage the tower
+// replans onto the surviving channels and the root may move off channel
+// 1; any successfully read bucket — even a filler on a dark-adjacent
+// channel — then tells a failing-over client where to re-tune for its
+// next descent. The decoder accepts v2 and v3 frames with RootChannel 0,
+// which clients interpret as the channel-1 default.
 package wire
 
 import (
@@ -41,10 +49,14 @@ const Magic uint16 = 0xB0CA
 
 // Version is the current frame-format version; it follows the magic so a
 // decoder can reject frames from an incompatible broadcast generation.
-const Version uint8 = 3
+const Version uint8 = 4
 
-// VersionV2 is the previous frame format (no epoch stamp). The decoder
-// still accepts it, reporting epoch 0.
+// VersionV3 is the previous frame format (no root-channel stamp). The
+// decoder still accepts it, reporting RootChannel 0.
+const VersionV3 uint8 = 3
+
+// VersionV2 is the epoch-less frame format before that. The decoder
+// still accepts it, reporting epoch 0 and RootChannel 0.
 const VersionV2 uint8 = 2
 
 // ErrChecksum marks a structurally plausible bucket whose CRC32 trailer
@@ -83,8 +95,13 @@ type Bucket struct {
 	// reads a bucket from another must restart: pointer arithmetic does
 	// not survive a program swap. Epoch 0 means "unversioned" (v2 frames
 	// and static broadcasts).
-	Epoch    uint32
-	Label    string
+	Epoch uint32
+	// RootChannel is the 1-based channel carrying the index root of the
+	// program this bucket belongs to, so a client whose channel went dark
+	// can learn where to fail over from any bucket it manages to read.
+	// 0 means "unstamped" (v2/v3 frames); clients treat it as channel 1.
+	RootChannel uint8
+	Label       string
 	Key      int64   // data buckets on keyed trees
 	Weight   float64 // data buckets: advertised access frequency
 	Pointers []Pointer
@@ -92,7 +109,8 @@ type Bucket struct {
 
 const (
 	headerSizeV2 = 2 + 1 + 1 + 1 + 2 // magic, version, kind, flags, nextCycle
-	headerSize   = headerSizeV2 + 4  // v3 adds the epoch stamp
+	headerSizeV3 = headerSizeV2 + 4  // v3 adds the epoch stamp
+	headerSize   = headerSizeV3 + 1  // v4 adds the root-channel stamp
 	crcSize      = 4                 // CRC32-C trailer
 )
 
@@ -118,6 +136,7 @@ func (b *Bucket) Marshal() ([]byte, error) {
 	out = append(out, flags)
 	out = binary.BigEndian.AppendUint16(out, b.NextCycle)
 	out = binary.BigEndian.AppendUint32(out, b.Epoch)
+	out = append(out, b.RootChannel)
 	out = append(out, uint8(len(b.Label)))
 	out = append(out, b.Label...)
 	out = binary.BigEndian.AppendUint64(out, uint64(b.Key))
@@ -135,8 +154,9 @@ func (b *Bucket) Marshal() ([]byte, error) {
 
 // Unmarshal decodes a bucket, validating the checksum, structure and
 // length. A corrupted frame fails with an error wrapping ErrChecksum.
-// Both the current v3 format and the epoch-less v2 format are accepted;
-// v2 frames decode with Epoch 0.
+// The current v4 format plus the older v3 (no root-channel stamp) and v2
+// (no epoch stamp) formats are accepted; older frames decode with the
+// missing fields zero.
 func Unmarshal(data []byte) (*Bucket, error) {
 	if len(data) < headerSizeV2+crcSize {
 		return nil, fmt.Errorf("wire: %d bytes, need at least %d", len(data), headerSizeV2+crcSize)
@@ -145,12 +165,15 @@ func Unmarshal(data []byte) (*Bucket, error) {
 		return nil, fmt.Errorf("wire: bad magic %#04x", m)
 	}
 	version := data[2]
-	if version != Version && version != VersionV2 {
-		return nil, fmt.Errorf("wire: unsupported version %d (decoder speaks %d and %d)", version, VersionV2, Version)
+	if version < VersionV2 || version > Version {
+		return nil, fmt.Errorf("wire: unsupported version %d (decoder speaks %d through %d)", version, VersionV2, Version)
 	}
 	hdr := headerSize
-	if version == VersionV2 {
+	switch version {
+	case VersionV2:
 		hdr = headerSizeV2
+	case VersionV3:
+		hdr = headerSizeV3
 	}
 	if len(data) < hdr+crcSize {
 		return nil, fmt.Errorf("wire: %d bytes, need at least %d", len(data), hdr+crcSize)
@@ -169,8 +192,11 @@ func Unmarshal(data []byte) (*Bucket, error) {
 	}
 	b.RootCopy = data[4]&1 != 0
 	b.NextCycle = binary.BigEndian.Uint16(data[5:7])
-	if version == Version {
+	if version >= VersionV3 {
 		b.Epoch = binary.BigEndian.Uint32(data[7:11])
+	}
+	if version >= Version {
+		b.RootChannel = data[11]
 	}
 	pos := hdr
 	need := func(n int, what string) error {
@@ -240,9 +266,10 @@ func EncodeProgram(p *sim.Program, epoch uint32) ([][][]byte, error) {
 		for s := 1; s <= p.CycleLen(); s++ {
 			sb := p.BucketAt(ch, s)
 			wb := &Bucket{
-				NextCycle: uint16(sb.NextCycle),
-				RootCopy:  sb.RootCopy || sb.Node == t.Root(),
-				Epoch:     epoch,
+				NextCycle:   uint16(sb.NextCycle),
+				RootCopy:    sb.RootCopy || sb.Node == t.Root(),
+				Epoch:       epoch,
+				RootChannel: uint8(p.RootChannel()),
 			}
 			if sb.Node == tree.None {
 				wb.Kind = KindEmpty

@@ -174,7 +174,34 @@ func marshalV2(b *Bucket) []byte {
 	return binary.BigEndian.AppendUint32(out, crc32.Checksum(out, crcTable))
 }
 
-// TestEpochRoundTrip pins the v3 epoch stamp through the codec.
+// marshalV3 encodes a bucket in the legacy root-channel-less v3 layout,
+// so the decoder's backward-compatibility path can be exercised against
+// real v3 byte strings (the RootChannel field is ignored).
+func marshalV3(b *Bucket) []byte {
+	out := binary.BigEndian.AppendUint16(nil, Magic)
+	out = append(out, VersionV3, b.Kind)
+	var flags uint8
+	if b.RootCopy {
+		flags |= 1
+	}
+	out = append(out, flags)
+	out = binary.BigEndian.AppendUint16(out, b.NextCycle)
+	out = binary.BigEndian.AppendUint32(out, b.Epoch)
+	out = append(out, uint8(len(b.Label)))
+	out = append(out, b.Label...)
+	out = binary.BigEndian.AppendUint64(out, uint64(b.Key))
+	out = binary.BigEndian.AppendUint64(out, math.Float64bits(b.Weight))
+	out = append(out, uint8(len(b.Pointers)))
+	for _, p := range b.Pointers {
+		out = append(out, p.Channel)
+		out = binary.BigEndian.AppendUint16(out, p.Offset)
+		out = binary.BigEndian.AppendUint64(out, uint64(p.KeyLo))
+		out = binary.BigEndian.AppendUint64(out, uint64(p.KeyHi))
+	}
+	return binary.BigEndian.AppendUint32(out, crc32.Checksum(out, crcTable))
+}
+
+// TestEpochRoundTrip pins the epoch stamp through the codec.
 func TestEpochRoundTrip(t *testing.T) {
 	in := &Bucket{Kind: KindData, Label: "d", Weight: 2, Epoch: 0xDEADBEEF}
 	data, err := in.Marshal()
@@ -187,6 +214,52 @@ func TestEpochRoundTrip(t *testing.T) {
 	}
 	if out.Epoch != in.Epoch {
 		t.Fatalf("epoch %#x != %#x", out.Epoch, in.Epoch)
+	}
+}
+
+// TestRootChannelRoundTrip pins the v4 root-channel stamp through the
+// codec.
+func TestRootChannelRoundTrip(t *testing.T) {
+	in := &Bucket{Kind: KindEmpty, NextCycle: 4, Epoch: 7, RootChannel: 3}
+	data, err := in.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.RootChannel != 3 {
+		t.Fatalf("root channel %d, want 3", out.RootChannel)
+	}
+}
+
+// TestV3Decode: the decoder accepts the previous root-channel-less
+// format, reporting RootChannel 0 and preserving every other field.
+func TestV3Decode(t *testing.T) {
+	in := &Bucket{
+		Kind: KindIndex, Label: "I3", NextCycle: 7, RootCopy: true, Epoch: 42,
+		Pointers: []Pointer{{Channel: 2, Offset: 5, KeyLo: 10, KeyHi: 42}},
+	}
+	out, err := Unmarshal(marshalV3(in))
+	if err != nil {
+		t.Fatalf("v3 frame rejected: %v", err)
+	}
+	if out.RootChannel != 0 {
+		t.Fatalf("v3 frame decoded with root channel %d", out.RootChannel)
+	}
+	if out.Epoch != 42 {
+		t.Fatalf("v3 frame decoded with epoch %d", out.Epoch)
+	}
+	if out.Kind != in.Kind || out.Label != in.Label || out.NextCycle != in.NextCycle ||
+		!out.RootCopy || len(out.Pointers) != 1 || out.Pointers[0] != in.Pointers[0] {
+		t.Fatalf("v3 decode mismatch: %+v", out)
+	}
+	// A v3 frame with a corrupted bit still fails its CRC.
+	bad := marshalV3(in)
+	bad[9] ^= 0x08
+	if _, err := Unmarshal(bad); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupt v3 frame: want ErrChecksum, got %v", err)
 	}
 }
 
@@ -216,9 +289,9 @@ func TestV2Decode(t *testing.T) {
 	}
 }
 
-// TestMixedVersionDecode interleaves v2 and v3 frames through one decoder
-// path — the on-air situation during a tower upgrade, where recordings of
-// old broadcasts and live epoch-stamped buckets coexist.
+// TestMixedVersionDecode interleaves v2, v3 and v4 frames through one
+// decoder path — the on-air situation during a tower upgrade, where
+// recordings of old broadcasts and live stamped buckets coexist.
 func TestMixedVersionDecode(t *testing.T) {
 	buckets := []*Bucket{
 		{Kind: KindData, Label: "a", Key: 1, Weight: 5},
@@ -229,21 +302,28 @@ func TestMixedVersionDecode(t *testing.T) {
 	for i, in := range buckets {
 		v2 := marshalV2(in)
 		in.Epoch = uint32(i + 1)
-		v3, err := in.Marshal()
+		v3 := marshalV3(in)
+		in.RootChannel = uint8(i + 1)
+		v4, err := in.Marshal()
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, frame := range [][]byte{v2, v3, v2, v3} {
+		for _, frame := range [][]byte{v2, v3, v4, v2, v4, v3} {
 			out, err := Unmarshal(frame)
 			if err != nil {
 				t.Fatalf("bucket %d: %v", i, err)
 			}
 			wantEpoch := uint32(0)
-			if frame[2] == Version {
+			if frame[2] >= VersionV3 {
 				wantEpoch = in.Epoch
 			}
-			if out.Epoch != wantEpoch {
-				t.Fatalf("bucket %d: epoch %d, want %d", i, out.Epoch, wantEpoch)
+			wantRoot := uint8(0)
+			if frame[2] >= Version {
+				wantRoot = in.RootChannel
+			}
+			if out.Epoch != wantEpoch || out.RootChannel != wantRoot {
+				t.Fatalf("bucket %d: epoch %d root %d, want %d/%d",
+					i, out.Epoch, out.RootChannel, wantEpoch, wantRoot)
 			}
 			if out.Kind != in.Kind || out.Label != in.Label || out.NextCycle != in.NextCycle {
 				t.Fatalf("bucket %d: mixed decode mismatch: %+v", i, out)
@@ -299,12 +379,14 @@ func TestQuickRoundTrip(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := stats.NewRNG(seed)
 		in := &Bucket{
-			Kind:      uint8(rng.Intn(3)),
-			RootCopy:  rng.Intn(2) == 0,
-			NextCycle: uint16(rng.Intn(1 << 16)),
-			Label:     strings.Repeat("x", rng.Intn(40)),
-			Key:       rng.Int63() - rng.Int63(),
-			Weight:    float64(rng.Intn(1000)),
+			Kind:        uint8(rng.Intn(3)),
+			RootCopy:    rng.Intn(2) == 0,
+			NextCycle:   uint16(rng.Intn(1 << 16)),
+			Epoch:       uint32(rng.Intn(1 << 20)),
+			RootChannel: uint8(rng.Intn(256)),
+			Label:       strings.Repeat("x", rng.Intn(40)),
+			Key:         rng.Int63() - rng.Int63(),
+			Weight:      float64(rng.Intn(1000)),
 		}
 		for i := 0; i < rng.Intn(6); i++ {
 			in.Pointers = append(in.Pointers, Pointer{
@@ -324,6 +406,7 @@ func TestQuickRoundTrip(t *testing.T) {
 		}
 		if out.Kind != in.Kind || out.RootCopy != in.RootCopy ||
 			out.NextCycle != in.NextCycle || out.Label != in.Label ||
+			out.Epoch != in.Epoch || out.RootChannel != in.RootChannel ||
 			out.Key != in.Key || out.Weight != in.Weight ||
 			len(out.Pointers) != len(in.Pointers) {
 			return false
@@ -397,6 +480,9 @@ func TestEncodeProgram(t *testing.T) {
 			}
 			if wb.Epoch != epoch {
 				t.Fatalf("channel %d slot %d: epoch %d, want %d", ch, s, wb.Epoch, epoch)
+			}
+			if int(wb.RootChannel) != p.RootChannel() {
+				t.Fatalf("channel %d slot %d: root channel %d, want %d", ch, s, wb.RootChannel, p.RootChannel())
 			}
 			sb := p.BucketAt(ch, s)
 			switch {

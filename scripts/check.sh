@@ -7,7 +7,9 @@
 #   staticcheck staticcheck ./...              (skipped when not installed)
 #   govulncheck govulncheck ./...              (skipped when not installed)
 #   test        go test ./...                  (tier-1: the full unit/property suite)
+#   shuffle     go test -shuffle=on ./...      (no order-dependent tests)
 #   race        go test -race ./...            (parallel-harness and pool safety)
+#   soak        outage soak under -race        (50 kill/revive cycles, leak-free)
 #   fuzz        scripts/fuzz.sh                (every fuzz target, 5s each)
 #   perf        bcast-bench -exp perf          (short run; writes BENCH_pr$PR.json)
 #
@@ -58,8 +60,14 @@ fi
 echo "== test =="
 go test ./...
 
+echo "== shuffle =="
+go test -shuffle=on ./...
+
 echo "== race =="
 go test -race ./...
+
+echo "== soak =="
+go test -race -run 'TestOutageSoak' -count=1 ./internal/netcast
 
 echo "== fuzz =="
 sh scripts/fuzz.sh 5s
