@@ -9,7 +9,12 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/alphatree"
+	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/retrieval"
+	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // BenchmarkTable1 regenerates the Table 1 row for each fanout (E1).
@@ -137,6 +142,50 @@ func BenchmarkLargeScale(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkPlanBatch measures the A11 batch planners alone on a fixed
+// compiled two-channel program: the exact DP at its default K ceiling
+// and the greedy fallback over the full catalog. The catalog is solved
+// once outside the timer so only planning is measured.
+func BenchmarkPlanBatch(b *testing.B) {
+	rng := stats.NewRNG(1)
+	items := make([]alphatree.Item, 24)
+	for i := range items {
+		items[i] = alphatree.Item{
+			Label:  fmt.Sprintf("i%02d", i),
+			Key:    int64(i + 1),
+			Weight: float64(1 + rng.Intn(100)),
+		}
+	}
+	tr, err := alphatree.HuTucker(items)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sol, err := core.Solve(tr, core.Config{Channels: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := sim.Compile(sol.Alloc, sim.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	planner := retrieval.New(retrieval.Config{})
+	data := prog.Tree().DataIDs()
+	b.Run(benchName("exact/K", 8), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := planner.PlanExact(prog, i%prog.CycleLen(), data[:8]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(benchName("greedy/K", len(data)), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := planner.PlanGreedy(prog, i%prog.CycleLen(), data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkFig14Multi regenerates one cell of the multichannel Fig. 14

@@ -229,6 +229,13 @@ type AverageMetrics struct {
 	// Failovers is the expected number of dead-air channel failovers per
 	// query; zero unless the schedule is measured under channel outages.
 	Failovers float64
+	// Conflicts is the expected number of batch retrieval conflicts per
+	// query — wanted nodes overlapping on the air; zero for single-key
+	// workloads.
+	Conflicts float64
+	// ExtraCycles is the expected number of whole cycles lost to those
+	// conflicts per query; zero for single-key workloads.
+	ExtraCycles float64
 }
 
 // ItemMetrics is one item's exact expected client cost under the

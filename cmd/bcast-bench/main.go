@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strings"
 
 	"repro/internal/experiment"
 )
@@ -38,7 +40,7 @@ type options struct {
 
 func main() {
 	var opt options
-	flag.StringVar(&opt.exp, "exp", "all", "experiment: table1 | fig14 | fig14multi | fig2 | channels | pruning | heuristics | sim | treeshape | replication | largescale | loss | adapt | outage | perf | all")
+	flag.StringVar(&opt.exp, "exp", "all", "experiment: table1 | fig14 | fig14multi | fig2 | channels | pruning | heuristics | sim | treeshape | replication | largescale | loss | adapt | outage | batch | perf | all")
 	flag.IntVar(&opt.trials, "trials", 0, "trial count override (0 = experiment default)")
 	flag.Int64Var(&opt.seed, "seed", 1, "random seed")
 	flag.IntVar(&opt.maxM, "max-m", 5, "largest fanout for table1 (6 takes minutes)")
@@ -181,6 +183,16 @@ func run(opt options, w io.Writer) error {
 			}
 			return experiment.RenderAdapt(w, rows)
 		},
+		"batch": func() error {
+			fmt.Fprintln(w, "== A11: batch retrieval planning vs sequential lookups ==")
+			points, err := experiment.BatchSweep(experiment.BatchConfig{
+				Trials: opt.trials, Seed: opt.seed, Workers: opt.workers,
+			})
+			if err != nil {
+				return err
+			}
+			return experiment.RenderBatch(w, points)
+		},
 		"outage": func() error {
 			fmt.Fprintln(w, "== A10: channel outages vs watchdog replanning ==")
 			rows, err := experiment.OutageSweep(experiment.OutageSweepConfig{
@@ -217,7 +229,7 @@ func run(opt options, w io.Writer) error {
 		},
 	}
 	if opt.exp == "all" {
-		for _, name := range []string{"fig2", "table1", "fig14", "fig14multi", "channels", "pruning", "heuristics", "sim", "treeshape", "replication", "largescale", "loss", "adapt", "outage"} {
+		for _, name := range []string{"fig2", "table1", "fig14", "fig14multi", "channels", "pruning", "heuristics", "sim", "treeshape", "replication", "largescale", "loss", "adapt", "outage", "batch"} {
 			if err := runners[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
@@ -227,7 +239,14 @@ func run(opt options, w io.Writer) error {
 	}
 	runner, ok := runners[opt.exp]
 	if !ok {
-		return fmt.Errorf("unknown experiment %q", opt.exp)
+		names := make([]string, 0, len(runners)+1)
+		for name := range runners {
+			names = append(names, name)
+		}
+		names = append(names, "all")
+		sort.Strings(names)
+		return fmt.Errorf("unknown experiment %q; registered experiments: %s",
+			opt.exp, strings.Join(names, ", "))
 	}
 	return runner()
 }

@@ -25,6 +25,7 @@ func TestRunEachExperiment(t *testing.T) {
 		{"sim", "SV96"},
 		{"treeshape", "hu-tucker"},
 		{"outage", "watchdog"},
+		{"batch", "speedup"},
 	}
 	for _, c := range cases {
 		t.Run(c.exp, func(t *testing.T) {
@@ -84,7 +85,15 @@ func TestRunPerfWritesJSON(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run(options{exp: "warp", trials: 1, seed: 1, maxM: 3}, &strings.Builder{}); err == nil {
+	err := run(options{exp: "warp", trials: 1, seed: 1, maxM: 3}, &strings.Builder{})
+	if err == nil {
 		t.Fatal("want error for unknown experiment")
+	}
+	// The error lists every registered experiment so a typo is
+	// self-correcting at the terminal.
+	for _, name := range []string{"table1", "fig14", "batch", "perf", "all"} {
+		if !strings.Contains(err.Error(), name) { //nolint:bcast-errsentinel // the listing text itself is the contract under test, not a sentinel
+			t.Errorf("unknown-experiment error does not list %q: %v", name, err)
+		}
 	}
 }

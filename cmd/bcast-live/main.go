@@ -15,6 +15,13 @@
 // through the failover protocol. The cross-check runs against the
 // analytic outage twin, Failovers included.
 //
+// With -batch k1,k2,... every client retrieves that whole key set in one
+// session: the conflict-aware planner computes a tune schedule across
+// channels (exact DP for small batches, greedy above), the analytic twin
+// predicts the metrics — conflicts and extra cycles included — and the
+// client executes the plan over the socket with ReadBatch. Live and
+// analytic metrics must match byte for byte, lossy medium or not.
+//
 // With -obs addr the process serves its observability endpoint — JSON
 // metrics at /metrics, recent trace events at /trace, and net/http/pprof
 // under /debug/pprof/ — and dumps a final text snapshot of every metric
@@ -28,6 +35,7 @@
 //	bcast-gen -type catalog -n 12 | bcast-live -clients 4 -drop 0.2 -corrupt 0.1
 //	bcast-gen -type catalog -n 12 | bcast-live -swap 9 -obs 127.0.0.1:0
 //	bcast-gen -type catalog -n 12 | bcast-live -k 2 -outage 1:10:40 -clients 6
+//	bcast-gen -type catalog -n 12 | bcast-live -k 2 -batch 1,4,7,9 -clients 4
 package main
 
 import (
@@ -37,6 +45,7 @@ import (
 	"io"
 	"net"
 	"os"
+	"strconv"
 	"strings"
 	"text/tabwriter"
 	"time"
@@ -48,6 +57,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/netcast"
 	"repro/internal/obs"
+	"repro/internal/retrieval"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/tree"
@@ -75,6 +85,10 @@ type liveOpts struct {
 	// failover threshold (0 = default, negative disables failover).
 	outages           fault.Outages
 	watchdog, deadAir int
+	// batchKeys, when non-empty, switches every client to one planned
+	// multi-key retrieval of exactly these keys instead of a single
+	// random lookup.
+	batchKeys []int64
 	// obs, when non-nil, receives server and client metrics and trace
 	// events; main wires it to the -obs HTTP endpoint.
 	obs *obs.Registry
@@ -94,12 +108,17 @@ func main() {
 	flag.IntVar(&opt.retries, "retries", 0, "retry budget per lookup (0 = default)")
 	flag.IntVar(&opt.swap, "swap", 0, "stage a rebuilt epoch-2 program at this slot and hot-swap it on air (0 = static broadcast)")
 	outageSpec := flag.String("outage", "", "channel-outage windows CH:START:END, comma-separated (e.g. 1:10:40,2:60:80)")
+	batchSpec := flag.String("batch", "", "retrieve these comma-separated keys as one planned batch per client (e.g. 1,4,7)")
 	flag.IntVar(&opt.watchdog, "watchdog", 0, "missed-tick threshold before the tower replans (0 = default, negative = no replanning)")
 	flag.IntVar(&opt.deadAir, "deadair", 0, "consecutive unusable reads before a client fails over (0 = default, negative = no failover)")
 	obsAddr := flag.String("obs", "", "serve /metrics, /trace and /debug/pprof on this address (bind loopback, e.g. 127.0.0.1:0)")
 	flag.Parse()
 	var err error
 	if opt.outages, err = parseOutages(*outageSpec); err != nil {
+		fmt.Fprintln(os.Stderr, "bcast-live:", err)
+		os.Exit(1)
+	}
+	if opt.batchKeys, err = parseBatchKeys(*batchSpec); err != nil {
 		fmt.Fprintln(os.Stderr, "bcast-live:", err)
 		os.Exit(1)
 	}
@@ -152,6 +171,12 @@ func run(in string, opt liveOpts, w io.Writer) error {
 	prog, err := sim.Compile(sol.Alloc, sim.Options{FillWithRootCopies: opt.swap > 0 || opt.outages.Enabled()})
 	if err != nil {
 		return err
+	}
+	if len(opt.batchKeys) > 0 {
+		if opt.swap > 0 || opt.outages.Enabled() {
+			return fmt.Errorf("-batch, -swap and -outage are separate demos; pick one")
+		}
+		return runBatch(t, prog, opt, w)
 	}
 	if opt.outages.Enabled() {
 		if opt.swap > 0 {
@@ -268,6 +293,158 @@ func run(in string, opt liveOpts, w io.Writer) error {
 		return fmt.Errorf("%d of %d clients diverged from the simulator", failures, opt.clients)
 	}
 	fmt.Fprintf(w, "\nall %d live lookups matched the analytic simulator exactly\n", opt.clients)
+	return nil
+}
+
+// parseBatchKeys parses the -batch flag: comma-separated catalog keys.
+func parseBatchKeys(s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var keys []int64
+	for _, part := range strings.Split(s, ",") {
+		k, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -batch key %q: %v", part, err)
+		}
+		keys = append(keys, k)
+	}
+	return keys, nil
+}
+
+// runBatch serves the broadcast while every client retrieves the whole
+// -batch key set in one planned session: the conflict-aware planner
+// schedules the reads across channels for each client's arrival, the
+// analytic twin predicts the session's metrics, and the client executes
+// the identical plan over the socket. Plan-level conflict accounting
+// (targets spilled to later cycles) must agree on both paths.
+func runBatch(t *tree.Tree, prog *sim.Program, opt liveOpts, w io.Writer) error {
+	byKey := make(map[int64]tree.ID, len(t.DataIDs()))
+	for _, id := range t.DataIDs() {
+		key, _ := t.Key(id)
+		byKey[key] = id
+	}
+	targets := make([]tree.ID, len(opt.batchKeys))
+	for i, key := range opt.batchKeys {
+		id, ok := byKey[key]
+		if !ok {
+			return fmt.Errorf("-batch key %d is not in the catalog", key)
+		}
+		targets[i] = id
+	}
+
+	model := fault.Model{Seed: opt.seed, Drop: opt.drop, Corrupt: opt.corrupt, Stall: opt.stall}
+	fc := sim.FaultConfig{Model: model, MaxRetries: opt.retries}
+	cfg := retrieval.Config{Obs: opt.obs}
+	if opt.obs != nil {
+		cfg.Now = func() int64 { return time.Now().UnixNano() }
+	}
+	planner := retrieval.New(cfg)
+	server, err := netcast.NewServerOpts(prog, netcast.ServerOptions{
+		Faults:   model,
+		StallFor: time.Millisecond,
+		Obs:      opt.obs,
+	})
+	if err != nil {
+		return err
+	}
+	defer server.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	server.Serve(ln)
+	fmt.Fprintf(w, "broadcasting %d nodes over %d channels at %s (cycle %d slots)\n",
+		t.NumNodes(), opt.k, ln.Addr(), prog.CycleLen())
+	fmt.Fprintf(w, "batch retrieval: %d keys per client %v\n", len(targets), opt.batchKeys)
+	if model.Enabled() {
+		fmt.Fprintf(w, "lossy medium: drop %.2f, corrupt %.2f, stall %.2f (seed %d)\n",
+			opt.drop, opt.corrupt, opt.stall, opt.seed)
+	}
+	fmt.Fprintln(w)
+
+	power := sim.Power{Active: 1, Doze: 0.05}
+	rng := stats.NewRNG(opt.seed)
+
+	type outcome struct {
+		idx     int
+		arrival int
+		m       sim.Metrics
+		want    sim.Metrics
+		err     error
+		wantErr error
+	}
+	done := make(chan outcome, opt.clients)
+	maxNeed := 0
+	for i := 0; i < opt.clients; i++ {
+		arrival := rng.Intn(2 * prog.CycleLen())
+		plan, err := planner.PlanBatch(prog, arrival, targets)
+		if err != nil {
+			return err
+		}
+		if need := plan.Arrival + plan.Makespan(); need > maxNeed {
+			maxNeed = need
+		}
+		want, wantErr := prog.QueryBatch(plan, power, fc)
+		if wantErr != nil && !errors.Is(wantErr, fault.ErrRetryBudget) {
+			return wantErr
+		}
+		go func(idx, arrival int, plan *sim.BatchPlan, want sim.Metrics, wantErr error) {
+			c, err := netcast.Dial(ln.Addr().String())
+			if err != nil {
+				done <- outcome{idx: idx, err: err}
+				return
+			}
+			defer c.Close()
+			c.MaxRetries = opt.retries
+			c.Instrument(opt.obs)
+			m, err := c.ReadBatch(plan, power)
+			done <- outcome{idx, arrival, m, want, err, wantErr}
+		}(i, arrival, plan, want, wantErr)
+	}
+
+	go func() {
+		server.AwaitConns(opt.clients)
+		budget := opt.retries
+		if budget <= 0 {
+			budget = sim.DefaultMaxRetries
+		}
+		server.Run(maxNeed + (2*(opt.clients+2)+budget+8)*prog.CycleLen())
+	}()
+
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "client\tarrival\tkeys\taccess\tprobe\ttuning\tretries\tconflicts\textra cycles\tenergy\tmatches simulator")
+	failures, conflicts := 0, 0
+	for i := 0; i < opt.clients; i++ {
+		o := <-done
+		if o.err != nil {
+			if errors.Is(o.err, fault.ErrRetryBudget) && errors.Is(o.wantErr, fault.ErrRetryBudget) {
+				fmt.Fprintf(tw, "%d\t%d\t%d\t-\t-\t-\t-\t-\t-\t-\tbudget exhausted (as predicted)\n",
+					o.idx, o.arrival, len(targets))
+				continue
+			}
+			return fmt.Errorf("client %d: %w", o.idx, o.err)
+		}
+		if o.wantErr != nil {
+			return fmt.Errorf("client %d: simulator predicted %v but the socket batch succeeded", o.idx, o.wantErr)
+		}
+		match := o.m == o.want
+		if !match {
+			failures++
+		}
+		conflicts += o.m.Conflicts
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.2f\t%v\n",
+			o.idx, o.arrival, len(targets), o.m.AccessTime, o.m.ProbeWait, o.m.TuningTime,
+			o.m.Retries, o.m.Conflicts, o.m.ExtraCycles, o.m.Energy, match)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d of %d clients diverged from the batch simulator", failures, opt.clients)
+	}
+	fmt.Fprintf(w, "\n%d conflicts rescheduled; all %d live batch retrievals matched the analytic simulator exactly\n",
+		conflicts, opt.clients)
 	return nil
 }
 

@@ -154,6 +154,58 @@ func TestLiveOutageFlagErrors(t *testing.T) {
 	}
 }
 
+func TestLiveBatchEndToEnd(t *testing.T) {
+	var sb strings.Builder
+	opt := liveOpts{k: 2, clients: 4, seed: 1, batchKeys: []int64{1, 3, 5, 7}}
+	if err := run(catalogFile(t, 8), opt, &sb); err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "batch retrieval: 4 keys per client") {
+		t.Fatalf("missing batch banner:\n%s", out)
+	}
+	if !strings.Contains(out, "all 4 live batch retrievals matched the analytic simulator exactly") {
+		t.Fatalf("missing success line:\n%s", out)
+	}
+	if strings.Contains(out, "false") {
+		t.Fatalf("some batch diverged:\n%s", out)
+	}
+}
+
+func TestLiveBatchLossy(t *testing.T) {
+	var sb strings.Builder
+	opt := liveOpts{k: 2, clients: 3, seed: 5, drop: 0.2, corrupt: 0.1, retries: 64,
+		batchKeys: []int64{2, 4, 6}}
+	if err := run(catalogFile(t, 8), opt, &sb); err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "lossy medium") {
+		t.Fatalf("missing fault banner:\n%s", out)
+	}
+	if !strings.Contains(out, "all 3 live batch retrievals matched the analytic simulator exactly") {
+		t.Fatalf("missing success line:\n%s", out)
+	}
+}
+
+func TestLiveBatchFlagErrors(t *testing.T) {
+	if _, err := parseBatchKeys("1,x,3"); err == nil {
+		t.Fatal("want error for non-numeric key")
+	}
+	keys, err := parseBatchKeys(" 1, 2 ,3")
+	if err != nil || len(keys) != 3 {
+		t.Fatalf("parseBatchKeys = %v, %v", keys, err)
+	}
+	path := catalogFile(t, 4)
+	if err := run(path, liveOpts{k: 1, clients: 1, seed: 1, batchKeys: []int64{99}}, &strings.Builder{}); err == nil {
+		t.Fatal("want error for key missing from the catalog")
+	}
+	opt := liveOpts{k: 1, clients: 1, seed: 1, batchKeys: []int64{1}, swap: 5}
+	if err := run(path, opt, &strings.Builder{}); err == nil {
+		t.Fatal("want error combining -batch with -swap")
+	}
+}
+
 func TestLiveBudgetExhaustionAgrees(t *testing.T) {
 	var sb strings.Builder
 	opt := liveOpts{k: 1, clients: 2, seed: 4, drop: 1, retries: 3}

@@ -2,6 +2,7 @@ package alloc
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -255,6 +256,90 @@ func TestJSONEncoding(t *testing.T) {
 	}
 	if decoded.Grid[0][0] != "1" || decoded.Grid[0][8] != "D" {
 		t.Fatalf("grid = %v", decoded.Grid[0])
+	}
+}
+
+// TestFormatMultiChannelDeadSlots pins both renderings of a 3-channel
+// allocation whose grid is not full: String draws "-" in every dead
+// slot, the JSON grid holds "" there, the two agree cell for cell, and
+// the JSON survives a marshal → decode → re-marshal round trip byte for
+// byte (there is no UnmarshalJSON; the grid form is the interchange
+// format consumed by external tooling).
+func TestFormatMultiChannelDeadSlots(t *testing.T) {
+	tr := tree.Fig1()
+	levels := [][]tree.ID{
+		ids(t, tr, "1"),
+		ids(t, tr, "2", "3"),
+		ids(t, tr, "A", "B", "E"),
+		ids(t, tr, "4"),
+		ids(t, tr, "C", "D"),
+	}
+	a, err := FromLevels(tr, 3, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := a.String()
+	lines := strings.Split(s, "\n")
+	if len(lines) != 3 {
+		t.Fatalf("String has %d rows, want 3:\n%s", len(lines), s)
+	}
+	dead := 3*5 - tr.NumNodes() // 15 grid cells, 9 nodes
+	if got := strings.Count(s, "-"); got != dead {
+		t.Errorf("String renders %d dead slots, want %d:\n%s", got, dead, s)
+	}
+	for ch := 1; ch <= 3; ch++ {
+		prefix := fmt.Sprintf("C%d: ", ch)
+		if !strings.HasPrefix(lines[ch-1], prefix) {
+			t.Fatalf("row %d does not start with %q: %q", ch, prefix, lines[ch-1])
+		}
+		cells := strings.Split(strings.TrimPrefix(lines[ch-1], prefix), " ")
+		if len(cells) != 5 {
+			t.Fatalf("row %d has %d cells, want 5: %q", ch, len(cells), lines[ch-1])
+		}
+		for slot := 1; slot <= 5; slot++ {
+			want := "-"
+			if id := a.At(ch, slot); id != tree.None {
+				want = tr.Label(id)
+			}
+			if cells[slot-1] != want {
+				t.Errorf("String cell (%d,%d) = %q, want %q", ch, slot, cells[slot-1], want)
+			}
+		}
+	}
+
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Channels int        `json:"channels"`
+		Slots    int        `json:"slots"`
+		Grid     [][]string `json:"grid"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Channels != 3 || decoded.Slots != 5 || len(decoded.Grid) != 3 {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+	for ch := 1; ch <= 3; ch++ {
+		for slot := 1; slot <= 5; slot++ {
+			want := ""
+			if id := a.At(ch, slot); id != tree.None {
+				want = tr.Label(id)
+			}
+			if got := decoded.Grid[ch-1][slot-1]; got != want {
+				t.Errorf("JSON cell (%d,%d) = %q, want %q", ch, slot, got, want)
+			}
+		}
+	}
+	again, err := json.Marshal(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(data) {
+		t.Errorf("round trip not byte-identical:\n%s\n%s", data, again)
 	}
 }
 

@@ -21,6 +21,7 @@ var DeterministicPaths = []string{
 	"internal/datatree",
 	"internal/core",
 	"internal/obs",
+	"internal/retrieval",
 }
 
 // Determinism forbids the three ways nondeterminism has crept into

@@ -7,8 +7,12 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"repro/internal/alphatree"
+	"repro/internal/core"
 	"repro/internal/datatree"
+	"repro/internal/retrieval"
 	"repro/internal/searchstats"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topo"
 	"repro/internal/workload"
@@ -124,6 +128,51 @@ func Perf(cfg PerfConfig) (*PerfReport, error) {
 			return 0, searchstats.Stats{}, err
 		}
 		return res.Cost, res.Stats, nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// The batch retrieval planner cases measure planning cost alone: the
+	// catalog is solved and compiled once outside the timer, then each
+	// run plans the same batch from scratch. Cost pins the plan makespan
+	// so a perf change cannot silently alter schedules.
+	items := make([]alphatree.Item, 24)
+	for i := range items {
+		items[i] = alphatree.Item{
+			Label:  fmt.Sprintf("i%02d", i),
+			Key:    int64(i + 1),
+			Weight: float64(1 + rng.Intn(100)),
+		}
+	}
+	catalog, err := alphatree.HuTucker(items)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := core.Solve(catalog, core.Config{Channels: 2})
+	if err != nil {
+		return nil, err
+	}
+	prog, err := sim.Compile(sol.Alloc, sim.Options{})
+	if err != nil {
+		return nil, err
+	}
+	planner := retrieval.New(retrieval.Config{})
+	data := prog.Tree().DataIDs()
+	if err := measure("retrieval/exact/K=8", func() (float64, searchstats.Stats, error) {
+		plan, err := planner.PlanExact(prog, 3, data[:8])
+		if err != nil {
+			return 0, searchstats.Stats{}, err
+		}
+		return float64(plan.Makespan()), searchstats.Stats{}, nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := measure("retrieval/greedy/K=24", func() (float64, searchstats.Stats, error) {
+		plan, err := planner.PlanGreedy(prog, 3, data)
+		if err != nil {
+			return 0, searchstats.Stats{}, err
+		}
+		return float64(plan.Makespan()), searchstats.Stats{}, nil
 	}); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,88 @@
+package netcast
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// This file executes a batch retrieval plan (internal/retrieval) over a
+// live connection: the radio wakes exactly once per scheduled read, and
+// the lossy-channel recovery, the epoch staleness check and the shared
+// retry budget all compose with the plan. The analytic twin is
+// sim.Program.QueryBatch, kept operation-for-operation in lockstep so
+// the two report byte-identical metrics under the same fault seed.
+
+// ReadBatch executes a single-antenna batch plan against the broadcast,
+// requesting each scheduled (channel, slot) in order. A plan slot that
+// has already aired — because an earlier read spilled into later cycles
+// — is served at its next cyclic occurrence by the server's catch-up,
+// the same rule the analytic twin applies. Lost or corrupt frames burn
+// the wake-up and are re-requested one cycle later under the shared
+// Retries budget.
+//
+// The batch is one session against one program generation: the epoch
+// stamp of the first successful read is pinned, and a later read from a
+// different epoch means the precomputed slots no longer describe the
+// air — the client charges one restart against the shared budget and
+// fails with an error wrapping sim.ErrStalePlan, returning the partial
+// metrics; the caller replans against the new program. Plans with more
+// than one antenna are rejected: one connection is one radio
+// (run one connection per antenna instead).
+//
+// Like Lookup, a batch is one session: the client detaches when it
+// finishes, successfully or not.
+func (c *Client) ReadBatch(plan *sim.BatchPlan, pw sim.Power) (sim.Metrics, error) {
+	defer c.detach()
+	var m sim.Metrics
+	if plan == nil || len(plan.Steps) == 0 {
+		return m, fmt.Errorf("netcast: %w: no steps", sim.ErrBadPlan)
+	}
+	if plan.Antennas > 1 {
+		return m, fmt.Errorf("netcast: %w: %d antennas over one connection (one radio per connection)",
+			sim.ErrBadPlan, plan.Antennas)
+	}
+	c.om.batches.Inc()
+	c.om.reg.Emit("batch",
+		obs.A("arrival", int64(plan.Arrival)),
+		obs.A("keys", int64(len(plan.Steps))),
+		obs.A("conflicts", int64(plan.Conflicts)))
+	m.Conflicts = plan.Conflicts
+	m.ExtraCycles = plan.ExtraCycles
+
+	var epoch uint32
+	first, last := -1, -1
+	for i := range plan.Steps {
+		st := &plan.Steps[i]
+		slot, b, err := c.read(st.Channel, st.Slot, &m)
+		if err != nil {
+			return m, err
+		}
+		// The epoch stamp is checked before the payload is interpreted:
+		// across a hot swap this slot may hold anything, and only the
+		// stamp says so.
+		if i == 0 {
+			epoch = b.Epoch
+		} else if b.Epoch != epoch {
+			if rerr := c.restart(&m, st.Channel, slot); rerr != nil {
+				return m, rerr
+			}
+			return m, fmt.Errorf("netcast: %w: epoch %d became %d at channel %d slot %d",
+				sim.ErrStalePlan, epoch, b.Epoch, st.Channel, slot)
+		}
+		if b.Kind != wire.KindData || b.Label != st.Label {
+			return m, fmt.Errorf("netcast: %w: planned %q at channel %d slot %d, heard kind %d %q",
+				sim.ErrBrokenPointer, st.Label, st.Channel, slot, b.Kind, b.Label)
+		}
+		if first < 0 {
+			first = slot
+		}
+		last = slot
+	}
+	m.ProbeWait = first - plan.Arrival
+	m.DataWait = last - first + 1
+	finish(&m, pw)
+	return m, nil
+}

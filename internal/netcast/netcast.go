@@ -721,6 +721,7 @@ type Client struct {
 type clientObs struct {
 	reg       *obs.Registry
 	lookups   *obs.Counter
+	batches   *obs.Counter
 	reads     *obs.Counter
 	retries   *obs.Counter
 	restarts  *obs.Counter
@@ -729,13 +730,15 @@ type clientObs struct {
 }
 
 // Instrument attaches an observability registry to the client: lookup
-// sessions, frame reads, retries, restarts, channel failovers and budget
-// exhaustions are counted, and retry/restart/failover trace events are
-// emitted. Metrics returned to the caller are unaffected.
+// and batch sessions, frame reads, retries, restarts, channel failovers
+// and budget exhaustions are counted, and batch/retry/restart/failover
+// trace events are emitted. Metrics returned to the caller are
+// unaffected.
 func (c *Client) Instrument(r *obs.Registry) {
 	c.om = clientObs{
 		reg:       r,
 		lookups:   r.Counter("client_lookups_total"),
+		batches:   r.Counter("client_batches_total"),
 		reads:     r.Counter("client_reads_total"),
 		retries:   r.Counter("client_retries_total"),
 		restarts:  r.Counter("client_restarts_total"),

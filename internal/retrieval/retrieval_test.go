@@ -1,0 +1,395 @@
+package retrieval
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/alphatree"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tree"
+)
+
+var testPower = sim.Power{Active: 1, Doze: 0.05}
+
+// program builds a Hu-Tucker tree over n keyed items with seeded random
+// weights and compiles its k-channel allocation.
+func program(t *testing.T, n, k int, seed int64) *sim.Program {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	items := make([]alphatree.Item, n)
+	for i := range items {
+		items[i] = alphatree.Item{
+			Label:  string(rune('a' + i%26)),
+			Key:    int64(i + 1),
+			Weight: float64(1 + rng.Intn(100)),
+		}
+	}
+	tr, err := alphatree.HuTucker(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := core.Solve(tr, core.Config{Channels: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sim.Compile(sol.Alloc, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// pickTargets draws K distinct data nodes by a seeded shuffle.
+func pickTargets(p *sim.Program, K int, seed int64) []tree.ID {
+	rng := stats.NewRNG(seed)
+	ids := append([]tree.ID(nil), p.Tree().DataIDs()...)
+	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	return ids[:K]
+}
+
+// TestExactNeverWorseThanGreedy sweeps seeded programs, batch sizes and
+// arrival phases: the exact DP's makespan must be ≤ the greedy's, both
+// plans must execute cleanly, and on a perfect channel the access time
+// must equal the plan makespan.
+func TestExactNeverWorseThanGreedy(t *testing.T) {
+	pl := New(Config{})
+	for _, k := range []int{1, 2, 3} {
+		for seed := int64(1); seed <= 4; seed++ {
+			p := program(t, 12, k, seed)
+			for _, K := range []int{1, 2, 4, 6} {
+				targets := pickTargets(p, K, seed+100)
+				for _, arrival := range []int{0, 3, p.CycleLen() - 1} {
+					exact, err := pl.PlanExact(p, arrival, targets)
+					if err != nil {
+						t.Fatalf("k=%d seed=%d K=%d a=%d exact: %v", k, seed, K, arrival, err)
+					}
+					greedy, err := pl.PlanGreedy(p, arrival, targets)
+					if err != nil {
+						t.Fatalf("k=%d seed=%d K=%d a=%d greedy: %v", k, seed, K, arrival, err)
+					}
+					if exact.Makespan() > greedy.Makespan() {
+						t.Errorf("k=%d seed=%d K=%d arrival=%d: exact makespan %d > greedy %d",
+							k, seed, K, arrival, exact.Makespan(), greedy.Makespan())
+					}
+					for name, plan := range map[string]*sim.BatchPlan{"exact": exact, "greedy": greedy} {
+						m, err := p.QueryBatch(plan, testPower, sim.FaultConfig{})
+						if err != nil {
+							t.Fatalf("%s query: %v", name, err)
+						}
+						if m.AccessTime != plan.Makespan() {
+							t.Errorf("%s: access %d != makespan %d", name, m.AccessTime, plan.Makespan())
+						}
+						if m.TuningTime != K {
+							t.Errorf("%s: tuning %d != %d reads on a perfect channel", name, m.TuningTime, K)
+						}
+						if m.Conflicts != plan.Conflicts || m.ExtraCycles != plan.ExtraCycles {
+							t.Errorf("%s: metrics conflicts (%d,%d) != plan (%d,%d)",
+								name, m.Conflicts, m.ExtraCycles, plan.Conflicts, plan.ExtraCycles)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGreedyNeverWorseThanSequential pins the planner's reason to exist:
+// a greedy batch schedule beats K independent single-key queries run
+// back to back, on every seeded trial.
+func TestGreedyNeverWorseThanSequential(t *testing.T) {
+	pl := New(Config{})
+	for _, k := range []int{1, 2, 3} {
+		for seed := int64(1); seed <= 4; seed++ {
+			p := program(t, 12, k, seed)
+			for _, K := range []int{2, 4, 6} {
+				targets := pickTargets(p, K, seed+200)
+				for _, arrival := range []int{0, 5} {
+					plan, err := pl.PlanGreedy(p, arrival, targets)
+					if err != nil {
+						t.Fatal(err)
+					}
+					m, err := p.QueryBatch(plan, testPower, sim.FaultConfig{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					base, err := SequentialBaseline(p, arrival, targets, testPower, sim.FaultConfig{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if m.AccessTime > base.AccessTime {
+						t.Errorf("k=%d seed=%d K=%d arrival=%d: greedy access %d > sequential %d",
+							k, seed, K, arrival, m.AccessTime, base.AccessTime)
+					}
+					if m.TuningTime > base.TuningTime {
+						t.Errorf("k=%d seed=%d K=%d arrival=%d: greedy tuning %d > sequential %d",
+							k, seed, K, arrival, m.TuningTime, base.TuningTime)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestConflictAccounting checks the conflict rule on a multi-channel
+// program: every target read a whole number of cycles past its first
+// airing is counted, the spill distances sum into ExtraCycles, and a
+// single-channel program with one antenna reports every spilled target
+// (on one channel any two targets conflict only through ordering).
+func TestConflictAccounting(t *testing.T) {
+	pl := New(Config{})
+	sawConflict := false
+	for _, k := range []int{2, 3} {
+		for seed := int64(1); seed <= 6; seed++ {
+			p := program(t, 12, k, seed)
+			L := p.CycleLen()
+			targets := pickTargets(p, 6, seed)
+			plan, err := pl.PlanGreedy(p, 0, targets)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantConf, wantExtra := 0, 0
+			for _, st := range plan.Steps {
+				first := p.Position(st.Node).Slot - 1 // arrival 0: first airing of cycle slot s is s-1
+				if j := (st.Slot - first) / L; j > 0 {
+					wantConf++
+					wantExtra += j
+				}
+			}
+			if plan.Conflicts != wantConf || plan.ExtraCycles != wantExtra {
+				t.Errorf("k=%d seed=%d: plan reports (%d,%d) conflicts, schedule shows (%d,%d)",
+					k, seed, plan.Conflicts, plan.ExtraCycles, wantConf, wantExtra)
+			}
+			if plan.Conflicts > 0 {
+				sawConflict = true
+			}
+		}
+	}
+	if !sawConflict {
+		t.Error("no seeded trial produced a conflict; the accounting path is untested")
+	}
+}
+
+// TestPlanBatchSelectsEngine pins the exact/greedy crossover: small
+// batches on one antenna plan exactly (optimal makespan), larger ones
+// fall back to greedy.
+func TestPlanBatchSelectsEngine(t *testing.T) {
+	p := program(t, 12, 2, 3)
+	targets := pickTargets(p, 4, 7)
+	auto := New(Config{})
+	exactOnly := New(Config{MaxExactK: maxExactHard})
+	autoPlan, err := auto.PlanBatch(p, 0, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactPlan, err := exactOnly.PlanExact(p, 0, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if autoPlan.Makespan() != exactPlan.Makespan() {
+		t.Errorf("auto plan makespan %d != exact %d for K=4", autoPlan.Makespan(), exactPlan.Makespan())
+	}
+	greedyOnly := New(Config{MaxExactK: -1})
+	gPlan, err := greedyOnly.PlanBatch(p, 0, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := greedyOnly.PlanGreedy(p, 0, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gPlan, greedy) {
+		t.Error("MaxExactK<0 PlanBatch did not produce the greedy plan")
+	}
+}
+
+// TestPlanDeterminism: identical inputs produce identical plans, twice.
+func TestPlanDeterminism(t *testing.T) {
+	p := program(t, 12, 3, 5)
+	targets := pickTargets(p, 6, 9)
+	a, err := New(Config{}).PlanBatch(p, 2, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Config{}).PlanBatch(p, 2, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("plans differ across runs:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestMultiAntenna: a two-antenna greedy schedule is never slower than
+// the single-antenna one and executes cleanly through the analytic twin.
+func TestMultiAntenna(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		p := program(t, 12, 3, seed)
+		targets := pickTargets(p, 6, seed)
+		one, err := New(Config{}).PlanGreedy(p, 0, targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		two, err := New(Config{Antennas: 2}).PlanBatch(p, 0, targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if two.Antennas != 2 {
+			t.Fatalf("plan reports %d antennas, want 2", two.Antennas)
+		}
+		if two.Makespan() > one.Makespan() {
+			t.Errorf("seed %d: two antennas makespan %d > one antenna %d", seed, two.Makespan(), one.Makespan())
+		}
+		if _, err := p.QueryBatch(two, testPower, sim.FaultConfig{}); err != nil {
+			t.Fatalf("seed %d: two-antenna plan does not execute: %v", seed, err)
+		}
+	}
+}
+
+// TestFreeSwitching: with SwitchCost < 0 retunes are free, so the exact
+// makespan can only improve over the default one-slot cost.
+func TestFreeSwitching(t *testing.T) {
+	p := program(t, 12, 3, 2)
+	targets := pickTargets(p, 5, 3)
+	paid, err := New(Config{}).PlanExact(p, 0, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := New(Config{SwitchCost: -1}).PlanExact(p, 0, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.SwitchCost != 0 || paid.SwitchCost != DefaultSwitchCost {
+		t.Fatalf("switch costs: free %d paid %d", free.SwitchCost, paid.SwitchCost)
+	}
+	if free.Makespan() > paid.Makespan() {
+		t.Errorf("free switching makespan %d > paid %d", free.Makespan(), paid.Makespan())
+	}
+}
+
+// TestLossyExecution: a batch plan retried under a seeded lossy channel
+// accounts every redundant wake-up and still collects the batch.
+func TestLossyExecution(t *testing.T) {
+	p := program(t, 12, 2, 4)
+	targets := pickTargets(p, 5, 4)
+	plan, err := New(Config{}).PlanBatch(p, 1, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := sim.FaultConfig{Model: fault.Model{Seed: 11, Drop: 0.25, Corrupt: 0.1}}
+	m, err := p.QueryBatch(plan, testPower, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TuningTime != len(targets)+m.Retries {
+		t.Errorf("tuning %d != %d reads + %d retries", m.TuningTime, len(targets), m.Retries)
+	}
+	perfect, err := p.QueryBatch(plan, testPower, sim.FaultConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Retries > 0 && m.AccessTime <= perfect.AccessTime {
+		t.Errorf("lossy access %d not above perfect %d despite %d retries",
+			m.AccessTime, perfect.AccessTime, m.Retries)
+	}
+}
+
+// TestValidationErrors covers the request guards shared by all planners.
+func TestValidationErrors(t *testing.T) {
+	p := program(t, 8, 2, 1)
+	pl := New(Config{})
+	d := p.Tree().DataIDs()
+	cases := []struct {
+		name    string
+		arrival int
+		targets []tree.ID
+	}{
+		{"empty", 0, nil},
+		{"negative arrival", -1, []tree.ID{d[0]}},
+		{"duplicate", 0, []tree.ID{d[0], d[0]}},
+		{"index node", 0, []tree.ID{p.Tree().Root()}},
+		{"out of range", 0, []tree.ID{tree.ID(10_000)}},
+	}
+	for _, c := range cases {
+		if _, err := pl.PlanBatch(p, c.arrival, c.targets); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+		if _, err := SequentialBaseline(p, c.arrival, c.targets, testPower, sim.FaultConfig{}); err == nil {
+			t.Errorf("%s: baseline want error", c.name)
+		}
+	}
+	if _, err := pl.PlanExact(p, 0, p.Tree().DataIDs()[:1]); err != nil {
+		t.Errorf("valid single target rejected: %v", err)
+	}
+	many := make([]tree.ID, 0, maxExactHard+1)
+	big := program(t, maxExactHard+2, 2, 1)
+	many = append(many, big.Tree().DataIDs()[:maxExactHard+1]...)
+	if _, err := New(Config{}).PlanExact(big, 0, many); err == nil {
+		t.Error("exact planner accepted a batch beyond its bitset width")
+	}
+}
+
+// TestObsInstrumentation: plans and conflicts are counted, plan latency
+// lands in the histogram only with an injected clock, and every conflict
+// emits a trace event.
+func TestObsInstrumentation(t *testing.T) {
+	reg := obs.New()
+	var fake int64
+	pl := New(Config{Obs: reg, Now: func() int64 { fake += 1000; return fake }})
+	p := program(t, 12, 2, 6)
+	var conflicts int64
+	plans := 0
+	for seed := int64(1); seed <= 5; seed++ {
+		plan, err := pl.PlanBatch(p, 0, pickTargets(p, 6, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		conflicts += int64(plan.Conflicts)
+		plans++
+	}
+	if got := reg.Counter("batch_plans_total").Value(); got != int64(plans) {
+		t.Errorf("batch_plans_total = %d, want %d", got, plans)
+	}
+	if got := reg.Counter("batch_conflicts_total").Value(); got != conflicts {
+		t.Errorf("batch_conflicts_total = %d, want %d", got, conflicts)
+	}
+	if got := reg.Histogram("batch_plan_ns", nil).Count(); got != int64(plans) {
+		t.Errorf("batch_plan_ns count = %d, want %d", got, plans)
+	}
+	traced := 0
+	for _, e := range reg.Events(0) {
+		if e.Kind == "conflict" {
+			traced++
+		}
+	}
+	if int64(traced) != conflicts {
+		t.Errorf("%d conflict trace events, want %d", traced, conflicts)
+	}
+	if conflicts == 0 {
+		t.Error("no conflicts across seeds; instrumentation path untested")
+	}
+}
+
+// TestBudgetExhaustion: a hopeless channel exhausts the shared retry
+// budget mid-batch and surfaces fault.ErrRetryBudget with partial
+// metrics.
+func TestBudgetExhaustion(t *testing.T) {
+	p := program(t, 12, 2, 4)
+	targets := pickTargets(p, 4, 4)
+	plan, err := New(Config{}).PlanBatch(p, 0, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := sim.FaultConfig{Model: fault.Model{Seed: 3, Drop: 1}, MaxRetries: 4}
+	m, err := p.QueryBatch(plan, testPower, fc)
+	if !errors.Is(err, fault.ErrRetryBudget) {
+		t.Fatalf("err = %v, want ErrRetryBudget", err)
+	}
+	if m.Retries != 5 {
+		t.Errorf("retries = %d, want budget+1 = 5", m.Retries)
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/alloc"
@@ -15,6 +16,20 @@ import (
 // tower, only re-route the content — and Remap is how that invariant is
 // preserved under outage.
 
+// Remap input errors. Remap wraps these with %w so an operator loop can
+// distinguish "nothing survived the outage" (ErrNoSurvivors — replanning
+// is pointless, the tower is dark) from a malformed channel mapping
+// (ErrChannelOutOfRange — a bug in the caller) without matching message
+// text.
+var (
+	// ErrNoSurvivors reports a remap onto an empty survivor set.
+	ErrNoSurvivors = errors.New("sim: remap with no surviving channels")
+
+	// ErrChannelOutOfRange reports a physical channel id outside
+	// [1, width].
+	ErrChannelOutOfRange = errors.New("sim: remap physical channel out of range")
+)
+
 // Remap re-expresses the program over width physical channels, placing
 // logical channel i on physical channel phys[i-1]. Physical channels not
 // named in phys transmit only dead-air filler (every bucket Node ==
@@ -27,6 +42,9 @@ import (
 // root channel is phys[0] — clients probing for the index root are
 // redirected there by the RootChannel stamp on every bucket's frame.
 func (p *Program) Remap(phys []int, width int) (*Program, error) {
+	if len(phys) == 0 {
+		return nil, fmt.Errorf("%w (program has %d channels)", ErrNoSurvivors, p.k)
+	}
 	if len(phys) != p.k {
 		return nil, fmt.Errorf("sim: remap got %d physical channels for a %d-channel program", len(phys), p.k)
 	}
@@ -35,7 +53,7 @@ func (p *Program) Remap(phys []int, width int) (*Program, error) {
 	}
 	for i, ch := range phys {
 		if ch < 1 || ch > width {
-			return nil, fmt.Errorf("sim: remap physical channel %d outside [1, %d]", ch, width)
+			return nil, fmt.Errorf("%w: channel %d outside [1, %d]", ErrChannelOutOfRange, ch, width)
 		}
 		if i > 0 && ch <= phys[i-1] {
 			return nil, fmt.Errorf("sim: remap physical channels %v not strictly increasing", phys)

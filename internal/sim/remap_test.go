@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestRemapEdgeCases pins the typed errors of the survivor remap: an
+// empty survivor set and out-of-range physical channels must fail with
+// classifiable sentinels, not panic or silently produce a dark tower.
+func TestRemapEdgeCases(t *testing.T) {
+	p := keyedProgram(t, 10, 2, 3)
+
+	cases := []struct {
+		name  string
+		phys  []int
+		width int
+		want  error
+	}{
+		{"empty survivors", nil, 3, ErrNoSurvivors},
+		{"empty survivors nonzero width", []int{}, 2, ErrNoSurvivors},
+		{"channel zero", []int{0, 2}, 3, ErrChannelOutOfRange},
+		{"channel above width", []int{1, 4}, 3, ErrChannelOutOfRange},
+		{"negative channel", []int{-1, 2}, 3, ErrChannelOutOfRange},
+	}
+	for _, c := range cases {
+		q, err := p.Remap(c.phys, c.width)
+		if !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+		if q != nil {
+			t.Errorf("%s: got a program alongside the error", c.name)
+		}
+	}
+
+	// Non-sentinel rejections stay errors too: wrong survivor count,
+	// width below the program's channel count, and a non-increasing map.
+	for _, c := range []struct {
+		name  string
+		phys  []int
+		width int
+	}{
+		{"too few survivors", []int{1}, 3},
+		{"width below k", []int{1, 2}, 1},
+		{"not increasing", []int{2, 2}, 3},
+	} {
+		if _, err := p.Remap(c.phys, c.width); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+
+	// The happy path is untouched: a 2-channel program lands on physical
+	// channels 2 and 3 of a 3-wide tower, positions remapped with it.
+	q, err := p.Remap([]int{2, 3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Channels() != 3 || q.RootChannel() != 2 {
+		t.Fatalf("remap: channels %d root %d, want 3 and 2", q.Channels(), q.RootChannel())
+	}
+	for _, id := range p.t.DataIDs() {
+		want := p.Position(id).Channel + 1
+		if got := q.Position(id).Channel; got != want {
+			t.Errorf("node %s remapped to channel %d, want %d", p.t.Label(id), got, want)
+		}
+	}
+}

@@ -105,6 +105,13 @@ func (p *Program) CycleLen() int { return p.cycleLen }
 // (both 1-based).
 func (p *Program) BucketAt(ch, s int) Bucket { return p.buckets[ch-1][s-1] }
 
+// Position returns the (channel, cycle slot) the allocation assigned to
+// node id — the airing a batch retrieval planner schedules around. Root
+// copies are not reflected: the returned position is the node's primary
+// slot. On a remapped program dark-channel nodes report their remapped
+// physical position.
+func (p *Program) Position(id tree.ID) alloc.Position { return p.slotOf[id] }
+
 // Compile links an allocation into a broadcast program.
 func Compile(a *alloc.Allocation, opt Options) (*Program, error) {
 	if err := a.Validate(); err != nil {
@@ -220,6 +227,16 @@ type Metrics struct {
 	// the retry budget (Retries + Restarts + Failovers ≤ MaxRetries). Zero
 	// unless the query ran under an outage schedule.
 	Failovers int
+	// Conflicts counts batch targets that could not be read at their first
+	// airing after arrival because the single tuner was busy on another
+	// channel — two wanted nodes overlapped on the air — forcing a wait
+	// for a later cycle. Copied from the executed BatchPlan; zero on
+	// single-key queries.
+	Conflicts int
+	// ExtraCycles is the total number of whole broadcast cycles lost to
+	// those conflicts (a target pushed j cycles past its first airing
+	// contributes j). Zero on single-key queries.
+	ExtraCycles int
 	// Energy = Active·TuningTime + Doze·(AccessTime − TuningTime).
 	Energy float64
 }
@@ -421,6 +438,13 @@ type Summary struct {
 	// Failovers is the expected number of channel failovers per query
 	// (zero unless evaluated under an outage schedule).
 	Failovers float64
+	// Conflicts is the expected number of batch retrieval conflicts per
+	// query — wanted nodes overlapping on the air (zero for single-key
+	// workloads).
+	Conflicts float64
+	// ExtraCycles is the expected number of whole cycles lost to those
+	// conflicts per query (zero for single-key workloads).
+	ExtraCycles float64
 }
 
 // Evaluate computes the exact expected metrics of the program: a query
