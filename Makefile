@@ -16,7 +16,7 @@ vet:
 	$(GO) vet ./...
 
 bcast-vet:
-	$(GO) run ./cmd/bcast-vet ./...
+	$(GO) run ./cmd/bcast-vet -timebudget 30s ./...
 
 test:
 	$(GO) test ./...

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -72,5 +76,111 @@ func TestBadFlagExitsTwo(t *testing.T) {
 	defer devnull.Close()
 	if code := run([]string{"-no-such-flag"}, devnull, devnull); code != 2 {
 		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+}
+
+// TestListShowsAllSevenAnalyzers pins the roster: adding or removing an
+// analyzer must be a conscious doc-and-test change, not a drive-by.
+func TestListShowsAllSevenAnalyzers(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-list"}, &out, io.Discard); code != 0 {
+		t.Fatalf("-list exited %d, want 0", code)
+	}
+	want := []string{
+		"bcast-determinism:",
+		"bcast-pooledreturn:",
+		"bcast-goroutinelifecycle:",
+		"bcast-errsentinel:",
+		"bcast-lockdiscipline:",
+		"bcast-obsregistry:",
+		"bcast-budgetflow:",
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != len(want) {
+		t.Fatalf("-list printed %d analyzers, want %d:\n%s", len(lines), len(want), out.String())
+	}
+	for i, prefix := range want {
+		if !strings.HasPrefix(lines[i], prefix) {
+			t.Errorf("-list line %d = %q, want prefix %q", i, lines[i], prefix)
+		}
+	}
+}
+
+// TestJSONReportRoundTrips seeds a violation, writes the -json report,
+// and decodes it back: the diagnostics and per-analyzer timings must
+// survive the trip with the documented field names.
+func TestJSONReportRoundTrips(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "internal", "sim"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]string{
+		"go.mod": "module scratch\n\ngo 1.22\n",
+		filepath.Join("internal", "sim", "sim.go"): "package sim\n\nimport \"time\"\n\nfunc Now() int64 { return time.Now().Unix() }\n",
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Chdir(dir)
+	jsonPath := filepath.Join(dir, "vet.json")
+	if code := run([]string{"-json", jsonPath, "./..."}, io.Discard, io.Discard); code != 1 {
+		t.Fatalf("seeded violation exited %d, want 1", code)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatalf("decoding -json output: %v", err)
+	}
+	if len(r.Analyzers) != 7 {
+		t.Errorf("report lists %d analyzers, want 7", len(r.Analyzers))
+	}
+	if len(r.Diagnostics) == 0 {
+		t.Fatal("report has no diagnostics for a seeded violation")
+	}
+	d := r.Diagnostics[0]
+	if d.Analyzer != "bcast-determinism" || d.Line == 0 || d.File == "" || d.Message == "" {
+		t.Errorf("diagnostic did not round-trip: %+v", d)
+	}
+	if len(r.Timings) != 7 {
+		t.Errorf("report has %d timings for a one-package module, want 7", len(r.Timings))
+	}
+	for _, tm := range r.Timings {
+		if tm.Path != "scratch/internal/sim" {
+			t.Errorf("timing path = %q, want scratch/internal/sim", tm.Path)
+		}
+		if tm.Nanos < 0 {
+			t.Errorf("negative timing for %s", tm.Analyzer)
+		}
+	}
+}
+
+// TestTimeBudgetOverrunExitsOne: with a sub-nanosecond-scale budget,
+// even a clean scratch module must fail the timing gate.
+func TestTimeBudgetOverrunExitsOne(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod":  "module scratch\n\ngo 1.22\n",
+		"tiny.go": "package scratch\n\nfunc Tiny() int { return 1 }\n",
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Chdir(dir)
+	var errBuf bytes.Buffer
+	if code := run([]string{"-timebudget", "1ns", "./..."}, io.Discard, &errBuf); code != 1 {
+		t.Fatalf("1ns budget exited %d, want 1", code)
+	}
+	if !strings.Contains(errBuf.String(), "over time budget") {
+		t.Errorf("stderr missing budget overrun notice:\n%s", errBuf.String())
+	}
+	if code := run([]string{"-timebudget", "1h", "./..."}, io.Discard, io.Discard); code != 0 {
+		t.Fatal("1h budget must pass on a clean module")
 	}
 }

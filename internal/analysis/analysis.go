@@ -1,27 +1,43 @@
 // Package analysis implements bcast-vet, the repo's static-analysis
 // gate. It is a minimal go/analysis-style framework — golang.org/x/tools
 // is not vendored, and the toolchain's go/ast + go/types are enough for
-// what we check — plus the four analyzers that encode the invariants
-// PRs 1–3 rest on:
+// what we check — plus the seven analyzers that encode the repo's
+// invariants:
 //
 //   - determinism: no wall clock, no global math/rand, no map-ordered
 //     output inside the replay-critical packages (sim, fault,
-//     experiment, topo, datatree, core).
+//     experiment, topo, datatree, core, obs, retrieval).
 //   - pooledreturn: values taken from the search free lists
 //     (repro/internal/pool, sync.Pool) are either put back or handed
-//     off, and never used after Put.
+//     off, and never used after Put on any path (CFG-based).
 //   - goroutinelifecycle: every goroutine launched by the serving
 //     packages (netcast, epoch, broadcast) is cancellable via a
-//     context.Context, joined via a sync.WaitGroup, or explicitly
-//     declared detached with a //bcast:detached directive.
+//     context.Context, joined via a sync.WaitGroup whose Add dominates
+//     the go statement, or explicitly declared detached with a
+//     //bcast:detached directive.
 //   - errsentinel: sentinel errors are tested with errors.Is, never
 //     with == / != or string matching.
+//   - lockdiscipline: no blocking operation (channel ops, net.Conn
+//     I/O, time.Sleep, Wait, blocking registry calls) on any path
+//     where a sync.Mutex/RWMutex is held (CFG-based).
+//   - obsregistry: obs metric/trace names are compile-time constants,
+//     each registered at exactly one site per package, and the obs
+//     handle types keep their nil-receiver no-op guards (CFG-based).
+//   - budgetflow: every recovery-counter increment is followed by a
+//     shared-budget check on all paths, and budget-exhaustion errors
+//     wrap fault.ErrRetryBudget via %w (CFG-based).
+//
+// The CFG/dataflow engine underneath the flow-sensitive analyzers lives
+// in cfg.go and dataflow.go: basic blocks built from go/ast, a generic
+// forward worklist solver, dominators, and per-function caching on the
+// Unit.
 //
 // Diagnostics are suppressed per line with
 //
 //	//nolint:bcast-<name> // <reason>
 //
-// where the reason is mandatory: a bare directive is itself reported.
+// where the reason is mandatory: a bare directive, or one whose reason
+// carries no letters or digits, is itself reported.
 package analysis
 
 import (
@@ -31,6 +47,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Analyzer is one named check. Run inspects the Pass and reports
@@ -58,6 +75,7 @@ type Pass struct {
 	Pkg   *types.Package
 	Info  *types.Info
 
+	unit  *Unit // CFG cache host; nil only in direct construction
 	diags []Diagnostic
 }
 
@@ -92,7 +110,14 @@ func (d Diagnostic) String() string {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, PooledReturn, GoroutineLifecycle, ErrSentinel}
+	return []*Analyzer{Determinism, PooledReturn, GoroutineLifecycle, ErrSentinel, LockDiscipline, ObsRegistry, BudgetFlow}
+}
+
+// Timing records how long one analyzer spent on one unit.
+type Timing struct {
+	Analyzer string
+	Path     string
+	Elapsed  time.Duration
 }
 
 // RunAnalyzers applies every analyzer to every unit, resolves nolint
@@ -100,7 +125,17 @@ func All() []*Analyzer {
 // position. Directives missing their mandatory reason are reported as
 // diagnostics of the pseudo-analyzer "nolint".
 func RunAnalyzers(units []*Unit, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunAnalyzersTimed(units, analyzers)
+	return diags
+}
+
+// RunAnalyzersTimed is RunAnalyzers plus a per-(analyzer, unit) wall
+// time breakdown, in execution order. Driving the gate from the
+// timings (cmd/bcast-vet -timebudget) turns an accidentally
+// super-linear CFG pass into a failed check instead of a slow one.
+func RunAnalyzersTimed(units []*Unit, analyzers []*Analyzer) ([]Diagnostic, []Timing) {
 	var out []Diagnostic
+	var timings []Timing
 	for _, u := range units {
 		dirs := collectNolint(u)
 		for _, a := range analyzers {
@@ -111,8 +146,11 @@ func RunAnalyzers(units []*Unit, analyzers []*Analyzer) []Diagnostic {
 				Files:    u.Files,
 				Pkg:      u.Pkg,
 				Info:     u.Info,
+				unit:     u,
 			}
+			start := time.Now()
 			a.Run(pass)
+			timings = append(timings, Timing{Analyzer: a.Name, Path: u.Path, Elapsed: time.Since(start)})
 			for _, d := range pass.diags {
 				if !dirs.suppresses(a.Name, d.Pos) {
 					out = append(out, d)
@@ -134,5 +172,5 @@ func RunAnalyzers(units []*Unit, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out
+	return out, timings
 }

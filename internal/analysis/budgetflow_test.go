@@ -1,0 +1,11 @@
+package analysis
+
+import "testing"
+
+func TestBudgetFlowFiresOnUncheckedIncrementsAndUnwrappedSentinel(t *testing.T) {
+	RunFixture(t, BudgetFlow, "fix/internal/sim/bad", "testdata/src/budgetflow/bad")
+}
+
+func TestBudgetFlowSilentOnCheckedPathsAndAggregates(t *testing.T) {
+	RunFixture(t, BudgetFlow, "fix/internal/sim/good", "testdata/src/budgetflow/good")
+}

@@ -1,0 +1,534 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// CFG is an intraprocedural control-flow graph over one function body.
+// Compound statements are decomposed: a block's Nodes hold only simple
+// statements and bare condition/tag expressions, so an analyzer that
+// walks Nodes with ast.Inspect sees each expression exactly once and
+// never re-enters a nested body. Function literals are opaque at this
+// level — the *ast.FuncLit appears as part of the statement that
+// mentions it, and its body gets a CFG of its own.
+type CFG struct {
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+	// Defers lists defer statements in syntactic order; they run at
+	// every function exit, last registered first.
+	Defers []*ast.DeferStmt
+
+	// commOps marks the guarded communication of each select clause:
+	// its blocking behavior belongs to the select head, not to the bare
+	// channel operation.
+	commOps map[ast.Node]bool
+}
+
+// Block is one basic block. Exactly one of the terminator markers is
+// set on branching blocks: Cond for two-way branches (Succs[0] is the
+// true edge, Succs[1] the false edge), Sel for select dispatch (one
+// successor per clause in source order). Multi-way blocks without
+// either (switch heads, range heads) dispatch in source order with the
+// fall-through/done edge last.
+type Block struct {
+	Index int
+	Kind  string
+	Nodes []ast.Node
+	Cond  ast.Expr
+	Sel   *ast.SelectStmt
+	Succs []*Block
+	Preds []*Block
+}
+
+// IsSelectComm reports whether n is the communication clause of a
+// select statement (so per-op blocking checks can skip it and charge
+// the select head instead).
+func (g *CFG) IsSelectComm(n ast.Node) bool { return g.commOps[n] }
+
+// BuildCFG constructs the CFG for one function body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	g := &CFG{commOps: map[ast.Node]bool{}}
+	b := &cfgBuilder{g: g, labels: map[string]*Block{}}
+	g.Entry = b.newBlock("entry")
+	g.Exit = &Block{Kind: "exit"}
+	b.cur = g.Entry
+	b.stmts(body.List)
+	edge(b.cur, g.Exit)
+	g.Exit.Index = len(g.Blocks)
+	g.Blocks = append(g.Blocks, g.Exit)
+	return g
+}
+
+type cfgScope struct {
+	label string
+	brk   *Block
+	cont  *Block // nil for switch/select scopes
+}
+
+type cfgBuilder struct {
+	g             *CFG
+	cur           *Block
+	scopes        []cfgScope
+	labels        map[string]*Block // label name -> its block (goto target)
+	fallthroughTo *Block
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	bl := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, bl)
+	return bl
+}
+
+func edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// jumpTo ends the current block with an unconditional edge and leaves
+// the builder in a fresh successor-less block: statements after a
+// return/break/goto still get a home, it just has no predecessors.
+func (b *cfgBuilder) jumpTo(target *Block) {
+	edge(b.cur, target)
+	b.cur = b.newBlock("unreachable")
+}
+
+func (b *cfgBuilder) add(n ast.Node) { b.cur.Nodes = append(b.cur.Nodes, n) }
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		edge(b.cur, lb)
+		b.cur = lb
+		b.labeled(s.Label.Name, s.Stmt)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt("", s)
+	case *ast.RangeStmt:
+		b.rangeStmt("", s)
+	case *ast.SwitchStmt:
+		b.switchStmt("", s)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt("", s)
+	case *ast.SelectStmt:
+		b.selectStmt("", s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jumpTo(b.g.Exit)
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.DeferStmt:
+		b.add(s)
+		b.g.Defers = append(b.g.Defers, s)
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				b.jumpTo(b.g.Exit)
+			}
+		}
+	case *ast.EmptyStmt:
+		// nothing
+	default:
+		// AssignStmt, DeclStmt, GoStmt, IncDecStmt, SendStmt, ...
+		b.add(s)
+	}
+}
+
+// labeled builds the statement carrying a label so that labeled
+// break/continue resolve to the right construct.
+func (b *cfgBuilder) labeled(label string, s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ForStmt:
+		b.forStmt(label, s)
+	case *ast.RangeStmt:
+		b.rangeStmt(label, s)
+	case *ast.SwitchStmt:
+		b.switchStmt(label, s)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(label, s)
+	case *ast.SelectStmt:
+		b.selectStmt(label, s)
+	default:
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) labelBlock(name string) *Block {
+	if bl, ok := b.labels[name]; ok {
+		return bl
+	}
+	bl := b.newBlock("label." + name)
+	b.labels[name] = bl
+	return bl
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	name := ""
+	if s.Label != nil {
+		name = s.Label.Name
+	}
+	var target *Block
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.scopes) - 1; i >= 0 && target == nil; i-- {
+			if sc := b.scopes[i]; sc.brk != nil && (name == "" || sc.label == name) {
+				target = sc.brk
+			}
+		}
+	case token.CONTINUE:
+		for i := len(b.scopes) - 1; i >= 0 && target == nil; i-- {
+			if sc := b.scopes[i]; sc.cont != nil && (name == "" || sc.label == name) {
+				target = sc.cont
+			}
+		}
+	case token.GOTO:
+		target = b.labelBlock(name)
+	case token.FALLTHROUGH:
+		target = b.fallthroughTo
+	}
+	if target == nil {
+		target = b.g.Exit // malformed input; keep the graph connected
+	}
+	b.jumpTo(target)
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	b.cur.Cond = s.Cond
+	cond := b.cur
+	then := b.newBlock("if.then")
+	var els *Block
+	if s.Else != nil {
+		els = b.newBlock("if.else")
+	}
+	done := b.newBlock("if.done")
+	edge(cond, then)
+	if els != nil {
+		edge(cond, els)
+	} else {
+		edge(cond, done)
+	}
+	b.cur = then
+	b.stmts(s.Body.List)
+	edge(b.cur, done)
+	if els != nil {
+		b.cur = els
+		b.stmt(s.Else)
+		edge(b.cur, done)
+	}
+	b.cur = done
+}
+
+func (b *cfgBuilder) forStmt(label string, s *ast.ForStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock("for.head")
+	edge(b.cur, head)
+	body := b.newBlock("for.body")
+	done := b.newBlock("for.done")
+	cont := head
+	if s.Post != nil {
+		post := b.newBlock("for.post")
+		post.Nodes = append(post.Nodes, s.Post)
+		edge(post, head)
+		cont = post
+	}
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+		head.Cond = s.Cond
+		edge(head, body)
+		edge(head, done)
+	} else {
+		edge(head, body)
+	}
+	b.scopes = append(b.scopes, cfgScope{label: label, brk: done, cont: cont})
+	b.cur = body
+	b.stmts(s.Body.List)
+	edge(b.cur, cont)
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.cur = done
+}
+
+func (b *cfgBuilder) rangeStmt(label string, s *ast.RangeStmt) {
+	head := b.newBlock("range.head")
+	edge(b.cur, head)
+	head.Nodes = append(head.Nodes, s.X)
+	body := b.newBlock("range.body")
+	done := b.newBlock("range.done")
+	edge(head, body)
+	edge(head, done)
+	b.scopes = append(b.scopes, cfgScope{label: label, brk: done, cont: head})
+	b.cur = body
+	// The per-iteration key/value bindings happen at body entry.
+	if s.Key != nil {
+		if id, ok := s.Key.(*ast.Ident); !ok || id.Name != "_" {
+			b.add(s.Key)
+		}
+	}
+	if s.Value != nil {
+		if id, ok := s.Value.(*ast.Ident); !ok || id.Name != "_" {
+			b.add(s.Value)
+		}
+	}
+	b.stmts(s.Body.List)
+	edge(b.cur, head)
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.cur = done
+}
+
+func (b *cfgBuilder) switchStmt(label string, s *ast.SwitchStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	b.caseClauses(label, bodyClauses(s.Body), true)
+}
+
+func (b *cfgBuilder) typeSwitchStmt(label string, s *ast.TypeSwitchStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Assign)
+	b.caseClauses(label, bodyClauses(s.Body), false)
+}
+
+func bodyClauses(body *ast.BlockStmt) []*ast.CaseClause {
+	var out []*ast.CaseClause
+	for _, st := range body.List {
+		if cc, ok := st.(*ast.CaseClause); ok {
+			out = append(out, cc)
+		}
+	}
+	return out
+}
+
+func (b *cfgBuilder) caseClauses(label string, clauses []*ast.CaseClause, allowFallthrough bool) {
+	head := b.cur
+	done := b.newBlock("switch.done")
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		kind := "case"
+		if cc.List == nil {
+			kind, hasDefault = "default", true
+		}
+		blocks[i] = b.newBlock(kind)
+		edge(head, blocks[i])
+	}
+	if !hasDefault {
+		edge(head, done)
+	}
+	b.scopes = append(b.scopes, cfgScope{label: label, brk: done})
+	savedFT := b.fallthroughTo
+	for i, cc := range clauses {
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		b.fallthroughTo = nil
+		if allowFallthrough && i+1 < len(clauses) {
+			b.fallthroughTo = blocks[i+1]
+		}
+		b.stmts(cc.Body)
+		edge(b.cur, done)
+	}
+	b.fallthroughTo = savedFT
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.cur = done
+}
+
+func (b *cfgBuilder) selectStmt(label string, s *ast.SelectStmt) {
+	head := b.cur
+	head.Sel = s
+	done := b.newBlock("select.done")
+	b.scopes = append(b.scopes, cfgScope{label: label, brk: done})
+	for _, st := range s.Body.List {
+		cc, ok := st.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		kind := "select.case"
+		if cc.Comm == nil {
+			kind = "select.default"
+		}
+		cb := b.newBlock(kind)
+		edge(head, cb)
+		b.cur = cb
+		if cc.Comm != nil {
+			b.add(cc.Comm)
+			b.g.commOps[cc.Comm] = true
+		}
+		b.stmts(cc.Body)
+		edge(b.cur, done)
+	}
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.cur = done
+}
+
+// SelectBlocks reports whether the select terminating bl can block:
+// true unless one of its clauses is a default.
+func SelectBlocks(s *ast.SelectStmt) bool {
+	for _, st := range s.Body.List {
+		if cc, ok := st.(*ast.CommClause); ok && cc.Comm == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Reachable returns, indexed by Block.Index, whether each block is
+// reachable from the entry.
+func (g *CFG) Reachable() []bool {
+	seen := make([]bool, len(g.Blocks))
+	stack := []*Block{g.Entry}
+	seen[g.Entry.Index] = true
+	for len(stack) > 0 {
+		bl := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range bl.Succs {
+			if !seen[s.Index] {
+				seen[s.Index] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// postorder returns the reachable blocks in DFS postorder.
+func (g *CFG) postorder() []*Block {
+	seen := make([]bool, len(g.Blocks))
+	var out []*Block
+	var visit func(*Block)
+	visit = func(bl *Block) {
+		seen[bl.Index] = true
+		for _, s := range bl.Succs {
+			if !seen[s.Index] {
+				visit(s)
+			}
+		}
+		out = append(out, bl)
+	}
+	visit(g.Entry)
+	return out
+}
+
+// Dominators computes, for each reachable block, the set of blocks that
+// dominate it (indexed [block][dominator] by Block.Index). Entries for
+// unreachable blocks are nil. Functions here are small, so the classic
+// iterative bit-matrix formulation is plenty.
+func (g *CFG) Dominators() [][]bool {
+	n := len(g.Blocks)
+	reach := g.Reachable()
+	dom := make([][]bool, n)
+	full := make([]bool, n)
+	for i := range full {
+		full[i] = reach[i]
+	}
+	for i := 0; i < n; i++ {
+		if !reach[i] {
+			continue
+		}
+		dom[i] = make([]bool, n)
+		if i == g.Entry.Index {
+			dom[i][i] = true
+		} else {
+			copy(dom[i], full)
+		}
+	}
+	post := g.postorder()
+	changed := true
+	for changed {
+		changed = false
+		for i := len(post) - 1; i >= 0; i-- { // reverse postorder
+			bl := post[i]
+			if bl == g.Entry {
+				continue
+			}
+			next := make([]bool, n)
+			first := true
+			for _, p := range bl.Preds {
+				if !reach[p.Index] {
+					continue
+				}
+				if first {
+					copy(next, dom[p.Index])
+					first = false
+				} else {
+					for j := range next {
+						next[j] = next[j] && dom[p.Index][j]
+					}
+				}
+			}
+			next[bl.Index] = true
+			for j := range next {
+				if next[j] != dom[bl.Index][j] {
+					dom[bl.Index] = next
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return dom
+}
+
+// Dump renders the graph deterministically for golden tests:
+//
+//	b0 entry: x := 0 → b1
+//	b1 for.head: {i < n} → b2 b4
+func (g *CFG) Dump(fset *token.FileSet) string {
+	var sb strings.Builder
+	for _, bl := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d %s:", bl.Index, bl.Kind)
+		for _, n := range bl.Nodes {
+			text := renderNode(fset, n)
+			if e, ok := n.(ast.Expr); ok && bl.Cond == e {
+				text = "{" + text + "}"
+			}
+			sb.WriteString(" " + text + ";")
+		}
+		if bl.Sel != nil {
+			sb.WriteString(" <select>")
+		}
+		if len(bl.Succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range bl.Succs {
+				fmt.Fprintf(&sb, " b%d", s.Index)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// renderNode prints a node on one line with collapsed whitespace.
+func renderNode(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	return strings.Join(strings.Fields(buf.String()), " ")
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"flag"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite CFG golden files from current builder output")
+
+// TestCFGGoldenShapes pins the block/edge decomposition of the control
+// shapes in testdata/src/cfg/gnarly.go. The fixture is parsed only (no
+// type check — the builder is purely syntactic), and each function's
+// Dump must match its committed golden byte for byte. Regenerate after
+// an intentional builder change with:
+//
+//	go test ./internal/analysis -run CFGGolden -update
+func TestCFGGoldenShapes(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "testdata/src/cfg/gnarly.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		ran++
+		t.Run(fd.Name.Name, func(t *testing.T) {
+			got := BuildCFG(fd.Body).Dump(fset)
+			golden := filepath.Join("testdata", "cfg", fd.Name.Name+".golden")
+			if *updateGolden {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to generate)", err)
+			}
+			if got != string(want) {
+				t.Errorf("CFG dump for %s diverged from golden.\n--- got ---\n%s\n--- want ---\n%s", fd.Name.Name, got, want)
+			}
+		})
+	}
+	if ran == 0 {
+		t.Fatal("no functions found in gnarly.go")
+	}
+}
+
+// TestCFGStructuralInvariants checks edge symmetry and reachability
+// bookkeeping on every fixture function: preds mirror succs, the entry
+// is reachable, and every reachable block with successors appears in
+// the postorder traversal.
+func TestCFGStructuralInvariants(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "testdata/src/cfg/gnarly.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		g := BuildCFG(fd.Body)
+		for _, b := range g.Blocks {
+			for _, s := range b.Succs {
+				if !containsBlock(s.Preds, b) {
+					t.Errorf("%s: b%d -> b%d has no mirroring pred edge", fd.Name.Name, b.Index, s.Index)
+				}
+			}
+			for _, p := range b.Preds {
+				if !containsBlock(p.Succs, b) {
+					t.Errorf("%s: b%d pred b%d has no mirroring succ edge", fd.Name.Name, b.Index, p.Index)
+				}
+			}
+		}
+		reach := g.Reachable()
+		if !reach[g.Entry.Index] {
+			t.Errorf("%s: entry unreachable", fd.Name.Name)
+		}
+		dom := g.Dominators()
+		for _, b := range g.Blocks {
+			if reach[b.Index] && dom[b.Index] == nil {
+				t.Errorf("%s: reachable b%d has no dominator row", fd.Name.Name, b.Index)
+			}
+			if reach[b.Index] && dom[b.Index] != nil && !dom[b.Index][g.Entry.Index] {
+				t.Errorf("%s: entry does not dominate reachable b%d", fd.Name.Name, b.Index)
+			}
+		}
+	}
+}
+
+func containsBlock(bs []*Block, b *Block) bool {
+	for _, x := range bs {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,127 @@
+package analysis
+
+import "go/ast"
+
+// FlowSpec configures a forward dataflow problem over a CFG. S is the
+// lattice element ("fact") type. Join must be commutative/associative
+// with Bottom as identity; Transfer maps a block's entry fact to its
+// exit fact by replaying the block's Nodes. Edge, when non-nil, refines
+// the fact flowing along one outgoing edge (succIdx indexes
+// Block.Succs) — this is how condition outcomes (nil checks, budget
+// guards) become path-sensitive facts.
+type FlowSpec[S any] struct {
+	Init     func() S // fact at function entry
+	Bottom   func() S // join identity, assigned to not-yet-reached blocks
+	Join     func(dst, src S) S
+	Equal    func(a, b S) bool
+	Transfer func(b *Block, in S) S
+	Edge     func(from *Block, succIdx int, out S) S
+}
+
+// ForwardDataflow runs the classic worklist algorithm to a fixpoint and
+// returns the entry fact of every reachable block, indexed by
+// Block.Index (unreachable blocks hold Bottom). The loop visits blocks
+// in reverse postorder, so loop-free code converges in one sweep.
+func ForwardDataflow[S any](g *CFG, spec FlowSpec[S]) []S {
+	n := len(g.Blocks)
+	in := make([]S, n)
+	for i := range in {
+		in[i] = spec.Bottom()
+	}
+	in[g.Entry.Index] = spec.Init()
+
+	post := g.postorder()
+	rpoRank := make([]int, n)
+	for i, bl := range post {
+		rpoRank[bl.Index] = len(post) - i
+	}
+	// Every reachable block starts on the worklist: a block whose entry
+	// fact happens to equal Bottom still has a transfer function that
+	// must run once for its successors to see its effects.
+	inList := make([]bool, n)
+	work := make([]*Block, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		work = append(work, post[i])
+		inList[post[i].Index] = true
+	}
+	for len(work) > 0 {
+		// Pop the block earliest in reverse postorder.
+		best := 0
+		for i := 1; i < len(work); i++ {
+			if rpoRank[work[i].Index] < rpoRank[work[best].Index] {
+				best = i
+			}
+		}
+		bl := work[best]
+		work[best] = work[len(work)-1]
+		work = work[:len(work)-1]
+		inList[bl.Index] = false
+
+		out := spec.Transfer(bl, in[bl.Index])
+		for si, succ := range bl.Succs {
+			fact := out
+			if spec.Edge != nil {
+				fact = spec.Edge(bl, si, out)
+			}
+			joined := spec.Join(in[succ.Index], fact)
+			if !spec.Equal(joined, in[succ.Index]) {
+				in[succ.Index] = joined
+				if !inList[succ.Index] {
+					work = append(work, succ)
+					inList[succ.Index] = true
+				}
+			}
+		}
+	}
+	return in
+}
+
+// CFGOf returns the cached CFG of body, building it on first use. The
+// cache lives on the Unit, so the graph is shared across every analyzer
+// that runs over the unit.
+func (p *Pass) CFGOf(body *ast.BlockStmt) *CFG {
+	if p.unit == nil {
+		return BuildCFG(body) // fixture-less direct construction
+	}
+	if p.unit.cfgs == nil {
+		p.unit.cfgs = map[*ast.BlockStmt]*CFG{}
+	}
+	if g, ok := p.unit.cfgs[body]; ok {
+		return g
+	}
+	g := BuildCFG(body)
+	p.unit.cfgs[body] = g
+	return g
+}
+
+// funcBodies yields every function body in f that gets its own CFG:
+// each declared function and each function literal, paired with a
+// description of the enclosing declaration. Literal bodies are analyzed
+// as separate functions — their locks, pools, and counters live on the
+// goroutine or call that runs them, not on the enclosing frame.
+func funcBodies(f *ast.File) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				out = append(out, n.Body)
+			}
+		case *ast.FuncLit:
+			out = append(out, n.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// inspectShallow walks n like ast.Inspect but does not descend into
+// function literals: their bodies belong to a different CFG.
+func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		return fn(m)
+	})
+}

@@ -24,6 +24,8 @@ func TestPathMatches(t *testing.T) {
 		{"repro/internal/simx", false},
 		{"x/internal/sim/deep", true},
 		{"repro/internal/obs", true},
+		{"repro/internal/retrieval", true},
+		{"repro/internal/retrieval/sub", true},
 		{"repro/internal/netcast", false},
 		{"repro", false},
 	}

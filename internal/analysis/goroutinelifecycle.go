@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/types"
 	"strings"
 )
 
@@ -16,12 +17,16 @@ var LifecyclePaths = []string{
 // GoroutineLifecycle requires every go statement in the serving
 // packages to be tied to a lifecycle: a context.Context (cancellation),
 // a sync.WaitGroup (join), or an explicit //bcast:detached directive on
-// or directly above the statement. Test files are exempt — their
-// goroutines are bounded by the test binary.
+// or directly above the statement. A WaitGroup join only counts when a
+// wg.Add call dominates the go statement in the control-flow graph —
+// an Add racing the goroutine's own Done (or sitting in a branch the
+// spawn can bypass) is the classic Wait-returns-early bug, and the
+// pre-CFG version of this check could not see it. Test files are
+// exempt — their goroutines are bounded by the test binary.
 var GoroutineLifecycle = &Analyzer{
 	Name: "goroutinelifecycle",
 	Doc: "go statements in internal/netcast, internal/epoch, and broadcast must reference a context.Context or " +
-		"sync.WaitGroup, or carry a //bcast:detached directive",
+		"sync.WaitGroup (with wg.Add dominating the spawn), or carry a //bcast:detached directive",
 	Run: runGoroutineLifecycle,
 }
 
@@ -43,54 +48,116 @@ func runGoroutineLifecycle(pass *Pass) {
 				}
 			}
 		}
-		ast.Inspect(f, func(n ast.Node) bool {
-			g, ok := n.(*ast.GoStmt)
-			if !ok {
-				return true
-			}
-			line := pass.Fset.Position(g.Pos()).Line
-			if detached[line] || detached[line-1] {
-				return true
-			}
-			if goStmtTied(pass, g) {
-				return true
-			}
-			pass.Reportf(g.Pos(), "goroutine has no lifecycle: tie it to a context.Context or sync.WaitGroup, or mark it //bcast:detached with a justification")
-			return true
-		})
+		for _, body := range funcBodies(f) {
+			checkGoStmts(pass, body, detached)
+		}
 	}
 }
 
-// goStmtTied reports whether the spawned call references a
+func checkGoStmts(pass *Pass, body *ast.BlockStmt, detached map[int]bool) {
+	g := pass.CFGOf(body)
+	var dom [][]bool // computed lazily: most bodies spawn nothing
+	for _, bl := range g.Blocks {
+		for i, n := range bl.Nodes {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				continue
+			}
+			line := pass.Fset.Position(gs.Pos()).Line
+			if detached[line] || detached[line-1] {
+				continue
+			}
+			ctxTied, wgTied := goStmtTies(pass, gs)
+			if ctxTied {
+				continue
+			}
+			if !wgTied {
+				pass.Reportf(gs.Pos(), "goroutine has no lifecycle: tie it to a context.Context or sync.WaitGroup, or mark it //bcast:detached with a justification")
+				continue
+			}
+			if dom == nil {
+				dom = g.Dominators()
+			}
+			if !addDominatesGo(pass, g, dom, bl, i) {
+				pass.Reportf(gs.Pos(), "WaitGroup-tied goroutine has no wg.Add dominating the go statement; Add before every path that can spawn, or Wait may return early")
+			}
+		}
+	}
+}
+
+// goStmtTies reports whether the spawned call references a
 // context.Context or sync.WaitGroup anywhere in its expression — the
 // function literal's body included — or invokes a function that takes a
 // context parameter.
-func goStmtTied(pass *Pass, g *ast.GoStmt) bool {
-	tied := false
+func goStmtTies(pass *Pass, g *ast.GoStmt) (ctxTied, wgTied bool) {
 	ast.Inspect(g.Call, func(n ast.Node) bool {
-		if tied {
-			return false
-		}
 		e, ok := n.(ast.Expr)
 		if !ok {
 			return true
 		}
 		if tv, ok := pass.Info.Types[e]; ok {
-			if typeIs(tv.Type, "context", "Context") || typeIs(tv.Type, "sync", "WaitGroup") {
-				tied = true
-				return false
+			if typeIs(tv.Type, "context", "Context") {
+				ctxTied = true
+			}
+			if typeIs(tv.Type, "sync", "WaitGroup") {
+				wgTied = true
 			}
 		}
-		return true
+		return !ctxTied
 	})
-	if tied {
-		return true
+	if ctxTied {
+		return true, wgTied
 	}
 	// A named callee whose signature accepts a context is cancellable by
 	// construction even when the argument expression itself is opaque.
 	if f := calleeFunc(pass.Info, g.Call); f != nil {
 		if sig, ok := f.Type().(interface{ String() string }); ok && strings.Contains(sig.String(), "context.Context") {
+			ctxTied = true
+		}
+	}
+	return ctxTied, wgTied
+}
+
+// addDominatesGo reports whether a sync.WaitGroup Add call precedes the
+// go statement in its own block or sits in a strictly dominating block.
+// Adds inside function literals (the goroutine's own body included) do
+// not count: they run after the spawn, which is the race the rule
+// exists to stop.
+func addDominatesGo(pass *Pass, g *CFG, dom [][]bool, goBlock *Block, goIdx int) bool {
+	hasAdd := func(n ast.Node) bool {
+		found := false
+		inspectShallow(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			f := calleeFunc(pass.Info, call)
+			if f == nil || f.Name() != "Add" || funcPkgPath(f) != "sync" {
+				return true
+			}
+			if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil && typeIs(sig.Recv().Type(), "sync", "WaitGroup") {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	for i := 0; i < goIdx; i++ {
+		if hasAdd(goBlock.Nodes[i]) {
 			return true
+		}
+	}
+	if dom[goBlock.Index] == nil {
+		return false // unreachable code; nothing dominates it
+	}
+	for _, bl := range g.Blocks {
+		if bl == goBlock || !dom[goBlock.Index][bl.Index] {
+			continue
+		}
+		for _, n := range bl.Nodes {
+			if hasAdd(n) {
+				return true
+			}
 		}
 	}
 	return false

@@ -24,6 +24,10 @@ type Unit struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+
+	// cfgs caches one control-flow graph per function body, shared by
+	// every CFG-based analyzer that visits the unit (see Pass.CFGOf).
+	cfgs map[*ast.BlockStmt]*CFG
 }
 
 // Loader parses and type-checks packages of the enclosing module using
@@ -324,16 +328,24 @@ func (l *Loader) Load(patterns []string) ([]*Unit, error) {
 // Vet is the multichecker entry point: load every package matched by
 // patterns under modRoot and run the analyzers over them.
 func Vet(modRoot string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := VetTimed(modRoot, patterns, analyzers)
+	return diags, err
+}
+
+// VetTimed is Vet plus the per-(analyzer, unit) timing breakdown that
+// cmd/bcast-vet surfaces through -json and gates through -timebudget.
+func VetTimed(modRoot string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, []Timing, error) {
 	l, err := NewLoader(modRoot)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	units, err := l.Load(patterns)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return RunAnalyzers(units, analyzers), nil
+	diags, timings := RunAnalyzersTimed(units, analyzers)
+	return diags, timings, nil
 }

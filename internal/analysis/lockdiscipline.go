@@ -1,0 +1,293 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockPaths are the concurrent serving packages where holding a mutex
+// across a blocking operation can wedge the tower: the TCP server, the
+// epoch planner, the station, and the obs registry their hot paths
+// call into.
+var LockPaths = []string{
+	"internal/netcast",
+	"internal/epoch",
+	"broadcast",
+	"internal/obs",
+}
+
+// LockDiscipline forbids blocking operations — channel sends/receives,
+// select without default, net.Conn I/O, time.Sleep, WaitGroup.Wait,
+// and the known blocking registry entry points — on any path where a
+// sync.Mutex or sync.RWMutex is held. Lock/Unlock pairs (deferred
+// Unlock included) are tracked through the control-flow graph, so a
+// branch that returns with the lock held taints everything downstream.
+// sync.Cond.Wait is exempt: it atomically releases the mutex while
+// parked, which is exactly the sanctioned way to block under a lock.
+// Test files are exempt.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc: "no blocking operation (channel ops, select without default, net.Conn I/O, time.Sleep, Wait) on any path " +
+		"where a sync.Mutex/RWMutex is held in internal/netcast, internal/epoch, broadcast, or internal/obs",
+	Run: runLockDiscipline,
+}
+
+// blockingMethods are repo entry points that can park the caller for a
+// full broadcast cycle or longer; calling them with a lock held is as
+// bad as sleeping with it held.
+var blockingMethods = []struct{ pathFrag, typ, method string }{
+	{"internal/epoch", "Registry", "Stage"},
+	{"internal/epoch", "Planner", "Close"},
+	{"internal/netcast", "Server", "AwaitConns"},
+	{"internal/netcast", "Server", "Close"},
+	{"internal/netcast", "Server", "Run"},
+}
+
+func runLockDiscipline(pass *Pass) {
+	if !pathMatches(pass.Path, LockPaths) {
+		return
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, body := range funcBodies(f) {
+			checkLockFunc(pass, body)
+		}
+	}
+}
+
+// lockSet is the dataflow fact: the set of lock expressions (keyed by
+// their printed receiver, e.g. "s.mu") that may be held at a program
+// point. The join is union — a lock held on any incoming path counts.
+type lockSet map[string]bool
+
+func cloneLockSet(s lockSet) lockSet {
+	out := make(lockSet, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func checkLockFunc(pass *Pass, body *ast.BlockStmt) {
+	g := pass.CFGOf(body)
+	spec := FlowSpec[lockSet]{
+		Init:   func() lockSet { return lockSet{} },
+		Bottom: func() lockSet { return lockSet{} },
+		Join: func(dst, src lockSet) lockSet {
+			out := cloneLockSet(dst)
+			for k := range src {
+				out[k] = true
+			}
+			return out
+		},
+		Equal: func(a, b lockSet) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(bl *Block, in lockSet) lockSet {
+			out := cloneLockSet(in)
+			for _, n := range bl.Nodes {
+				applyLockOps(pass, n, out)
+			}
+			return out
+		},
+	}
+	in := ForwardDataflow(g, spec)
+
+	// Reporting sweep: replay each reachable block from its entry fact,
+	// flagging blocking operations the moment a lock may be held.
+	reach := g.Reachable()
+	for _, bl := range g.Blocks {
+		if !reach[bl.Index] {
+			continue
+		}
+		held := cloneLockSet(in[bl.Index])
+		if bl.Kind == "range.head" && len(bl.Nodes) > 0 && len(held) > 0 {
+			if tv, ok := pass.Info.Types[bl.Nodes[0].(ast.Expr)]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					pass.Reportf(bl.Nodes[0].Pos(), "range over a channel while %s is held; release the lock before blocking", heldNames(held))
+				}
+			}
+		}
+		for _, n := range bl.Nodes {
+			if len(held) > 0 {
+				reportBlockingOps(pass, g, n, held)
+			}
+			applyLockOps(pass, n, held)
+		}
+		if bl.Sel != nil && SelectBlocks(bl.Sel) && len(held) > 0 {
+			pass.Reportf(bl.Sel.Pos(), "select without a default while %s is held; release the lock before blocking", heldNames(held))
+		}
+	}
+}
+
+// applyLockOps updates the lock set for every Lock/Unlock call in n.
+// Deferred statements are skipped: a deferred Unlock runs at function
+// exit, so the lock stays held through everything after the defer.
+func applyLockOps(pass *Pass, n ast.Node, held lockSet) {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return
+	}
+	inspectShallow(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		key, op, ok := lockCall(pass.Info, call)
+		if !ok {
+			return true
+		}
+		switch op {
+		case "Lock", "RLock":
+			held[key] = true
+		case "Unlock", "RUnlock":
+			delete(held, key)
+		}
+		return true
+	})
+}
+
+// lockCall matches m.Lock/RLock/Unlock/RUnlock on sync.Mutex/RWMutex
+// (embedded mutexes resolve through the method's declaring type) and
+// returns the lock's receiver expression as its identity key.
+func lockCall(info *types.Info, call *ast.CallExpr) (key, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	f := calleeFunc(info, call)
+	if f == nil || funcPkgPath(f) != "sync" {
+		return "", "", false
+	}
+	sig, _ := f.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return "", "", false
+	}
+	rt := sig.Recv().Type()
+	if !typeIs(rt, "sync", "Mutex") && !typeIs(rt, "sync", "RWMutex") {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// reportBlockingOps flags blocking operations inside one block node
+// while held is non-empty. Select communications are charged to the
+// select head, and deferred calls run after the locks of this frame
+// are released.
+func reportBlockingOps(pass *Pass, g *CFG, n ast.Node, held lockSet) {
+	switch n.(type) {
+	case *ast.DeferStmt:
+		return
+	}
+	if g.IsSelectComm(n) {
+		return
+	}
+	inspectShallow(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(m.Arrow, "channel send while %s is held; release the lock before blocking", heldNames(held))
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW {
+				pass.Reportf(m.OpPos, "channel receive while %s is held; release the lock before blocking", heldNames(held))
+			}
+		case *ast.CallExpr:
+			if desc, blocking := blockingCall(pass.Info, m); blocking {
+				pass.Reportf(m.Pos(), "%s while %s is held; release the lock before blocking", desc, heldNames(held))
+			}
+		}
+		return true
+	})
+}
+
+// blockingCall classifies calls that can park the goroutine:
+// time.Sleep, sync.WaitGroup.Wait, net.Conn-shaped I/O, and the known
+// blocking repo methods. sync.Cond.Wait is deliberately not here.
+func blockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	f := calleeFunc(info, call)
+	if f == nil {
+		return "", false
+	}
+	pkg := funcPkgPath(f)
+	if pkg == "time" && f.Name() == "Sleep" {
+		return "time.Sleep", true
+	}
+	sig, _ := f.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return "", false
+	}
+	rt := sig.Recv().Type()
+	if pkg == "sync" && f.Name() == "Wait" && typeIs(rt, "sync", "WaitGroup") {
+		return "sync.WaitGroup.Wait", true
+	}
+	// Conn-shaped I/O: a Read/Write on anything exposing the net.Conn
+	// deadline surface blocks until the peer (or deadline) acts.
+	switch f.Name() {
+	case "Read", "Write", "ReadFrom", "WriteTo":
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if tv, ok := info.Types[sel.X]; ok && isConnLike(tv.Type) {
+				return types.ExprString(sel.X) + "." + f.Name() + " (net.Conn I/O)", true
+			}
+		}
+	}
+	for _, bm := range blockingMethods {
+		if f.Name() == bm.method && typeNameIs(rt, bm.typ) && pathMatches(declaredPkgPath(rt), []string{bm.pathFrag}) {
+			return typeNameOf(rt) + "." + f.Name(), true
+		}
+	}
+	return "", false
+}
+
+// isConnLike reports whether t exposes the net.Conn deadline surface.
+func isConnLike(t types.Type) bool {
+	return hasMethod(t, "LocalAddr") && hasMethod(t, "SetDeadline")
+}
+
+func hasMethod(t types.Type, name string) bool {
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
+	_, ok := obj.(*types.Func)
+	return ok
+}
+
+func typeNameIs(t types.Type, name string) bool { return typeNameOf(t) == name }
+
+func typeNameOf(t types.Type) string {
+	n := namedType(t)
+	if n == nil || n.Obj() == nil {
+		return ""
+	}
+	return n.Obj().Name()
+}
+
+func declaredPkgPath(t types.Type) string {
+	n := namedType(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return ""
+	}
+	return n.Obj().Pkg().Path()
+}
+
+func heldNames(held lockSet) string {
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

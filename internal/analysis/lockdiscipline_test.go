@@ -1,0 +1,17 @@
+package analysis
+
+import "testing"
+
+func TestLockDisciplineFiresOnBlockingUnderLock(t *testing.T) {
+	RunFixture(t, LockDiscipline, "fix/internal/netcast/bad", "testdata/src/lockdiscipline/bad")
+}
+
+func TestLockDisciplineSilentOnReleasedAndExemptOps(t *testing.T) {
+	RunFixture(t, LockDiscipline, "fix/internal/netcast/good", "testdata/src/lockdiscipline/good")
+}
+
+func TestLockDisciplineScopedToLockPaths(t *testing.T) {
+	// The same blocking-under-lock shapes outside the covered trees must
+	// not report: the analyzer is scoped to the paths in LockPaths.
+	RunFixture(t, LockDiscipline, "fix/elsewhere/bad", "testdata/src/lockdiscipline/good")
+}

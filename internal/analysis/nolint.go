@@ -4,6 +4,7 @@ import (
 	"go/token"
 	"regexp"
 	"strings"
+	"unicode"
 )
 
 // Suppression directive:
@@ -11,15 +12,43 @@ import (
 //	//nolint:bcast-<name>[,bcast-<name>...] // <reason>
 //
 // The reason is mandatory — a directive without one does not suppress
-// anything and is itself reported. A directive applies to diagnostics
-// on its own line and, so it can stand alone above a long statement, on
-// the line directly below it.
+// anything and is itself reported. A reason must carry at least one
+// letter or digit: "--", "..." and other punctuation shells are
+// rejected the same as an absent reason. A directive applies to
+// diagnostics on its own line and, so it can stand alone above a long
+// statement, on the line directly below it.
 var nolintRe = regexp.MustCompile(`^//\s*nolint:([a-zA-Z0-9_,-]+)(.*)$`)
 
 type nolintDirective struct {
 	pos       token.Position
 	analyzers []string // names with the bcast- prefix stripped
 	hasReason bool
+}
+
+// parseNolintDirective parses one raw comment. ok is false when the
+// comment is not a bcast nolint directive at all (other linters'
+// directives pass through untouched); names are the analyzer names with
+// the bcast- prefix stripped; hasReason reports a substantive reason —
+// at least one letter or digit after the comment markers are trimmed.
+func parseNolintDirective(text string) (names []string, hasReason, ok bool) {
+	m := nolintRe.FindStringSubmatch(text)
+	if m == nil {
+		return nil, false, false
+	}
+	for _, n := range strings.Split(m[1], ",") {
+		if rest, cut := strings.CutPrefix(n, "bcast-"); cut && rest != "" {
+			names = append(names, rest)
+		}
+	}
+	if len(names) == 0 {
+		return nil, false, false // not ours (e.g. a golangci directive)
+	}
+	reason := strings.TrimSpace(m[2])
+	reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(reason, "//"), "--"))
+	hasReason = strings.ContainsFunc(reason, func(r rune) bool {
+		return unicode.IsLetter(r) || unicode.IsDigit(r)
+	})
+	return names, hasReason, true
 }
 
 type nolintSet struct {
@@ -32,25 +61,14 @@ func collectNolint(u *Unit) nolintSet {
 	for _, f := range u.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				m := nolintRe.FindStringSubmatch(c.Text)
-				if m == nil {
+				names, hasReason, ok := parseNolintDirective(c.Text)
+				if !ok {
 					continue
 				}
-				var names []string
-				for _, n := range strings.Split(m[1], ",") {
-					if rest, ok := strings.CutPrefix(n, "bcast-"); ok && rest != "" {
-						names = append(names, rest)
-					}
-				}
-				if len(names) == 0 {
-					continue // not ours (e.g. a golangci directive)
-				}
-				reason := strings.TrimSpace(m[2])
-				reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(reason, "//"), "--"))
 				d := nolintDirective{
 					pos:       u.Fset.Position(c.Pos()),
 					analyzers: names,
-					hasReason: reason != "",
+					hasReason: hasReason,
 				}
 				set.byFile[d.pos.Filename] = append(set.byFile[d.pos.Filename], d)
 			}

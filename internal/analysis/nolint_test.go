@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The carrier analyzer is Determinism with an import path outside
+// DeterministicPaths, so the only diagnostics in play are the
+// pseudo-analyzer "nolint" reports from the driver itself.
+
+func TestNolintFiresOnReasonlessAndPunctuationOnlyReasons(t *testing.T) {
+	RunFixture(t, Determinism, "fix/nolint/bad", "testdata/src/nolint/bad")
+}
+
+func TestNolintSilentOnSubstantiveReasonsAndForeignDirectives(t *testing.T) {
+	RunFixture(t, Determinism, "fix/nolint/good", "testdata/src/nolint/good")
+}
+
+func TestParseNolintDirective(t *testing.T) {
+	tests := []struct {
+		text      string
+		names     []string
+		hasReason bool
+		ok        bool
+	}{
+		{"//nolint:bcast-determinism // clock injected by caller", []string{"determinism"}, true, true},
+		{"//nolint:bcast-determinism,bcast-errsentinel // both audited", []string{"determinism", "errsentinel"}, true, true},
+		{"//nolint:bcast-pooledreturn", []string{"pooledreturn"}, false, true},
+		{"//nolint:bcast-pooledreturn //", []string{"pooledreturn"}, false, true},
+		{"//nolint:bcast-pooledreturn // --", []string{"pooledreturn"}, false, true},
+		{"//nolint:bcast-pooledreturn // ... !!!", []string{"pooledreturn"}, false, true},
+		{"//nolint:bcast-pooledreturn // -- ok: escapes --", []string{"pooledreturn"}, true, true},
+		{"//nolint:gosec // someone else's linter", nil, false, false},
+		{"//nolint:", nil, false, false},
+		{"// plain comment", nil, false, false},
+		{"/* block comment */", nil, false, false},
+	}
+	for _, tt := range tests {
+		names, hasReason, ok := parseNolintDirective(tt.text)
+		if !reflect.DeepEqual(names, tt.names) || hasReason != tt.hasReason || ok != tt.ok {
+			t.Errorf("parseNolintDirective(%q) = (%v, %v, %v), want (%v, %v, %v)",
+				tt.text, names, hasReason, ok, tt.names, tt.hasReason, tt.ok)
+		}
+	}
+}

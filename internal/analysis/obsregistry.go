@@ -1,0 +1,246 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// ObsRegistry enforces the observability contract from PR 5 in three
+// parts:
+//
+//  1. Metric and trace names handed to Registry.Counter / Gauge /
+//     Histogram / Emit must be compile-time constant strings — dynamic
+//     names defeat the byte-identical snapshot cross-checks and make
+//     dashboards unpinnable.
+//  2. Each metric name is registered (Counter/Gauge/Histogram) at
+//     exactly one site per package, so a metric has one owner. Emit is
+//     excluded: trace kinds legitimately repeat across sites.
+//  3. Inside internal/obs itself, every exported pointer method on the
+//     handle types (Registry, Counter, Gauge, Histogram) must nil-guard
+//     the receiver before dereferencing a field: nil handles are the
+//     documented no-op path, and instrumented call sites never branch.
+//     The guard is checked flow-sensitively — `if c == nil || n <= 0 {
+//     return }` makes every path below it safe.
+//
+// Test files are exempt throughout (tests register scratch names and
+// probe handles dynamically on purpose).
+var ObsRegistry = &Analyzer{
+	Name: "obsregistry",
+	Doc: "obs metric/trace names must be compile-time constant strings registered at one site per package, and " +
+		"internal/obs handle methods must keep their nil-receiver no-op guards",
+	Run: runObsRegistry,
+}
+
+// obsHandleTypes are the nil-tolerant handle types of internal/obs.
+var obsHandleTypes = map[string]bool{
+	"Registry": true, "Counter": true, "Gauge": true, "Histogram": true,
+}
+
+func runObsRegistry(pass *Pass) {
+	type site struct {
+		pos  token.Pos
+		line int
+	}
+	registered := map[string]site{} // metric name -> first registration site
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			method, ok := obsRegistryCall(pass.Info, call)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			tv, ok := pass.Info.Types[call.Args[0]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(call.Args[0].Pos(), "obs %s name is not a compile-time constant string; dynamic metric names break snapshot pinning", method)
+				return true
+			}
+			if method == "Emit" {
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if first, dup := registered[name]; dup {
+				pass.Reportf(call.Pos(), "obs metric %q is registered at more than one site in this package (first at line %d); hoist the handle to a single owner", name, first.line)
+			} else {
+				registered[name] = site{pos: call.Pos(), line: pass.Fset.Position(call.Pos()).Line}
+			}
+			return true
+		})
+	}
+
+	if pathMatches(pass.Path, []string{"internal/obs"}) {
+		for _, f := range pass.Files {
+			if pass.IsTestFile(f) {
+				continue
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if ok && fd.Body != nil && fd.Name.IsExported() {
+					checkNilGuard(pass, fd)
+				}
+			}
+		}
+	}
+}
+
+// obsRegistryCall matches name-taking calls on a Registry declared in
+// an internal/obs package and returns the method name.
+func obsRegistryCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	f := calleeFunc(info, call)
+	if f == nil {
+		return "", false
+	}
+	switch f.Name() {
+	case "Counter", "Gauge", "Histogram", "Emit":
+	default:
+		return "", false
+	}
+	sig, _ := f.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return "", false
+	}
+	rt := sig.Recv().Type()
+	if !typeNameIs(rt, "Registry") || !pathMatches(declaredPkgPath(rt), []string{"internal/obs"}) {
+		return "", false
+	}
+	if sig.Params().Len() == 0 || !types.Identical(sig.Params().At(0).Type(), types.Typ[types.String]) {
+		return "", false
+	}
+	return f.Name(), true
+}
+
+// Receiver-nilness lattice: nonNil is the join identity (unreached),
+// maybeNil wins any join. The entry fact of an exported handle method
+// is maybeNil; a dominating nil guard's false edge lowers it.
+const (
+	recvNonNil   = 0
+	recvMaybeNil = 1
+)
+
+func checkNilGuard(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return
+	}
+	recvType := pass.Info.Types[fd.Recv.List[0].Type].Type
+	if _, isPtr := recvType.(*types.Pointer); !isPtr {
+		return // value receivers cannot be nil
+	}
+	if !obsHandleTypes[typeNameOf(recvType)] {
+		return
+	}
+	recv := pass.Info.Defs[fd.Recv.List[0].Names[0]]
+	if recv == nil {
+		return
+	}
+
+	g := pass.CFGOf(fd.Body)
+	derefsIn := func(n ast.Node, report bool) bool {
+		found := false
+		inspectShallow(n, func(m ast.Node) bool {
+			sel, ok := m.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || pass.Info.Uses[id] != recv {
+				return true
+			}
+			if s, ok := pass.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+				if report && !found {
+					pass.Reportf(sel.Pos(), "method %s dereferences receiver %s without a nil guard; nil obs handles must be no-ops (add `if %s == nil { return ... }`)",
+						fd.Name.Name, id.Name, id.Name)
+				}
+				found = true
+			}
+			return true
+		})
+		return found
+	}
+
+	spec := FlowSpec[int]{
+		Init:   func() int { return recvMaybeNil },
+		Bottom: func() int { return recvNonNil },
+		Join:   func(dst, src int) int { return max(dst, src) },
+		Equal:  func(a, b int) bool { return a == b },
+		Transfer: func(bl *Block, in int) int {
+			out := in
+			for _, n := range bl.Nodes {
+				// A survived dereference proves the receiver non-nil.
+				if out == recvMaybeNil && derefsIn(n, false) {
+					out = recvNonNil
+				}
+			}
+			return out
+		},
+		Edge: func(from *Block, succIdx int, out int) int {
+			if from.Cond != nil && out == recvMaybeNil {
+				if condImpliesNonNil(pass.Info, from.Cond, succIdx == 0, recv) {
+					return recvNonNil
+				}
+			}
+			return out
+		},
+	}
+	in := ForwardDataflow(g, spec)
+
+	reach := g.Reachable()
+	for _, bl := range g.Blocks {
+		if !reach[bl.Index] || in[bl.Index] != recvMaybeNil {
+			continue
+		}
+		for _, n := range bl.Nodes {
+			if derefsIn(n, true) {
+				break // one report per maybe-nil region is enough
+			}
+		}
+	}
+}
+
+// condImpliesNonNil reports whether cond evaluating to branch (true for
+// the true edge) proves recv != nil. It understands the guard idioms
+// `r == nil`, `r != nil`, `!(...)`, and their `&&`/`||` compositions —
+// in particular the canonical no-op guard `if c == nil || n <= 0 {
+// return }`, whose false edge proves c non-nil.
+func condImpliesNonNil(info *types.Info, cond ast.Expr, branch bool, recv types.Object) bool {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.EQL: // recv == nil is false on the false edge
+			return !branch && isRecvNilComparison(info, e, recv)
+		case token.NEQ:
+			return branch && isRecvNilComparison(info, e, recv)
+		case token.LOR: // !(a || b) ⇒ !a ∧ !b
+			return !branch && (condImpliesNonNil(info, e.X, false, recv) || condImpliesNonNil(info, e.Y, false, recv))
+		case token.LAND: // (a && b) ⇒ a ∧ b
+			return branch && (condImpliesNonNil(info, e.X, true, recv) || condImpliesNonNil(info, e.Y, true, recv))
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			return condImpliesNonNil(info, e.X, !branch, recv)
+		}
+	}
+	return false
+}
+
+func isRecvNilComparison(info *types.Info, e *ast.BinaryExpr, recv types.Object) bool {
+	isRecv := func(x ast.Expr) bool {
+		id, ok := ast.Unparen(x).(*ast.Ident)
+		return ok && info.Uses[id] == recv
+	}
+	isNil := func(x ast.Expr) bool {
+		id, ok := ast.Unparen(x).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		_, ok = info.Uses[id].(*types.Nil)
+		return ok
+	}
+	return (isRecv(e.X) && isNil(e.Y)) || (isNil(e.X) && isRecv(e.Y))
+}

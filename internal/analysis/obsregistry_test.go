@@ -1,0 +1,11 @@
+package analysis
+
+import "testing"
+
+func TestObsRegistryFiresOnDynamicNamesDupesAndNakedDerefs(t *testing.T) {
+	RunFixture(t, ObsRegistry, "fix/internal/obs/bad", "testdata/src/obsregistry/bad")
+}
+
+func TestObsRegistrySilentOnConstNamesAndGuardedHandles(t *testing.T) {
+	RunFixture(t, ObsRegistry, "fix/internal/obs/good", "testdata/src/obsregistry/good")
+}

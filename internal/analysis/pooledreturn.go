@@ -10,13 +10,16 @@ import (
 // (repro/internal/pool and any sync.Pool): a function that takes values
 // out of a pool must also contain the matching Put — dominated work
 // goes back, survivors escape by being returned — and a value must not
-// be used after it has been Put. The check is function-scoped: closures
-// count as part of their enclosing declaration, matching how the search
-// loops wrap Get in a reset helper.
+// be used after it has been Put. Get/Put matching is function-scoped
+// with closures counted as part of their enclosing declaration,
+// matching how the search loops wrap Get in a reset helper; the
+// use-after-Put rule runs on the control-flow graph, so a Put inside
+// one branch taints uses after the merge (the branch-insensitive
+// false negative the pre-CFG version had).
 var PooledReturn = &Analyzer{
 	Name: "pooledreturn",
 	Doc: "every pool Get must be matched by a Put on the same pool in the same function (or the value must be " +
-		"returned), and pooled values must not be used after Put",
+		"returned), and pooled values must not be used after Put on any path",
 	Run: runPooledReturn,
 }
 
@@ -44,7 +47,24 @@ func runPooledReturn(pass *Pass) {
 				checkPoolFunc(pass, fd)
 			}
 		}
+		for _, body := range funcBodies(f) {
+			checkPoolFlow(pass, body)
+		}
 	}
+}
+
+// poolCallOf matches pool.Get() / pool.Put(x) on sync.Pool or an
+// internal/pool type, keyed by the printed pool expression.
+func poolCallOf(info *types.Info, n *ast.CallExpr) (key, method string, ok bool) {
+	sel, isSel := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+	if !isSel || (sel.Sel.Name != "Get" && sel.Sel.Name != "Put") {
+		return "", "", false
+	}
+	tv, okT := info.Types[sel.X]
+	if !okT || !isPoolType(tv.Type) {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
 }
 
 func checkPoolFunc(pass *Pass, fd *ast.FuncDecl) {
@@ -54,31 +74,13 @@ func checkPoolFunc(pass *Pass, fd *ast.FuncDecl) {
 	assigned := map[string][]types.Object{} // pool expr -> objects holding Get results
 	returned := map[types.Object]bool{}
 	getInReturn := map[*ast.CallExpr]bool{}
-	deferred := map[*ast.CallExpr]bool{}
-	var stmtLists [][]ast.Stmt
 
 	poolCall := func(n *ast.CallExpr) (key, method string, ok bool) {
-		sel, isSel := ast.Unparen(n.Fun).(*ast.SelectorExpr)
-		if !isSel || (sel.Sel.Name != "Get" && sel.Sel.Name != "Put") {
-			return "", "", false
-		}
-		tv, okT := pass.Info.Types[sel.X]
-		if !okT || !isPoolType(tv.Type) {
-			return "", "", false
-		}
-		return types.ExprString(sel.X), sel.Sel.Name, true
+		return poolCallOf(pass.Info, n)
 	}
 
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
-		case *ast.BlockStmt:
-			stmtLists = append(stmtLists, n.List)
-		case *ast.CaseClause:
-			stmtLists = append(stmtLists, n.Body)
-		case *ast.CommClause:
-			stmtLists = append(stmtLists, n.Body)
-		case *ast.DeferStmt:
-			deferred[n.Call] = true
 		case *ast.CallExpr:
 			key, method, ok := poolCall(n)
 			if !ok {
@@ -157,75 +159,160 @@ func checkPoolFunc(pass *Pass, fd *ast.FuncDecl) {
 		}
 	}
 
-	// Rule 2: no use after Put. Scan the statements following the Put in
-	// its innermost statement list, stopping at a top-level reassignment
-	// of the variable. A deferred Put runs at function exit, so anything
-	// textually after it is still before the hand-back.
-	for _, p := range puts {
-		if p.argObj == nil || deferred[p.call] {
-			continue
-		}
-		list, idx := innermostStmt(stmtLists, p.call.Pos())
-		if list == nil {
-			continue
-		}
-		for _, s := range list[idx+1:] {
-			if reassignsObject(pass.Info, s, p.argObj) {
-				break
-			}
-			if pos, found := findUse(pass.Info, s, p.argObj); found {
-				pass.Reportf(pos, "%s is used after %s.Put returned it to the pool", p.argObj.Name(), p.key)
-				break
-			}
-		}
-	}
 }
 
-// innermostStmt finds the statement list directly containing pos and
-// the index of the containing statement, preferring the tightest span.
-func innermostStmt(lists [][]ast.Stmt, pos token.Pos) (list []ast.Stmt, idx int) {
-	bestSpan := -1
-	for _, l := range lists {
-		for i, s := range l {
-			if s.Pos() <= pos && pos < s.End() {
-				span := int(s.End() - s.Pos())
-				if bestSpan == -1 || span < bestSpan {
-					bestSpan, list, idx = span, l, i
+// checkPoolFlow is rule 2 — no use after Put — as a forward may-put
+// dataflow over the CFG: Put(x) adds x to the tainted set, a top-level
+// reassignment (or a fresh := / range binding) clears it, and any use
+// of a tainted variable is reported. A Put inside one branch therefore
+// taints uses after the merge point, and a Put followed by `continue`
+// is cleared by the next iteration's Get rebinding. Deferred Puts run
+// at function exit, so they never taint the body. Function literals
+// get their own flow; a closure that captures a tainted variable still
+// counts as a use at the statement mentioning it.
+func checkPoolFlow(pass *Pass, body *ast.BlockStmt) {
+	g := pass.CFGOf(body)
+
+	type taint map[types.Object]string // object -> pool key
+	clone := func(s taint) taint {
+		out := make(taint, len(s))
+		for k, v := range s {
+			out[k] = v
+		}
+		return out
+	}
+
+	// kills removes objects rebound by n: assignment targets and fresh
+	// definitions (:= and range key/value bindings, which the CFG
+	// surfaces as bare defining idents at the loop body's head).
+	kills := func(n ast.Node, s taint) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := pass.Info.Defs[id]; obj != nil {
+						delete(s, obj)
+					} else if obj := pass.Info.Uses[id]; obj != nil {
+						delete(s, obj)
+					}
 				}
 			}
-		}
-	}
-	return list, idx
-}
-
-// reassignsObject reports whether stmt assigns a fresh value to obj at
-// its top level (x = ... or x := ...).
-func reassignsObject(info *types.Info, stmt ast.Stmt, obj types.Object) bool {
-	as, ok := stmt.(*ast.AssignStmt)
-	if !ok {
-		return false
-	}
-	for _, lhs := range as.Lhs {
-		if id, ok := lhs.(*ast.Ident); ok {
-			if info.Uses[id] == obj || info.Defs[id] == obj {
+		case *ast.DeclStmt:
+			ast.Inspect(n, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := pass.Info.Defs[id]; obj != nil {
+						delete(s, obj)
+					}
+				}
 				return true
+			})
+		case *ast.Ident:
+			if obj := pass.Info.Defs[n]; obj != nil {
+				delete(s, obj)
 			}
 		}
 	}
-	return false
-}
 
-// findUse reports the first use of obj within stmt.
-func findUse(info *types.Info, stmt ast.Stmt, obj types.Object) (pos token.Pos, found bool) {
-	ast.Inspect(stmt, func(n ast.Node) bool {
-		if found {
-			return false
+	// putsIn records non-deferred Put(x) calls in n and returns their
+	// source ranges so the argument itself is not counted as a use.
+	type span struct{ lo, hi token.Pos }
+	putsIn := func(n ast.Node) (found []poolPut, ranges []span) {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return nil, nil
 		}
-		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
-			pos, found = id.Pos(), true
-			return false
+		inspectShallow(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			key, method, ok := poolCallOf(pass.Info, call)
+			if !ok || method != "Put" || len(call.Args) != 1 {
+				return true
+			}
+			p := poolPut{call: call, key: key}
+			if id := rootIdent(call.Args[0]); id != nil {
+				p.argObj = pass.Info.Uses[id]
+			}
+			found = append(found, p)
+			ranges = append(ranges, span{call.Pos(), call.End()})
+			return true
+		})
+		return found, ranges
+	}
+
+	apply := func(n ast.Node, s taint, report bool) {
+		kills(n, s)
+		puts, ranges := putsIn(n)
+		if report && len(s) > 0 {
+			ast.Inspect(n, func(m ast.Node) bool {
+				id, ok := m.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := pass.Info.Uses[id]
+				if obj == nil {
+					return true
+				}
+				key, tainted := s[obj]
+				if !tainted {
+					return true
+				}
+				for _, r := range ranges {
+					if r.lo <= id.Pos() && id.Pos() < r.hi {
+						return true // the Put's own argument
+					}
+				}
+				pass.Reportf(id.Pos(), "%s is used after %s.Put returned it to the pool", obj.Name(), key)
+				delete(s, obj) // one report per hand-back
+				return true
+			})
 		}
-		return true
-	})
-	return pos, found
+		for _, p := range puts {
+			if p.argObj != nil {
+				s[p.argObj] = p.key
+			}
+		}
+	}
+
+	spec := FlowSpec[taint]{
+		Init:   func() taint { return taint{} },
+		Bottom: func() taint { return taint{} },
+		Join: func(dst, src taint) taint {
+			out := clone(dst)
+			for k, v := range src {
+				out[k] = v
+			}
+			return out
+		},
+		Equal: func(a, b taint) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k, v := range a {
+				if b[k] != v {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(bl *Block, in taint) taint {
+			out := clone(in)
+			for _, n := range bl.Nodes {
+				apply(n, out, false)
+			}
+			return out
+		},
+	}
+	in := ForwardDataflow(g, spec)
+
+	reach := g.Reachable()
+	for _, bl := range g.Blocks {
+		if !reach[bl.Index] {
+			continue
+		}
+		s := clone(in[bl.Index])
+		for _, n := range bl.Nodes {
+			apply(n, s, true)
+		}
+	}
 }

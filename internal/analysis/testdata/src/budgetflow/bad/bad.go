@@ -1,0 +1,51 @@
+// Package bad charges the shared recovery budget without checking it:
+// increments with no exhaustion test, an increment whose check one
+// path can skip, and a budget error built with %v instead of %w. Its
+// fixture import path places it under internal/sim.
+package bad
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrRetryBudget mirrors fault.ErrRetryBudget (matched by name).
+var ErrRetryBudget = errors.New("retry budget exhausted")
+
+// Metrics mirrors sim.Metrics: integer recovery counters.
+type Metrics struct {
+	Retries   int
+	Restarts  int
+	Failovers int
+}
+
+func UncheckedRetry(m *Metrics) {
+	m.Retries++ // want `recovery counter m\.Retries is incremented on a path that can return without a budget check`
+}
+
+func UncheckedRestartAdd(m *Metrics, n int) {
+	m.Restarts += n // want `recovery counter m\.Restarts is incremented on a path that can return without a budget check`
+}
+
+// SkippableCheck tests the budget only on the slow path; the fast
+// return skips it.
+func SkippableCheck(m *Metrics, budget int, fast bool) error {
+	m.Failovers++ // want `recovery counter m\.Failovers is incremented on a path that can return without a budget check`
+	if fast {
+		return nil
+	}
+	if m.Retries+m.Restarts+m.Failovers > budget {
+		return ErrRetryBudget
+	}
+	return nil
+}
+
+// UnwrappedBudgetErr formats the sentinel with %v, so errors.Is stops
+// matching at the first wrap.
+func UnwrappedBudgetErr(m *Metrics, budget int) error {
+	m.Retries++
+	if m.Retries > budget {
+		return fmt.Errorf("tune failed after %d retries: %v", m.Retries, ErrRetryBudget) // want `ErrRetryBudget is formatted without %w`
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+// Package good follows the budget protocol: every increment is
+// followed on all paths by the shared-budget comparison, and every
+// exhaustion error wraps the sentinel via %w.
+package good
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrRetryBudget = errors.New("retry budget exhausted")
+
+type Metrics struct {
+	Retries   int
+	Restarts  int
+	Failovers int
+}
+
+// Summary mirrors sim.Summary: float64 aggregates of per-trial
+// metrics. Weighting counters into a summary owes no budget check.
+type Summary struct {
+	Retries   float64
+	Restarts  float64
+	Failovers float64
+}
+
+func CheckedRetry(m *Metrics, budget int) error {
+	m.Retries++
+	if m.Retries+m.Restarts+m.Failovers > budget {
+		return fmt.Errorf("tune failed after %d retries: %w", m.Retries, ErrRetryBudget)
+	}
+	return nil
+}
+
+// CheckedInLoop mirrors the client retry loop: the increment and the
+// exhaustion test sit in the same iteration.
+func CheckedInLoop(m *Metrics, budget, rounds int) error {
+	for i := 0; i < rounds; i++ {
+		m.Restarts++
+		if m.Restarts > budget {
+			return fmt.Errorf("restart storm: %w", ErrRetryBudget)
+		}
+	}
+	return nil
+}
+
+// CheckedOnBothArms increments once and checks on every outgoing path.
+func CheckedOnBothArms(m *Metrics, budget int, fast bool) error {
+	m.Failovers++
+	if fast {
+		if m.Failovers > budget {
+			return ErrRetryBudget
+		}
+		return nil
+	}
+	if m.Failovers >= budget {
+		return fmt.Errorf("failover cascade: %w", ErrRetryBudget)
+	}
+	return nil
+}
+
+// Aggregate weights trial metrics into a summary; these float64
+// accumulations are bookkeeping, not budget charges.
+func Aggregate(s *Summary, m *Metrics, w float64) {
+	s.Retries += w * float64(m.Retries)
+	s.Restarts += w * float64(m.Restarts)
+	s.Failovers += w * float64(m.Failovers)
+}

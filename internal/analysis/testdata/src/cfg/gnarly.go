@@ -1,0 +1,79 @@
+// Package cfg is the CFG builder's golden-test corpus: the control
+// shapes whose block/edge decomposition is easiest to get wrong. The
+// file is parsed (not type-checked), and each function's graph dump is
+// pinned under testdata/cfg/<FuncName>.golden.
+package cfg
+
+// LabeledLoops exercises labeled continue and break targeting the
+// outer loop from inside the inner one.
+func LabeledLoops(grid [][]int) int {
+	total := 0
+outer:
+	for i := 0; i < len(grid); i++ {
+		for j := 0; j < len(grid[i]); j++ {
+			if grid[i][j] < 0 {
+				continue outer
+			}
+			if grid[i][j] == 99 {
+				break outer
+			}
+			total += grid[i][j]
+		}
+	}
+	return total
+}
+
+// GotoIntoLoop jumps from outside a loop to a label inside its body.
+func GotoIntoLoop(n int) int {
+	total := 0
+	if n > 10 {
+		goto inside
+	}
+	for i := 0; i < n; i++ {
+	inside:
+		total++
+		if total > 100 {
+			return total
+		}
+	}
+	return total
+}
+
+// SelectDefault never parks: the default clause makes the select a
+// poll with one successor per clause.
+func SelectDefault(ch chan int, out chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case out <- 1:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// DeferInLoop registers one deferred call per iteration; all of them
+// run at the function's exit, not the loop's.
+func DeferInLoop(fns []func(), guard func() bool) {
+	for _, f := range fns {
+		if !guard() {
+			break
+		}
+		defer f()
+	}
+}
+
+// SwitchFallthrough chains one case into the next.
+func SwitchFallthrough(k int) int {
+	total := 0
+	switch k {
+	case 0:
+		total++
+		fallthrough
+	case 1:
+		total += 2
+	default:
+		total += 3
+	}
+	return total
+}

@@ -49,5 +49,5 @@ func Send(m map[string]int, out chan<- string) {
 
 func Reasonless() int64 {
 	/* want `directive needs a reason` */ //nolint:bcast-determinism
-	return time.Now().Unix() // want `time\.Now in a deterministic package`
+	return time.Now().Unix()              // want `time\.Now in a deterministic package`
 }

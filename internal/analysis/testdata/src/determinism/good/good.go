@@ -38,6 +38,6 @@ func Total(m map[string]int) int {
 }
 
 func Timed() time.Duration {
-	start := time.Now() //nolint:bcast-determinism // fixture: wall-clock timing is the point here
+	start := time.Now()      //nolint:bcast-determinism // fixture: wall-clock timing is the point here
 	return time.Since(start) //nolint:bcast-determinism // fixture: wall-clock timing is the point here
 }

@@ -1,6 +1,9 @@
-// Package bad launches goroutines with no lifecycle; its fixture
+// Package bad launches goroutines with no lifecycle — or with a
+// WaitGroup tie whose Add does not dominate the spawn; its fixture
 // import path places it under internal/netcast.
 package bad
+
+import "sync"
 
 func Spawn() {
 	go func() { // want `goroutine has no lifecycle`
@@ -18,4 +21,32 @@ func SpawnLoop(n int) {
 			println(i)
 		}(i)
 	}
+}
+
+// AddInsideGoroutine races the Add against Wait: by the time the
+// goroutine runs its own Add, Wait may already have returned.
+func AddInsideGoroutine(wg *sync.WaitGroup) {
+	go func() { // want `WaitGroup-tied goroutine has no wg\.Add dominating the go statement`
+		wg.Add(1)
+		defer wg.Done()
+	}()
+}
+
+// AddAfterGo has the same race with the Add on the spawner's side of
+// the fence but after the spawn.
+func AddAfterGo(wg *sync.WaitGroup) {
+	go func() { // want `WaitGroup-tied goroutine has no wg\.Add dominating the go statement`
+		defer wg.Done()
+	}()
+	wg.Add(1)
+}
+
+// AddOnOneBranch can spawn without ever having charged the group.
+func AddOnOneBranch(wg *sync.WaitGroup, tracked bool) {
+	if tracked {
+		wg.Add(1)
+	}
+	go func() { // want `WaitGroup-tied goroutine has no wg\.Add dominating the go statement`
+		defer wg.Done()
+	}()
 }

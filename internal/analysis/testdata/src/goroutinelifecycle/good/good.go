@@ -43,3 +43,30 @@ func Detached() {
 		println("detached")
 	}()
 }
+
+// AddDominatesThroughBranches charges the group before the branch, so
+// every path to the spawn has passed the Add.
+func AddDominatesThroughBranches(wg *sync.WaitGroup, fast bool) {
+	wg.Add(1)
+	if fast {
+		go func() {
+			defer wg.Done()
+		}()
+		return
+	}
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+// AddPerIteration mirrors the delivery fan-out: one Add directly
+// before each spawn inside the loop body.
+func AddPerIteration(wg *sync.WaitGroup, n int) {
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			println(i)
+		}(i)
+	}
+}

@@ -1,0 +1,83 @@
+// Package bad blocks while holding a mutex in every way the tower
+// must not: channel ops, sleeps, WaitGroup joins, conn I/O, and a
+// defaultless select. Its fixture import path places it under
+// internal/netcast.
+package bad
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type srv struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	ch   chan int
+	wg   sync.WaitGroup
+	conn net.Conn
+}
+
+func (s *srv) SendLocked() {
+	s.mu.Lock()
+	s.ch <- 1 // want `channel send while s\.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *srv) RecvUnderDefer() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	<-s.ch // want `channel receive while s\.mu is held`
+}
+
+func (s *srv) SleepLocked() {
+	s.rw.RLock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while s\.rw is held`
+	s.rw.RUnlock()
+}
+
+func (s *srv) WaitLocked() {
+	s.mu.Lock()
+	s.wg.Wait() // want `sync\.WaitGroup\.Wait while s\.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *srv) ConnWriteLocked(b []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.conn.Write(b) // want `s\.conn\.Write \(net\.Conn I/O\) while s\.mu is held`
+}
+
+func (s *srv) SelectLocked() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `select without a default while s\.mu is held`
+	case v := <-s.ch:
+		_ = v
+	}
+}
+
+// BranchLeak unlocks on only one branch: the receive below the merge
+// still blocks on the path where cheap was false.
+func (s *srv) BranchLeak(cheap bool) {
+	s.mu.Lock()
+	if cheap {
+		s.mu.Unlock()
+	}
+	<-s.ch // want `channel receive while s\.mu is held`
+	if !cheap {
+		s.mu.Unlock()
+	}
+}
+
+// RangeLocked iterates a channel — a blocking receive per element —
+// with the lock held.
+func (s *srv) RangeLocked() int {
+	total := 0
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for v := range s.ch { // want `range over a channel while s\.mu is held`
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,78 @@
+// Package good blocks only after releasing its locks, and uses the
+// two sanctioned block-under-lock forms: sync.Cond.Wait (which parks
+// with the mutex atomically released) and select with a default
+// (which never parks).
+package good
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type srv struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	ch   chan int
+	wg   sync.WaitGroup
+	conn net.Conn
+}
+
+func (s *srv) SendUnlocked() {
+	s.mu.Lock()
+	pending := 1
+	s.mu.Unlock()
+	s.ch <- pending
+}
+
+func (s *srv) CondWait() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.ch) == 0 {
+		s.cond.Wait() // atomically releases s.mu while parked
+	}
+}
+
+func (s *srv) SelectWithDefault() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+// BothBranchesRelease unlocks on every path before blocking.
+func (s *srv) BothBranchesRelease(cheap bool) {
+	s.mu.Lock()
+	if cheap {
+		s.mu.Unlock()
+	} else {
+		s.mu.Unlock()
+	}
+	<-s.ch
+}
+
+// CriticalThenIO snapshots under the lock and does the slow work after.
+func (s *srv) CriticalThenIO(b []byte) {
+	s.mu.Lock()
+	n := len(b)
+	s.mu.Unlock()
+	time.Sleep(time.Duration(n))
+	s.conn.Write(b)
+	s.wg.Wait()
+}
+
+// SpawnedWriter blocks inside a goroutine body, which runs on its own
+// stack without the spawner's locks.
+func (s *srv) SpawnedWriter(b []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.conn.Write(b)
+	}()
+}

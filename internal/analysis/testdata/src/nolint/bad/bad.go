@@ -1,0 +1,24 @@
+// Package bad carries nolint directives whose reasons are absent or
+// content-free: bare punctuation and comment markers do not explain
+// anything, so they do not count.
+package bad
+
+func b() {
+	/* want `directive needs a reason` */ //nolint:bcast-determinism
+	_ = 0
+}
+
+func c() {
+	/* want `directive needs a reason` */ //nolint:bcast-determinism // --
+	_ = 1
+}
+
+func d() {
+	/* want `directive needs a reason` */ //nolint:bcast-determinism,bcast-errsentinel // ... !!!
+	_ = 2
+}
+
+func e() {
+	/* want `directive needs a reason` */ //nolint:bcast-pooledreturn // ////
+	_ = 3
+}

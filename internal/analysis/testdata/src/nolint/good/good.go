@@ -1,0 +1,18 @@
+// Package good carries well-formed nolint directives (substantive
+// reasons) plus non-bcast directives that are none of our business.
+package good
+
+//nolint:bcast-determinism // wall-clock read is injected from main; see DESIGN §9
+func a() {}
+
+//nolint:bcast-determinism,bcast-errsentinel // twin asserts byte equality, sentinel compared upstream
+func b() {}
+
+//nolint:gosec // another linter's directive: ignored entirely
+func c() {}
+
+// A reason that is mostly punctuation still counts once it carries at
+// least one word.
+//
+//nolint:bcast-pooledreturn // -- ok: handed to caller --
+func d() {}

@@ -1,0 +1,52 @@
+// Package bad violates the obs registry contract three ways: a
+// dynamic metric name, a name registered at two sites, and a handle
+// method that dereferences its receiver without the nil no-op guard.
+// Its fixture import path places it under internal/obs, so the
+// nil-guard rule applies to its handle types too.
+package bad
+
+type Registry struct {
+	n int
+}
+
+type Counter struct {
+	v int64
+}
+
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.n++
+	return &Counter{}
+}
+
+func (r *Registry) Emit(kind string, attrs ...int64) {
+	if r == nil {
+		return
+	}
+	r.n += len(attrs)
+	_ = kind
+}
+
+// Add is missing the no-op guard: a nil-sourced handle panics here.
+func (c *Counter) Add(n int64) {
+	c.v += n // want `method Add dereferences receiver c without a nil guard`
+}
+
+// GuardAfterDeref reads the field before testing it, so the guard
+// protects nothing.
+func (c *Counter) GuardAfterDeref() int64 {
+	v := c.v // want `method GuardAfterDeref dereferences receiver c without a nil guard`
+	if c == nil {
+		return 0
+	}
+	return v
+}
+
+func Register(r *Registry, shard string) {
+	r.Counter("frames_" + shard) // want `obs Counter name is not a compile-time constant string`
+	r.Counter("dup_total")
+	r.Counter("dup_total")   // want `obs metric "dup_total" is registered at more than one site`
+	r.Emit("tune_"+shard, 1) // want `obs Emit name is not a compile-time constant string`
+}

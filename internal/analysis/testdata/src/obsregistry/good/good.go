@@ -1,0 +1,61 @@
+// Package good follows the obs registry contract: constant names
+// (literals or named constants) registered at one site each, trace
+// kinds reused freely through Emit, and handle methods that are no-ops
+// on nil receivers — including the canonical compound guard and the
+// delegate-without-deref idiom.
+package good
+
+const framesName = "frames_total"
+
+type Registry struct {
+	n int
+}
+
+type Counter struct {
+	v int64
+}
+
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.n++
+	return &Counter{}
+}
+
+func (r *Registry) Emit(kind string, attrs ...int64) {
+	if r == nil {
+		return
+	}
+	r.n += len(attrs)
+	_ = kind
+}
+
+// Add carries the canonical compound guard: the false edge of
+// `c == nil || n <= 0` proves c non-nil for everything below.
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v += n
+}
+
+// Inc delegates without touching a field; calling a method on a nil
+// receiver is fine, so no guard is needed here.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value guards with the inverted form.
+func (c *Counter) Value() int64 {
+	if c != nil {
+		return c.v
+	}
+	return 0
+}
+
+func Register(r *Registry) {
+	r.Counter(framesName)
+	r.Counter("ticks_total")
+	// The same trace kind may be emitted from many sites.
+	r.Emit("tune", 1)
+	r.Emit("tune", 2)
+}

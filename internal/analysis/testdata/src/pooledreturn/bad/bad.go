@@ -22,3 +22,27 @@ func UseAfterPut(p *pool.Pool[*state]) int {
 	p.Put(s)
 	return s.v // want `s is used after p\.Put`
 }
+
+// UseAfterBranchPut puts s back on one branch only; the read below the
+// merge is a use-after-free on that path. The pre-CFG analyzer only
+// scanned the statements after the Put inside the if body, so this is
+// exactly the false negative the dataflow rehost closes.
+func UseAfterBranchPut(p *pool.Pool[*state], dominated bool) int {
+	s := p.Get()
+	if dominated {
+		p.Put(s)
+	}
+	return s.v // want `s is used after p\.Put`
+}
+
+// UseAfterLoopPut recycles at the bottom of the iteration, then reads
+// the stale pointer before the next Get rebinds it.
+func UseAfterLoopPut(p *pool.Pool[*state], rounds int) int {
+	total := 0
+	s := p.Get()
+	for i := 0; i < rounds; i++ {
+		total += s.v // want `s is used after p\.Put`
+		p.Put(s)
+	}
+	return total
+}

@@ -55,6 +55,20 @@ func DeferredPut(p *pool.Pool[*state]) int {
 	return s.v
 }
 
+// ReplanOrKeep puts back and immediately rebinds on one branch; the
+// merge point sees a fresh value either way, so the read below it is
+// clean on every path.
+func ReplanOrKeep(p *pool.Pool[*state], replan bool) int {
+	s := p.Get()
+	if replan {
+		p.Put(s)
+		s = p.Get()
+	}
+	out := s.v
+	p.Put(s)
+	return out
+}
+
 // InLoop mirrors the search hot loop: dominated work is recycled with
 // Put mid-loop and the variable is refilled by the next Get.
 func InLoop(p *pool.Pool[*state], rounds int) int {

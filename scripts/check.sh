@@ -3,7 +3,9 @@
 #
 #   build       go build ./...
 #   vet         go vet ./...
-#   bcast-vet   go run ./cmd/bcast-vet ./...   (repo-specific invariants)
+#   bcast-vet   go run ./cmd/bcast-vet ./...   (repo-specific invariants;
+#               writes bcast-vet.json and enforces a 30s-per-package
+#               analyzer time budget)
 #   staticcheck staticcheck ./...              (skipped when not installed)
 #   govulncheck govulncheck ./...              (skipped when not installed)
 #   test        go test ./...                  (tier-1: the full unit/property suite)
@@ -41,7 +43,7 @@ echo "== vet =="
 go vet ./...
 
 echo "== bcast-vet =="
-go run ./cmd/bcast-vet ./...
+go run ./cmd/bcast-vet -json bcast-vet.json -timebudget 30s ./...
 
 echo "== staticcheck =="
 if command -v staticcheck >/dev/null 2>&1; then
