@@ -229,6 +229,9 @@ type AverageMetrics struct {
 	// Failovers is the expected number of dead-air channel failovers per
 	// query; zero unless the schedule is measured under channel outages.
 	Failovers float64
+	// Reconnects is the expected number of station re-dial attempts per
+	// query; zero unless the schedule is measured under station downtime.
+	Reconnects float64
 	// Conflicts is the expected number of batch retrieval conflicts per
 	// query — wanted nodes overlapping on the air; zero for single-key
 	// workloads.

@@ -40,7 +40,7 @@ type options struct {
 
 func main() {
 	var opt options
-	flag.StringVar(&opt.exp, "exp", "all", "experiment: table1 | fig14 | fig14multi | fig2 | channels | pruning | heuristics | sim | treeshape | replication | largescale | loss | adapt | outage | batch | perf | all")
+	flag.StringVar(&opt.exp, "exp", "all", "experiment: table1 | fig14 | fig14multi | fig2 | channels | pruning | heuristics | sim | treeshape | replication | largescale | loss | adapt | outage | batch | restart | perf | all")
 	flag.IntVar(&opt.trials, "trials", 0, "trial count override (0 = experiment default)")
 	flag.Int64Var(&opt.seed, "seed", 1, "random seed")
 	flag.IntVar(&opt.maxM, "max-m", 5, "largest fanout for table1 (6 takes minutes)")
@@ -203,6 +203,16 @@ func run(opt options, w io.Writer) error {
 			}
 			return experiment.RenderOutage(w, rows)
 		},
+		"restart": func() error {
+			fmt.Fprintln(w, "== A12: station crashes vs reconnect backoff and checkpoint cadence ==")
+			rows, replay, err := experiment.RestartSweep(experiment.RestartSweepConfig{
+				Trials: opt.trials, Seed: opt.seed, Workers: opt.workers,
+			})
+			if err != nil {
+				return err
+			}
+			return experiment.RenderRestart(w, rows, replay)
+		},
 		"perf": func() error {
 			fmt.Fprintln(w, "== Perf: search engines and experiment harness ==")
 			report, err := experiment.Perf(experiment.PerfConfig{
@@ -229,7 +239,7 @@ func run(opt options, w io.Writer) error {
 		},
 	}
 	if opt.exp == "all" {
-		for _, name := range []string{"fig2", "table1", "fig14", "fig14multi", "channels", "pruning", "heuristics", "sim", "treeshape", "replication", "largescale", "loss", "adapt", "outage", "batch"} {
+		for _, name := range []string{"fig2", "table1", "fig14", "fig14multi", "channels", "pruning", "heuristics", "sim", "treeshape", "replication", "largescale", "loss", "adapt", "outage", "batch", "restart"} {
 			if err := runners[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

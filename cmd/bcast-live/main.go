@@ -22,6 +22,15 @@
 // client executes the plan over the socket with ReadBatch. Live and
 // analytic metrics must match byte for byte, lossy medium or not.
 //
+// With -kill SLOT the station is crash-tested for real: the tower
+// checkpoints its epoch state at every cycle boundary, the process
+// tears it down — sockets and all — the moment the broadcast clock
+// reaches SLOT, and a fresh tower warm-starts from the checkpoint after
+// -restart-after slots of downtime, rebinding the same port. Every
+// client rides through the crash with the reconnect protocol (seeded
+// exponential backoff against the same port) and is cross-checked
+// against the analytic restart twin, Reconnects included.
+//
 // With -obs addr the process serves its observability endpoint — JSON
 // metrics at /metrics, recent trace events at /trace, and net/http/pprof
 // under /debug/pprof/ — and dumps a final text snapshot of every metric
@@ -36,6 +45,7 @@
 //	bcast-gen -type catalog -n 12 | bcast-live -swap 9 -obs 127.0.0.1:0
 //	bcast-gen -type catalog -n 12 | bcast-live -k 2 -outage 1:10:40 -clients 6
 //	bcast-gen -type catalog -n 12 | bcast-live -k 2 -batch 1,4,7,9 -clients 4
+//	bcast-gen -type catalog -n 12 | bcast-live -k 2 -kill 12 -restart-after 5
 package main
 
 import (
@@ -47,6 +57,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"text/tabwriter"
 	"time"
 
@@ -89,6 +100,11 @@ type liveOpts struct {
 	// multi-key retrieval of exactly these keys instead of a single
 	// random lookup.
 	batchKeys []int64
+	// kill, when positive, crash-tests the station: the tower is torn
+	// down when the broadcast clock reaches that slot and warm-started
+	// from its checkpoint after restartAfter slots of downtime, while
+	// every client reconnects through the seeded backoff.
+	kill, restartAfter int
 	// obs, when non-nil, receives server and client metrics and trace
 	// events; main wires it to the -obs HTTP endpoint.
 	obs *obs.Registry
@@ -109,6 +125,8 @@ func main() {
 	flag.IntVar(&opt.swap, "swap", 0, "stage a rebuilt epoch-2 program at this slot and hot-swap it on air (0 = static broadcast)")
 	outageSpec := flag.String("outage", "", "channel-outage windows CH:START:END, comma-separated (e.g. 1:10:40,2:60:80)")
 	batchSpec := flag.String("batch", "", "retrieve these comma-separated keys as one planned batch per client (e.g. 1,4,7)")
+	flag.IntVar(&opt.kill, "kill", 0, "crash the station when the broadcast clock reaches this slot and warm-restart it from its checkpoint (0 = no crash)")
+	flag.IntVar(&opt.restartAfter, "restart-after", 5, "downtime in slots between the -kill crash and the warm restart")
 	flag.IntVar(&opt.watchdog, "watchdog", 0, "missed-tick threshold before the tower replans (0 = default, negative = no replanning)")
 	flag.IntVar(&opt.deadAir, "deadair", 0, "consecutive unusable reads before a client fails over (0 = default, negative = no failover)")
 	obsAddr := flag.String("obs", "", "serve /metrics, /trace and /debug/pprof on this address (bind loopback, e.g. 127.0.0.1:0)")
@@ -168,24 +186,30 @@ func run(in string, opt liveOpts, w io.Writer) error {
 	// Root copies make the first channel's idle slots useful, give the
 	// hot-swap demo the boundary-straddling descents that restart, and
 	// give failed-over clients a root to re-tune to during an outage.
-	prog, err := sim.Compile(sol.Alloc, sim.Options{FillWithRootCopies: opt.swap > 0 || opt.outages.Enabled()})
+	prog, err := sim.Compile(sol.Alloc, sim.Options{FillWithRootCopies: opt.swap > 0 || opt.outages.Enabled() || opt.kill > 0})
 	if err != nil {
 		return err
 	}
-	if len(opt.batchKeys) > 0 {
-		if opt.swap > 0 || opt.outages.Enabled() {
-			return fmt.Errorf("-batch, -swap and -outage are separate demos; pick one")
+	demos := 0
+	for _, on := range []bool{len(opt.batchKeys) > 0, opt.outages.Enabled(), opt.swap > 0, opt.kill > 0} {
+		if on {
+			demos++
 		}
+	}
+	if demos > 1 {
+		return fmt.Errorf("-batch, -swap, -outage and -kill are separate demos; pick one")
+	}
+	if len(opt.batchKeys) > 0 {
 		return runBatch(t, prog, opt, w)
 	}
 	if opt.outages.Enabled() {
-		if opt.swap > 0 {
-			return fmt.Errorf("-outage and -swap are separate demos; pick one")
-		}
 		return runOutage(t, prog, opt, w)
 	}
 	if opt.swap > 0 {
 		return runAdaptive(t, prog, opt, w)
+	}
+	if opt.kill > 0 {
+		return runRestart(t, prog, opt, w)
 	}
 
 	model := fault.Model{Seed: opt.seed, Drop: opt.drop, Corrupt: opt.corrupt, Stall: opt.stall}
@@ -608,6 +632,223 @@ func runAdaptive(t *tree.Tree, prog *sim.Program, opt liveOpts, w io.Writer) err
 	}
 	fmt.Fprintf(w, "\nswaps landed: %d; %d descent restarts; all %d live lookups matched the adaptive simulator exactly\n",
 		server.Swaps(), restarts, opt.clients)
+	return nil
+}
+
+// runRestart crash-tests the station: the tower checkpoints at every
+// cycle boundary, dies — listener, sockets and all — the moment its
+// clock reaches opt.kill, and a fresh process warm-starts from the
+// checkpoint on the same port once the downtime window has passed.
+// Clients that were mid-session reconnect under the seeded backoff and
+// finish against the restored broadcast; every session is cross-checked
+// against the analytic restart twin, Reconnects included.
+func runRestart(t *tree.Tree, prog *sim.Program, opt liveOpts, w io.Writer) error {
+	dir, err := os.MkdirTemp("", "bcast-live-ckpt")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	sopts := netcast.ServerOptions{
+		Faults:         fault.Model{Seed: opt.seed, Drop: opt.drop, Corrupt: opt.corrupt, Stall: opt.stall},
+		StallFor:       time.Millisecond,
+		Obs:            opt.obs,
+		CheckpointPath: dir + "/station.ckpt",
+		Resume:         true,
+	}
+	down := fault.Downtime{StartSlot: opt.kill, EndSlot: opt.kill + opt.restartAfter}
+	bo := fault.Backoff{Seed: opt.seed}
+	rc := sim.RestartConfig{
+		Model:      sopts.Faults,
+		Downtimes:  fault.Downtimes{down},
+		Backoff:    bo,
+		MaxRetries: opt.retries,
+		DeadAir:    -1,
+	}
+
+	reg, err := epoch.NewRegistry(prog)
+	if err != nil {
+		return err
+	}
+	server, err := netcast.NewAdaptiveServer(reg, sopts)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	server.Serve(ln)
+	addr := ln.Addr().String()
+
+	// station guards the kill/warm-restart transition: a client redial
+	// observed after the crash blocks here until the new tower is
+	// accepting, and is refused while the downtime window holds.
+	var station struct {
+		mu     sync.Mutex
+		cur    *netcast.Server
+		killed bool
+	}
+	station.cur = server
+	defer func() {
+		station.mu.Lock()
+		cur := station.cur
+		station.mu.Unlock()
+		if cur != nil {
+			cur.Close()
+		}
+	}()
+	redial := func(slot int) (net.Conn, error) {
+		station.mu.Lock()
+		defer station.mu.Unlock()
+		if station.cur == nil || (station.killed && slot < down.EndSlot) {
+			return nil, fmt.Errorf("station down at slot %d", slot)
+		}
+		return net.Dial("tcp", addr)
+	}
+
+	fmt.Fprintf(w, "broadcasting %d nodes over %d channels at %s (cycle %d slots)\n",
+		t.NumNodes(), opt.k, addr, prog.CycleLen())
+	fmt.Fprintf(w, "crash test: station dies at slot %d, warm-starts from its checkpoint at slot %d\n",
+		down.StartSlot, down.EndSlot)
+	if sopts.Faults.Enabled() {
+		fmt.Fprintf(w, "lossy medium: drop %.2f, corrupt %.2f, stall %.2f (seed %d)\n",
+			opt.drop, opt.corrupt, opt.stall, opt.seed)
+	}
+	fmt.Fprintln(w)
+
+	power := sim.Power{Active: 1, Doze: 0.05}
+	rng := stats.NewRNG(opt.seed)
+	dataIDs := t.DataIDs()
+
+	type outcome struct {
+		idx     int
+		arrival int
+		key     int64
+		found   bool
+		m       sim.Metrics
+		want    sim.Metrics
+		err     error
+		wantErr error
+	}
+	done := make(chan outcome, opt.clients)
+	for i := 0; i < opt.clients; i++ {
+		key, _ := t.Key(dataIDs[rng.Intn(len(dataIDs))])
+		// Arrivals spread up to the crash so sessions straddle it.
+		arrival := rng.Intn(opt.kill + prog.CycleLen())
+		want, _, wantErr := prog.QueryRestart(arrival, key, power, rc)
+		if wantErr != nil && !errors.Is(wantErr, fault.ErrRetryBudget) {
+			return wantErr
+		}
+		go func(idx, arrival int, key int64, want sim.Metrics, wantErr error) {
+			c, err := netcast.Dial(addr)
+			if err != nil {
+				done <- outcome{idx: idx, err: err}
+				return
+			}
+			defer c.Close()
+			c.MaxRetries = opt.retries
+			c.Backoff = bo
+			c.Redial = redial
+			c.Instrument(opt.obs)
+			found, _, m, err := c.Lookup(arrival, key, power)
+			done <- outcome{idx, arrival, key, found, m, want, err, wantErr}
+		}(i, arrival, key, want, wantErr)
+	}
+
+	// Drive the broadcast by hand: tick only while a session is in
+	// flight (a free-running clock would outpace reconnecting clients),
+	// and fire the crash the moment the clock reaches the kill slot.
+	stop := make(chan struct{})
+	driveDone := make(chan error, 1)
+	go func() {
+		server.AwaitConns(opt.clients)
+		for {
+			select {
+			case <-stop:
+				driveDone <- nil
+				return
+			default:
+			}
+			station.mu.Lock()
+			cur := station.cur
+			station.mu.Unlock()
+			if !station.killed && cur.Now() >= down.StartSlot {
+				station.mu.Lock()
+				cur.Close()
+				reg2, err := epoch.NewRegistry(prog)
+				if err == nil {
+					station.cur, err = netcast.NewAdaptiveServer(reg2, sopts)
+				}
+				if err != nil {
+					station.cur = nil
+					station.mu.Unlock()
+					driveDone <- err
+					return
+				}
+				ln2, err := net.Listen("tcp", addr)
+				if err != nil {
+					station.mu.Unlock()
+					driveDone <- err
+					return
+				}
+				station.cur.Serve(ln2)
+				station.killed = true
+				warm := station.cur.Warm()
+				clock := station.cur.Now()
+				station.mu.Unlock()
+				fmt.Fprintf(w, "station killed at slot %d; warm=%v, resumed at boundary %d\n\n",
+					down.StartSlot, warm, clock)
+				continue
+			}
+			if cur.Conns() > 0 {
+				if err := cur.Tick(); err != nil {
+					driveDone <- err
+					return
+				}
+			} else {
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}()
+
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "client\tarrival\tkey\tfound\taccess\ttuning\tretries\treconnects\tenergy\tmatches simulator")
+	failures, reconnects := 0, 0
+	for i := 0; i < opt.clients; i++ {
+		o := <-done
+		if o.err != nil {
+			if errors.Is(o.err, fault.ErrRetryBudget) && errors.Is(o.wantErr, fault.ErrRetryBudget) {
+				fmt.Fprintf(tw, "%d\t%d\t%d\t-\t-\t-\t-\t-\t-\tbudget exhausted (as predicted)\n",
+					o.idx, o.arrival, o.key)
+				continue
+			}
+			close(stop)
+			return fmt.Errorf("client %d: %w", o.idx, o.err)
+		}
+		if o.wantErr != nil {
+			close(stop)
+			return fmt.Errorf("client %d: simulator predicted %v but the socket lookup succeeded", o.idx, o.wantErr)
+		}
+		match := o.m == o.want
+		if !match {
+			failures++
+		}
+		reconnects += o.m.Reconnects
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%v\t%d\t%d\t%d\t%d\t%.2f\t%v\n",
+			o.idx, o.arrival, o.key, o.found, o.m.AccessTime, o.m.TuningTime, o.m.Retries, o.m.Reconnects, o.m.Energy, match)
+	}
+	close(stop)
+	if err := <-driveDone; err != nil {
+		return err
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d of %d clients diverged from the restart simulator", failures, opt.clients)
+	}
+	fmt.Fprintf(w, "\n%d client reconnects; all %d live lookups matched the restart simulator exactly\n",
+		reconnects, opt.clients)
 	return nil
 }
 

@@ -18,11 +18,20 @@
 // -obs-hold afterwards so a scraper can catch a finished run, and dumps
 // a final text snapshot of every metric to stderr on shutdown.
 //
+// With -checkpoint PATH (async only) the epoch registry is persisted at
+// every period boundary with the tower's checkpoint codec, and -resume
+// warm-starts the next run from that file: epoch IDs, lifecycle counters
+// and the span history continue across the restart instead of resetting,
+// while the demand counters — deliberately not checkpointed — are
+// relearned from live traffic. A missing or corrupt file falls back to a
+// cold start.
+//
 // Example:
 //
 //	bcast-station -universe 50 -hot 8 -k 2 -periods 12 -shift 6
 //	bcast-station -universe 50 -hot 8 -periods 12 -async
 //	bcast-station -periods 6 -async -obs 127.0.0.1:9477 -obs-hold 30s
+//	bcast-station -periods 6 -async -checkpoint /tmp/station.ckpt -resume
 package main
 
 import (
@@ -57,8 +66,18 @@ func main() {
 		async    = flag.Bool("async", false, "plan rebuilds in the background epoch planner and hot-swap at period boundaries")
 		obsAddr  = flag.String("obs", "", "serve /metrics, /trace and /debug/pprof on this address (bind loopback, e.g. 127.0.0.1:0)")
 		obsHold  = flag.Duration("obs-hold", 0, "keep the -obs endpoint serving this long after the run completes")
+		ckpt     = flag.String("checkpoint", "", "persist the epoch registry to this file at each period boundary (-async only)")
+		resume   = flag.Bool("resume", false, "warm-start the epoch registry from -checkpoint when it holds a valid snapshot")
 	)
 	flag.Parse()
+	if *resume && *ckpt == "" {
+		fmt.Fprintln(os.Stderr, "bcast-station: -resume requires -checkpoint")
+		os.Exit(1)
+	}
+	if *ckpt != "" && !*async {
+		fmt.Fprintln(os.Stderr, "bcast-station: -checkpoint requires -async (the epoch-registry path)")
+		os.Exit(1)
+	}
 	var r *obs.Registry
 	var obsSrv *obs.Server
 	if *obsAddr != "" {
@@ -72,7 +91,7 @@ func main() {
 	}
 	var err error
 	if *async {
-		err = runAsync(*universe, *hot, *k, *periods, *perP, *shift, *theta, *decay, *seed, os.Stdout, r)
+		err = runAsync(*universe, *hot, *k, *periods, *perP, *shift, *theta, *decay, *seed, *ckpt, *resume, os.Stdout, r)
 	} else {
 		err = run(*universe, *hot, *k, *periods, *perP, *shift, *theta, *decay, *seed, os.Stdout, r)
 	}
@@ -169,7 +188,7 @@ func run(universe, hot, k, periods, perP, shift int, theta, decay float64, seed 
 // boundary, the way the netcast tower promotes epochs only at cycle
 // boundaries. The broadcast therefore never waits on a solve; the price
 // is one period of adoption lag, visible in the hit-ratio column.
-func runAsync(universe, hot, k, periods, perP, shift int, theta, decay float64, seed int64, w io.Writer, r *obs.Registry) error {
+func runAsync(universe, hot, k, periods, perP, shift int, theta, decay float64, seed int64, ckpt string, resume bool, w io.Writer, r *obs.Registry) error {
 	if universe < hot {
 		return fmt.Errorf("universe %d smaller than hot set %d", universe, hot)
 	}
@@ -191,9 +210,48 @@ func runAsync(universe, hot, k, periods, perP, shift int, theta, decay float64, 
 		return err
 	}
 
-	reg, err := epoch.NewRegistry(station.Schedule().Program())
-	if err != nil {
-		return err
+	// Crash recovery: with -checkpoint the registry is persisted at every
+	// period boundary, and -resume warm-starts from that file so epoch IDs,
+	// lifecycle counters and the span history continue across the restart.
+	// The demand counters are deliberately not checkpointed — the station
+	// relearns them from live traffic — so only the epoch lifecycle
+	// survives the crash. The station airs one broadcast cycle per demand
+	// period, which fixes the slot arithmetic the checkpoint codec checks.
+	var (
+		reg        *epoch.Registry
+		aired      int          // absolute slots aired so far
+		epochStart int          // slot the active program went on the air
+		spans      []epoch.Span // span history, oldest first
+	)
+	if resume {
+		if c, lerr := epoch.LoadCheckpoint(ckpt); lerr != nil {
+			fmt.Fprintf(w, "cold start: %v\n", lerr)
+		} else if reg, lerr = epoch.RestoreRegistry(c); lerr != nil {
+			fmt.Fprintf(w, "cold start: %v\n", lerr)
+			reg = nil
+		} else {
+			aired, epochStart = c.Now, c.EpochStart
+			spans = append(spans, c.Spans...)
+			cur, _, nextID, _, _ := reg.Snapshot()
+			fmt.Fprintf(w, "warm start: resumed epoch %d at slot %d (%d spans, next epoch %d)\n",
+				cur.ID, aired, len(spans), nextID)
+			// A checkpointed pending epoch outlived the process, but its hot-set
+			// selection did not: promote it so the lifecycle stays monotone and
+			// let the station keep its relearned selection.
+			if entry, swapped := reg.TrySwap(); swapped {
+				spans = append(spans, epoch.Span{Start: aired, CycleLen: entry.Prog.CycleLen()})
+				epochStart = aired
+				fmt.Fprintf(w, "warm start: promoted checkpointed pending epoch %d (hot set relearned)\n", entry.ID)
+			}
+		}
+	}
+	if reg == nil {
+		var err error
+		reg, err = epoch.NewRegistry(station.Schedule().Program())
+		if err != nil {
+			return err
+		}
+		spans = []epoch.Span{{Start: 0, CycleLen: station.Schedule().Program().CycleLen()}}
 	}
 	// The planner snapshot: the selection the next build should plan for,
 	// and the schedule that build produced (installed only when its epoch
@@ -261,6 +319,8 @@ func runAsync(universe, hot, k, periods, perP, shift int, theta, decay float64, 
 		// swap, one period behind the demand that justified it.
 		entry, swapped := reg.TrySwap()
 		if swapped {
+			spans = append(spans, epoch.Span{Start: aired, CycleLen: entry.Prog.CycleLen()})
+			epochStart = aired
 			pmu.Lock()
 			done := built
 			pmu.Unlock()
@@ -302,6 +362,15 @@ func runAsync(universe, hot, k, periods, perP, shift int, theta, decay float64, 
 		fmt.Fprintf(tw, "%d\t%d\t%v\t%.1f%%\t%.1f%%\t%.3f\n",
 			p, entry.ID, swapped, 100*coverage, 100*float64(hits)/float64(perP),
 			station.Schedule().DataWait())
+
+		// Period boundary: one cycle of the active program has aired;
+		// checkpoint the registry so a killed station warm-starts here.
+		aired += entry.Prog.CycleLen()
+		if ckpt != "" {
+			if err := epoch.WriteCheckpoint(ckpt, reg.CheckpointState(aired, epochStart, spans)); err != nil {
+				return err
+			}
+		}
 	}
 	if err := tw.Flush(); err != nil {
 		return err

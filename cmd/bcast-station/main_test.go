@@ -30,7 +30,7 @@ func TestStationLoopErrors(t *testing.T) {
 
 func TestStationAsyncPipelinesRebuilds(t *testing.T) {
 	var sb strings.Builder
-	if err := runAsync(30, 5, 2, 8, 400, 4, 0.9, 0.4, 1, &sb, nil); err != nil {
+	if err := runAsync(30, 5, 2, 8, 400, 4, 0.9, 0.4, 1, "", false, &sb, nil); err != nil {
 		t.Fatalf("%v\noutput:\n%s", err, sb.String())
 	}
 	out := sb.String()
@@ -51,7 +51,49 @@ func TestStationAsyncPipelinesRebuilds(t *testing.T) {
 }
 
 func TestStationAsyncErrors(t *testing.T) {
-	if err := runAsync(3, 5, 1, 2, 10, 1, 0.9, 0.4, 1, &strings.Builder{}, nil); err == nil {
+	if err := runAsync(3, 5, 1, 2, 10, 1, 0.9, 0.4, 1, "", false, &strings.Builder{}, nil); err == nil {
 		t.Fatal("want error for universe < hot")
+	}
+}
+
+func TestStationCheckpointResume(t *testing.T) {
+	ckpt := t.TempDir() + "/station.ckpt"
+	var first strings.Builder
+	if err := runAsync(30, 5, 2, 4, 400, 2, 0.9, 0.4, 1, ckpt, false, &first, nil); err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, first.String())
+	}
+	// 4 periods staged 4 epochs and swapped 3, so the checkpointed registry
+	// resumes with epoch 4 active and the 4-period pending (epoch 5) still
+	// staged; the warm start promotes that pending without a hot-set install.
+	var second strings.Builder
+	if err := runAsync(30, 5, 2, 4, 400, 2, 0.9, 0.4, 2, ckpt, true, &second, nil); err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, second.String())
+	}
+	out := second.String()
+	if !strings.Contains(out, "warm start: resumed epoch 4") {
+		t.Fatalf("registry did not resume from the checkpoint:\n%s", out)
+	}
+	if !strings.Contains(out, "promoted checkpointed pending epoch 5") {
+		t.Fatalf("checkpointed pending epoch was not promoted:\n%s", out)
+	}
+	// Epoch IDs continue across the restart: the resumed run airs 5..8,
+	// never reusing an ID the first run aired, and the registry's lifecycle
+	// counters accumulate across both processes.
+	lastEpoch := ""
+	for _, line := range strings.Split(out, "\n") {
+		if f := strings.Fields(line); len(f) >= 2 && f[0] == "4" {
+			lastEpoch = f[1]
+		}
+	}
+	if lastEpoch != "8" {
+		t.Fatalf("final period aired epoch %q, want 8 (IDs must continue past the checkpoint):\n%s", lastEpoch, out)
+	}
+	if !strings.Contains(out, "registry: 8 staged, 7 swapped") {
+		t.Fatalf("lifecycle counters did not continue past the checkpoint:\n%s", out)
+	}
+	// A garbage file falls back to a cold start instead of failing the run.
+	bad := t.TempDir() + "/bad.ckpt"
+	if err := runAsync(30, 5, 2, 2, 400, 1, 0.9, 0.4, 1, bad, true, &strings.Builder{}, nil); err != nil {
+		t.Fatalf("missing checkpoint did not fall back cold: %v", err)
 	}
 }

@@ -25,7 +25,7 @@ func TestStationObsEndpoint(t *testing.T) {
 	defer srv.Close()
 
 	var sb strings.Builder
-	if err := runAsync(30, 5, 2, 8, 400, 4, 0.9, 0.4, 1, &sb, r); err != nil {
+	if err := runAsync(30, 5, 2, 8, 400, 4, 0.9, 0.4, 1, "", false, &sb, r); err != nil {
 		t.Fatalf("%v\noutput:\n%s", err, sb.String())
 	}
 

@@ -9,8 +9,8 @@ import (
 )
 
 // BudgetPaths are the packages implementing the shared recovery budget
-// Retries+Restarts+Failovers ≤ MaxRetries: the analytic twin, the TCP
-// client, and the fault model that owns the sentinel.
+// Retries+Restarts+Failovers+Reconnects ≤ MaxRetries: the analytic
+// twin, the TCP client, and the fault model that owns the sentinel.
 var BudgetPaths = []string{
 	"internal/sim",
 	"internal/netcast",
@@ -20,13 +20,13 @@ var BudgetPaths = []string{
 // recoveryCounters are the Metrics fields charged against the shared
 // budget.
 var recoveryCounters = map[string]bool{
-	"Retries": true, "Restarts": true, "Failovers": true,
+	"Retries": true, "Restarts": true, "Failovers": true, "Reconnects": true,
 }
 
 // BudgetFlow enforces the budget protocol flow-sensitively:
 //
 //  1. Every statement that increments a recovery counter (a
-//     Retries/Restarts/Failovers field of a Metrics value) must be
+//     Retries/Restarts/Failovers/Reconnects field of a Metrics value) must be
 //     followed by a budget check on every path to the function's
 //     return — an increment whose exhaustion test can be skipped is
 //     exactly the bug that lets a client retry forever.
@@ -87,7 +87,7 @@ func checkBudgetFunc(pass *Pass, body *ast.BlockStmt) {
 				continue
 			}
 			if pathEscapesBudgetCheck(pass, g, bl) {
-				pass.Reportf(n.Pos(), "recovery counter %s is incremented on a path that can return without a budget check; test Retries+Restarts+Failovers against the budget before continuing", name)
+				pass.Reportf(n.Pos(), "recovery counter %s is incremented on a path that can return without a budget check; test Retries+Restarts+Failovers+Reconnects against the budget before continuing", name)
 			}
 		}
 	}

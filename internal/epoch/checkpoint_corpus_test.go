@@ -1,0 +1,84 @@
+package epoch
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestCheckpointFuzzCorpus pins the checked-in seed corpus for
+// FuzzDecodeCheckpoint against rot: every entry must parse as go-fuzz
+// corpus format, entries named for a failure shape (trunc/flip/magic/
+// skew) must fail the decoder with an error wrapping ErrCheckpoint, and
+// valid entries must decode and round-trip canonically. The files are
+// produced by `go run ./internal/epoch/testdata/gen`.
+func TestCheckpointFuzzCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeCheckpoint")
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("seed corpus missing: %v", err)
+	}
+	if len(ents) < 8 {
+		t.Fatalf("seed corpus holds %d entries, want the full torn-write set", len(ents))
+	}
+	sawValid, sawSkew := false, false
+	for _, e := range ents {
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		header, rest, ok := strings.Cut(string(raw), "\n")
+		if !ok || header != "go test fuzz v1" {
+			t.Fatalf("%s: not a corpus file (header %q)", e.Name(), header)
+		}
+		rest = strings.TrimSpace(rest)
+		if !strings.HasPrefix(rest, "[]byte(") || !strings.HasSuffix(rest, ")") {
+			t.Fatalf("%s: unexpected literal %q", e.Name(), rest)
+		}
+		s, err := strconv.Unquote(strings.TrimSuffix(strings.TrimPrefix(rest, "[]byte("), ")"))
+		if err != nil {
+			t.Fatalf("%s: bad byte literal: %v", e.Name(), err)
+		}
+		data := []byte(s)
+
+		c, decErr := DecodeCheckpoint(data)
+		name := e.Name()
+		mustFail := strings.Contains(name, "trunc") || strings.Contains(name, "flip") ||
+			strings.Contains(name, "magic") || strings.Contains(name, "skew")
+		switch {
+		case mustFail:
+			if decErr == nil {
+				t.Fatalf("%s: damaged checkpoint decoded to %+v", name, c)
+			}
+			if !errors.Is(decErr, ErrCheckpoint) {
+				t.Fatalf("%s: error %v does not wrap ErrCheckpoint", name, decErr)
+			}
+			if strings.Contains(name, "skew") {
+				sawSkew = true
+			}
+		case decErr != nil:
+			t.Fatalf("%s: valid checkpoint rejected: %v", name, decErr)
+		default:
+			re, err := EncodeCheckpoint(c)
+			if err != nil {
+				t.Fatalf("%s: re-encode: %v", name, err)
+			}
+			if !bytes.Equal(re, data) {
+				t.Fatalf("%s: round trip not canonical", name)
+			}
+			if strings.HasPrefix(name, "valid") {
+				sawValid = true
+			}
+		}
+	}
+	if !sawValid {
+		t.Fatal("corpus lost its valid checkpoint seed")
+	}
+	if !sawSkew {
+		t.Fatal("corpus lost the epoch-skew seed (checksum-valid, cross-field-invalid)")
+	}
+}

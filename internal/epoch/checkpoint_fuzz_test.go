@@ -1,0 +1,51 @@
+package epoch
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzDecodeCheckpoint hammers the checkpoint decoder with arbitrary
+// bytes: every outcome must be either a fully valid checkpoint that
+// round-trips canonically, or an error wrapping ErrCheckpoint — never a
+// panic, and never an untyped error. The seed corpus under
+// testdata/fuzz/FuzzDecodeCheckpoint holds the shapes a crash can leave
+// on disk: a torn write truncated at each section, a flipped bit, and an
+// epoch-skewed pending entry (see TestCheckpointFuzzCorpus).
+func FuzzDecodeCheckpoint(f *testing.F) {
+	if data, err := EncodeCheckpoint(testCheckpoint(false)); err == nil {
+		f.Add(data)
+		f.Add(data[:len(data)/2])
+	}
+	if data, err := EncodeCheckpoint(testCheckpoint(true)); err == nil {
+		f.Add(data)
+		flip := append([]byte(nil), data...)
+		flip[len(flip)/3] ^= 0x10
+		f.Add(flip)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xB0, 0xCC, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeCheckpoint(data)
+		if err != nil {
+			if !errors.Is(err, ErrCheckpoint) {
+				t.Fatalf("decode error %v does not wrap ErrCheckpoint", err)
+			}
+			return
+		}
+		// Anything the decoder accepts must re-encode, and re-encoding must
+		// reproduce the input bytes exactly (canonical format).
+		out, err := EncodeCheckpoint(c)
+		if err != nil {
+			t.Fatalf("decoded checkpoint failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round trip not canonical: %d in, %d out", len(data), len(out))
+		}
+		// And it must be restorable without touching the packet bytes.
+		if _, err := RestoreRegistry(c); err != nil {
+			t.Fatalf("decoded checkpoint failed to restore: %v", err)
+		}
+	})
+}

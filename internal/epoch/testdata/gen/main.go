@@ -1,0 +1,123 @@
+// Command gen regenerates the FuzzDecodeCheckpoint seed corpus. Run it
+// from the repository root after changing the checkpoint format:
+//
+//	go run ./internal/epoch/testdata/gen
+//
+// The corpus encodes the shapes a station crash can leave on disk: valid
+// checkpoints with and without a pending entry, torn writes truncated in
+// every section, a bit flip, a wrong magic, and an epoch-skewed pending
+// entry whose checksum is otherwise valid. TestCheckpointFuzzCorpus pins
+// the generated files against rot.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"repro/internal/epoch"
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// refreshCRC replaces the 4-byte trailer with the checksum of the body,
+// so patched or truncated corpus entries exercise structural validation
+// rather than tripping on the checksum first.
+func refreshCRC(data []byte) []byte {
+	body := data[:len(data)-4]
+	return binary.BigEndian.AppendUint32(append([]byte(nil), body...), crc32.Checksum(body, crcTable))
+}
+
+func snapshot(id uint32, channels, cycleLen int) epoch.Snapshot {
+	pk := make([][][]byte, channels)
+	for ch := range pk {
+		pk[ch] = make([][]byte, cycleLen)
+		for s := range pk[ch] {
+			pk[ch][s] = []byte{0xB0, byte(id), byte(ch + 1), byte(s + 1), 0x55}
+		}
+	}
+	return epoch.Snapshot{ID: id, Channels: channels, RootChannel: 1, CycleLen: cycleLen, Packets: pk}
+}
+
+func checkpoint(withPending bool) *epoch.Checkpoint {
+	c := &epoch.Checkpoint{
+		Now:        18,
+		EpochStart: 12,
+		Spans:      []epoch.Span{{Start: 0, CycleLen: 4}, {Start: 12, CycleLen: 6}},
+		NextID:     3,
+		Staged:     2,
+		Swapped:    1,
+		Active:     snapshot(1, 2, 6),
+	}
+	if withPending {
+		p := snapshot(2, 2, 5)
+		c.Pending = &p
+		c.NextID = 4
+	}
+	return c
+}
+
+func main() {
+	dir := filepath.Join("internal", "epoch", "testdata", "fuzz", "FuzzDecodeCheckpoint")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	single, err := epoch.EncodeCheckpoint(checkpoint(false))
+	if err != nil {
+		fatal(err)
+	}
+	pending, err := epoch.EncodeCheckpoint(checkpoint(true))
+	if err != nil {
+		fatal(err)
+	}
+
+	entries := map[string][]byte{
+		"valid-single":  single,
+		"valid-pending": pending,
+	}
+	// Torn writes: the body cut inside each section, checksum refreshed so
+	// the decoder reaches its structural truncation handling. Offsets:
+	// fixed header is 26 bytes, spans end at 26+2*8, the active entry's
+	// packets start 8 bytes later.
+	for name, cut := range map[string]int{
+		"trunc-header":  11,
+		"trunc-spans":   26 + 9,
+		"trunc-active":  26 + 16 + 8 + 3,
+		"trunc-pending": len(pending) - 10,
+	} {
+		entries[name] = refreshCRC(append([]byte(nil), pending[:cut+4]...))
+	}
+	// A raw tear with a stale checksum.
+	entries["trunc-raw"] = append([]byte(nil), pending[:len(pending)/2]...)
+	// One flipped bit: the checksum catches it.
+	flip := append([]byte(nil), single...)
+	flip[len(flip)/3] ^= 0x10
+	entries["flip-bit"] = flip
+	// Wrong magic with a valid checksum.
+	magic := append([]byte(nil), single...)
+	magic[0] = 0xDE
+	entries["magic-bad"] = refreshCRC(magic)
+	// Epoch skew: the pending ID patched to equal the active ID, checksum
+	// valid — only the cross-field validation can reject it.
+	skew := append([]byte(nil), pending...)
+	activeSize := 8 + 2*6*(2+5)
+	pendingOff := 26 + 2*8 + activeSize
+	binary.BigEndian.PutUint32(skew[pendingOff:pendingOff+4], 1)
+	entries["skew-pending"] = refreshCRC(skew)
+
+	for name, data := range entries {
+		path := filepath.Join(dir, name)
+		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", path, len(data))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRestartSweep: station crashes cost access time, every client
+// session still completes under the default budget, a gentler backoff
+// base recovers faster than an aggressive one, the replay table prices
+// coarser checkpoint cadences monotonically, and parallel runs reduce to
+// the serial result.
+func TestRestartSweep(t *testing.T) {
+	cfg := RestartSweepConfig{Trials: 4, Seed: 5}
+	rows, replay, err := RestartSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 || len(replay) != 4 {
+		t.Fatalf("rows = %d, replay = %d", len(rows), len(replay))
+	}
+	for _, r := range rows {
+		if r.Summary.Reconnects <= 0 {
+			t.Errorf("base %d: downtime schedule never forced a reconnect: %+v", r.Base, r.Summary)
+		}
+		if r.Availability <= 0 || r.Availability > 1 {
+			t.Errorf("base %d: availability %.3f out of range", r.Base, r.Availability)
+		}
+		if r.AccessPenalty <= 0 {
+			t.Errorf("base %d: crashes cost no access time (%.2f%%)", r.Base, r.AccessPenalty)
+		}
+		sum := r.Summary.ProbeWait + r.Summary.DataWait
+		if r.Summary.AccessTime < sum-1e-9 || r.Summary.AccessTime > sum+1e-9 {
+			t.Errorf("base %d: inconsistent summary %+v", r.Base, r.Summary)
+		}
+	}
+	// A gentler first delay polls the dead station sooner after it comes
+	// back, so it pays less access time and spends more reconnect attempts
+	// than the most aggressive base.
+	first, last := rows[0], rows[len(rows)-1]
+	if first.Base >= last.Base {
+		t.Fatalf("bases not ascending: %d .. %d", first.Base, last.Base)
+	}
+	if first.Summary.AccessTime >= last.Summary.AccessTime {
+		t.Errorf("base %d access %.3f not below base %d access %.3f",
+			first.Base, first.Summary.AccessTime, last.Base, last.Summary.AccessTime)
+	}
+	if first.Summary.Reconnects <= last.Summary.Reconnects {
+		t.Errorf("base %d reconnects %.3f not above base %d reconnects %.3f",
+			first.Base, first.Summary.Reconnects, last.Base, last.Summary.Reconnects)
+	}
+	// Coarser cadence: strictly fewer writes, no less replay on average.
+	for i := 1; i < len(replay); i++ {
+		if replay[i].Cadence <= replay[i-1].Cadence {
+			t.Fatalf("cadences not ascending: %+v", replay)
+		}
+		if replay[i].Writes >= replay[i-1].Writes {
+			t.Errorf("cadence %d writes %.1f not below cadence %d writes %.1f",
+				replay[i].Cadence, replay[i].Writes, replay[i-1].Cadence, replay[i-1].Writes)
+		}
+		if replay[i].MeanReplay < replay[i-1].MeanReplay {
+			t.Errorf("cadence %d mean replay %.1f below cadence %d mean replay %.1f",
+				replay[i].Cadence, replay[i].MeanReplay, replay[i-1].Cadence, replay[i-1].MeanReplay)
+		}
+	}
+
+	serialRows, serialReplay, err := RestartSweep(RestartSweepConfig{Trials: 4, Seed: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelRows, parallelReplay, err := RestartSweep(RestartSweepConfig{Trials: 4, Seed: 5, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serialRows {
+		if serialRows[i] != parallelRows[i] {
+			t.Fatalf("worker count changed the result at base %d", serialRows[i].Base)
+		}
+	}
+	for i := range serialReplay {
+		if serialReplay[i] != parallelReplay[i] {
+			t.Fatalf("worker count changed the replay table at cadence %d", serialReplay[i].Cadence)
+		}
+	}
+
+	var sb strings.Builder
+	if err := RenderRestart(&sb, rows, replay); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "backoff") || !strings.Contains(sb.String(), "ckpt cadence") {
+		t.Error("render missing a table header")
+	}
+}

@@ -1,0 +1,198 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file extends the fault model from sick channels to a dead station:
+// the transmitter process itself crashes at a slot and is gone — every
+// channel at once — until it restarts some slots later. Unlike an Outage,
+// which a client rides out by failing over to a surviving channel, a
+// Downtime severs the connection: the only recovery is to back off,
+// re-dial, and resume the in-flight query against the restarted station.
+//
+// Downtime windows and the backoff schedule are pure functions of plain
+// data (window slots; a seed and an attempt number), so the analytic
+// simulator and the socket tower observe the same crash realization and
+// reconnect at the same slots, keeping their metrics byte-identical.
+
+// Downtime is one station crash window: the station is down — all
+// channels, no connections accepted — for every absolute slot in
+// [StartSlot, EndSlot), and back on the air (warm-restarted) at EndSlot.
+type Downtime struct {
+	// StartSlot is the slot the station dies at (0-based, absolute).
+	StartSlot int
+	// EndSlot is the first slot the restarted station serves (half-open).
+	EndSlot int
+}
+
+// Covers reports whether the station is down at the absolute slot.
+func (d Downtime) Covers(slot int) bool {
+	return slot >= d.StartSlot && slot < d.EndSlot
+}
+
+// Len returns the window length in slots.
+func (d Downtime) Len() int { return d.EndSlot - d.StartSlot }
+
+// Validate rejects a malformed window.
+func (d Downtime) Validate() error {
+	if d.StartSlot < 0 {
+		return fmt.Errorf("fault: downtime start slot %d, want >= 0", d.StartSlot)
+	}
+	if d.EndSlot <= d.StartSlot {
+		return fmt.Errorf("fault: downtime window [%d, %d) is empty", d.StartSlot, d.EndSlot)
+	}
+	return nil
+}
+
+// String renders the window as start:end.
+func (d Downtime) String() string {
+	return fmt.Sprintf("%d:%d", d.StartSlot, d.EndSlot)
+}
+
+// Downtimes is a station crash schedule. Unlike Outages, windows must be
+// sorted and disjoint: a station cannot crash while already down.
+type Downtimes []Downtime
+
+// Enabled reports whether the schedule kills anything at all.
+func (ds Downtimes) Enabled() bool { return len(ds) > 0 }
+
+// Validate rejects malformed, unsorted, or overlapping windows.
+func (ds Downtimes) Validate() error {
+	for i, d := range ds {
+		if err := d.Validate(); err != nil {
+			return fmt.Errorf("fault: downtime %d: %w", i, err)
+		}
+		if i > 0 && d.StartSlot < ds[i-1].EndSlot {
+			return fmt.Errorf("fault: downtime %d (%s) overlaps or precedes %d (%s)",
+				i, d, i-1, ds[i-1])
+		}
+	}
+	return nil
+}
+
+// DownAt reports whether the station is down at the absolute slot.
+// Schedules are small, so the linear scan stays deterministic and
+// cache-friendly, matching Outages.DarkAt.
+func (ds Downtimes) DownAt(slot int) bool {
+	for _, d := range ds {
+		if d.Covers(slot) {
+			return true
+		}
+	}
+	return false
+}
+
+// KillIn returns the first crash window a connection born at slot `born`
+// observes by slot `upto`: the earliest window with StartSlot in
+// (born, upto]. A connection established at or after a window's start
+// already post-dates that crash and never sees it. Use born = -1 for a
+// connection that predates the whole broadcast.
+func (ds Downtimes) KillIn(born, upto int) (Downtime, bool) {
+	for _, d := range ds {
+		if d.StartSlot > born && d.StartSlot <= upto {
+			return d, true
+		}
+	}
+	return Downtime{}, false
+}
+
+// GenDowntimes derives a deterministic, disjoint crash schedule from a
+// seed: n windows starting in [0, horizon), each lasting between minLen
+// and maxLen slots, separated by at least gap slots. Identical arguments
+// always produce the identical schedule. The generator places windows
+// left to right and stops early when the horizon is exhausted, so the
+// result may hold fewer than n windows.
+func GenDowntimes(seed int64, n, horizon, minLen, maxLen, gap int) (Downtimes, error) {
+	switch {
+	case n < 0:
+		return nil, fmt.Errorf("%w: %d windows", ErrOutageGen, n)
+	case horizon < 1:
+		return nil, fmt.Errorf("%w: horizon %d", ErrOutageGen, horizon)
+	case minLen < 1 || maxLen < minLen:
+		return nil, fmt.Errorf("%w: window length [%d, %d]", ErrOutageGen, minLen, maxLen)
+	case gap < 0:
+		return nil, fmt.Errorf("%w: gap %d", ErrOutageGen, gap)
+	}
+	h := mix(uint64(seed) ^ 0x6d8f_2ab1_40ce_95d7)
+	out := make(Downtimes, 0, n)
+	next := 0 // earliest admissible start
+	stride := (horizon + n) / max(n, 1)
+	for i := 0; i < n && next < horizon; i++ {
+		h = mix(h ^ uint64(2*i+1))
+		hi := min(next+stride, horizon)
+		if hi <= next {
+			break
+		}
+		start := next + int(h%uint64(hi-next))
+		h = mix(h ^ uint64(2*i+2))
+		length := minLen + int(h%uint64(maxLen-minLen+1))
+		out = append(out, Downtime{StartSlot: start, EndSlot: start + length})
+		next = start + length + gap
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].StartSlot < out[j].StartSlot })
+	return out, nil
+}
+
+// Default backoff parameters: first retry one half-cycle-ish away, capped
+// well under any sane inter-crash gap.
+const (
+	// DefaultBackoffBase is the exponential base delay in slots.
+	DefaultBackoffBase = 4
+	// DefaultBackoffCap is the largest per-attempt delay in slots.
+	DefaultBackoffCap = 64
+)
+
+// Backoff is the deterministic reconnect schedule: attempt k (1-based)
+// waits an equal-jitter exponential delay in slots, derived from a
+// splitmix64 chain over (Seed, attempt). Because the delay is a pure
+// function of (Seed, attempt) — not of wall-clock time — the analytic
+// twin and the socket client re-dial at the same absolute slots. The
+// zero Backoff uses DefaultBackoffBase/DefaultBackoffCap with seed 0.
+type Backoff struct {
+	// Seed keys the jitter chain; independent of the fault-model seed.
+	Seed int64
+	// Base is the delay ceiling of the first attempt in slots (0 means
+	// DefaultBackoffBase).
+	Base int
+	// Cap bounds every attempt's delay ceiling in slots (0 means
+	// DefaultBackoffCap).
+	Cap int
+}
+
+// Delay returns the backoff delay in slots for the given 1-based attempt:
+// equal jitter over an exponentially growing, capped ceiling. The delay
+// for ceiling e is drawn from [e/2, e], and is always at least 1 so a
+// reconnect loop provably advances through slot time.
+func (b Backoff) Delay(attempt int) int {
+	if attempt < 1 {
+		attempt = 1
+	}
+	base, cap := b.Base, b.Cap
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	if cap <= 0 {
+		cap = DefaultBackoffCap
+	}
+	if cap < base {
+		cap = base
+	}
+	e := cap
+	// base << (attempt-1) without overflow: stop doubling at the cap.
+	if attempt-1 < 31 && base<<(attempt-1) < cap {
+		e = base << (attempt - 1)
+	}
+	if e < 1 {
+		e = 1
+	}
+	lo := e / 2
+	h := mix(uint64(b.Seed) ^ 0x17e4_c9d2_8b5a_3f61)
+	h = mix(h ^ uint64(uint32(attempt)))
+	d := lo + int(h%uint64(e-lo+1))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}

@@ -1,0 +1,187 @@
+package fault
+
+import (
+	"testing"
+)
+
+func TestDowntimeValidate(t *testing.T) {
+	cases := []struct {
+		d    Downtime
+		ok   bool
+		name string
+	}{
+		{Downtime{StartSlot: 0, EndSlot: 5}, true, "at origin"},
+		{Downtime{StartSlot: 10, EndSlot: 11}, true, "one slot"},
+		{Downtime{StartSlot: -1, EndSlot: 5}, false, "negative start"},
+		{Downtime{StartSlot: 5, EndSlot: 5}, false, "empty"},
+		{Downtime{StartSlot: 5, EndSlot: 3}, false, "inverted"},
+	}
+	for _, c := range cases {
+		if err := c.d.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestDowntimesValidateOrdering(t *testing.T) {
+	good := Downtimes{{10, 15}, {20, 22}, {40, 41}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("sorted disjoint schedule rejected: %v", err)
+	}
+	overlap := Downtimes{{10, 20}, {15, 25}}
+	if err := overlap.Validate(); err == nil {
+		t.Fatal("overlapping windows accepted")
+	}
+	unsorted := Downtimes{{20, 25}, {10, 15}}
+	if err := unsorted.Validate(); err == nil {
+		t.Fatal("unsorted windows accepted")
+	}
+	// Back-to-back windows share no slot and are legal.
+	touching := Downtimes{{10, 15}, {15, 20}}
+	if err := touching.Validate(); err != nil {
+		t.Fatalf("touching windows rejected: %v", err)
+	}
+}
+
+func TestDowntimesDownAt(t *testing.T) {
+	ds := Downtimes{{5, 8}, {20, 21}}
+	for slot, want := range map[int]bool{
+		4: false, 5: true, 7: true, 8: false, 19: false, 20: true, 21: false,
+	} {
+		if got := ds.DownAt(slot); got != want {
+			t.Errorf("DownAt(%d) = %v, want %v", slot, got, want)
+		}
+	}
+	if Downtimes(nil).DownAt(0) {
+		t.Error("empty schedule reports down")
+	}
+}
+
+func TestDowntimesKillIn(t *testing.T) {
+	ds := Downtimes{{10, 14}, {30, 33}}
+	// A connection predating the broadcast sees the first window as soon
+	// as it targets a slot at or past the crash.
+	if _, ok := ds.KillIn(-1, 9); ok {
+		t.Error("kill observed before the first crash slot")
+	}
+	if d, ok := ds.KillIn(-1, 10); !ok || d.StartSlot != 10 {
+		t.Errorf("KillIn(-1, 10) = %v, %v; want window 10:14", d, ok)
+	}
+	// A connection born at the crash slot post-dates it.
+	if d, ok := ds.KillIn(10, 29); ok {
+		t.Errorf("connection born at 10 observed its own crash: %v", d)
+	}
+	if d, ok := ds.KillIn(10, 30); !ok || d.StartSlot != 30 {
+		t.Errorf("KillIn(10, 30) = %v, %v; want window 30:33", d, ok)
+	}
+	// First matching window wins even when upto spans both.
+	if d, ok := ds.KillIn(-1, 100); !ok || d.StartSlot != 10 {
+		t.Errorf("KillIn(-1, 100) = %v, %v; want first window", d, ok)
+	}
+}
+
+func TestDowntimeString(t *testing.T) {
+	if s := (Downtime{StartSlot: 3, EndSlot: 9}).String(); s != "3:9" {
+		t.Errorf("String() = %q, want 3:9", s)
+	}
+}
+
+func TestGenDowntimes(t *testing.T) {
+	a, err := GenDowntimes(7, 5, 400, 2, 6, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenDowntimes(7, 5, 400, 2, 6, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("generator produced no windows")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("generator not deterministic: %v vs %v", a, b)
+		}
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("generated schedule invalid: %v", err)
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].StartSlot-a[i-1].EndSlot < 80 {
+			t.Fatalf("windows %d,%d closer than gap: %v", i-1, i, a)
+		}
+	}
+	if _, err := GenDowntimes(1, 3, 100, 5, 2, 0); err == nil {
+		t.Error("inverted length range accepted")
+	}
+	if _, err := GenDowntimes(1, 3, 0, 1, 2, 0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := GenDowntimes(1, -1, 100, 1, 2, 0); err == nil {
+		t.Error("negative count accepted")
+	}
+	if _, err := GenDowntimes(1, 3, 100, 1, 2, -1); err == nil {
+		t.Error("negative gap accepted")
+	}
+}
+
+func TestBackoffDelay(t *testing.T) {
+	b := Backoff{Seed: 11, Base: 4, Cap: 64}
+	prevCeil := 0
+	for attempt := 1; attempt <= 12; attempt++ {
+		d := b.Delay(attempt)
+		e := 64
+		if attempt-1 < 31 && 4<<(attempt-1) < 64 {
+			e = 4 << (attempt - 1)
+		}
+		if d < e/2 || d > e {
+			t.Errorf("attempt %d: delay %d outside equal-jitter range [%d, %d]", attempt, d, e/2, e)
+		}
+		if d < 1 {
+			t.Errorf("attempt %d: delay %d < 1", attempt, d)
+		}
+		if e < prevCeil {
+			t.Errorf("attempt %d: ceiling shrank", attempt)
+		}
+		prevCeil = e
+		if again := b.Delay(attempt); again != d {
+			t.Errorf("attempt %d: delay not deterministic (%d vs %d)", attempt, d, again)
+		}
+	}
+	// Seeds diversify the schedule.
+	c := Backoff{Seed: 12, Base: 4, Cap: 64}
+	same := true
+	for attempt := 1; attempt <= 8; attempt++ {
+		if b.Delay(attempt) != c.Delay(attempt) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("two seeds produced identical 8-attempt schedules")
+	}
+}
+
+func TestBackoffZeroValueDefaults(t *testing.T) {
+	var b Backoff
+	for attempt := 1; attempt <= 20; attempt++ {
+		d := b.Delay(attempt)
+		if d < 1 || d > DefaultBackoffCap {
+			t.Fatalf("zero-value attempt %d: delay %d outside [1, %d]", attempt, d, DefaultBackoffCap)
+		}
+	}
+	// Large attempts must not overflow the shift.
+	if d := b.Delay(200); d < 1 || d > DefaultBackoffCap {
+		t.Fatalf("attempt 200: delay %d outside cap", d)
+	}
+	// Cap below base clamps to base.
+	bb := Backoff{Base: 10, Cap: 3}
+	if d := bb.Delay(5); d < 5 || d > 10 {
+		t.Fatalf("cap<base: delay %d outside [5, 10]", d)
+	}
+}
+
+func TestDowntimesValidateOverlap(t *testing.T) {
+	if err := (Downtimes{{10, 20}, {15, 25}}).Validate(); err == nil {
+		t.Fatal("overlapping windows passed Validate")
+	}
+}

@@ -21,7 +21,10 @@ import (
 // — is served at its next cyclic occurrence by the server's catch-up,
 // the same rule the analytic twin applies. Lost or corrupt frames burn
 // the wake-up and are re-requested one cycle later under the shared
-// Retries budget.
+// Retries budget. With Redial armed a station crash mid-batch is
+// survivable too: the client reconnects under the seeded backoff
+// (charging Reconnects against the same budget) and re-requests the
+// in-flight step against the warm-restarted tower.
 //
 // The batch is one session against one program generation: the epoch
 // stamp of the first successful read is pinned, and a later read from a
@@ -54,10 +57,22 @@ func (c *Client) ReadBatch(plan *sim.BatchPlan, pw sim.Power) (sim.Metrics, erro
 
 	var epoch uint32
 	first, last := -1, -1
-	for i := range plan.Steps {
+	for i := 0; i < len(plan.Steps); i++ {
 		st := &plan.Steps[i]
 		slot, b, err := c.read(st.Channel, st.Slot, &m)
 		if err != nil {
+			if _, rerr, ok := c.tryReconnect(&m, err); ok {
+				if rerr != nil {
+					return m, rerr
+				}
+				// Station crash mid-batch: re-request the in-flight step on
+				// the fresh connection. The plan's absolute slots have
+				// passed during the outage, but the warm-restarted tower's
+				// cyclic catch-up serves their next occurrence — the same
+				// rule that absorbs ordinary cycle spill.
+				i--
+				continue
+			}
 			return m, err
 		}
 		// The epoch stamp is checked before the payload is interpreted:

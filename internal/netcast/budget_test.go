@@ -3,6 +3,7 @@ package netcast
 import (
 	"errors"
 	"testing"
+	"time"
 
 	"repro/internal/fault"
 	"repro/internal/sim"
@@ -278,5 +279,106 @@ func TestRetryBudgetBoundaryFailover(t *testing.T) {
 	}
 	if !full {
 		t.Fatal("no query mixed retries, restarts and failovers")
+	}
+}
+
+// TestRetryBudgetBoundaryReconnect extends the boundary pin to the full
+// four-term budget: on a lossy adaptive broadcast with a dark channel
+// (client-side failover, no replan) AND a station kill/warm-restart
+// window, a query whose spend mixes retries, restarts, failovers and
+// reconnect attempts must succeed at budget = exact need with
+// byte-identical metrics over the socket and in the analytic twin, and
+// fail with fault.ErrRetryBudget at need-1 on both sides. This is the
+// only test where all four budget components are simultaneously nonzero.
+func TestRetryBudgetBoundaryReconnect(t *testing.T) {
+	p1 := compiled(t, 10, 3, 1, true)
+	p2 := compiled(t, 8, 3, 2, true)
+	L1 := p1.CycleLen()
+	stageAt := L1 + 1 // swap lands at 2*L1
+	const w = 3
+	model := fault.Model{Seed: 3, Drop: 0.25, Corrupt: 0.05}
+	// The dark window on the probe channel sits in the cycle before the
+	// swap, the kill a cycle after it: a session can fail over during its
+	// probe, restart its descent at the swap, and still be in flight when
+	// the station dies.
+	outs := fault.Outages{{Channel: 1, StartSlot: L1, EndSlot: 2 * L1}}
+	down := fault.Downtimes{{StartSlot: 3*L1 + 3, EndSlot: 3*L1 + 8}}
+	bo := fault.Backoff{Seed: 23, Base: 4, Cap: 32}
+
+	tl, err := sim.NewTimeline(p1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tl.Append(p2, 2, stageAt); err != nil {
+		t.Fatal(err)
+	}
+	rcAt := func(budget int) sim.RestartConfig {
+		return sim.RestartConfig{
+			Model:      model,
+			Outages:    outs,
+			Downtimes:  down,
+			Backoff:    bo,
+			MaxRetries: budget,
+			DeadAir:    w,
+		}
+	}
+	lookupAt := func(arrival int, key int64, budget int) outageOutcome {
+		h := newCrashHarness(t, p1, down, ServerOptions{Faults: model, Outages: outs, StallFor: time.Millisecond})
+		defer h.close()
+		c, _ := h.attach()
+		defer c.Close()
+		c.MaxRetries, c.Backoff = budget, bo
+		c.DeadAir, c.Channels = w, p1.Channels()
+		done := make(chan outageOutcome, 1)
+		go func() {
+			found, _, m, err := c.Lookup(arrival, key, pw)
+			done <- outageOutcome{found, m, err}
+		}()
+		return h.drive(done, stageAt, func() {
+			h.mu.Lock()
+			reg := h.cur.reg
+			h.mu.Unlock()
+			if _, err := reg.Stage(p2); err != nil {
+				t.Errorf("stage: %v", err)
+			}
+		})
+	}
+
+	full := false
+	for arrival := 0; arrival < 3*L1 && !full; arrival++ {
+		for key := int64(1); key <= 10; key++ {
+			m, _, err := tl.QueryRestart(arrival, key, pw, rcAt(1<<20))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Retries < 1 || m.Restarts < 1 || m.Failovers < 1 || m.Reconnects < 1 {
+				continue
+			}
+			need := m.Retries + m.Restarts + m.Failovers + m.Reconnects
+			wantM, wantFound, err := tl.QueryRestart(arrival, key, pw, rcAt(need))
+			if err != nil {
+				t.Fatalf("arrival %d key %d: sim at exact budget %d: %v", arrival, key, need, err)
+			}
+			out := lookupAt(arrival, key, need)
+			if out.err != nil {
+				t.Fatalf("arrival %d key %d: net at exact budget %d: %v", arrival, key, need, out.err)
+			}
+			if out.m != wantM || out.found != wantFound {
+				t.Fatalf("arrival %d key %d at exact budget %d: net %+v/%v != sim %+v/%v",
+					arrival, key, need, out.m, out.found, wantM, wantFound)
+			}
+			_, _, err = tl.QueryRestart(arrival, key, pw, rcAt(need-1))
+			if !errors.Is(err, fault.ErrRetryBudget) {
+				t.Fatalf("arrival %d key %d: sim below budget: want ErrRetryBudget, got %v", arrival, key, err)
+			}
+			if out := lookupAt(arrival, key, need-1); !errors.Is(out.err, fault.ErrRetryBudget) {
+				t.Fatalf("arrival %d key %d: net below budget: want ErrRetryBudget, got %v", arrival, key, out.err)
+			}
+			full = true
+			break
+		}
+	}
+	if !full {
+		t.Fatal("no query mixed retries, restarts, failovers and reconnects")
 	}
 }

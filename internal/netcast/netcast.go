@@ -42,6 +42,7 @@ package netcast
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"sort"
@@ -102,6 +103,23 @@ type ServerOptions struct {
 	// callback can swap at that very slot's cycle boundary — and must not
 	// call back into the Server.
 	OnLiveChange func(live []int, slot int)
+	// CheckpointPath, when non-empty on an adaptive server, makes the
+	// tower persist its recovery state — clock, span history, registry
+	// counters and the exact wire packets of the active and any pending
+	// epoch — to this file at cycle boundaries. Writes are atomic
+	// (temp file + rename), happen outside the broadcast lock, and a
+	// failed write never stalls the air.
+	CheckpointPath string
+	// CheckpointEvery thins the checkpoint cadence: state is written at
+	// every CheckpointEvery-th cycle boundary (0 or 1 = every boundary).
+	// A sparser cadence costs more replayed slots after a crash.
+	CheckpointEvery int
+	// Resume arms the warm-start path of NewAdaptiveServer: when the
+	// file at CheckpointPath holds a valid checkpoint, the server
+	// restores the registry and resumes airing at the checkpointed
+	// boundary instead of starting cold at slot 0. A missing or corrupt
+	// checkpoint falls back to a cold start from the caller's registry.
+	Resume bool
 	// Obs, when non-nil, receives the server's metrics and trace events
 	// (ticks, frames, requests, evictions, epoch swaps, span history).
 	// Observation never changes behavior: a nil registry costs one
@@ -154,6 +172,11 @@ type Server struct {
 	conns   map[net.Conn]*connState
 	evicted int
 	done    bool
+	// warm marks a server that restored its state from a checkpoint;
+	// boundaries counts the cycle boundaries seen since construction, the
+	// clock of the CheckpointEvery cadence.
+	warm       bool
+	boundaries int
 
 	// Channel health tracking: the incremental twin of
 	// fault.Outages.Detections. darkRun/liveRun count consecutive dark and
@@ -173,38 +196,42 @@ type Server struct {
 // serverObs bundles the server's instrument handles. With no registry
 // attached every handle is nil and records nothing.
 type serverObs struct {
-	reg        *obs.Registry
-	ticks      *obs.Counter
-	frames     *obs.Counter
-	requests   *obs.Counter
-	evictions  *obs.Counter
-	swaps      *obs.Counter
-	attached   *obs.Counter
-	outages    *obs.Counter
-	recoveries *obs.Counter
-	replans    *obs.Counter
-	conns      *obs.Gauge
-	spans      *obs.Gauge
-	clock      *obs.Gauge
-	live       *obs.Gauge
+	reg         *obs.Registry
+	ticks       *obs.Counter
+	frames      *obs.Counter
+	requests    *obs.Counter
+	evictions   *obs.Counter
+	swaps       *obs.Counter
+	attached    *obs.Counter
+	outages     *obs.Counter
+	recoveries  *obs.Counter
+	replans     *obs.Counter
+	checkpoints *obs.Counter
+	warmStarts  *obs.Counter
+	conns       *obs.Gauge
+	spans       *obs.Gauge
+	clock       *obs.Gauge
+	live        *obs.Gauge
 }
 
 func newServerObs(r *obs.Registry) serverObs {
 	return serverObs{
-		reg:        r,
-		ticks:      r.Counter("netcast_ticks_total"),
-		frames:     r.Counter("netcast_frames_total"),
-		requests:   r.Counter("netcast_requests_total"),
-		evictions:  r.Counter("netcast_evictions_total"),
-		swaps:      r.Counter("netcast_swaps_total"),
-		attached:   r.Counter("netcast_conns_attached_total"),
-		outages:    r.Counter("netcast_outages_total"),
-		recoveries: r.Counter("netcast_recoveries_total"),
-		replans:    r.Counter("netcast_replans_total"),
-		conns:      r.Gauge("netcast_conns"),
-		spans:      r.Gauge("netcast_spans"),
-		clock:      r.Gauge("netcast_now"),
-		live:       r.Gauge("netcast_channels_live"),
+		reg:         r,
+		ticks:       r.Counter("netcast_ticks_total"),
+		frames:      r.Counter("netcast_frames_total"),
+		requests:    r.Counter("netcast_requests_total"),
+		evictions:   r.Counter("netcast_evictions_total"),
+		swaps:       r.Counter("netcast_swaps_total"),
+		attached:    r.Counter("netcast_conns_attached_total"),
+		outages:     r.Counter("netcast_outages_total"),
+		recoveries:  r.Counter("netcast_recoveries_total"),
+		replans:     r.Counter("netcast_replans_total"),
+		checkpoints: r.Counter("netcast_checkpoints_total"),
+		warmStarts:  r.Counter("netcast_warm_starts_total"),
+		conns:       r.Gauge("netcast_conns"),
+		spans:       r.Gauge("netcast_spans"),
+		clock:       r.Gauge("netcast_now"),
+		live:        r.Gauge("netcast_channels_live"),
 	}
 }
 
@@ -312,6 +339,14 @@ func (s *Server) initHealth() {
 
 // NewAdaptiveServer serves the registry's current epoch and promotes a
 // staged successor at the next cycle boundary of the outgoing program.
+//
+// With ServerOptions.Resume set and a valid checkpoint at CheckpointPath,
+// the server warm-starts instead: it restores the checkpointed registry
+// (epoch IDs and counters continue where they left off), the span
+// history, and the slot clock, and resumes airing at the checkpointed
+// cycle boundary — so the absolute slot arithmetic of reconnecting
+// clients never skips or rewinds. Any failure to load or restore the
+// checkpoint falls back to a cold start from the caller's registry.
 func NewAdaptiveServer(reg *epoch.Registry, opts ServerOptions) (*Server, error) {
 	if err := opts.Faults.Validate(); err != nil {
 		return nil, err
@@ -319,19 +354,61 @@ func NewAdaptiveServer(reg *epoch.Registry, opts ServerOptions) (*Server, error)
 	if err := opts.Outages.Validate(); err != nil {
 		return nil, err
 	}
-	cur := reg.Current()
 	s := &Server{
-		reg:     reg,
-		prog:    cur.Prog,
-		packets: cur.Packets,
-		opts:    opts.withDefaults(),
-		spans:   []span{{0, cur.Prog.CycleLen()}},
-		conns:   map[net.Conn]*connState{},
-		om:      newServerObs(opts.Obs),
+		reg:   reg,
+		opts:  opts.withDefaults(),
+		conns: map[net.Conn]*connState{},
+		om:    newServerObs(opts.Obs),
+	}
+	if opts.Resume && opts.CheckpointPath != "" {
+		s.tryWarmStart(opts.CheckpointPath)
+	}
+	if !s.warm {
+		cur := reg.Current()
+		s.prog, s.packets = cur.Prog, cur.Packets
+		s.spans = []span{{0, cur.Prog.CycleLen()}}
 	}
 	s.initHealth()
 	s.cond = sync.NewCond(&s.mu)
 	return s, nil
+}
+
+// tryWarmStart restores the server's recovery state from the checkpoint
+// at path. On any failure — missing file, torn write, checksum mismatch,
+// inconsistent contents — it leaves the server untouched so construction
+// proceeds as a cold start.
+func (s *Server) tryWarmStart(path string) {
+	c, err := epoch.LoadCheckpoint(path)
+	if err != nil {
+		s.om.reg.Emit("cold_fallback", obs.A("slot", 0))
+		return
+	}
+	reg, err := epoch.RestoreRegistry(c)
+	if err != nil {
+		s.om.reg.Emit("cold_fallback", obs.A("slot", int64(c.Now)))
+		return
+	}
+	cur := reg.Current()
+	s.reg = reg
+	s.prog, s.packets = cur.Prog, cur.Packets
+	s.now = c.Now
+	s.epochStart = c.EpochStart
+	s.spans = make([]span, len(c.Spans))
+	for i, sp := range c.Spans {
+		s.spans[i] = span{sp.Start, sp.CycleLen}
+	}
+	s.swaps = c.Swapped
+	// The health tracker starts accounting at the restored clock: the
+	// darkness of slots aired before the crash was already detected (and
+	// any replan it triggered was checkpointed), so replaying it would
+	// re-fire OnLiveChange for transitions the operator already handled.
+	s.healthAt = c.Now
+	s.warm = true
+	s.om.warmStarts.Inc()
+	s.om.reg.Emit("warm_start",
+		obs.A("slot", int64(c.Now)),
+		obs.A("spans", int64(len(c.Spans))),
+		obs.A("epoch", int64(cur.ID)))
 }
 
 // Serve accepts connections from ln until the server is closed.
@@ -505,6 +582,11 @@ func (s *Server) Tick() error {
 				obs.A("spans", int64(len(s.spans))))
 		}
 	}
+	// Capture the recovery state at cycle boundaries — after the swap
+	// check, so a checkpoint taken at a swap slot records the program
+	// that actually airs from here. Only the in-memory snapshot happens
+	// under the lock; the file write runs after it is released.
+	ckpt := s.checkpointLocked(now)
 	type delivery struct {
 		conn  net.Conn
 		st    *connState
@@ -536,6 +618,20 @@ func (s *Server) Tick() error {
 	s.om.clock.Set(int64(s.now))
 	s.om.frames.Add(int64(len(due)))
 	s.mu.Unlock()
+
+	if ckpt != nil {
+		// A failed write is an operational problem, not a broadcast one:
+		// the air never stalls for the disk, and the previous checkpoint
+		// (if any) survives intact thanks to the atomic replace.
+		if err := epoch.WriteCheckpoint(s.opts.CheckpointPath, ckpt); err == nil {
+			s.om.checkpoints.Inc()
+			s.om.reg.Emit("checkpoint",
+				obs.A("slot", int64(ckpt.Now)),
+				obs.A("spans", int64(len(ckpt.Spans))))
+		} else {
+			s.om.reg.Emit("checkpoint_failed", obs.A("slot", int64(ckpt.Now)))
+		}
+	}
 
 	// Deliveries run concurrently under a write deadline: one stalled or
 	// dead client costs at most WriteTimeout, not the broadcast forever,
@@ -606,6 +702,32 @@ func (s *Server) updateHealthLocked() {
 	s.healthAt = s.now
 }
 
+// checkpointLocked assembles the recovery state to persist for slot now,
+// or nil when no checkpoint is due: the server must be adaptive with a
+// CheckpointPath, now must be a cycle boundary of the active program, and
+// the boundary must match the CheckpointEvery cadence. The snapshot is
+// pure memory (packets are shared, immutable); the caller writes the file
+// after releasing the lock.
+func (s *Server) checkpointLocked(now int) *epoch.Checkpoint {
+	if s.reg == nil || s.opts.CheckpointPath == "" || (now-s.epochStart)%s.prog.CycleLen() != 0 {
+		return nil
+	}
+	every := s.opts.CheckpointEvery
+	if every < 1 {
+		every = 1
+	}
+	due := s.boundaries%every == 0
+	s.boundaries++
+	if !due {
+		return nil
+	}
+	spans := make([]epoch.Span, len(s.spans))
+	for i, sp := range s.spans {
+		spans[i] = epoch.Span{Start: sp.start, CycleLen: sp.cycleLen}
+	}
+	return s.reg.CheckpointState(now, s.epochStart, spans)
+}
+
 // liveLocked returns the sorted channels the watchdog believes healthy.
 func (s *Server) liveLocked() []int {
 	live := make([]int, 0, len(s.darkCh))
@@ -654,6 +776,24 @@ func (s *Server) Swaps() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.swaps
+}
+
+// Warm reports whether this server restored its state from a checkpoint
+// instead of starting cold at slot 0.
+func (s *Server) Warm() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.warm
+}
+
+// Conns returns how many connections are currently registered. Crash
+// drivers poll it to tick only while a client is actually attached, so a
+// warm-restarted tower does not free-run past the slots a reconnecting
+// client is about to request.
+func (s *Server) Conns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
 }
 
 // SpanCount returns how many epoch spans the server currently retains
@@ -712,6 +852,21 @@ type Client struct {
 	// needs to advance its root belief past a dead channel. Required when
 	// DeadAir > 0.
 	Channels int
+	// Redial, when non-nil, arms crash reconnection: a transport failure
+	// mid-session (the station process died under the socket) no longer
+	// aborts the lookup — the client re-dials under the seeded Backoff
+	// schedule, each attempt charging one Reconnect against the shared
+	// retry budget, and resumes the protocol on the fresh connection.
+	// Redial is called with the absolute slot the client will listen from
+	// after this attempt; it returns a fresh connection, or an error when
+	// the station is still down at that slot.
+	Redial func(slot int) (net.Conn, error)
+	// Backoff is the deterministic jittered backoff schedule spacing
+	// reconnect attempts, in slots. The zero value uses the fault package
+	// defaults; the seed makes the reconnect slot sequence — and hence
+	// the resumed session's metrics — reproducible, which is what lets
+	// the analytic twin model a crash byte for byte.
+	Backoff fault.Backoff
 
 	om clientObs
 }
@@ -719,31 +874,33 @@ type Client struct {
 // clientObs bundles the client's instrument handles; all nil (no-op)
 // until Instrument attaches a registry.
 type clientObs struct {
-	reg       *obs.Registry
-	lookups   *obs.Counter
-	batches   *obs.Counter
-	reads     *obs.Counter
-	retries   *obs.Counter
-	restarts  *obs.Counter
-	failovers *obs.Counter
-	exhausted *obs.Counter
+	reg        *obs.Registry
+	lookups    *obs.Counter
+	batches    *obs.Counter
+	reads      *obs.Counter
+	retries    *obs.Counter
+	restarts   *obs.Counter
+	failovers  *obs.Counter
+	reconnects *obs.Counter
+	exhausted  *obs.Counter
 }
 
 // Instrument attaches an observability registry to the client: lookup
-// and batch sessions, frame reads, retries, restarts, channel failovers
-// and budget exhaustions are counted, and batch/retry/restart/failover
-// trace events are emitted. Metrics returned to the caller are
-// unaffected.
+// and batch sessions, frame reads, retries, restarts, channel failovers,
+// crash reconnects and budget exhaustions are counted, and
+// batch/retry/restart/failover/reconnect trace events are emitted.
+// Metrics returned to the caller are unaffected.
 func (c *Client) Instrument(r *obs.Registry) {
 	c.om = clientObs{
-		reg:       r,
-		lookups:   r.Counter("client_lookups_total"),
-		batches:   r.Counter("client_batches_total"),
-		reads:     r.Counter("client_reads_total"),
-		retries:   r.Counter("client_retries_total"),
-		restarts:  r.Counter("client_restarts_total"),
-		failovers: r.Counter("client_failovers_total"),
-		exhausted: r.Counter("client_budget_exhausted_total"),
+		reg:        r,
+		lookups:    r.Counter("client_lookups_total"),
+		batches:    r.Counter("client_batches_total"),
+		reads:      r.Counter("client_reads_total"),
+		retries:    r.Counter("client_retries_total"),
+		restarts:   r.Counter("client_restarts_total"),
+		failovers:  r.Counter("client_failovers_total"),
+		reconnects: r.Counter("client_reconnects_total"),
+		exhausted:  r.Counter("client_budget_exhausted_total"),
 	}
 }
 
@@ -786,6 +943,73 @@ func (c *Client) budget() int {
 	return c.MaxRetries
 }
 
+// droppedError marks a transport failure observed while a request for an
+// absolute slot was outstanding: the station died under the socket. The
+// slot is the one the client had asked for — the base the reconnect
+// backoff schedule counts from, on both sides of the wire.
+type droppedError struct {
+	at  int
+	err error
+}
+
+func (d *droppedError) Error() string {
+	return fmt.Sprintf("netcast: connection dropped awaiting slot %d: %v", d.at, d.err)
+}
+
+func (d *droppedError) Unwrap() error { return d.err }
+
+// dropped wraps a transport error with the outstanding slot when the
+// reconnect protocol is armed; without Redial the raw error propagates
+// and the session fails exactly as before.
+func (c *Client) dropped(slot int, err error) error {
+	if c.Redial == nil {
+		return err
+	}
+	return &droppedError{at: slot, err: err}
+}
+
+// reconnect runs the crash-reconnect loop from the dropped slot: each
+// attempt charges one Reconnect against the shared retry budget, advances
+// the listen slot by the seeded jittered backoff, and re-dials. It
+// returns the absolute slot the fresh connection listens from. The slot
+// walk is a pure function of (Backoff.Seed, base), which is what the
+// analytic twin replays.
+func (c *Client) reconnect(m *sim.Metrics, base int) (int, error) {
+	w := base
+	for attempt := 1; ; attempt++ {
+		m.Reconnects++
+		c.om.reconnects.Inc()
+		c.om.reg.Emit("reconnect", obs.A("slot", int64(w)), obs.A("attempt", int64(attempt)))
+		if m.Retries+m.Restarts+m.Failovers+m.Reconnects > c.budget() {
+			c.om.exhausted.Inc()
+			return 0, fmt.Errorf("netcast: slot %d: %w after %d reconnect attempts",
+				base, fault.ErrRetryBudget, m.Reconnects-1)
+		}
+		w += c.Backoff.Delay(attempt)
+		conn, err := c.Redial(w)
+		if err != nil {
+			continue // station still down at w: back off further
+		}
+		c.conn.Close()
+		c.conn = conn
+		c.br = bufio.NewReader(conn)
+		return w, nil
+	}
+}
+
+// tryReconnect recognizes a dropped-connection error and runs the
+// reconnect loop. handled reports whether err was a drop at all; when it
+// was, the caller resumes its protocol from slot w (rerr nil) or fails
+// the session (rerr set, the budget ran out).
+func (c *Client) tryReconnect(m *sim.Metrics, err error) (w int, rerr error, handled bool) {
+	var d *droppedError
+	if c.Redial == nil || !errors.As(err, &d) {
+		return 0, nil, false
+	}
+	w, rerr = c.reconnect(m, d.at)
+	return w, rerr, true
+}
+
 // read requests one bucket and blocks for its frame, recovering from
 // lost or corrupt deliveries: an empty (lost-slot) frame or a payload
 // failing its CRC burns the wake-up and the client re-tunes to the same
@@ -796,11 +1020,13 @@ func (c *Client) budget() int {
 func (c *Client) read(channel, slot int, m *sim.Metrics) (int, *wire.Bucket, error) {
 	for {
 		if err := c.request(channel, slot); err != nil {
-			return 0, nil, err
+			return 0, nil, c.dropped(slot, err)
 		}
 		gotSlot, payload, err := readFrame(c.br)
 		if err != nil {
-			return 0, nil, err // transport failure: not recoverable in-session
+			// Transport failure: with Redial armed this is a station crash
+			// the caller recovers from; otherwise it ends the session.
+			return 0, nil, c.dropped(slot, err)
 		}
 		m.TuningTime++
 		c.om.reads.Inc()
@@ -813,7 +1039,7 @@ func (c *Client) read(channel, slot int, m *sim.Metrics) (int, *wire.Bucket, err
 		m.Retries++
 		c.om.retries.Inc()
 		c.om.reg.Emit("retry", obs.A("channel", int64(channel)), obs.A("slot", int64(gotSlot)))
-		if m.Retries+m.Restarts+m.Failovers > c.budget() {
+		if m.Retries+m.Restarts+m.Failovers+m.Reconnects > c.budget() {
 			c.om.exhausted.Inc()
 			return 0, nil, fmt.Errorf("netcast: channel %d slot %d: %w after %d redundant wake-ups",
 				channel, gotSlot, fault.ErrRetryBudget, m.Retries-1)
@@ -833,11 +1059,13 @@ func (c *Client) readOutage(channel, slot int, m *sim.Metrics) (int, *wire.Bucke
 	run := 0
 	for {
 		if err := c.request(channel, slot); err != nil {
-			return 0, nil, false, err
+			return 0, nil, false, c.dropped(slot, err)
 		}
 		gotSlot, payload, err := readFrame(c.br)
 		if err != nil {
-			return 0, nil, false, err // transport failure: not recoverable in-session
+			// Transport failure: with Redial armed this is a station crash
+			// the caller recovers from; otherwise it ends the session.
+			return 0, nil, false, c.dropped(slot, err)
 		}
 		m.TuningTime++
 		c.om.reads.Inc()
@@ -850,7 +1078,7 @@ func (c *Client) readOutage(channel, slot int, m *sim.Metrics) (int, *wire.Bucke
 		m.Retries++
 		c.om.retries.Inc()
 		c.om.reg.Emit("retry", obs.A("channel", int64(channel)), obs.A("slot", int64(gotSlot)))
-		if m.Retries+m.Restarts+m.Failovers > c.budget() {
+		if m.Retries+m.Restarts+m.Failovers+m.Reconnects > c.budget() {
 			c.om.exhausted.Inc()
 			return 0, nil, false, fmt.Errorf("netcast: channel %d slot %d: %w after %d redundant wake-ups",
 				channel, gotSlot, fault.ErrRetryBudget, m.Retries-1)
@@ -869,7 +1097,7 @@ func (c *Client) failover(m *sim.Metrics, channel, slot int) error {
 	m.Failovers++
 	c.om.failovers.Inc()
 	c.om.reg.Emit("failover", obs.A("channel", int64(channel)), obs.A("slot", int64(slot)))
-	if m.Retries+m.Restarts+m.Failovers > c.budget() {
+	if m.Retries+m.Restarts+m.Failovers+m.Reconnects > c.budget() {
 		c.om.exhausted.Inc()
 		return fmt.Errorf("netcast: channel %d slot %d: %w after %d channel failovers",
 			channel, slot, fault.ErrRetryBudget, m.Failovers-1)
@@ -892,7 +1120,7 @@ func (c *Client) restart(m *sim.Metrics, channel, slot int) error {
 	m.Restarts++
 	c.om.restarts.Inc()
 	c.om.reg.Emit("restart", obs.A("channel", int64(channel)), obs.A("slot", int64(slot)))
-	if m.Retries+m.Restarts+m.Failovers > c.budget() {
+	if m.Retries+m.Restarts+m.Failovers+m.Reconnects > c.budget() {
 		c.om.exhausted.Inc()
 		return fmt.Errorf("netcast: channel %d slot %d: %w after %d descent restarts",
 			channel, slot, fault.ErrRetryBudget, m.Restarts-1)
@@ -926,6 +1154,13 @@ func (c *Client) restart(m *sim.Metrics, channel, slot int) error {
 // itself is what died. This is byte-for-byte the analytic simulator's
 // Timeline.QueryOutage protocol.
 //
+// With Redial armed the session also survives station crashes: a
+// transport failure while a wake-up is outstanding triggers the seeded
+// backoff reconnect loop (Metrics.Reconnects, sharing the retry budget),
+// and the lookup re-probes from the reconnect slot against the
+// warm-restarted tower — the protocol the analytic twin models as
+// Timeline.QueryRestart.
+//
 // A lookup is one session: it detaches from the broadcast when it
 // finishes so the server never waits on an idle radio. Run further
 // lookups over fresh connections.
@@ -943,6 +1178,13 @@ probe:
 		// Probe the believed root channel and synchronize on a root bucket.
 		slot, b, dead, err := c.readOutage(rootCh, probeAt, &m)
 		if err != nil {
+			if w, rerr, ok := c.tryReconnect(&m, err); ok {
+				if rerr != nil {
+					return false, "", m, rerr
+				}
+				probeAt = w
+				continue probe
+			}
 			return false, "", m, err
 		}
 		if dead {
@@ -963,6 +1205,13 @@ probe:
 				step = 1
 			}
 			if slot, b, dead, err = c.readOutage(rootCh, slot+step, &m); err != nil {
+				if w, rerr, ok := c.tryReconnect(&m, err); ok {
+					if rerr != nil {
+						return false, "", m, rerr
+					}
+					probeAt = w
+					continue probe
+				}
 				return false, "", m, err
 			}
 			if dead {
@@ -1011,6 +1260,13 @@ probe:
 				return false, "", m, nil
 			}
 			if slot, b, dead, err = c.readOutage(int(next.Channel), slot+int(next.Offset), &m); err != nil {
+				if w, rerr, ok := c.tryReconnect(&m, err); ok {
+					if rerr != nil {
+						return false, "", m, rerr
+					}
+					probeAt = w
+					continue probe
+				}
 				return false, "", m, err
 			}
 			if dead {

@@ -24,8 +24,12 @@ import (
 // scan started in invalidates the whole frontier — its offsets address a
 // program no longer on the air — so the client discards the partial key
 // set, charges one restart against the retry budget (Metrics.Restarts)
-// and re-scans from the new epoch's root. Like Lookup, a range scan is
-// one session: it detaches when done.
+// and re-scans from the new epoch's root. A station crash mid-scan (with
+// Redial armed) is handled the same way: the client reconnects under the
+// seeded backoff, discards the partial key set and re-scans from the
+// reconnect slot — the frontier schedule it was following interleaved
+// slots the dead station never aired. Like Lookup, a range scan is one
+// session: it detaches when done.
 func (c *Client) LookupRange(arrival int, lo, hi int64, pw sim.Power) (keys []int64, m sim.Metrics, err error) {
 	defer c.detach()
 	if lo > hi {
@@ -42,10 +46,24 @@ restartScan:
 	for {
 		slot, b, err := c.read(1, probeAt, &m)
 		if err != nil {
+			if w, rerr, ok := c.tryReconnect(&m, err); ok {
+				if rerr != nil {
+					return nil, m, rerr
+				}
+				probeAt = w
+				continue restartScan
+			}
 			return nil, m, err
 		}
 		if !b.RootCopy {
 			if slot, b, err = c.read(1, slot+int(b.NextCycle), &m); err != nil {
+				if w, rerr, ok := c.tryReconnect(&m, err); ok {
+					if rerr != nil {
+						return nil, m, rerr
+					}
+					probeAt = w
+					continue restartScan
+				}
 				return nil, m, err
 			}
 		}
@@ -80,10 +98,28 @@ restartScan:
 				return keys, m, fmt.Errorf("netcast: range scan did not terminate")
 			}
 			if err := c.request(next.channel, next.at); err != nil {
+				if w, rerr, ok := c.tryReconnect(&m, c.dropped(next.at, err)); ok {
+					if rerr != nil {
+						return keys, m, rerr
+					}
+					// The frontier's offsets survive a crash (the warm
+					// restart resumes the same program), but the partial
+					// schedule does not: re-scan from the reconnect slot,
+					// discarding the partial key set like an epoch restart.
+					probeAt = w
+					continue restartScan
+				}
 				return keys, m, err
 			}
 			at, payload, err := readFrame(c.br)
 			if err != nil {
+				if w, rerr, ok := c.tryReconnect(&m, c.dropped(next.at, err)); ok {
+					if rerr != nil {
+						return keys, m, rerr
+					}
+					probeAt = w
+					continue restartScan
+				}
 				return keys, m, err
 			}
 			m.TuningTime++
@@ -102,7 +138,7 @@ restartScan:
 				m.Retries++
 				c.om.retries.Inc()
 				c.om.reg.Emit("retry", obs.A("channel", int64(next.channel)), obs.A("slot", int64(at)))
-				if m.Retries+m.Restarts+m.Failovers > c.budget() {
+				if m.Retries+m.Restarts+m.Failovers+m.Reconnects > c.budget() {
 					c.om.exhausted.Inc()
 					return keys, m, fmt.Errorf("netcast: channel %d slot %d: %w after %d redundant wake-ups",
 						next.channel, at, fault.ErrRetryBudget, m.Retries-1)

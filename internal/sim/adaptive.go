@@ -111,7 +111,7 @@ func (tl *Timeline) readAt(m *Metrics, fc FaultConfig, ch, slot int) (int, Entry
 			return slot, e, b, nil
 		default:
 			m.Retries++
-			if m.Retries+m.Restarts+m.Failovers > fc.budget() {
+			if m.Retries+m.Restarts+m.Failovers+m.Reconnects > fc.budget() {
 				return 0, Entry{}, Bucket{}, fmt.Errorf("sim: channel %d slot %d: %w after %d redundant wake-ups",
 					ch, slot, fault.ErrRetryBudget, m.Retries-1)
 			}
@@ -128,7 +128,7 @@ func isRoot(e Entry, b Bucket) bool {
 // restart charges one descent restart against the shared retry budget.
 func (tl *Timeline) restart(m *Metrics, fc FaultConfig, ch, slot int) error {
 	m.Restarts++
-	if m.Retries+m.Restarts+m.Failovers > fc.budget() {
+	if m.Retries+m.Restarts+m.Failovers+m.Reconnects > fc.budget() {
 		return fmt.Errorf("sim: channel %d slot %d: %w after %d descent restarts",
 			ch, slot, fault.ErrRetryBudget, m.Restarts-1)
 	}
@@ -311,7 +311,7 @@ restartScan:
 			res.Metrics.TuningTime++
 			if o := fc.Model.At(next.channel, next.at); o == fault.Drop || o == fault.Corrupt {
 				res.Metrics.Retries++
-				if res.Metrics.Retries+res.Metrics.Restarts+res.Metrics.Failovers > fc.budget() {
+				if res.Metrics.Retries+res.Metrics.Restarts+res.Metrics.Failovers+res.Metrics.Reconnects > fc.budget() {
 					return res, fmt.Errorf("sim: channel %d slot %d: %w after %d redundant wake-ups",
 						next.channel, next.at, fault.ErrRetryBudget, res.Metrics.Retries-1)
 				}
@@ -384,6 +384,7 @@ func EvaluateAdaptive(tl *Timeline, lo, hi int, demand []Demand, pw Power, fc Fa
 			s.Retries += w * float64(m.Retries) / phases
 			s.Restarts += w * float64(m.Restarts) / phases
 			s.Failovers += w * float64(m.Failovers) / phases
+			s.Reconnects += w * float64(m.Reconnects) / phases
 			s.Energy += w * m.Energy / phases
 			if found {
 				hits += w / phases

@@ -206,6 +206,7 @@ func FoldBatch(ms []Metrics) Summary {
 		s.Retries += float64(m.Retries) / n
 		s.Restarts += float64(m.Restarts) / n
 		s.Failovers += float64(m.Failovers) / n
+		s.Reconnects += float64(m.Reconnects) / n
 		s.Conflicts += float64(m.Conflicts) / n
 		s.ExtraCycles += float64(m.ExtraCycles) / n
 		s.Energy += m.Energy / n

@@ -82,7 +82,7 @@ func (tl *Timeline) readOutage(m *Metrics, oc OutageConfig, ch, slot int) (now i
 			}
 		}
 		m.Retries++
-		if m.Retries+m.Restarts+m.Failovers > oc.budget() {
+		if m.Retries+m.Restarts+m.Failovers+m.Reconnects > oc.budget() {
 			return 0, Entry{}, Bucket{}, false, fmt.Errorf("sim: channel %d slot %d: %w after %d redundant wake-ups",
 				ch, slot, fault.ErrRetryBudget, m.Retries-1)
 		}
@@ -97,7 +97,7 @@ func (tl *Timeline) readOutage(m *Metrics, oc OutageConfig, ch, slot int) (now i
 // failover charges one channel failover against the shared retry budget.
 func (tl *Timeline) failover(m *Metrics, oc OutageConfig, ch, slot int) error {
 	m.Failovers++
-	if m.Retries+m.Restarts+m.Failovers > oc.budget() {
+	if m.Retries+m.Restarts+m.Failovers+m.Reconnects > oc.budget() {
 		return fmt.Errorf("sim: channel %d slot %d: %w after %d channel failovers",
 			ch, slot, fault.ErrRetryBudget, m.Failovers-1)
 	}
@@ -319,6 +319,7 @@ func EvaluateOutageAdaptive(tl *Timeline, lo, hi int, demand []Demand, pw Power,
 			r.Summary.Retries += u * float64(m.Retries)
 			r.Summary.Restarts += u * float64(m.Restarts)
 			r.Summary.Failovers += u * float64(m.Failovers)
+			r.Summary.Reconnects += u * float64(m.Reconnects)
 			r.Summary.Energy += u * m.Energy
 			if found {
 				hits += u
@@ -334,6 +335,7 @@ func EvaluateOutageAdaptive(tl *Timeline, lo, hi int, demand []Demand, pw Power,
 		r.Summary.Retries /= completed
 		r.Summary.Restarts /= completed
 		r.Summary.Failovers /= completed
+		r.Summary.Reconnects /= completed
 		r.Summary.Energy /= completed
 		r.HitRate = hits / completed
 	}

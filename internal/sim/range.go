@@ -113,7 +113,7 @@ func (p *Program) QueryRangeFaulty(arrival int, lo, hi int64, pw Power, fc Fault
 			// Nothing usable this slot: re-schedule the same read; the
 			// catch-up bump above lands it one cycle later.
 			res.Metrics.Retries++
-			if res.Metrics.Retries+res.Metrics.Restarts > fc.budget() {
+			if res.Metrics.Retries+res.Metrics.Restarts+res.Metrics.Failovers+res.Metrics.Reconnects > fc.budget() {
 				return res, fmt.Errorf("sim: channel %d slot %d: %w after %d redundant wake-ups",
 					next.channel, next.at, fault.ErrRetryBudget, res.Metrics.Retries-1)
 			}

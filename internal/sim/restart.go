@@ -1,0 +1,532 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/pqueue"
+	"repro/internal/tree"
+)
+
+// This file is the analytic twin of station crash-restart tolerance: the
+// station itself dies at the start of each fault.Downtime window and
+// warm-restarts from its checkpoint at the window's end, and the client
+// protocol — observe the dropped socket, re-dial under the seeded
+// jittered backoff, resume the lookup from the reconnect slot — matches
+// the netcast client byte for byte under identical (seed, downtime
+// schedule, backoff parameters). Reconnects share the unified retry
+// budget: Retries + Restarts + Failovers + Reconnects ≤ MaxRetries, and
+// exhausting it is terminal with fault.ErrRetryBudget.
+//
+// The twin never needs to know the checkpoint cadence: a warm restart
+// resumes the same program at a cycle boundary it already aired, so the
+// broadcast is phase-continuous across the crash and the slot arithmetic
+// of a resumed session is identical to an uninterrupted tower's. The
+// cadence only moves how many slots the restarted tower replays to
+// nobody — wall-clock recovery cost, measured by experiment A12, not
+// slot-domain client cost.
+
+// RestartConfig subjects a query to station crashes layered over channel
+// outages and a lossy medium, and arms the reconnect protocol.
+type RestartConfig struct {
+	// Model is the seeded per-slot fault distribution; the zero Model is
+	// a perfect medium between failures.
+	Model fault.Model
+	// Outages is the channel-outage schedule, composing with crashes
+	// exactly as on the wire.
+	Outages fault.Outages
+	// Downtimes is the station crash schedule: the station dies at each
+	// window's StartSlot and accepts connections again from EndSlot on.
+	Downtimes fault.Downtimes
+	// Backoff is the seeded reconnect backoff schedule shared with the
+	// socket client.
+	Backoff fault.Backoff
+	// MaxRetries bounds Retries+Restarts+Failovers+Reconnects per query
+	// (0 = DefaultMaxRetries).
+	MaxRetries int
+	// DeadAir is the consecutive-unusable-read threshold for declaring a
+	// channel dead (0 = DefaultDeadAir, negative = failover disabled).
+	DeadAir int
+}
+
+func (rc RestartConfig) budget() int {
+	return FaultConfig{MaxRetries: rc.MaxRetries}.budget()
+}
+
+func (rc RestartConfig) deadAir() int {
+	return OutageConfig{DeadAir: rc.DeadAir}.deadAir()
+}
+
+func (rc RestartConfig) faultConfig() FaultConfig {
+	return FaultConfig{Model: rc.Model, MaxRetries: rc.MaxRetries}
+}
+
+// dropEvent is one observed station crash: the connection died while a
+// request for slot base was outstanding, killed by window win.
+type dropEvent struct {
+	base int
+	win  fault.Downtime
+}
+
+// reconnect replays the client's crash-reconnect loop: each attempt
+// charges one Reconnect against the shared budget and advances the
+// listen slot by the seeded jittered backoff; an attempt succeeds once
+// the station is back up at that slot. Returns the absolute slot the
+// fresh connection listens from.
+func (rc RestartConfig) reconnect(m *Metrics, drop *dropEvent) (int, error) {
+	w := drop.base
+	for attempt := 1; ; attempt++ {
+		m.Reconnects++
+		if m.Retries+m.Restarts+m.Failovers+m.Reconnects > rc.budget() {
+			return 0, fmt.Errorf("sim: slot %d: %w after %d reconnect attempts",
+				drop.base, fault.ErrRetryBudget, m.Reconnects-1)
+		}
+		w += rc.Backoff.Delay(attempt)
+		if w >= drop.win.EndSlot && !rc.Downtimes.DownAt(w) {
+			return w, nil
+		}
+	}
+}
+
+// readRestart reads (ch, slot) under the composed crash+outage+fault
+// model for a connection born at slot born. Before anything else it asks
+// whether the station died between the connection's birth and this
+// read's serve slot: a crash drops the socket before the frame arrives,
+// so the failed read costs no wake-up and no retry — it returns the drop
+// event (with the requested slot the backoff counts from) for the caller
+// to reconnect. Otherwise it is exactly readOutage: unusable slots burn
+// retries and re-tune one cycle later, and deadAir consecutive failures
+// (when > 0) report the channel dead for failover.
+func (tl *Timeline) readRestart(m *Metrics, rc RestartConfig, deadAir, born, ch, slot int) (now int, e Entry, b Bucket, dead bool, drop *dropEvent, err error) {
+	run := 0
+	req := slot
+	for {
+		if win, ok := rc.Downtimes.KillIn(born, slot); ok {
+			return 0, Entry{}, Bucket{}, false, &dropEvent{base: req, win: win}, nil
+		}
+		m.TuningTime++
+		if !rc.Outages.DarkAt(ch, slot) {
+			switch rc.Model.At(ch, slot) {
+			case fault.OK, fault.Stall:
+				e, b = tl.bucketAt(ch, slot)
+				return slot, e, b, false, nil, nil
+			}
+		}
+		m.Retries++
+		if m.Retries+m.Restarts+m.Failovers+m.Reconnects > rc.budget() {
+			return 0, Entry{}, Bucket{}, false, nil, fmt.Errorf("sim: channel %d slot %d: %w after %d redundant wake-ups",
+				ch, slot, fault.ErrRetryBudget, m.Retries-1)
+		}
+		run++
+		if deadAir > 0 && run >= deadAir {
+			return slot, Entry{}, Bucket{}, true, nil, nil
+		}
+		// Retry: re-request the slot just heard; the cyclic catch-up
+		// serves its next occurrence one cycle later.
+		req = slot
+		slot += tl.EntryAt(slot).Prog.CycleLen()
+	}
+}
+
+// QueryRestart retrieves the data item with the given key from a
+// timeline whose station crashes and warm-restarts on the Downtimes
+// schedule. It is QueryOutage with the reconnect protocol layered in:
+// a read whose serve slot postdates a crash observes the dropped socket,
+// runs the seeded backoff loop (charging Reconnects), and re-probes from
+// the reconnect slot on a fresh connection — which is then immune to
+// every window that started before it was born. The session's connection
+// predates the broadcast (born -1), matching a client that attached
+// before slot 0; sessions attaching mid-broadcast model their history by
+// trimming already-elapsed windows from the schedule.
+func (tl *Timeline) QueryRestart(arrival int, key int64, pw Power, rc RestartConfig) (Metrics, bool, error) {
+	var m Metrics
+	if arrival < 0 {
+		return m, false, fmt.Errorf("sim: negative arrival %d", arrival)
+	}
+	if err := rc.Downtimes.Validate(); err != nil {
+		return m, false, err
+	}
+	for _, e := range tl.entries {
+		if !e.Prog.t.Keyed() {
+			return m, false, fmt.Errorf("sim: epoch %d tree is not keyed", e.Epoch)
+		}
+	}
+	fc := rc.faultConfig()
+	deadAir := rc.deadAir()
+	K := tl.entries[0].Prog.Channels()
+	rootCh := 1
+	probeAt := arrival
+	born := -1
+
+probe:
+	for {
+		// Probe the believed root channel and synchronize on a root bucket.
+		now, e, b, dead, drop, err := tl.readRestart(&m, rc, deadAir, born, rootCh, probeAt)
+		if err != nil {
+			return m, false, err
+		}
+		if drop != nil {
+			if born, err = rc.reconnect(&m, drop); err != nil {
+				return m, false, err
+			}
+			probeAt = born
+			continue probe
+		}
+		if dead {
+			if err := tl.failover(&m, OutageConfig{MaxRetries: rc.MaxRetries}, rootCh, now); err != nil {
+				return m, false, err
+			}
+			rootCh = rootCh%K + 1
+			probeAt = now + 1
+			continue
+		}
+		rootCh = e.Prog.RootChannel()
+		for redirects := 0; !isRoot(e, b); redirects++ {
+			if redirects >= MaxProbeRedirects {
+				return m, false, fmt.Errorf("%w after %d redirects (got %v)", ErrMissingRoot, redirects, b.Node)
+			}
+			step := b.NextCycle
+			if step <= 0 {
+				step = 1
+			}
+			if now, e, b, dead, drop, err = tl.readRestart(&m, rc, deadAir, born, rootCh, now+step); err != nil {
+				return m, false, err
+			}
+			if drop != nil {
+				if born, err = rc.reconnect(&m, drop); err != nil {
+					return m, false, err
+				}
+				probeAt = born
+				continue probe
+			}
+			if dead {
+				if err := tl.failover(&m, OutageConfig{MaxRetries: rc.MaxRetries}, rootCh, now); err != nil {
+					return m, false, err
+				}
+				rootCh = rootCh%K + 1
+				probeAt = now + 1
+				continue probe
+			}
+			rootCh = e.Prog.RootChannel()
+		}
+		epoch := e.Epoch
+		descentStart := now
+		m.ProbeWait = descentStart - arrival
+
+		restarted := false
+		for hops := 0; hops <= e.Prog.t.NumNodes()+1; hops++ {
+			// Epoch stamp first: across a swap the slot may hold anything.
+			if e.Epoch != epoch {
+				if err := tl.restart(&m, fc, rootCh, now); err != nil {
+					return m, false, err
+				}
+				probeAt = now + 1
+				restarted = true
+				break
+			}
+			t := e.Prog.t
+			if b.Node != tree.None && t.IsData(b.Node) {
+				k, _ := t.Key(b.Node)
+				m.DataWait = now - descentStart + 1
+				m.finish(pw)
+				return m, k == key, nil
+			}
+			var ptr *Pointer
+			for i := range b.Children {
+				lo, hi, _ := t.KeyRange(b.Children[i].Target)
+				if key >= lo && key <= hi {
+					ptr = &b.Children[i]
+					break
+				}
+			}
+			if ptr == nil {
+				// Negative lookup: no child covers the key.
+				m.DataWait = now - descentStart + 1
+				m.finish(pw)
+				return m, false, nil
+			}
+			var dead bool
+			var drop *dropEvent
+			if now, e, b, dead, drop, err = tl.readRestart(&m, rc, deadAir, born, ptr.Channel, now+ptr.Offset); err != nil {
+				return m, false, err
+			}
+			if drop != nil {
+				if born, err = rc.reconnect(&m, drop); err != nil {
+					return m, false, err
+				}
+				probeAt = born
+				continue probe
+			}
+			if dead {
+				// A pointer target went dark mid-descent. The root belief only
+				// moves when the root channel itself is the one that died.
+				if err := tl.failover(&m, OutageConfig{MaxRetries: rc.MaxRetries}, ptr.Channel, now); err != nil {
+					return m, false, err
+				}
+				if ptr.Channel == rootCh {
+					rootCh = rootCh%K + 1
+				}
+				probeAt = now + 1
+				continue probe
+			}
+			rootCh = e.Prog.RootChannel()
+			if e.Epoch == epoch && b.Node != ptr.Target {
+				return m, false, fmt.Errorf("%w: pointer to %s found %v at channel %d slot %d",
+					ErrBrokenPointer, t.Label(ptr.Target), b.Node, ptr.Channel, now)
+			}
+		}
+		if !restarted {
+			return m, false, fmt.Errorf("sim: descent did not terminate")
+		}
+	}
+}
+
+// QueryRestart runs the crash-restart protocol against a static program:
+// the single-epoch timeline degenerate case.
+func (p *Program) QueryRestart(arrival int, key int64, pw Power, rc RestartConfig) (Metrics, bool, error) {
+	tl, err := NewTimeline(p, 0)
+	if err != nil {
+		return Metrics{}, false, err
+	}
+	return tl.QueryRestart(arrival, key, pw, rc)
+}
+
+// QueryRangeRestart retrieves every data item with a key in [lo, hi]
+// from a timeline whose station crashes and warm-restarts on the
+// Downtimes schedule. It is QueryRangeSwitch with the reconnect protocol
+// layered in: a crash observed during the probe, the sync jump, or any
+// frontier read drops the socket, the client reconnects under the seeded
+// backoff, discards the partial key set — the interleaved frontier
+// schedule addressed slots the dead station never aired — and re-scans
+// from the reconnect slot. Range scans never fail over, matching the
+// socket client.
+func (tl *Timeline) QueryRangeRestart(arrival int, lo, hi int64, pw Power, rc RestartConfig) (RangeResult, error) {
+	var res RangeResult
+	if arrival < 0 {
+		return res, fmt.Errorf("sim: negative arrival %d", arrival)
+	}
+	if lo > hi {
+		return res, fmt.Errorf("sim: empty range [%d, %d]", lo, hi)
+	}
+	if err := rc.Downtimes.Validate(); err != nil {
+		return res, err
+	}
+	for _, e := range tl.entries {
+		if !e.Prog.t.Keyed() {
+			return res, fmt.Errorf("sim: epoch %d tree is not keyed", e.Epoch)
+		}
+	}
+	fc := rc.faultConfig()
+	probeAt := arrival
+	born := -1
+
+restartScan:
+	for {
+		// Probe and synchronize with failover disabled: the socket range
+		// client reads through Client.read, which has no dead-air detector.
+		now, e, b, _, drop, err := tl.readRestart(&res.Metrics, rc, 0, born, 1, probeAt)
+		if err != nil {
+			return res, err
+		}
+		if drop != nil {
+			if born, err = rc.reconnect(&res.Metrics, drop); err != nil {
+				return res, err
+			}
+			probeAt = born
+			continue restartScan
+		}
+		if !isRoot(e, b) {
+			if now, e, b, _, drop, err = tl.readRestart(&res.Metrics, rc, 0, born, 1, now+b.NextCycle); err != nil {
+				return res, err
+			}
+			if drop != nil {
+				if born, err = rc.reconnect(&res.Metrics, drop); err != nil {
+					return res, err
+				}
+				probeAt = born
+				continue restartScan
+			}
+			if !isRoot(e, b) {
+				return res, fmt.Errorf("%w (got %v)", ErrMissingRoot, b.Node)
+			}
+		}
+		epoch := e.Epoch
+		prog := e.Prog
+		descentStart := now
+		res.Metrics.ProbeWait = descentStart - arrival
+		res.Keys = res.Keys[:0]
+
+		intersects := func(id tree.ID) bool {
+			l, h, ok := prog.t.KeyRange(id)
+			return ok && l <= hi && h >= lo
+		}
+		q := pqueue.New(func(a, b pending) bool { return a.at < b.at })
+		visit := func(at int, bucket Bucket) error {
+			node := bucket.Node
+			if node == tree.None {
+				return fmt.Errorf("sim: range query read an empty bucket")
+			}
+			if prog.t.IsData(node) {
+				k, _ := prog.t.Key(node)
+				if k >= lo && k <= hi {
+					res.Keys = append(res.Keys, k)
+				}
+				return nil
+			}
+			for _, c := range bucket.Children {
+				if intersects(c.Target) {
+					q.Push(pending{at: at + c.Offset, channel: c.Channel, target: c.Target})
+				}
+			}
+			return nil
+		}
+		if err := visit(now, b); err != nil {
+			return res, err
+		}
+
+		guard := 0
+		maxReads := prog.t.NumNodes()*(prog.cycleLen+2) + fc.budget()
+		for q.Len() > 0 {
+			next := q.Pop()
+			// The requested slot is what the backoff counts from; the
+			// cyclic catch-up below decides the serve slot, and the crash
+			// check runs against that — a window opening before the frame
+			// would have aired kills the socket first.
+			req := next.at
+			for next.at <= now {
+				next.at += tl.EntryAt(next.at).Prog.CycleLen()
+			}
+			if win, ok := rc.Downtimes.KillIn(born, next.at); ok {
+				if born, err = rc.reconnect(&res.Metrics, &dropEvent{base: req, win: win}); err != nil {
+					return res, err
+				}
+				probeAt = born
+				continue restartScan
+			}
+			if guard++; guard > maxReads {
+				return res, fmt.Errorf("sim: range query did not terminate")
+			}
+			now = next.at
+			res.Metrics.TuningTime++
+			if o := rc.Model.At(next.channel, next.at); rc.Outages.DarkAt(next.channel, next.at) || o == fault.Drop || o == fault.Corrupt {
+				res.Metrics.Retries++
+				if res.Metrics.Retries+res.Metrics.Restarts+res.Metrics.Failovers+res.Metrics.Reconnects > fc.budget() {
+					return res, fmt.Errorf("sim: channel %d slot %d: %w after %d redundant wake-ups",
+						next.channel, next.at, fault.ErrRetryBudget, res.Metrics.Retries-1)
+				}
+				q.Push(pending{at: now, channel: next.channel, target: next.target})
+				continue
+			}
+			re, bucket := tl.bucketAt(next.channel, now)
+			if re.Epoch != epoch {
+				if err := tl.restart(&res.Metrics, fc, next.channel, now); err != nil {
+					return res, err
+				}
+				probeAt = now + 1
+				continue restartScan
+			}
+			if bucket.Node != next.target {
+				return res, fmt.Errorf("%w: range pointer to %s found %v",
+					ErrBrokenPointer, prog.t.Label(next.target), bucket.Node)
+			}
+			if err := visit(now, bucket); err != nil {
+				return res, err
+			}
+		}
+		res.Metrics.DataWait = now - descentStart + 1
+		res.Metrics.finish(pw)
+		return res, nil
+	}
+}
+
+// RestartReport is the outcome of an evaluation under station crashes:
+// the conditional mean cost over completed queries, the availability,
+// and the hit rate, exactly like OutageReport (which it reuses).
+type RestartReport = OutageReport
+
+// EvaluateRestart computes the expected client cost of a static program
+// under the crash-restart schedule over the arrival window [lo, hi): a
+// query arrives uniformly at every slot in the window and requests each
+// data item with probability proportional to its weight. Queries that
+// exhaust the shared retry budget count against Availability instead of
+// the cost averages.
+func EvaluateRestart(p *Program, lo, hi int, pw Power, rc RestartConfig) (RestartReport, error) {
+	tl, err := NewTimeline(p, 0)
+	if err != nil {
+		return RestartReport{}, err
+	}
+	if !p.t.Keyed() {
+		return RestartReport{}, fmt.Errorf("sim: tree is not keyed")
+	}
+	var demand []Demand
+	for _, d := range p.t.DataIDs() {
+		k, ok := p.t.Key(d)
+		if !ok {
+			return RestartReport{}, fmt.Errorf("sim: data node %v has no key", d)
+		}
+		demand = append(demand, Demand{Key: k, Weight: p.t.Weight(d)})
+	}
+	return EvaluateRestartAdaptive(tl, lo, hi, demand, pw, rc)
+}
+
+// EvaluateRestartAdaptive is EvaluateRestart over an adaptive timeline
+// and explicit demand. All averages are exact sums, not samples.
+func EvaluateRestartAdaptive(tl *Timeline, lo, hi int, demand []Demand, pw Power, rc RestartConfig) (RestartReport, error) {
+	var r RestartReport
+	if lo < 0 || hi <= lo {
+		return r, fmt.Errorf("sim: bad arrival window [%d, %d)", lo, hi)
+	}
+	var total float64
+	for _, d := range demand {
+		if d.Weight < 0 {
+			return r, fmt.Errorf("sim: negative weight %v for key %d", d.Weight, d.Key)
+		}
+		total += d.Weight
+	}
+	if total == 0 {
+		return r, fmt.Errorf("sim: zero total demand")
+	}
+	phases := float64(hi - lo)
+	var completed, failed, hits float64
+	for _, d := range demand {
+		u := d.Weight / total / phases
+		for a := lo; a < hi; a++ {
+			m, found, err := tl.QueryRestart(a, d.Key, pw, rc)
+			if errors.Is(err, fault.ErrRetryBudget) {
+				failed += u
+				continue
+			}
+			if err != nil {
+				return r, fmt.Errorf("sim: key %d arrival %d: %w", d.Key, a, err)
+			}
+			completed += u
+			r.Summary.ProbeWait += u * float64(m.ProbeWait)
+			r.Summary.DataWait += u * float64(m.DataWait)
+			r.Summary.AccessTime += u * float64(m.AccessTime)
+			r.Summary.TuningTime += u * float64(m.TuningTime)
+			r.Summary.Retries += u * float64(m.Retries)
+			r.Summary.Restarts += u * float64(m.Restarts)
+			r.Summary.Failovers += u * float64(m.Failovers)
+			r.Summary.Reconnects += u * float64(m.Reconnects)
+			r.Summary.Energy += u * m.Energy
+			if found {
+				hits += u
+			}
+		}
+	}
+	r.Availability = completed / (completed + failed)
+	if completed > 0 {
+		r.Summary.ProbeWait /= completed
+		r.Summary.DataWait /= completed
+		r.Summary.AccessTime /= completed
+		r.Summary.TuningTime /= completed
+		r.Summary.Retries /= completed
+		r.Summary.Failovers /= completed
+		r.Summary.Restarts /= completed
+		r.Summary.Reconnects /= completed
+		r.Summary.Energy /= completed
+		r.HitRate = hits / completed
+	}
+	return r, nil
+}

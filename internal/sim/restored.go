@@ -1,0 +1,27 @@
+package sim
+
+import "fmt"
+
+// Restored builds a skeleton Program from the shape data a station
+// checkpoint records: channel count, cycle length and root channel, but
+// no index tree and no buckets. A warm-started tower serves the
+// checkpointed wire packets verbatim, so the skeleton only has to answer
+// the shape questions the serving loop asks (Channels, CycleLen,
+// RootChannel); everything requiring the tree — queries, re-encoding,
+// batch planning — is unavailable and guarded by IsRestored.
+func Restored(channels, cycleLen, rootChannel int) (*Program, error) {
+	switch {
+	case channels < 1:
+		return nil, fmt.Errorf("sim: restored program with %d channels", channels)
+	case cycleLen < 1:
+		return nil, fmt.Errorf("sim: restored program with cycle length %d", cycleLen)
+	case rootChannel < 1 || rootChannel > channels:
+		return nil, fmt.Errorf("sim: restored root channel %d outside [1, %d]", rootChannel, channels)
+	}
+	return &Program{k: channels, cycleLen: cycleLen, rootCh: rootChannel}, nil
+}
+
+// IsRestored reports whether p is a checkpoint-restored skeleton: shape
+// only, no index tree. Skeletons can be aired from checkpointed packets
+// but cannot be queried analytically or re-encoded.
+func (p *Program) IsRestored() bool { return p.t == nil }

@@ -218,15 +218,21 @@ type Metrics struct {
 	// Restarts counts descents abandoned because the broadcast program was
 	// hot-swapped mid-traversal: the client observed a bucket from a newer
 	// epoch, discarded its cached pointers and restarted from the new root.
-	// Restarts share the retry budget (Retries + Restarts ≤ MaxRetries).
-	// Zero on a static broadcast.
+	// Restarts share the retry budget with Retries, Failovers and
+	// Reconnects. Zero on a static broadcast.
 	Restarts int
 	// Failovers counts channel failovers: descents abandoned because the
 	// client declared the channel it was reading dead (DeadAir consecutive
 	// unusable reads) and re-tuned via a surviving channel. Failovers share
-	// the retry budget (Retries + Restarts + Failovers ≤ MaxRetries). Zero
+	// the retry budget with Retries, Restarts and Reconnects. Zero
 	// unless the query ran under an outage schedule.
 	Failovers int
+	// Reconnects counts re-dial attempts after the station itself crashed
+	// and severed the connection: each backoff step that redials (successfully
+	// or not) counts one. Reconnects share the retry budget
+	// (Retries + Restarts + Failovers + Reconnects ≤ MaxRetries). Zero
+	// unless the query ran under a downtime schedule.
+	Reconnects int
 	// Conflicts counts batch targets that could not be read at their first
 	// airing after arrival because the single tuner was busy on another
 	// channel — two wanted nodes overlapped on the air — forcing a wait
@@ -356,7 +362,7 @@ func (p *Program) readAt(m *Metrics, fc FaultConfig, ch, slot int) (int, Bucket,
 			return slot, p.buckets[ch-1][p.slotInCycle(slot)-1], nil
 		default: // Drop, Corrupt: nothing usable was heard this slot.
 			m.Retries++
-			if m.Retries+m.Restarts+m.Failovers > fc.budget() {
+			if m.Retries+m.Restarts+m.Failovers+m.Reconnects > fc.budget() {
 				return 0, Bucket{}, fmt.Errorf("sim: channel %d slot %d: %w after %d redundant wake-ups",
 					ch, slot, fault.ErrRetryBudget, m.Retries-1)
 			}
@@ -438,6 +444,9 @@ type Summary struct {
 	// Failovers is the expected number of channel failovers per query
 	// (zero unless evaluated under an outage schedule).
 	Failovers float64
+	// Reconnects is the expected number of station re-dial attempts per
+	// query (zero unless evaluated under a downtime schedule).
+	Reconnects float64
 	// Conflicts is the expected number of batch retrieval conflicts per
 	// query — wanted nodes overlapping on the air (zero for single-key
 	// workloads).
@@ -479,6 +488,7 @@ func EvaluateFaulty(p *Program, pw Power, fc FaultConfig) (Summary, error) {
 			s.Retries += w * float64(m.Retries) / phases
 			s.Restarts += w * float64(m.Restarts) / phases
 			s.Failovers += w * float64(m.Failovers) / phases
+			s.Reconnects += w * float64(m.Reconnects) / phases
 			s.Energy += w * m.Energy / phases
 		}
 	}

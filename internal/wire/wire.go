@@ -260,6 +260,11 @@ func Unmarshal(data []byte) (*Bucket, error) {
 // unversioned broadcast.
 func EncodeProgram(p *sim.Program, epoch uint32) ([][][]byte, error) {
 	t := p.Tree()
+	if t == nil {
+		// A checkpoint-restored skeleton serves its checkpointed packets
+		// verbatim; re-encoding it would require the tree it no longer has.
+		return nil, fmt.Errorf("wire: program has no tree (checkpoint-restored skeleton); serve its checkpointed packets instead")
+	}
 	out := make([][][]byte, p.Channels())
 	for ch := 1; ch <= p.Channels(); ch++ {
 		out[ch-1] = make([][]byte, p.CycleLen())

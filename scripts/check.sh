@@ -11,7 +11,9 @@
 #   test        go test ./...                  (tier-1: the full unit/property suite)
 #   shuffle     go test -shuffle=on ./...      (no order-dependent tests)
 #   race        go test -race ./...            (parallel-harness and pool safety)
-#   soak        outage soak under -race        (50 kill/revive cycles, leak-free)
+#   soak        outage + crash-restart soaks under -race (50 kill/revive
+#               cycles each: channel outages, then station SIGKILL/warm
+#               restart; leak-free, sim-twin byte-identical)
 #   fuzz        scripts/fuzz.sh                (every fuzz target, 5s each)
 #   perf        bcast-bench -exp perf          (short run; writes BENCH_pr$PR.json)
 #
@@ -69,7 +71,7 @@ echo "== race =="
 go test -race ./...
 
 echo "== soak =="
-go test -race -run 'TestOutageSoak' -count=1 ./internal/netcast
+go test -race -run 'TestOutageSoak|TestCrashRestartSoak' -count=1 ./internal/netcast
 
 echo "== fuzz =="
 sh scripts/fuzz.sh 5s
